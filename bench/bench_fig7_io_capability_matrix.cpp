@@ -1,0 +1,82 @@
+// Reproduces FIG. 7: "(Partially displayed) IO capability mapping for
+// authentication stage 1" — the DisplayYesNo x NoInputNoOutput quadrant the
+// paper shows for both version regimes, plus the full 4x4 association-model
+// matrix as context.
+//
+// The downgrade-critical property checked at the end: whenever either side
+// is NoInputNoOutput, the association model is Just Works (automatic
+// confirmation) — so a NoInputNoOutput attacker always bypasses the numeric
+// comparison challenge.
+#include "bench_util.hpp"
+
+#include "host/ui_model.hpp"
+
+namespace {
+const char* short_io(blap::hci::IoCapability io) {
+  using IO = blap::hci::IoCapability;
+  switch (io) {
+    case IO::kDisplayOnly: return "DisplayOnly";
+    case IO::kDisplayYesNo: return "DisplayYesNo";
+    case IO::kKeyboardOnly: return "KeyboardOnly";
+    case IO::kNoInputNoOutput: return "NoInputNoOutput";
+  }
+  return "?";
+}
+}  // namespace
+
+int main() {
+  using namespace blap;
+  using namespace blap::bench;
+  using host::BtVersion;
+  using IO = hci::IoCapability;
+
+  const IO paper_quadrant[] = {IO::kDisplayYesNo, IO::kNoInputNoOutput};
+  const IO all_caps[] = {IO::kDisplayOnly, IO::kDisplayYesNo, IO::kKeyboardOnly,
+                         IO::kNoInputNoOutput};
+
+  for (BtVersion version : {BtVersion::kV4_2, BtVersion::kV5_0}) {
+    banner(std::string("FIG. 7") + (version == BtVersion::kV4_2 ? "a" : "b") +
+           " — IO capability mapping, version " + host::to_string(version) +
+           (version == BtVersion::kV4_2 ? " and lower" : " and higher"));
+    for (IO responder : paper_quadrant) {
+      for (IO initiator : paper_quadrant) {
+        std::printf("Device B (Responder) = %-16s Device A (Initiator) = %-16s\n",
+                    short_io(responder), short_io(initiator));
+        std::printf("  -> %s\n\n",
+                    host::describe_cell(version, initiator, responder).c_str());
+      }
+    }
+  }
+
+  banner("Full association model matrix (spec Table 5.7, OOB absent)");
+  std::printf("%-16s", "resp \\ init");
+  for (IO initiator : all_caps) std::printf(" %-18s", short_io(initiator));
+  std::printf("\n");
+  for (IO responder : all_caps) {
+    std::printf("%-16s", short_io(responder));
+    for (IO initiator : all_caps)
+      std::printf(" %-18s", host::to_string(host::select_association_model(initiator, responder)));
+    std::printf("\n");
+  }
+
+  // Downgrade property check.
+  bool ok = true;
+  for (IO other : all_caps) {
+    ok &= host::select_association_model(IO::kNoInputNoOutput, other) ==
+          host::AssociationModel::kJustWorks;
+    ok &= host::select_association_model(other, IO::kNoInputNoOutput) ==
+          host::AssociationModel::kJustWorks;
+  }
+  // And the v4.2 silent-initiator property the page blocking attack uses.
+  const auto v42 = host::confirmation_behavior(BtVersion::kV4_2, IO::kDisplayYesNo,
+                                               IO::kNoInputNoOutput, true);
+  const auto v50 = host::confirmation_behavior(BtVersion::kV5_0, IO::kDisplayYesNo,
+                                               IO::kNoInputNoOutput, true);
+  ok &= v42.automatic_confirmation && !v42.shows_popup;
+  ok &= v50.shows_popup && !v50.shows_numeric_value;
+
+  std::printf("\nNoInputNoOutput always forces Just Works; v4.2 initiator confirms silently;\n"
+              "v5.0 popup carries no comparison value: %s\n",
+              ok ? "CONFIRMED" : "VIOLATED");
+  return ok ? 0 : 1;
+}

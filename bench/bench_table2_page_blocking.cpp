@@ -1,0 +1,67 @@
+// Reproduces TABLE II: "Success rates of MITM connection establishment".
+//
+// For each of the paper's seven victim devices:
+//   * baseline ("without page blocking"): the attacker spoofs C's BD_ADDR
+//     and waits; M pages; the page-scan race decides who answers first.
+//     100 trials, fresh simulation per trial. Paper: 42-60 %.
+//   * attack ("with page blocking"): the attacker pages M first and holds a
+//     PLOC; M's pairing request lands on the attacker deterministically.
+//     Paper: 100 %.
+//
+// Trials default to the paper's 100 per cell; set BLAP_TRIALS to override.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace blap;
+  using namespace blap::bench;
+
+  const int baseline_trials = trial_count(100);
+  const int attack_trials = trial_count(100);
+
+  banner("TABLE II — Success rates of MITM connection establishment");
+  std::printf("%-26s | %-10s %-12s | %-10s %-12s\n", "", "paper", "measured", "paper",
+              "measured");
+  std::printf("%-26s | %-23s | %-23s\n", "Device", "without page blocking",
+              "with page blocking");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  bool shape_holds = true;
+  std::uint64_t seed = 10'000;
+  for (const auto& profile : core::table2_profiles()) {
+    // Baseline: the race.
+    int baseline_wins = 0;
+    for (int t = 0; t < baseline_trials; ++t) {
+      Scenario s = make_scenario(seed++, profile, core::TransportKind::kUart, true,
+                                 profile.baseline_mitm_success);
+      if (core::PageBlockingAttack::baseline_trial(*s.sim, *s.attacker, *s.accessory,
+                                                   *s.target))
+        ++baseline_wins;
+    }
+    // Attack: PLOC.
+    int attack_wins = 0;
+    for (int t = 0; t < attack_trials; ++t) {
+      Scenario s = make_scenario(seed++, profile, core::TransportKind::kUart, true,
+                                 profile.baseline_mitm_success);
+      const auto report =
+          core::PageBlockingAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, {});
+      if (report.mitm_established) ++attack_wins;
+    }
+
+    const double baseline_rate = 100.0 * baseline_wins / baseline_trials;
+    const double attack_rate = 100.0 * attack_wins / attack_trials;
+    std::printf("%-26s | %7.0f%%   %9.1f%%   | %7s    %9.1f%%\n",
+                (profile.model + " (" + profile.os + ")").c_str(),
+                100.0 * profile.baseline_mitm_success, baseline_rate, "100%", attack_rate);
+
+    // Shape check: baseline within a binomial-noise band of the paper's
+    // value; attack exactly 100 %.
+    const double expected = 100.0 * profile.baseline_mitm_success;
+    if (std::abs(baseline_rate - expected) > 15.0) shape_holds = false;
+    if (attack_rate < 100.0) shape_holds = false;
+  }
+
+  std::printf("\n(baseline: %d trials/device, attack: %d trials/device; "
+              "paper used 100. Shape %s.)\n",
+              baseline_trials, attack_trials, shape_holds ? "HOLDS" : "DOES NOT HOLD");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// bench_util.hpp — shared scenario builders for the reproduction benches.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/link_key_extraction.hpp"
+#include "core/page_blocking.hpp"
+#include "core/profiles.hpp"
+
+namespace blap::bench {
+
+struct Scenario {
+  std::unique_ptr<core::Simulation> sim;
+  core::Device* attacker = nullptr;
+  core::Device* accessory = nullptr;
+  core::Device* target = nullptr;
+};
+
+/// Standard A/C/M triple: Nexus 5x attacker, hands-free accessory, victim
+/// from `victim_profile`. `baseline_bias` calibrates the accessory's page
+/// race for Table II baselines.
+inline Scenario make_scenario(std::uint64_t seed, const core::DeviceProfile& victim_profile,
+                              core::TransportKind accessory_transport,
+                              bool accessory_has_dump, double baseline_bias = 0.5) {
+  Scenario s;
+  s.sim = std::make_unique<core::Simulation>(seed);
+
+  core::DeviceSpec a =
+      core::attacker_profile().to_spec("attacker-A", *BdAddr::parse("aa:aa:aa:00:00:01"));
+  a.controller.page_scan_interval = static_cast<SimTime>(1.28 * kSecond);
+
+  core::DeviceSpec c = core::accessory_profile().to_spec(
+      "accessory-C", *BdAddr::parse("00:1b:7d:da:71:0a"),
+      ClassOfDevice(ClassOfDevice::kHandsFree));
+  c.transport = accessory_transport;
+  c.host.hci_dump_available = accessory_has_dump;
+  c.host.io_capability = hci::IoCapability::kNoInputNoOutput;
+  c.controller.page_scan_interval =
+      core::accessory_interval_for_bias(baseline_bias, a.controller.page_scan_interval);
+
+  core::DeviceSpec m = victim_profile.to_spec("victim-M", *BdAddr::parse("48:90:12:34:56:78"));
+
+  s.attacker = &s.sim->add_device(a);
+  s.accessory = &s.sim->add_device(c);
+  s.target = &s.sim->add_device(m);
+  return s;
+}
+
+/// Accessory variant with a confirm-capable UI (for extraction scenarios,
+/// where C must pass Numeric Comparison pairing with M).
+inline Scenario make_extraction_scenario(std::uint64_t seed,
+                                         const core::DeviceProfile& accessory_profile_row) {
+  Scenario s;
+  s.sim = std::make_unique<core::Simulation>(seed);
+  core::DeviceSpec a =
+      core::attacker_profile().to_spec("attacker-A", *BdAddr::parse("aa:aa:aa:00:00:01"));
+  core::DeviceSpec c = accessory_profile_row.to_spec(
+      "accessory-C", *BdAddr::parse("00:1b:7d:da:71:0a"),
+      ClassOfDevice(ClassOfDevice::kHandsFree));
+  core::DeviceSpec m =
+      core::table2_profiles()[5].to_spec("victim-M", *BdAddr::parse("48:90:12:34:56:78"));
+  s.attacker = &s.sim->add_device(a);
+  s.accessory = &s.sim->add_device(c);
+  s.target = &s.sim->add_device(m);
+  return s;
+}
+
+/// Trial count: paper uses 100; override with BLAP_TRIALS for quick runs.
+inline int trial_count(int default_trials = 100) {
+  if (const char* env = std::getenv("BLAP_TRIALS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return default_trials;
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+}  // namespace blap::bench

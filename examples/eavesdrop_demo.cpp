@@ -1,0 +1,110 @@
+// eavesdrop_demo.cpp — the paper's §IV-C closing claim, end to end:
+// "A would be able to decrypt not only the future, but also the past
+//  communications of M captured by air-sniffers using the key."
+//
+//   $ ./eavesdrop_demo
+//
+// Timeline:
+//   day 1 — the victim phone M and its car-kit C hold an encrypted HFP call
+//            while a passive air sniffer records everything (ciphertext);
+//   day 2 — the attacker runs the link key extraction attack against C and
+//            obtains the M<->C link key from C's HCI dump;
+//   day 3 — the attacker feeds the recorded capture plus the stolen key to
+//            the offline decryptor and reads the call back.
+#include <cstdio>
+#include <cstring>
+
+#include "core/air_analysis.hpp"
+#include "core/link_key_extraction.hpp"
+#include "core/profiles.hpp"
+
+int main() {
+  using namespace blap;
+  using namespace blap::core;
+
+  Simulation sim(777);
+  AirSniffer sniffer(sim.medium());
+
+  DeviceSpec a_spec = attacker_profile().to_spec("attacker", *BdAddr::parse("aa:aa:aa:00:00:01"));
+  DeviceSpec c_spec = table1_profiles()[0].to_spec("carkit", *BdAddr::parse("00:1b:7d:da:71:0a"),
+                                                   ClassOfDevice(ClassOfDevice::kHandsFree));
+  DeviceSpec m_spec = table2_profiles()[5].to_spec("velvet", *BdAddr::parse("48:90:12:34:56:78"));
+  Device& attacker = sim.add_device(a_spec);
+  Device& carkit = sim.add_device(c_spec);
+  Device& phone = sim.add_device(m_spec);
+  attacker.set_radio_enabled(false);  // not present on day 1
+
+  // --- Day 1: an encrypted call, recorded off the air. ----------------------
+  std::printf("[day 1] C and M pair and hold a call; a sniffer records the air...\n");
+  bool hfp_up = false;
+  carkit.host().connect_hfp(phone.address(), [&](bool ok) { hfp_up = ok; });
+  sim.run_for(15 * kSecond);
+  if (!hfp_up) {
+    std::printf("HFP setup failed\n");
+    return 1;
+  }
+  carkit.host().hfp_send_at(phone.address(), "ATA");
+  sim.run_for(200 * kMillisecond);
+  const char* lines[] = {"press 1 to confirm the transfer", "authorization code 7-7-3-4",
+                         "thank you, goodbye"};
+  for (const char* line : lines) {
+    carkit.host().hfp_send_audio(
+        phone.address(),
+        BytesView(reinterpret_cast<const std::uint8_t*>(line), std::strlen(line)));
+    sim.run_for(300 * kMillisecond);
+  }
+  const auto day1_capture = sniffer.frames();
+  carkit.host().disconnect(phone.address());
+  sim.run_for(2 * kSecond);
+  std::printf("        sniffer holds %zu frames — all ACL payloads are E0 ciphertext\n\n",
+              day1_capture.size());
+
+  // Show that the recording alone is useless.
+  int plaintext_hits = 0;
+  for (const auto& frame : day1_capture) {
+    const std::string text(frame.frame.begin(), frame.frame.end());
+    if (text.find("authorization") != std::string::npos) ++plaintext_hits;
+  }
+  std::printf("        searching the raw capture for \"authorization\": %d hits (good)\n\n",
+              plaintext_hits);
+
+  // --- Day 2: the extraction attack obtains the link key. -------------------
+  std::printf("[day 2] the attacker runs the link key extraction attack on C...\n");
+  attacker.set_radio_enabled(true);
+  LinkKeyExtractionOptions options;
+  options.validate_by_impersonation = false;
+  const auto report = LinkKeyExtractionAttack::run(sim, attacker, carkit, phone, options);
+  if (!report.key_extracted || !report.key_matches_bond) {
+    std::printf("extraction failed\n");
+    return 1;
+  }
+  std::printf("        extracted link key %s (C's bond survived: %s)\n\n",
+              hex(report.extracted_key).c_str(), report.c_bond_survived ? "yes" : "no");
+
+  // --- Day 3: retroactive decryption of the day-1 recording. ----------------
+  std::printf("[day 3] decrypting the day-1 recording with the stolen key...\n");
+  const auto decrypted = decrypt_captured_traffic(day1_capture, report.extracted_key);
+  if (!decrypted) {
+    std::printf("decryption context not found in capture\n");
+    return 1;
+  }
+  bool recovered = false;
+  for (const auto& payload : *decrypted) {
+    const std::string text(payload.plaintext.begin(), payload.plaintext.end());
+    // Surface only the voice frames (the 0xA0-marked HFP audio).
+    const auto pos = text.find("press 1");
+    const auto pos2 = text.find("authorization");
+    const auto pos3 = text.find("thank you");
+    if (pos != std::string::npos || pos2 != std::string::npos || pos3 != std::string::npos) {
+      recovered = true;
+      std::printf("        t=%8llu us  %s: \"%s\"\n",
+                  static_cast<unsigned long long>(payload.timestamp_us),
+                  payload.sender.to_string().c_str(),
+                  text.substr(text.find_first_of("pat")).c_str());
+    }
+  }
+  std::printf("\n%s\n", recovered
+                            ? "PAST CALL RECOVERED — forward secrecy of the bond is broken."
+                            : "recovery failed");
+  return recovered ? 0 : 1;
+}

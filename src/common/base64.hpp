@@ -1,0 +1,22 @@
+// base64.hpp — RFC 4648 base64 codec.
+//
+// Android bug reports embed binary attachments (including the Bluetooth HCI
+// snoop log) base64-encoded in a text document; the attack tooling decodes
+// them back out (paper §IV-A, ref [22]).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace blap {
+
+/// Encode to standard base64 (with padding). `line_width` > 0 inserts a
+/// newline every that many output characters (MIME style).
+[[nodiscard]] std::string base64_encode(BytesView data, std::size_t line_width = 0);
+
+/// Decode base64; whitespace is skipped. Returns nullopt on malformed input.
+[[nodiscard]] std::optional<Bytes> base64_decode(const std::string& text);
+
+}  // namespace blap

@@ -1,0 +1,100 @@
+#include "common/bdaddr.hpp"
+
+#include <cstdio>
+
+namespace blap {
+
+std::optional<BdAddr> BdAddr::parse(std::string_view text) {
+  std::array<std::uint8_t, kSize> out{};
+  std::size_t byte_idx = 0;
+  int hi = -1;
+  auto hexv = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (char c : text) {
+    if (c == ':' || c == '-') {
+      if (hi >= 0) return std::nullopt;
+      continue;
+    }
+    const int v = hexv(c);
+    if (v < 0) return std::nullopt;
+    if (hi < 0) {
+      hi = v;
+    } else {
+      if (byte_idx >= kSize) return std::nullopt;
+      out[byte_idx++] = static_cast<std::uint8_t>((hi << 4) | v);
+      hi = -1;
+    }
+  }
+  if (byte_idx != kSize || hi >= 0) return std::nullopt;
+  return BdAddr(out);
+}
+
+std::optional<BdAddr> BdAddr::from_wire(ByteReader& r) {
+  auto raw = r.array<kSize>();
+  if (!raw) return std::nullopt;
+  std::array<std::uint8_t, kSize> be{};
+  for (std::size_t i = 0; i < kSize; ++i) be[i] = (*raw)[kSize - 1 - i];
+  return BdAddr(be);
+}
+
+void BdAddr::to_wire(ByteWriter& w) const {
+  for (std::size_t i = 0; i < kSize; ++i) w.u8(bytes_[kSize - 1 - i]);
+}
+
+std::uint32_t BdAddr::lap() const {
+  return (static_cast<std::uint32_t>(bytes_[3]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[4]) << 8) | bytes_[5];
+}
+
+std::uint8_t BdAddr::uap() const { return bytes_[2]; }
+
+std::uint16_t BdAddr::nap() const {
+  return static_cast<std::uint16_t>((bytes_[0] << 8) | bytes_[1]);
+}
+
+std::string BdAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1],
+                bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+bool BdAddr::is_zero() const {
+  for (std::uint8_t b : bytes_)
+    if (b != 0) return false;
+  return true;
+}
+
+std::string ClassOfDevice::describe() const {
+  switch (major_class()) {
+    case 0x01: return "Computer";
+    case 0x02: return "Phone";
+    case 0x03: return "LAN/Network AP";
+    case 0x04: return "Audio/Video";
+    case 0x05: return "Peripheral";
+    case 0x06: return "Imaging";
+    case 0x07: return "Wearable";
+    default: return "Misc";
+  }
+}
+
+void ClassOfDevice::to_wire(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(raw_));
+  w.u8(static_cast<std::uint8_t>(raw_ >> 8));
+  w.u8(static_cast<std::uint8_t>(raw_ >> 16));
+}
+
+std::optional<ClassOfDevice> ClassOfDevice::from_wire(ByteReader& r) {
+  auto b0 = r.u8();
+  auto b1 = r.u8();
+  auto b2 = r.u8();
+  if (!b0 || !b1 || !b2) return std::nullopt;
+  return ClassOfDevice(static_cast<std::uint32_t>(*b0) | (static_cast<std::uint32_t>(*b1) << 8) |
+                       (static_cast<std::uint32_t>(*b2) << 16));
+}
+
+}  // namespace blap

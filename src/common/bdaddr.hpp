@@ -1,0 +1,97 @@
+// bdaddr.hpp — Bluetooth device address (BD_ADDR) and Class of Device types.
+//
+// BD_ADDR is the 48-bit public address every BR/EDR controller owns. It is
+// structured as LAP (lower 24 bits), UAP (8 bits), NAP (16 bits); the paper's
+// Fig. 11 decodes a key-bearing HCI command into exactly these fields. On the
+// HCI wire the address travels little-endian (LAP byte first).
+//
+// Class of Device (COD) is the 24-bit device-class advertised in inquiry
+// responses; the paper's attacker rewrites it from "mobile phone" (0x5A020C)
+// to "hands-free" (0x3C0404) when impersonating a car-kit.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace blap {
+
+/// 48-bit Bluetooth device address. Stored big-endian (bytes()[0] is the NAP
+/// high byte, matching the human-readable "aa:bb:cc:dd:ee:ff" order).
+class BdAddr {
+ public:
+  static constexpr std::size_t kSize = 6;
+
+  constexpr BdAddr() = default;
+  explicit constexpr BdAddr(std::array<std::uint8_t, kSize> b) : bytes_(b) {}
+
+  /// Parse "aa:bb:cc:dd:ee:ff" (case-insensitive; '-' also accepted).
+  [[nodiscard]] static std::optional<BdAddr> parse(std::string_view text);
+
+  /// Decode from HCI wire order (little-endian, LAP first).
+  [[nodiscard]] static std::optional<BdAddr> from_wire(ByteReader& r);
+
+  /// Encode into HCI wire order (little-endian).
+  void to_wire(ByteWriter& w) const;
+
+  [[nodiscard]] const std::array<std::uint8_t, kSize>& bytes() const { return bytes_; }
+
+  /// Lower Address Part — 24 bits, used by baseband paging/inquiry.
+  [[nodiscard]] std::uint32_t lap() const;
+  /// Upper Address Part — 8 bits.
+  [[nodiscard]] std::uint8_t uap() const;
+  /// Non-significant Address Part — 16 bits.
+  [[nodiscard]] std::uint16_t nap() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// The all-zero address, used as "unset".
+  [[nodiscard]] bool is_zero() const;
+
+  friend constexpr auto operator<=>(const BdAddr&, const BdAddr&) = default;
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+/// 24-bit Class of Device.
+class ClassOfDevice {
+ public:
+  constexpr ClassOfDevice() = default;
+  explicit constexpr ClassOfDevice(std::uint32_t raw) : raw_(raw & 0xFFFFFF) {}
+
+  /// Paper's Fig. 8 values.
+  static constexpr std::uint32_t kMobilePhone = 0x5A020C;
+  static constexpr std::uint32_t kHandsFree = 0x3C0404;
+
+  [[nodiscard]] std::uint32_t raw() const { return raw_; }
+  [[nodiscard]] std::uint8_t major_class() const { return static_cast<std::uint8_t>((raw_ >> 8) & 0x1F); }
+  [[nodiscard]] std::uint8_t minor_class() const { return static_cast<std::uint8_t>((raw_ >> 2) & 0x3F); }
+  [[nodiscard]] std::uint16_t service_classes() const { return static_cast<std::uint16_t>((raw_ >> 13) & 0x7FF); }
+  [[nodiscard]] std::string describe() const;
+
+  void to_wire(ByteWriter& w) const;  // 3 bytes little-endian
+  [[nodiscard]] static std::optional<ClassOfDevice> from_wire(ByteReader& r);
+
+  friend constexpr auto operator<=>(const ClassOfDevice&, const ClassOfDevice&) = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+}  // namespace blap
+
+template <>
+struct std::hash<blap::BdAddr> {
+  std::size_t operator()(const blap::BdAddr& a) const noexcept {
+    std::uint64_t v = 0;
+    for (std::uint8_t b : a.bytes()) v = (v << 8) | b;
+    return std::hash<std::uint64_t>{}(v);
+  }
+};

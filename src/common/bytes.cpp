@@ -1,0 +1,192 @@
+#include "common/bytes.hpp"
+
+#include <cctype>
+
+namespace blap {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::string hex_pretty(BytesView data) {
+  std::string out;
+  if (data.empty()) return out;
+  out.reserve(data.size() * 3 - 1);
+  bool first = true;
+  for (std::uint8_t b : data) {
+    if (!first) out.push_back(' ');
+    first = false;
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::optional<Bytes> unhex(std::string_view text) {
+  Bytes out;
+  out.reserve(text.size() / 2);
+  int hi = -1;
+  for (char c : text) {
+    if (c == ' ' || c == ':' || c == '\t' || c == '\n' || c == '\r') {
+      if (hi >= 0) return std::nullopt;  // separator splitting a byte
+      continue;
+    }
+    const int v = hex_value(c);
+    if (v < 0) return std::nullopt;
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) return std::nullopt;  // odd digit count
+  return out;
+}
+
+std::string hexdump(BytesView data) {
+  std::string out;
+  for (std::size_t off = 0; off < data.size(); off += 16) {
+    char header[24];
+    std::snprintf(header, sizeof(header), "%08zx  ", off);
+    out += header;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (off + i < data.size()) {
+        const std::uint8_t b = data[off + i];
+        out.push_back(kHexDigits[b >> 4]);
+        out.push_back(kHexDigits[b & 0xF]);
+        out.push_back(' ');
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out.push_back(' ');
+    }
+    out += " |";
+    for (std::size_t i = 0; i < 16 && off + i < data.size(); ++i) {
+      const char c = static_cast<char>(data[off + i]);
+      out.push_back(std::isprint(static_cast<unsigned char>(c)) ? c : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+std::optional<std::uint8_t> ByteReader::u8() {
+  if (remaining() < 1) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> ByteReader::u16() {
+  if (remaining() < 2) return std::nullopt;
+  const std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> ByteReader::u32() {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::u64() {
+  if (remaining() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+std::optional<std::uint32_t> ByteReader::u32be() {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::u64be() {
+  if (remaining() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+std::optional<Bytes> ByteReader::bytes(std::size_t n) {
+  if (remaining() < n) return std::nullopt;
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+bool ByteReader::skip(std::size_t n) {
+  if (remaining() < n) return false;
+  pos_ += n;
+  return true;
+}
+
+ByteWriter& ByteWriter::u8(std::uint8_t v) {
+  buf_.push_back(v);
+  return *this;
+}
+
+ByteWriter& ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  return *this;
+}
+
+ByteWriter& ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  return *this;
+}
+
+ByteWriter& ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  return *this;
+}
+
+ByteWriter& ByteWriter::u32be(std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  return *this;
+}
+
+ByteWriter& ByteWriter::u64be(std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  return *this;
+}
+
+ByteWriter& ByteWriter::raw(BytesView data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  return *this;
+}
+
+}  // namespace blap

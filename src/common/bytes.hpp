@@ -1,0 +1,116 @@
+// bytes.hpp — byte buffer utilities shared by every BLAP module.
+//
+// The simulator moves opaque octet strings between layers (HCI packets, LMP
+// PDUs, snoop records, USB frames). This header provides:
+//   * Bytes           — the canonical owning byte-buffer type
+//   * hex/unhex       — lossless hex codecs (lowercase, no separators)
+//   * hex_pretty      — space-separated hex for human-facing dumps
+//   * hexdump         — classic offset/hex/ascii dump used by the snoop tools
+//   * ByteReader      — bounds-checked little-endian cursor over a buffer
+//   * ByteWriter      — append-only little-endian builder
+//
+// Bluetooth HCI is little-endian on the wire; all multi-byte integer helpers
+// here are little-endian unless the name says otherwise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blap {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode a byte span as lowercase hex with no separators ("0b0416...").
+[[nodiscard]] std::string hex(BytesView data);
+
+/// Encode as hex with a single space between bytes ("0b 04 16 ...").
+/// This matches the format the paper's BinaryToHex converter emits, which the
+/// USB-sniff extraction then searches for the "0b 04 16" opcode pattern.
+[[nodiscard]] std::string hex_pretty(BytesView data);
+
+/// Decode hex (accepts upper/lower case and optional spaces/colons).
+/// Returns std::nullopt on any malformed input.
+[[nodiscard]] std::optional<Bytes> unhex(std::string_view text);
+
+/// Classic 16-bytes-per-line hexdump with offsets and an ASCII gutter.
+[[nodiscard]] std::string hexdump(BytesView data);
+
+/// Constant-time comparison of two equal-length byte strings. Used when
+/// checking authentication responses so the simulator's verifier mirrors a
+/// non-leaky implementation.
+[[nodiscard]] bool ct_equal(BytesView a, BytesView b);
+
+/// Bounds-checked sequential reader over a byte buffer (little-endian).
+/// All accessors return std::nullopt once the buffer is exhausted; a parse
+/// that sees nullopt should abandon the packet rather than trust partial
+/// data — the snoop reader relies on this to survive truncated logs.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool empty() const { return remaining() == 0; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+  [[nodiscard]] std::optional<std::uint8_t> u8();
+  [[nodiscard]] std::optional<std::uint16_t> u16();   // little-endian
+  [[nodiscard]] std::optional<std::uint32_t> u32();   // little-endian
+  [[nodiscard]] std::optional<std::uint64_t> u64();   // little-endian
+  [[nodiscard]] std::optional<std::uint32_t> u32be(); // big-endian (snoop hdr)
+  [[nodiscard]] std::optional<std::uint64_t> u64be(); // big-endian (snoop hdr)
+
+  /// Read exactly n bytes; nullopt if fewer remain.
+  [[nodiscard]] std::optional<Bytes> bytes(std::size_t n);
+
+  /// Read exactly N bytes into a fixed array; nullopt if fewer remain.
+  template <std::size_t N>
+  [[nodiscard]] std::optional<std::array<std::uint8_t, N>> array() {
+    if (remaining() < N) return std::nullopt;
+    std::array<std::uint8_t, N> out{};
+    for (std::size_t i = 0; i < N; ++i) out[i] = data_[pos_ + i];
+    pos_ += N;
+    return out;
+  }
+
+  /// Skip n bytes; returns false (and consumes nothing) if fewer remain.
+  bool skip(std::size_t n);
+
+  /// The unconsumed tail.
+  [[nodiscard]] BytesView rest() const { return data_.subspan(pos_); }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only little-endian packet builder.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  ByteWriter& u8(std::uint8_t v);
+  ByteWriter& u16(std::uint16_t v);    // little-endian
+  ByteWriter& u32(std::uint32_t v);    // little-endian
+  ByteWriter& u64(std::uint64_t v);    // little-endian
+  ByteWriter& u32be(std::uint32_t v);  // big-endian (snoop header fields)
+  ByteWriter& u64be(std::uint64_t v);  // big-endian (snoop header fields)
+  ByteWriter& raw(BytesView data);
+
+  [[nodiscard]] const Bytes& data() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Convert a span to an owning Bytes.
+[[nodiscard]] inline Bytes to_bytes(BytesView v) { return Bytes(v.begin(), v.end()); }
+
+}  // namespace blap

@@ -1,0 +1,53 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <vector>
+
+namespace blap {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, const std::string& component, const std::string& msg) {
+  if (!enabled(level)) return;
+  if (sink_) {
+    sink_(level, component, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%-5s] %-12s %s\n", to_string(level), component.c_str(), msg.c_str());
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n <= 0) {
+    va_end(args2);
+    return {};
+  }
+  std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+  std::vsnprintf(buf.data(), buf.size(), fmt, args2);
+  va_end(args2);
+  return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+}  // namespace blap

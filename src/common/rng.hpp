@@ -1,0 +1,58 @@
+// rng.hpp — deterministic random number generation for the simulator.
+//
+// Everything random in BLAP (nonces, ECDH private keys, page-response timing
+// jitter) flows through a seeded Rng so that every experiment is exactly
+// reproducible: same seed → same link keys, same HCI dumps, same Table II
+// success counts. The generator is xoshiro256** (public-domain algorithm),
+// chosen for speed and statistical quality; it is NOT a CSPRNG — fine for a
+// simulator whose security properties are structural, not entropic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace blap {
+
+class Rng {
+ public:
+  /// Seeds via splitmix64 so that nearby seeds yield unrelated streams.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p);
+
+  /// Fill a fixed-size array with random bytes (link keys, nonces, RANDs).
+  template <std::size_t N>
+  std::array<std::uint8_t, N> bytes() {
+    std::array<std::uint8_t, N> out{};
+    fill(out.data(), N);
+    return out;
+  }
+
+  /// Fill an owning buffer of n random bytes.
+  Bytes buffer(std::size_t n);
+
+  /// Derive an independent child stream (device-local RNGs from a scenario
+  /// master seed, so adding a device never perturbs another device's stream).
+  Rng fork();
+
+ private:
+  void fill(std::uint8_t* dst, std::size_t n);
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace blap

@@ -1,0 +1,57 @@
+#include "common/scheduler.hpp"
+
+#include <utility>
+
+namespace blap {
+
+void EventHandle::cancel() {
+  if (alive_) *alive_ = false;
+}
+
+bool EventHandle::pending() const { return alive_ && *alive_; }
+
+EventHandle Scheduler::schedule_at(SimTime when, std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+EventHandle Scheduler::schedule_in(SimTime delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+std::size_t Scheduler::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    if (*ev.alive) {
+      *ev.alive = false;  // mark fired before running, so pending() is false inside the callback
+      ev.fn();
+      ++executed;
+    }
+  }
+  // The clock always reaches the deadline: events beyond it stay queued,
+  // but a subsequent run_for() must resume from the deadline, not from the
+  // last executed event.
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+std::size_t Scheduler::run_all() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    if (*ev.alive) {
+      *ev.alive = false;
+      ev.fn();
+      ++executed;
+    }
+  }
+  return executed;
+}
+
+}  // namespace blap

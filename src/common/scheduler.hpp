@@ -1,0 +1,98 @@
+// scheduler.hpp — discrete-event simulation core.
+//
+// Every BLAP scenario runs on a single-threaded virtual clock. Components
+// (radio medium, transports, controllers, hosts) schedule callbacks at future
+// virtual instants; run_until()/run_for() advance time by popping the event
+// queue in timestamp order. Determinism rules:
+//   * ties in timestamp are broken by insertion sequence number, so two
+//     events scheduled for the same instant fire in schedule order;
+//   * all randomness (e.g. page-response jitter) is injected by callers from
+//     seeded Rng streams — the scheduler itself is entirely deterministic.
+//
+// Virtual time is in microseconds; Bluetooth's 625 us slot is the natural
+// granularity for baseband events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace blap {
+
+/// Virtual time in microseconds since scenario start.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1'000'000;
+/// One Bluetooth baseband slot (625 us).
+constexpr SimTime kSlot = 625;
+
+/// Handle to a scheduled event; lets the owner cancel it. Cheap to copy.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly and
+  /// safe to call on a default-constructed handle.
+  void cancel();
+
+  /// True if the event is still queued (not fired, not cancelled).
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule fn to run at absolute virtual time `when` (clamped to now).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedule fn to run `delay` microseconds from now.
+  EventHandle schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Run events until the queue is empty or `deadline` is passed; the clock
+  /// ends at min(deadline, last event time). Returns events executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Run events for `duration` more virtual microseconds.
+  std::size_t run_for(SimTime duration) { return run_until(now_ + duration); }
+
+  /// Drain the queue completely (caller must ensure the event graph
+  /// quiesces; periodic self-rescheduling events would never finish).
+  std::size_t run_all();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace blap

@@ -1,0 +1,69 @@
+#include "common/uuid.hpp"
+
+#include <cstdio>
+
+namespace blap {
+
+namespace {
+// Bluetooth Base UUID: 00000000-0000-1000-8000-00805f9b34fb
+constexpr std::array<std::uint8_t, Uuid::kSize> kBaseUuid = {
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10, 0x00,
+    0x80, 0x00, 0x00, 0x80, 0x5f, 0x9b, 0x34, 0xfb};
+
+int hexv(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Uuid Uuid::from_uuid16(std::uint16_t short_uuid) {
+  auto bytes = kBaseUuid;
+  bytes[2] = static_cast<std::uint8_t>(short_uuid >> 8);
+  bytes[3] = static_cast<std::uint8_t>(short_uuid);
+  return Uuid(bytes);
+}
+
+std::optional<Uuid> Uuid::parse(std::string_view text) {
+  std::array<std::uint8_t, kSize> out{};
+  std::size_t idx = 0;
+  int hi = -1;
+  for (char c : text) {
+    if (c == '-') {
+      if (hi >= 0) return std::nullopt;
+      continue;
+    }
+    const int v = hexv(c);
+    if (v < 0) return std::nullopt;
+    if (hi < 0) {
+      hi = v;
+    } else {
+      if (idx >= kSize) return std::nullopt;
+      out[idx++] = static_cast<std::uint8_t>((hi << 4) | v);
+      hi = -1;
+    }
+  }
+  if (idx != kSize || hi >= 0) return std::nullopt;
+  return Uuid(out);
+}
+
+std::optional<std::uint16_t> Uuid::as_uuid16() const {
+  auto expected = kBaseUuid;
+  expected[2] = bytes_[2];
+  expected[3] = bytes_[3];
+  if (expected != bytes_) return std::nullopt;
+  return static_cast<std::uint16_t>((bytes_[2] << 8) | bytes_[3]);
+}
+
+std::string Uuid::to_string() const {
+  char buf[37];
+  std::snprintf(buf, sizeof(buf),
+                "%02x%02x%02x%02x-%02x%02x-%02x%02x-%02x%02x-%02x%02x%02x%02x%02x%02x",
+                bytes_[0], bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5], bytes_[6],
+                bytes_[7], bytes_[8], bytes_[9], bytes_[10], bytes_[11], bytes_[12], bytes_[13],
+                bytes_[14], bytes_[15]);
+  return buf;
+}
+
+}  // namespace blap

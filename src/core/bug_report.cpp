@@ -1,0 +1,59 @@
+#include "core/bug_report.hpp"
+
+#include "common/base64.hpp"
+#include "common/log.hpp"
+
+namespace blap::core {
+
+namespace {
+constexpr const char* kSnoopBegin = "--- BEGIN:BTSNOOP (base64) ---";
+constexpr const char* kSnoopEnd = "--- END:BTSNOOP ---";
+}  // namespace
+
+std::string generate_bug_report(const Device& device, SimTime at) {
+  const auto& host = device.host();
+  std::string report;
+  report += "========================================================\n";
+  report += "== dumpstate (simulated Android bug report)\n";
+  report += "========================================================\n";
+  report += strfmt("uptime: %llu us (virtual)\n", static_cast<unsigned long long>(at));
+  report += "[ro.product.model]: [" + device.spec().name + "]\n";
+  report += "[ro.bt.bdaddr_path]: [/persist/bdaddr.txt]\n";
+  report += "bdaddr: " + device.address().to_string() + "\n";
+  report += "\n-------- DUMP OF SERVICE bluetooth_manager --------\n";
+  report += strfmt("  enabled: true\n  bonded devices: %zu\n",
+                   host.security().bond_count());
+  for (const auto& bond : host.security().bonds()) {
+    // The dumpsys section lists peers but never keys — the key leak is in
+    // the snoop attachment below, which is the paper's whole point.
+    report += "    " + bond.address.to_string() +
+              (bond.name.empty() ? "" : " (" + bond.name + ")") + "\n";
+  }
+  report += strfmt("  hci snoop log: %s\n", host.snoop_enabled() ? "enabled" : "disabled");
+
+  if (host.snoop_enabled()) {
+    const Bytes snoop = host.snoop().serialize();
+    report += "\n-------- BLUETOOTH HCI SNOOP LOG (data/misc/bluedroid/logs) --------\n";
+    report += kSnoopBegin;
+    report += "\n";
+    report += base64_encode(snoop, 76);
+    if (report.back() != '\n') report += "\n";
+    report += kSnoopEnd;
+    report += "\n";
+  }
+  report += "\n-------- end of report --------\n";
+  return report;
+}
+
+std::optional<hci::SnoopLog> extract_snoop_from_bug_report(const std::string& report) {
+  const auto begin = report.find(kSnoopBegin);
+  if (begin == std::string::npos) return std::nullopt;
+  const auto body_start = begin + std::string(kSnoopBegin).size();
+  const auto end = report.find(kSnoopEnd, body_start);
+  if (end == std::string::npos) return std::nullopt;
+  const auto decoded = base64_decode(report.substr(body_start, end - body_start));
+  if (!decoded) return std::nullopt;
+  return hci::SnoopLog::parse(*decoded);
+}
+
+}  // namespace blap::core

@@ -1,0 +1,32 @@
+// bug_report.hpp — the Android bug report exfiltration channel (§IV-A).
+//
+// The paper's HCI-dump extraction does not read the snoop file directly —
+// Android stores it in an inaccessible directory ('data/misc/bluedroid/
+// logs'). Instead the attacker generates an *Android bug report*, which any
+// user can trigger from developer options "without any system access
+// permission" (ref [22]), and which embeds the snoop log base64-encoded in
+// its text body. These helpers reproduce both halves: the platform side
+// that packages a bug report, and the attack side that carves the snoop
+// back out of one.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/device.hpp"
+#include "hci/snoop.hpp"
+
+namespace blap::core {
+
+/// Package a device's state into a bug-report-shaped text document:
+/// system properties, a dumpsys-like Bluetooth section, and — when the snoop
+/// log is enabled — the btsnoop file base64-embedded between BEGIN/END
+/// markers, exactly the structure the extraction tooling looks for.
+[[nodiscard]] std::string generate_bug_report(const Device& device, SimTime at);
+
+/// Carve the btsnoop attachment out of a bug report. Returns nullopt when
+/// the report carries no snoop section or the attachment fails to parse.
+[[nodiscard]] std::optional<hci::SnoopLog> extract_snoop_from_bug_report(
+    const std::string& report);
+
+}  // namespace blap::core

@@ -1,0 +1,53 @@
+#include "core/device.hpp"
+
+namespace blap::core {
+
+Device::Device(Scheduler& scheduler, radio::RadioMedium& medium, DeviceSpec spec, Rng rng)
+    : medium_(medium), spec_(std::move(spec)) {
+  if (spec_.transport == TransportKind::kUsb) {
+    auto usb = std::make_unique<transport::UsbTransport>(scheduler);
+    usb_transport_ = usb.get();
+    transport_ = std::move(usb);
+  } else {
+    transport_ = std::make_unique<transport::UartTransport>(scheduler);
+  }
+
+  controller::ControllerConfig controller_config = spec_.controller;
+  controller_config.address = spec_.address;
+  controller_config.class_of_device = spec_.class_of_device;
+  controller_config.name = spec_.name;
+  controller_ =
+      std::make_unique<controller::Controller>(scheduler, medium, *transport_,
+                                               controller_config, rng.fork());
+
+  host::HostConfig host_config = spec_.host;
+  host_config.device_name = spec_.name;
+  host_ = std::make_unique<host::HostStack>(scheduler, *transport_, host_config);
+  host_->power_on();
+}
+
+void Device::set_radio_enabled(bool enabled) {
+  if (enabled == radio_enabled_) return;
+  radio_enabled_ = enabled;
+  if (enabled) medium_.attach(controller_.get());
+  else medium_.detach(controller_.get());
+}
+
+void Device::spoof_identity(const BdAddr& address, ClassOfDevice class_of_device) {
+  spec_.address = address;
+  spec_.class_of_device = class_of_device;
+  controller_->set_address(address);
+  controller_->set_class_of_device(class_of_device);
+}
+
+Simulation::Simulation(std::uint64_t seed)
+    : rng_(seed), medium_(scheduler_, Rng(seed ^ 0x9E3779B97F4A7C15ULL)) {}
+
+Device& Simulation::add_device(DeviceSpec spec) {
+  devices_.push_back(std::make_unique<Device>(scheduler_, medium_, std::move(spec), rng_.fork()));
+  // Let power-on traffic (Reset, Read_BD_ADDR, ...) drain.
+  scheduler_.run_for(10 * kMillisecond);
+  return *devices_.back();
+}
+
+}  // namespace blap::core

@@ -1,0 +1,92 @@
+// device.hpp — assembling complete Bluetooth devices and simulations.
+//
+// A Device is the full stack of one physical unit: host ⟷ transport
+// (UART or USB) ⟷ controller ⟷ radio. A Simulation owns the shared
+// scheduler, the radio medium, and any number of devices — the A/M/C
+// three-device system model of the paper's §III.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "host/host.hpp"
+#include "radio/radio_medium.hpp"
+#include "transport/uart_transport.hpp"
+#include "transport/usb_transport.hpp"
+
+namespace blap::core {
+
+enum class TransportKind : std::uint8_t {
+  kUart,  // controller-type chipset inside a phone
+  kUsb,   // PC + USB dongle ("QSENN CSR V4.0")
+};
+
+struct DeviceSpec {
+  std::string name = "device";
+  BdAddr address;
+  ClassOfDevice class_of_device{ClassOfDevice::kMobilePhone};
+  TransportKind transport = TransportKind::kUart;
+  host::HostConfig host;
+  /// Controller knobs; address/COD/name are overwritten from the fields
+  /// above during assembly.
+  controller::ControllerConfig controller;
+};
+
+class Device {
+ public:
+  Device(Scheduler& scheduler, radio::RadioMedium& medium, DeviceSpec spec, Rng rng);
+
+  [[nodiscard]] host::HostStack& host() { return *host_; }
+  [[nodiscard]] const host::HostStack& host() const { return *host_; }
+  [[nodiscard]] controller::Controller& controller() { return *controller_; }
+  [[nodiscard]] transport::HciTransport& transport() { return *transport_; }
+  /// Non-null only for USB devices — where a sniffer can attach.
+  [[nodiscard]] transport::UsbTransport* usb_transport() { return usb_transport_; }
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] const BdAddr& address() const { return spec_.address; }
+
+  /// Take the device on/off the air (a powered-down or out-of-range unit).
+  void set_radio_enabled(bool enabled);
+  [[nodiscard]] bool radio_enabled() const { return radio_enabled_; }
+
+  /// Rewrite the radio identity (the paper's BDADDR/COD spoofing via
+  /// /persist/bdaddr.txt + bt_target.h).
+  void spoof_identity(const BdAddr& address, ClassOfDevice class_of_device);
+
+ private:
+  radio::RadioMedium& medium_;
+  DeviceSpec spec_;
+  std::unique_ptr<transport::HciTransport> transport_;
+  transport::UsbTransport* usb_transport_ = nullptr;
+  std::unique_ptr<controller::Controller> controller_;
+  std::unique_ptr<host::HostStack> host_;
+  bool radio_enabled_ = true;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed);
+
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] radio::RadioMedium& medium() { return medium_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Create, power on, and register a device.
+  Device& add_device(DeviceSpec spec);
+
+  [[nodiscard]] std::vector<std::unique_ptr<Device>>& devices() { return devices_; }
+
+  void run_for(SimTime duration) { scheduler_.run_for(duration); }
+  void run_until_idle() { scheduler_.run_all(); }
+  [[nodiscard]] SimTime now() const { return scheduler_.now(); }
+
+ private:
+  Scheduler scheduler_;
+  Rng rng_;
+  radio::RadioMedium medium_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace blap::core

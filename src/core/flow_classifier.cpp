@@ -1,0 +1,75 @@
+#include "core/flow_classifier.hpp"
+
+#include "hci/commands.hpp"
+#include "hci/events.hpp"
+
+namespace blap::core {
+
+const char* to_string(PairingFlow flow) {
+  switch (flow) {
+    case PairingFlow::kNone: return "no pairing";
+    case PairingFlow::kNormal: return "normal pairing (Fig. 12a)";
+    case PairingFlow::kPageBlocked: return "pairing under page blocking (Fig. 12b)";
+    case PairingFlow::kInconsistent: return "inconsistent flow";
+  }
+  return "?";
+}
+
+FlowAnalysis classify_pairing_flow(const hci::SnoopLog& log) {
+  FlowAnalysis analysis;
+  std::size_t frame = 0;
+  bool create_before_auth = false;
+  bool accept_before_auth = false;
+
+  for (const auto& record : log.records()) {
+    ++frame;
+    const auto& packet = record.packet;
+    if (packet.type == hci::PacketType::kCommand) {
+      const auto opcode = packet.command_opcode();
+      if (!opcode) continue;
+      switch (*opcode) {
+        case hci::op::kCreateConnection:
+          analysis.saw_create_connection = true;
+          if (!analysis.saw_authentication_requested) create_before_auth = true;
+          break;
+        case hci::op::kAcceptConnectionRequest:
+          analysis.saw_accept_connection = true;
+          if (!analysis.saw_authentication_requested) accept_before_auth = true;
+          break;
+        case hci::op::kAuthenticationRequested:
+          if (!analysis.saw_authentication_requested) analysis.pairing_frame = frame;
+          analysis.saw_authentication_requested = true;
+          break;
+        case hci::op::kLinkKeyRequestNegativeReply:
+          analysis.saw_link_key_negative_reply = true;
+          break;
+        default: break;
+      }
+    } else if (packet.type == hci::PacketType::kEvent) {
+      const auto code = packet.event_code();
+      if (!code) continue;
+      if (*code == hci::ev::kConnectionRequest) analysis.saw_connection_request = true;
+      if (*code == hci::ev::kIoCapabilityRequest) analysis.saw_io_capability_request = true;
+    }
+  }
+
+  if (!analysis.saw_authentication_requested) {
+    analysis.flow = PairingFlow::kNone;
+    return analysis;
+  }
+  // Fig. 12b signature: the device accepted an inbound connection and later
+  // initiated pairing on it — connection responder AND pairing initiator.
+  if (analysis.saw_connection_request && accept_before_auth && !create_before_auth) {
+    analysis.flow = PairingFlow::kPageBlocked;
+    return analysis;
+  }
+  // Fig. 12a signature: the device created the connection itself.
+  if (create_before_auth && !analysis.saw_connection_request) {
+    analysis.flow = PairingFlow::kNormal;
+    return analysis;
+  }
+  analysis.flow = PairingFlow::kInconsistent;
+  return analysis;
+}
+
+}  // namespace blap::core

@@ -1,0 +1,41 @@
+// flow_classifier.hpp — recognizing the paper's Fig. 12 HCI flows.
+//
+// The paper validates page blocking by inspecting the victim's HCI dump:
+// under attack, M is simultaneously the *pairing initiator*
+// (HCI_Authentication_Requested command) and the *connection responder*
+// (HCI_Connection_Request event + HCI_Accept_Connection_Request command) —
+// a combination a normal M-initiated pairing never produces (it begins with
+// HCI_Create_Connection instead).
+#pragma once
+
+#include <string>
+
+#include "hci/snoop.hpp"
+
+namespace blap::core {
+
+enum class PairingFlow : std::uint8_t {
+  kNone,               // no pairing activity in the log
+  kNormal,             // Fig. 12a: Create_Connection then pairing
+  kPageBlocked,        // Fig. 12b: Connection_Request/Accept then pairing
+  kInconsistent,       // pairing activity with neither signature
+};
+
+[[nodiscard]] const char* to_string(PairingFlow flow);
+
+struct FlowAnalysis {
+  PairingFlow flow = PairingFlow::kNone;
+  bool saw_create_connection = false;
+  bool saw_connection_request = false;
+  bool saw_accept_connection = false;
+  bool saw_authentication_requested = false;
+  bool saw_link_key_negative_reply = false;
+  bool saw_io_capability_request = false;
+  /// Index (1-based frame) of the first pairing command, 0 if none.
+  std::size_t pairing_frame = 0;
+};
+
+/// Classify the pairing flow recorded in a victim-side HCI dump.
+[[nodiscard]] FlowAnalysis classify_pairing_flow(const hci::SnoopLog& log);
+
+}  // namespace blap::core

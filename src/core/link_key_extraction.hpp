@@ -1,0 +1,71 @@
+// link_key_extraction.hpp — the paper's first attack, end to end (§IV, Fig. 5).
+//
+// Scenario roles (paper §III-A):
+//   M — the hard target holding sensitive data (a phone),
+//   C — a soft-target accessory bonded to M (car-kit / headset / PC),
+//   A — the attacker's device (modified host stack).
+//
+// Procedure reproduced step by step:
+//   1. A arranges HCI recording on C (HCI dump or USB sniff),
+//   2. A spoofs M's BD_ADDR,
+//   3. C initiates reconnection + LMP authentication toward "M" (really A);
+//      C's controller pulls the bonded key from C's host over the HCI,
+//   4. the key lands in C's HCI record,
+//   5. A's host *ignores* its own HCI_Link_Key_Request, so C's challenge
+//      times out and the link drops WITHOUT an authentication failure,
+//   6. A parses the record and extracts the key,
+//   7. A spoofs C, installs fake bonding info with the key, and validates by
+//      opening a PAN (tethering) connection to M — success without a new
+//      pairing proves the key.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/device.hpp"
+#include "core/snoop_extractor.hpp"
+#include "core/usb_extractor.hpp"
+
+namespace blap::core {
+
+struct LinkKeyExtractionOptions {
+  /// Capture channel on C: HCI dump (Android/BlueZ) or USB sniff (Windows).
+  bool use_usb_sniff = false;
+  /// Step 7: validate the key by impersonating C against M over PAN.
+  bool validate_by_impersonation = true;
+  /// Ablation (§ DESIGN.md 5.3): instead of stalling the challenge, answer
+  /// it with a wrong key — triggering an authentication failure that purges
+  /// C's bond, demonstrating why the stall matters.
+  bool answer_with_wrong_key = false;
+  /// How long to let C's doomed authentication attempt run.
+  SimTime attack_window = 40 * kSecond;
+};
+
+struct LinkKeyExtractionReport {
+  bool bonded_precondition = false;      // C and M shared a key before attack
+  bool key_extracted = false;            // a key for M came out of the capture
+  bool key_matches_bond = false;         // == the key C actually stores
+  crypto::LinkKey extracted_key{};
+  KeySource key_source = KeySource::kLinkKeyRequestReply;
+  std::size_t keys_in_capture = 0;
+
+  hci::Status c_auth_status = hci::Status::kSuccess;  // what C's host saw
+  bool c_bond_survived = false;          // the stealth property of step 5
+
+  bool impersonation_attempted = false;
+  bool impersonation_succeeded = false;  // PAN up with no new pairing
+  bool impersonation_repaired = false;   // a NEW pairing happened (failure)
+
+  std::string capture_channel;           // "HCI dump" / "USB sniff"
+};
+
+class LinkKeyExtractionAttack {
+ public:
+  /// Run the attack inside an existing simulation. The devices must already
+  /// exist; C and M must NOT yet be bonded (the attack bonds them first to
+  /// establish the precondition, mirroring the paper's testbed setup).
+  static LinkKeyExtractionReport run(Simulation& sim, Device& attacker, Device& accessory,
+                                     Device& target, const LinkKeyExtractionOptions& options = {});
+};
+
+}  // namespace blap::core

@@ -1,0 +1,51 @@
+#include "core/snoop_extractor.hpp"
+
+#include "hci/commands.hpp"
+#include "hci/events.hpp"
+
+namespace blap::core {
+
+const char* to_string(KeySource source) {
+  switch (source) {
+    case KeySource::kLinkKeyRequestReply: return "HCI_Link_Key_Request_Reply";
+    case KeySource::kLinkKeyNotification: return "HCI_Link_Key_Notification";
+  }
+  return "?";
+}
+
+std::vector<ExtractedKey> extract_link_keys(const hci::SnoopLog& log) {
+  std::vector<ExtractedKey> out;
+  std::size_t frame = 0;
+  for (const auto& record : log.records()) {
+    ++frame;
+    const auto& packet = record.packet;
+    if (packet.type == hci::PacketType::kCommand &&
+        packet.command_opcode() == hci::op::kLinkKeyRequestReply) {
+      auto params = packet.command_params();
+      if (!params) continue;
+      auto cmd = hci::LinkKeyRequestReplyCmd::decode(*params);
+      if (!cmd) continue;
+      out.push_back(ExtractedKey{cmd->bdaddr, cmd->link_key,
+                                 KeySource::kLinkKeyRequestReply, record.timestamp_us, frame});
+    } else if (packet.type == hci::PacketType::kEvent &&
+               packet.event_code() == hci::ev::kLinkKeyNotification) {
+      auto params = packet.event_params();
+      if (!params) continue;
+      auto evt = hci::LinkKeyNotificationEvt::decode(*params);
+      if (!evt) continue;
+      out.push_back(ExtractedKey{evt->bdaddr, evt->link_key, KeySource::kLinkKeyNotification,
+                                 record.timestamp_us, frame});
+    }
+  }
+  return out;
+}
+
+std::optional<ExtractedKey> extract_link_key_for(const hci::SnoopLog& log, const BdAddr& peer) {
+  std::optional<ExtractedKey> latest;
+  for (const auto& key : extract_link_keys(log)) {
+    if (key.peer == peer) latest = key;
+  }
+  return latest;
+}
+
+}  // namespace blap::core

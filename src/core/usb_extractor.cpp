@@ -1,0 +1,49 @@
+#include "core/usb_extractor.hpp"
+
+#include "transport/bin2hex.hpp"
+
+namespace blap::core {
+
+std::vector<ExtractedKey> extract_link_keys_from_usb(BytesView raw_stream) {
+  std::vector<ExtractedKey> out;
+  if (raw_stream.size() < 25) return out;
+  // Search for opcode 0x040B (LE: 0b 04) + length 0x16, then decode the
+  // 6-byte wire-order BD_ADDR and 16-byte wire-order (LSB-first) key.
+  for (std::size_t i = 0; i + 3 + 22 <= raw_stream.size(); ++i) {
+    if (raw_stream[i] != 0x0b || raw_stream[i + 1] != 0x04 || raw_stream[i + 2] != 0x16)
+      continue;
+    ByteReader r(raw_stream.subspan(i + 3, 22));
+    auto addr = BdAddr::from_wire(r);
+    auto key_wire = r.array<16>();
+    if (!addr || !key_wire) continue;
+    ExtractedKey key;
+    key.peer = *addr;
+    for (std::size_t k = 0; k < 16; ++k) key.key[k] = (*key_wire)[15 - k];
+    key.source = KeySource::kLinkKeyRequestReply;
+    key.frame_index = i;  // byte offset in the raw capture
+    out.push_back(key);
+  }
+  return out;
+}
+
+UsbExtractionResult run_usb_extraction(const transport::UsbSniffer& sniffer) {
+  UsbExtractionResult result;
+  result.hex_ascii = transport::bin_to_hex_ascii(sniffer.raw_stream());
+
+  // Count the textual pattern hits the way the paper's manual search would:
+  // over the joined hex (line breaks removed so they cannot split a match).
+  std::string joined = result.hex_ascii;
+  for (auto& c : joined)
+    if (c == '\n') c = ' ';
+  const std::string pattern = "0b 04 16";
+  for (std::size_t pos = joined.find(pattern); pos != std::string::npos;
+       pos = joined.find(pattern, pos + 1)) {
+    // Only count matches aligned on byte boundaries (every third character).
+    if (pos % 3 == 0) ++result.pattern_hits;
+  }
+
+  result.keys = extract_link_keys_from_usb(sniffer.raw_stream());
+  return result;
+}
+
+}  // namespace blap::core

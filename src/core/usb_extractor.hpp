@@ -1,0 +1,32 @@
+// usb_extractor.hpp — pulling link keys out of a raw USB capture (§IV-B).
+//
+// The paper's method verbatim: convert the captured binary stream to ASCII
+// hex (BinaryToHex), then text-search for "0b 04 16" — the little-endian
+// opcode of HCI_Link_Key_Request_Reply followed by its parameter length
+// (0x16 = 22 bytes) — and read the six address bytes and sixteen key bytes
+// that follow. The search runs over the raw stream, so it works without
+// understanding the capture's framing, exactly as the paper's converter did
+// amid "lots of HCI and NULL data".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/snoop_extractor.hpp"
+#include "transport/usb_sniffer.hpp"
+
+namespace blap::core {
+
+/// Scan a raw binary USB capture for Link_Key_Request_Reply payloads.
+[[nodiscard]] std::vector<ExtractedKey> extract_link_keys_from_usb(BytesView raw_stream);
+
+/// The paper's full pipeline: raw stream -> hex ASCII -> pattern search.
+/// Returns both the converter output (for inspection) and the keys.
+struct UsbExtractionResult {
+  std::string hex_ascii;             // BinaryToHex output
+  std::vector<ExtractedKey> keys;    // everything the search found
+  std::size_t pattern_hits = 0;      // occurrences of the 0b 04 16 pattern
+};
+[[nodiscard]] UsbExtractionResult run_usb_extraction(const transport::UsbSniffer& sniffer);
+
+}  // namespace blap::core

@@ -1,0 +1,34 @@
+// aes128.hpp — FIPS-197 AES-128 block cipher (encryption direction).
+//
+// Used by AES-CMAC (Secure Connections device authentication and the h-family
+// of key derivation helpers) and by the AES-CCM-style payload encryption
+// mitigation in §VII. Only the forward direction is needed anywhere in BLAP
+// (CMAC and CTR-style modes never decrypt with the inverse cipher).
+// Validated against the FIPS-197 Appendix C vector.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace blap::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+  using Key = std::array<std::uint8_t, kKeySize>;
+
+  explicit Aes128(const Key& key);
+
+  /// Encrypt a single 16-byte block.
+  [[nodiscard]] Block encrypt(const Block& plaintext) const;
+
+ private:
+  static constexpr std::size_t kRounds = 10;
+  std::array<std::array<std::uint8_t, kBlockSize>, kRounds + 1> round_keys_{};
+};
+
+}  // namespace blap::crypto

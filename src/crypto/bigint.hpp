@@ -1,0 +1,104 @@
+// bigint.hpp — fixed-width 256-bit unsigned integers and modular arithmetic.
+//
+// The ECDH key exchange at the heart of Secure Simple Pairing needs field
+// arithmetic over the NIST P-192 / P-256 primes. BLAP implements it from
+// scratch on a little-endian 4x64-bit limb representation. Multiplication
+// produces a 512-bit intermediate reduced by binary long division — not the
+// fastest possible approach, but simple to verify and more than fast enough
+// for a protocol simulator (an entire ECDH agreement completes in well under
+// a millisecond of host time).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace blap::crypto {
+
+/// 256-bit unsigned integer, little-endian limbs (w[0] = least significant).
+class U256 {
+ public:
+  static constexpr std::size_t kLimbs = 4;
+
+  constexpr U256() = default;
+  explicit constexpr U256(std::uint64_t v) : w_{v, 0, 0, 0} {}
+  explicit constexpr U256(std::array<std::uint64_t, kLimbs> w) : w_(w) {}
+
+  /// Parse big-endian hex (no 0x prefix, up to 64 digits).
+  [[nodiscard]] static std::optional<U256> from_hex(std::string_view hex);
+
+  /// Load from big-endian bytes (at most 32; shorter inputs are
+  /// zero-extended on the left).
+  [[nodiscard]] static std::optional<U256> from_bytes_be(BytesView bytes);
+
+  /// Serialize as exactly 32 big-endian bytes.
+  [[nodiscard]] std::array<std::uint8_t, 32> to_bytes_be() const;
+
+  /// Big-endian hex, fixed 64 digits.
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] bool is_zero() const;
+  [[nodiscard]] bool bit(std::size_t i) const;  // i in [0, 255]
+  [[nodiscard]] std::size_t bit_length() const;
+  [[nodiscard]] bool is_odd() const { return (w_[0] & 1) != 0; }
+
+  [[nodiscard]] const std::array<std::uint64_t, kLimbs>& limbs() const { return w_; }
+
+  /// a + b, returning the carry-out bit.
+  static std::uint64_t add(const U256& a, const U256& b, U256& out);
+  /// a - b, returning the borrow-out bit (1 if a < b).
+  static std::uint64_t sub(const U256& a, const U256& b, U256& out);
+
+  friend std::strong_ordering operator<=>(const U256& a, const U256& b);
+  friend bool operator==(const U256& a, const U256& b) = default;
+
+ private:
+  std::array<std::uint64_t, kLimbs> w_{};
+};
+
+/// 512-bit product of two U256 values.
+class U512 {
+ public:
+  static constexpr std::size_t kLimbs = 8;
+
+  constexpr U512() = default;
+
+  [[nodiscard]] static U512 mul(const U256& a, const U256& b);
+  /// Widen a U256 (high limbs zero).
+  [[nodiscard]] static U512 widen(const U256& v);
+
+  [[nodiscard]] bool bit(std::size_t i) const;
+  [[nodiscard]] std::size_t bit_length() const;
+
+  [[nodiscard]] const std::array<std::uint64_t, kLimbs>& limbs() const { return w_; }
+
+ private:
+  friend U256 mod(const U512& value, const U256& modulus);
+  std::array<std::uint64_t, kLimbs> w_{};
+};
+
+/// value mod modulus (word-level Knuth Algorithm D). modulus must be nonzero.
+[[nodiscard]] U256 mod(const U512& value, const U256& modulus);
+
+/// Reference implementation of mod via binary long division — slow but
+/// obviously correct; kept for differential property testing of the
+/// Algorithm D path.
+[[nodiscard]] U256 mod_binary_reference(const U512& value, const U256& modulus);
+
+/// (a + b) mod m. Inputs must already be < m.
+[[nodiscard]] U256 add_mod(const U256& a, const U256& b, const U256& m);
+/// (a - b) mod m. Inputs must already be < m.
+[[nodiscard]] U256 sub_mod(const U256& a, const U256& b, const U256& m);
+/// (a * b) mod m.
+[[nodiscard]] U256 mul_mod(const U256& a, const U256& b, const U256& m);
+/// a^e mod m (square-and-multiply).
+[[nodiscard]] U256 pow_mod(const U256& a, const U256& e, const U256& m);
+/// a^-1 mod p for prime p (Fermat's little theorem). a must be nonzero mod p.
+[[nodiscard]] U256 inv_mod_prime(const U256& a, const U256& p);
+
+}  // namespace blap::crypto

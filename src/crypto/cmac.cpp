@@ -1,0 +1,51 @@
+#include "crypto/cmac.hpp"
+
+namespace blap::crypto {
+
+namespace {
+/// Left-shift a 128-bit value by one bit and conditionally XOR the CMAC
+/// constant Rb (0x87) per RFC 4493 subkey generation.
+Aes128::Block double_block(const Aes128::Block& in) {
+  Aes128::Block out{};
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    out[idx] = static_cast<std::uint8_t>((in[idx] << 1) | carry);
+    carry = in[idx] >> 7;
+  }
+  if (carry) out[15] ^= 0x87;
+  return out;
+}
+}  // namespace
+
+Aes128::Block aes_cmac(const Aes128::Key& key, BytesView message) {
+  const Aes128 cipher(key);
+  const Aes128::Block l = cipher.encrypt(Aes128::Block{});
+  const Aes128::Block k1 = double_block(l);
+  const Aes128::Block k2 = double_block(k1);
+
+  const std::size_t n = message.size();
+  const bool complete_last = n > 0 && n % 16 == 0;
+  const std::size_t blocks = complete_last ? n / 16 : n / 16 + 1;
+
+  Aes128::Block x{};
+  for (std::size_t b = 0; b + 1 < blocks; ++b) {
+    for (std::size_t i = 0; i < 16; ++i) x[i] ^= message[16 * b + i];
+    x = cipher.encrypt(x);
+  }
+
+  Aes128::Block last{};
+  const std::size_t last_offset = (blocks - 1) * 16;
+  if (complete_last) {
+    for (std::size_t i = 0; i < 16; ++i) last[i] = message[last_offset + i] ^ k1[i];
+  } else {
+    const std::size_t last_len = n - last_offset;
+    for (std::size_t i = 0; i < last_len; ++i) last[i] = message[last_offset + i];
+    last[last_len] = 0x80;
+    for (std::size_t i = 0; i < 16; ++i) last[i] ^= k2[i];
+  }
+  for (std::size_t i = 0; i < 16; ++i) x[i] ^= last[i];
+  return cipher.encrypt(x);
+}
+
+}  // namespace blap::crypto

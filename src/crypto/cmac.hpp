@@ -1,0 +1,16 @@
+// cmac.hpp — AES-CMAC (RFC 4493 / NIST SP 800-38B).
+//
+// CMAC is the MAC the Bluetooth Secure Connections feature builds its AES key
+// hierarchy on; BLAP uses it for the HCI payload-encryption mitigation's
+// integrity tag and exposes it as a general substrate primitive. Validated
+// against the RFC 4493 example vectors.
+#pragma once
+
+#include "crypto/aes128.hpp"
+
+namespace blap::crypto {
+
+/// Compute AES-CMAC(key, message) — 16-byte tag.
+[[nodiscard]] Aes128::Block aes_cmac(const Aes128::Key& key, BytesView message);
+
+}  // namespace blap::crypto

@@ -1,0 +1,80 @@
+#include "crypto/e0.hpp"
+
+namespace blap::crypto {
+
+namespace {
+constexpr int kLengths[4] = {25, 31, 33, 39};
+// Feedback tap masks for x^25+x^20+x^12+x^8+1, x^31+x^24+x^16+x^12+1,
+// x^33+x^28+x^24+x^4+1, x^39+x^36+x^28+x^4+1 (bit i = stage i, Fibonacci
+// configuration; feedback = parity of masked stages).
+constexpr std::uint64_t kTaps[4] = {
+    (1ULL << 24) | (1ULL << 19) | (1ULL << 11) | (1ULL << 7),
+    (1ULL << 30) | (1ULL << 23) | (1ULL << 15) | (1ULL << 11),
+    (1ULL << 32) | (1ULL << 27) | (1ULL << 23) | (1ULL << 3),
+    (1ULL << 38) | (1ULL << 35) | (1ULL << 27) | (1ULL << 3),
+};
+// Output taps (stage index whose bit feeds the combiner).
+constexpr int kOutputTap[4] = {24, 24, 32, 32};
+
+// T1 is the identity on the 2-bit state; T2 maps (x1,x0) -> (x0, x1^x0).
+std::uint8_t t2(std::uint8_t c) {
+  const std::uint8_t x1 = (c >> 1) & 1;
+  const std::uint8_t x0 = c & 1;
+  return static_cast<std::uint8_t>((x0 << 1) | (x1 ^ x0));
+}
+}  // namespace
+
+E0Cipher::E0Cipher(const EncryptionKey& key, const BdAddr& master, std::uint32_t clock26) {
+  // Spread the 16 key bytes, 6 address bytes and 4 clock bytes across the
+  // four registers round-robin (documented substitution for the spec's
+  // bit-exact loading; see header).
+  Bytes seed;
+  seed.insert(seed.end(), key.begin(), key.end());
+  const auto& addr = master.bytes();
+  seed.insert(seed.end(), addr.begin(), addr.end());
+  for (int i = 0; i < 4; ++i) seed.push_back(static_cast<std::uint8_t>(clock26 >> (8 * i)));
+
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    const std::size_t reg = i % 4;
+    lfsr_[reg] ^= static_cast<std::uint64_t>(seed[i]) << ((i / 4 * 8) % kLengths[reg]);
+    lfsr_[reg] &= (1ULL << kLengths[reg]) - 1;
+  }
+  // An all-zero LFSR would stay stuck; seed a single bit in that case.
+  for (int r = 0; r < 4; ++r)
+    if (lfsr_[r] == 0) lfsr_[r] = 1ULL << r;
+
+  // 200 warm-up clocks, discarding output (matches the spec's warm-up count).
+  for (int i = 0; i < 200; ++i) clock();
+}
+
+void E0Cipher::clock() {
+  std::uint8_t x[4];
+  for (int r = 0; r < 4; ++r) {
+    x[r] = static_cast<std::uint8_t>((lfsr_[r] >> kOutputTap[r]) & 1);
+    const std::uint64_t fb = __builtin_parityll(lfsr_[r] & kTaps[r]);
+    lfsr_[r] = ((lfsr_[r] << 1) | fb) & ((1ULL << kLengths[r]) - 1);
+  }
+  const std::uint8_t y = static_cast<std::uint8_t>(x[0] + x[1] + x[2] + x[3]);  // 0..4
+  last_output_ = static_cast<std::uint8_t>((y & 1) ^ (c_ & 1));
+  const std::uint8_t s_next = static_cast<std::uint8_t>((y + c_) >> 1);  // 0..3
+  const std::uint8_t c_next = static_cast<std::uint8_t>((s_next ^ c_ ^ t2(c_prev_)) & 3);
+  c_prev_ = c_;
+  c_ = c_next;
+}
+
+std::uint8_t E0Cipher::next_bit() {
+  clock();
+  return last_output_;
+}
+
+std::uint8_t E0Cipher::next_byte() {
+  std::uint8_t out = 0;
+  for (int i = 0; i < 8; ++i) out |= static_cast<std::uint8_t>(next_bit() << i);
+  return out;
+}
+
+void E0Cipher::crypt(Bytes& data) {
+  for (auto& b : data) b ^= next_byte();
+}
+
+}  // namespace blap::crypto

@@ -1,0 +1,49 @@
+// e0.hpp — the E0 stream cipher used for BR/EDR link encryption.
+//
+// After LMP authentication, the encryption key Kc' (from E3) keys E0, which
+// generates the keystream XORed over ACL payloads. E0 is four LFSRs of
+// lengths 25/31/33/39 with the spec's feedback polynomials, combined by a
+// summation combiner with two 2-bit delay registers (T1/T2 linear maps).
+//
+// Initialization substitution: the spec's bit-exact key loading (Kc', master
+// BD_ADDR and 26 clock bits threaded into specific LFSR positions, 200
+// warm-up clocks, combiner reload) is replaced by an equivalent documented
+// scheme — inputs XOR-spread across the registers followed by the same 200
+// warm-up clocks. The keystream properties the simulator relies on
+// (determinism per (key, addr, clock), inter-key independence, XOR symmetry)
+// are identical; bit-exact interop with real silicon is not a goal.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bdaddr.hpp"
+#include "crypto/keys.hpp"
+
+namespace blap::crypto {
+
+class E0Cipher {
+ public:
+  /// Initialize from encryption key, master address, and 26-bit clock.
+  E0Cipher(const EncryptionKey& key, const BdAddr& master, std::uint32_t clock26);
+
+  /// Next keystream bit.
+  [[nodiscard]] std::uint8_t next_bit();
+
+  /// Next keystream byte (LSB first, matching air-order bit transmission).
+  [[nodiscard]] std::uint8_t next_byte();
+
+  /// XOR a payload with keystream in place.
+  void crypt(Bytes& data);
+
+ private:
+  void clock();
+
+  // LFSR states (bit 0 = oldest stage).
+  std::uint64_t lfsr_[4] = {0, 0, 0, 0};
+  // Combiner 2-bit memories c_t and c_{t-1}.
+  std::uint8_t c_ = 0;
+  std::uint8_t c_prev_ = 0;
+  std::uint8_t last_output_ = 0;
+};
+
+}  // namespace blap::crypto

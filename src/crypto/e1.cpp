@@ -1,0 +1,113 @@
+#include "crypto/e1.hpp"
+
+#include <algorithm>
+
+namespace blap::crypto {
+
+namespace {
+/// The xor/add positional pattern shared with SAFER+ key layers: 1-based
+/// positions 1,4,5,8,9,12,13,16 combine with XOR, the rest with ADD.
+constexpr std::array<bool, 16> kXorPosition = {true, false, false, true, true, false,
+                                               false, true, true, false, false, true,
+                                               true, false, false, true};
+
+/// Offset constants for deriving K~ from K (Vol 2 Part H §6.3): the first
+/// eight bytes alternate add/xor with these primes, the second eight invert
+/// the operation order.
+constexpr std::array<std::uint8_t, 8> kOffsets = {233, 229, 223, 193, 179, 167, 149, 131};
+
+SaferPlus::Key k_tilde(const LinkKey& key) {
+  SaferPlus::Key out{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i % 2 == 0) out[i] = static_cast<std::uint8_t>(key[i] + kOffsets[i]);
+    else out[i] = key[i] ^ kOffsets[i];
+  }
+  for (std::size_t i = 8; i < 16; ++i) {
+    if (i % 2 == 0) out[i] = key[i] ^ kOffsets[i - 8];
+    else out[i] = static_cast<std::uint8_t>(key[i] + kOffsets[i - 8]);
+  }
+  return out;
+}
+
+/// E(X, L): cyclic expansion of an L-byte string to 16 bytes.
+SaferPlus::Block expand(BytesView data) {
+  SaferPlus::Block out{};
+  for (std::size_t i = 0; i < 16; ++i) out[i] = data[i % data.size()];
+  return out;
+}
+
+/// Hash(K, I1, I2, L) = Ar'[K~, E(I2, L) +16 (Ar[K, I1] xor16 I1)]
+SaferPlus::Block hash(const LinkKey& key, const SaferPlus::Block& i1, BytesView i2) {
+  const SaferPlus ar_cipher(key);
+  SaferPlus::Block t = ar_cipher.ar(i1);
+  for (std::size_t i = 0; i < 16; ++i) t[i] ^= i1[i];
+
+  const SaferPlus::Block e = expand(i2);
+  SaferPlus::Block u{};
+  for (std::size_t i = 0; i < 16; ++i) u[i] = static_cast<std::uint8_t>(e[i] + t[i]);
+
+  const SaferPlus ar_prime_cipher(k_tilde(key));
+  return ar_prime_cipher.ar_prime(u);
+}
+}  // namespace
+
+E1Output e1(const LinkKey& key, const Rand128& rand, const BdAddr& address) {
+  const auto& addr = address.bytes();
+  const SaferPlus::Block out = hash(key, rand, BytesView(addr.data(), addr.size()));
+  E1Output result{};
+  std::copy_n(out.begin(), 4, result.sres.begin());
+  std::copy_n(out.begin() + 4, 12, result.aco.begin());
+  return result;
+}
+
+LinkKey e21(const Rand128& rand, const BdAddr& address) {
+  // Key = RAND with its last byte XORed with 6 (the address length);
+  // input = the address cyclically expanded to 16 bytes.
+  SaferPlus::Key key = rand;
+  key[15] ^= 6;
+  const auto& addr = address.bytes();
+  const SaferPlus cipher(key);
+  return cipher.ar_prime(expand(BytesView(addr.data(), addr.size())));
+}
+
+LinkKey combination_key(const LinkKey& contribution_a, const LinkKey& contribution_b) {
+  LinkKey out{};
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = contribution_a[i] ^ contribution_b[i];
+  return out;
+}
+
+LinkKey e22(const Rand128& rand, BytesView pin, const BdAddr& address) {
+  // PIN' = PIN padded with BD_ADDR bytes up to 16; L' = min(16, L + 6).
+  Bytes pin_prime(pin.begin(), pin.end());
+  const auto& addr = address.bytes();
+  for (std::size_t i = 0; pin_prime.size() < 16 && i < addr.size(); ++i)
+    pin_prime.push_back(addr[i]);
+  const std::size_t l_prime = pin_prime.size();
+
+  SaferPlus::Key key{};
+  const SaferPlus::Block expanded_pin = expand(pin_prime);
+  for (std::size_t i = 0; i < 16; ++i) key[i] = expanded_pin[i];
+
+  SaferPlus::Block input = rand;
+  input[15] ^= static_cast<std::uint8_t>(l_prime);
+
+  const SaferPlus cipher(key);
+  return cipher.ar_prime(input);
+}
+
+EncryptionKey e3(const LinkKey& key, const Rand128& rand, const Aco& cof) {
+  return hash(key, rand, BytesView(cof.data(), cof.size()));
+}
+
+EncryptionKey shorten_key(const EncryptionKey& key, std::size_t bytes) {
+  EncryptionKey out{};
+  const std::size_t keep = std::min<std::size_t>(bytes, out.size());
+  std::copy_n(key.begin(), keep, out.begin());
+  return out;
+}
+
+// Silence -Wunused for kXorPosition if the pattern is only used by docs in
+// some build configurations.
+static_assert(kXorPosition[0] && !kXorPosition[1], "xor/add pattern sanity");
+
+}  // namespace blap::crypto

@@ -1,0 +1,52 @@
+// e1.hpp — Bluetooth legacy security algorithms E1, E21, E22, E3.
+//
+// These SAFER+-based functions implement the challenge–response and key
+// generation machinery of the BR/EDR Link Manager (Bluetooth Core, Vol 2,
+// Part H §6):
+//
+//   E1(K, RAND, BD_ADDR)        -> (SRES, ACO)   LMP authentication
+//   E21(RAND, BD_ADDR)          -> key           unit / combination keys
+//   E22(RAND, PIN, BD_ADDR)     -> Kinit         legacy-PIN initialization key
+//   E3(K, RAND, COF)            -> Kc            encryption key
+//
+// In BLAP's scenarios, E1 runs during every LMP authentication — which is
+// exactly the moment the controller pulls the link key across the HCI and
+// the HCI dump records it (attack 1), and exactly the exchange the attacker
+// must drop *before* answering to avoid invalidating C's stored key.
+#pragma once
+
+#include "common/bdaddr.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/saferplus.hpp"
+
+namespace blap::crypto {
+
+struct E1Output {
+  Sres sres;  // 32-bit signed response returned to the verifier
+  Aco aco;    // 96-bit ciphering offset, retained for E3
+};
+
+/// E1: authentication function. The verifier sends RAND; the claimant
+/// (and the verifier, locally) computes E1(link key, RAND, claimant BD_ADDR).
+[[nodiscard]] E1Output e1(const LinkKey& key, const Rand128& rand, const BdAddr& address);
+
+/// E21: unit-key / combination-key contribution from one device.
+[[nodiscard]] LinkKey e21(const Rand128& rand, const BdAddr& address);
+
+/// Combination key from the two devices' E21 contributions (LK_K_A xor LK_K_B).
+[[nodiscard]] LinkKey combination_key(const LinkKey& contribution_a, const LinkKey& contribution_b);
+
+/// E22: initialization key for legacy PIN pairing. `pin` may be 1–16 bytes.
+[[nodiscard]] LinkKey e22(const Rand128& rand, BytesView pin, const BdAddr& address);
+
+/// E3: encryption key generation. COF is the 96-bit ciphering offset — the
+/// ACO from the most recent E1 run (or BD_ADDR-derived for broadcast keys).
+[[nodiscard]] EncryptionKey e3(const LinkKey& key, const Rand128& rand, const Aco& cof);
+
+/// Encryption key size reduction to `bytes` (1..16). BLAP models the KNOB
+/// negotiation surface with a simple truncation-and-zero-fill reduction (the
+/// spec's polynomial-modulo construction is substituted; the security
+/// property under study — effective entropy — is preserved).
+[[nodiscard]] EncryptionKey shorten_key(const EncryptionKey& key, std::size_t bytes);
+
+}  // namespace blap::crypto

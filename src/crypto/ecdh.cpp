@@ -1,0 +1,170 @@
+#include "crypto/ecdh.hpp"
+
+#include <cassert>
+
+namespace blap::crypto {
+
+namespace {
+U256 hx(std::string_view s) {
+  auto v = U256::from_hex(s);
+  assert(v.has_value());
+  return *v;
+}
+
+/// Jacobian projective point: (X, Y, Z) represents affine (X/Z^2, Y/Z^3).
+struct Jacobian {
+  U256 x, y, z;
+  bool infinity = true;
+};
+
+Jacobian to_jacobian(const EcPoint& p) {
+  if (p.is_infinity()) return {};
+  return {p.x, p.y, U256(1), false};
+}
+
+EcPoint to_affine(const Jacobian& p, const U256& prime) {
+  if (p.infinity || p.z.is_zero()) return EcPoint::at_infinity();
+  const U256 zinv = inv_mod_prime(p.z, prime);
+  const U256 zinv2 = mul_mod(zinv, zinv, prime);
+  const U256 zinv3 = mul_mod(zinv2, zinv, prime);
+  return EcPoint::affine(mul_mod(p.x, zinv2, prime), mul_mod(p.y, zinv3, prime));
+}
+
+Jacobian jacobian_double(const Jacobian& p, const U256& prime, const U256& a) {
+  if (p.infinity || p.y.is_zero()) return {};
+  // Standard dbl-1998-cmo formulas.
+  const U256 xx = mul_mod(p.x, p.x, prime);
+  const U256 yy = mul_mod(p.y, p.y, prime);
+  const U256 yyyy = mul_mod(yy, yy, prime);
+  const U256 zz = mul_mod(p.z, p.z, prime);
+  // S = 4*X*YY
+  U256 s = mul_mod(p.x, yy, prime);
+  s = add_mod(s, s, prime);
+  s = add_mod(s, s, prime);
+  // M = 3*XX + a*ZZ^2
+  U256 m = add_mod(add_mod(xx, xx, prime), xx, prime);
+  m = add_mod(m, mul_mod(a, mul_mod(zz, zz, prime), prime), prime);
+  // X' = M^2 - 2*S
+  U256 x3 = mul_mod(m, m, prime);
+  x3 = sub_mod(x3, add_mod(s, s, prime), prime);
+  // Y' = M*(S - X') - 8*YYYY
+  U256 y3 = mul_mod(m, sub_mod(s, x3, prime), prime);
+  U256 eight_yyyy = add_mod(yyyy, yyyy, prime);
+  eight_yyyy = add_mod(eight_yyyy, eight_yyyy, prime);
+  eight_yyyy = add_mod(eight_yyyy, eight_yyyy, prime);
+  y3 = sub_mod(y3, eight_yyyy, prime);
+  // Z' = 2*Y*Z
+  U256 z3 = mul_mod(p.y, p.z, prime);
+  z3 = add_mod(z3, z3, prime);
+  return {x3, y3, z3, false};
+}
+
+Jacobian jacobian_add(const Jacobian& p, const Jacobian& q, const U256& prime, const U256& a) {
+  if (p.infinity) return q;
+  if (q.infinity) return p;
+  // add-1998-cmo formulas.
+  const U256 z1z1 = mul_mod(p.z, p.z, prime);
+  const U256 z2z2 = mul_mod(q.z, q.z, prime);
+  const U256 u1 = mul_mod(p.x, z2z2, prime);
+  const U256 u2 = mul_mod(q.x, z1z1, prime);
+  const U256 s1 = mul_mod(p.y, mul_mod(z2z2, q.z, prime), prime);
+  const U256 s2 = mul_mod(q.y, mul_mod(z1z1, p.z, prime), prime);
+  if (u1 == u2) {
+    if (s1 == s2) return jacobian_double(p, prime, a);
+    return {};  // P + (-P) = infinity
+  }
+  const U256 h = sub_mod(u2, u1, prime);
+  const U256 r = sub_mod(s2, s1, prime);
+  const U256 hh = mul_mod(h, h, prime);
+  const U256 hhh = mul_mod(hh, h, prime);
+  const U256 v = mul_mod(u1, hh, prime);
+  // X3 = r^2 - HHH - 2*V
+  U256 x3 = mul_mod(r, r, prime);
+  x3 = sub_mod(x3, hhh, prime);
+  x3 = sub_mod(x3, add_mod(v, v, prime), prime);
+  // Y3 = r*(V - X3) - S1*HHH
+  U256 y3 = mul_mod(r, sub_mod(v, x3, prime), prime);
+  y3 = sub_mod(y3, mul_mod(s1, hhh, prime), prime);
+  // Z3 = Z1*Z2*H
+  const U256 z3 = mul_mod(mul_mod(p.z, q.z, prime), h, prime);
+  return {x3, y3, z3, false};
+}
+}  // namespace
+
+EcCurve::EcCurve(const char* name, std::size_t coord_size, U256 p, U256 a, U256 b, U256 gx,
+                 U256 gy, U256 n)
+    : name_(name), coord_size_(coord_size), p_(p), a_(a), b_(b), n_(n),
+      g_(EcPoint::affine(gx, gy)) {}
+
+const EcCurve& EcCurve::p256() {
+  static const EcCurve curve(
+      "P-256", 32,
+      hx("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"),
+      hx("ffffffff00000001000000000000000000000000fffffffffffffffffffffffc"),
+      hx("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b"),
+      hx("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"),
+      hx("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"),
+      hx("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"));
+  return curve;
+}
+
+const EcCurve& EcCurve::p192() {
+  static const EcCurve curve(
+      "P-192", 24,
+      hx("fffffffffffffffffffffffffffffffeffffffffffffffff"),
+      hx("fffffffffffffffffffffffffffffffefffffffffffffffc"),
+      hx("64210519e59c80e70fa7e9ab72243049feb8deecc146b9b1"),
+      hx("188da80eb03090f67cbf20eb43a18800f4ff0afd82ff1012"),
+      hx("07192b95ffc8da78631011ed6b24cdd573f977a11e794811"),
+      hx("ffffffffffffffffffffffff99def836146bc9b1b4d22831"));
+  return curve;
+}
+
+bool EcCurve::on_curve(const EcPoint& point) const {
+  if (point.is_infinity()) return false;
+  if (point.x >= p_ || point.y >= p_) return false;
+  const U256 lhs = mul_mod(point.y, point.y, p_);
+  U256 rhs = mul_mod(mul_mod(point.x, point.x, p_), point.x, p_);
+  rhs = add_mod(rhs, mul_mod(a_, point.x, p_), p_);
+  rhs = add_mod(rhs, b_, p_);
+  return lhs == rhs;
+}
+
+EcPoint EcCurve::add(const EcPoint& lhs, const EcPoint& rhs) const {
+  return to_affine(jacobian_add(to_jacobian(lhs), to_jacobian(rhs), p_, a_), p_);
+}
+
+EcPoint EcCurve::double_point(const EcPoint& point) const {
+  return to_affine(jacobian_double(to_jacobian(point), p_, a_), p_);
+}
+
+EcPoint EcCurve::multiply(const U256& k, const EcPoint& point) const {
+  Jacobian result;  // infinity
+  Jacobian addend = to_jacobian(point);
+  const std::size_t bits = k.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = jacobian_double(result, p_, a_);
+    if (k.bit(i)) result = jacobian_add(result, addend, p_, a_);
+  }
+  return to_affine(result, p_);
+}
+
+EcKeyPair generate_keypair(const EcCurve& curve, Rng& rng) {
+  for (;;) {
+    const auto raw = rng.bytes<32>();
+    auto candidate = U256::from_bytes_be(BytesView(raw.data(), raw.size()));
+    const U256 scalar = mod(U512::widen(*candidate), curve.order());
+    if (scalar.is_zero()) continue;
+    return EcKeyPair{scalar, curve.multiply(scalar, curve.generator())};
+  }
+}
+
+std::optional<U256> ecdh_shared_secret(const EcCurve& curve, const U256& private_key,
+                                       const EcPoint& peer_public) {
+  if (!curve.on_curve(peer_public)) return std::nullopt;
+  const EcPoint shared = curve.multiply(private_key, peer_public);
+  if (shared.is_infinity()) return std::nullopt;
+  return shared.x;
+}
+
+}  // namespace blap::crypto

@@ -1,0 +1,32 @@
+#include "crypto/hmac.hpp"
+
+namespace blap::crypto {
+
+Sha256::Digest hmac_sha256(BytesView key, BytesView message) {
+  std::array<std::uint8_t, Sha256::kBlockSize> block_key{};
+  if (key.size() > Sha256::kBlockSize) {
+    const auto digest = Sha256::hash(key);
+    std::copy(digest.begin(), digest.end(), block_key.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block_key.begin());
+  }
+
+  std::array<std::uint8_t, Sha256::kBlockSize> ipad{};
+  std::array<std::uint8_t, Sha256::kBlockSize> opad{};
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+}  // namespace blap::crypto

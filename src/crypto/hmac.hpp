@@ -1,0 +1,16 @@
+// hmac.hpp — HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//
+// The Secure Simple Pairing check functions f1 (commitments), f2 (link key
+// derivation) and f3 (DHKey checks), as well as the Secure Connections key
+// derivation functions h3/h4/h5, are all HMAC-SHA-256 with varying keys.
+// Validated in tests against RFC 4231 test cases.
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace blap::crypto {
+
+/// Compute HMAC-SHA-256(key, message).
+[[nodiscard]] Sha256::Digest hmac_sha256(BytesView key, BytesView message);
+
+}  // namespace blap::crypto

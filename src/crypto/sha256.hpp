@@ -1,0 +1,46 @@
+// sha256.hpp — FIPS 180-4 SHA-256.
+//
+// SHA-256 underlies every Secure Simple Pairing function: f1/f2/f3 are
+// HMAC-SHA-256 constructions and g (the six-digit numeric-comparison value)
+// is a bare SHA-256 truncation. Implemented from the FIPS 180-4 description;
+// validated in tests against the standard "abc" / empty-string vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace blap::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorb more message bytes (streaming interface).
+  void update(BytesView data);
+
+  /// Finalize and return the digest. The object may not be reused afterwards
+  /// without reset().
+  [[nodiscard]] Digest finish();
+
+  /// Restore the initial state for a fresh computation.
+  void reset();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace blap::crypto

@@ -1,0 +1,101 @@
+#include "crypto/ssp_functions.hpp"
+
+namespace blap::crypto {
+
+namespace {
+constexpr std::array<std::uint8_t, 4> kKeyIdBtlk = {0x62, 0x74, 0x6c, 0x6b};  // "btlk"
+constexpr std::array<std::uint8_t, 4> kKeyIdBtak = {0x62, 0x74, 0x61, 0x6b};  // "btak"
+constexpr std::array<std::uint8_t, 4> kKeyIdBtdk = {0x62, 0x74, 0x64, 0x6b};  // "btdk"
+
+LinkKey truncate128(const Sha256::Digest& digest) {
+  LinkKey out{};
+  std::copy_n(digest.begin(), out.size(), out.begin());
+  return out;
+}
+}  // namespace
+
+Bytes coordinate_bytes(const EcCurve& curve, const U256& coord) {
+  const auto full = coord.to_bytes_be();
+  const std::size_t width = curve.coordinate_size();
+  return Bytes(full.end() - static_cast<std::ptrdiff_t>(width), full.end());
+}
+
+LinkKey f1(const EcCurve& curve, const U256& u, const U256& v, const Rand128& x,
+           std::uint8_t z) {
+  ByteWriter msg;
+  msg.raw(coordinate_bytes(curve, u));
+  msg.raw(coordinate_bytes(curve, v));
+  msg.u8(z);
+  return truncate128(hmac_sha256(x, msg.data()));
+}
+
+std::uint32_t g(const EcCurve& curve, const U256& u, const U256& v, const Rand128& x,
+                const Rand128& y) {
+  ByteWriter msg;
+  msg.raw(coordinate_bytes(curve, u));
+  msg.raw(coordinate_bytes(curve, v));
+  msg.raw(x);
+  msg.raw(y);
+  const auto digest = Sha256::hash(msg.data());
+  // mod 2^32: the 32 least significant bits of the big-endian digest.
+  return (static_cast<std::uint32_t>(digest[28]) << 24) |
+         (static_cast<std::uint32_t>(digest[29]) << 16) |
+         (static_cast<std::uint32_t>(digest[30]) << 8) | digest[31];
+}
+
+std::uint32_t g_display(std::uint32_t g_value) { return g_value % 1'000'000; }
+
+LinkKey f2(const EcCurve& curve, const U256& dhkey, const Rand128& n1, const Rand128& n2,
+           const BdAddr& a1, const BdAddr& a2) {
+  ByteWriter msg;
+  msg.raw(n1);
+  msg.raw(n2);
+  msg.raw(kKeyIdBtlk);
+  msg.raw(a1.bytes());
+  msg.raw(a2.bytes());
+  return truncate128(hmac_sha256(coordinate_bytes(curve, dhkey), msg.data()));
+}
+
+LinkKey f3(const EcCurve& curve, const U256& dhkey, const Rand128& n1, const Rand128& n2,
+           const Rand128& r, const IoCapTriplet& iocap, const BdAddr& a1, const BdAddr& a2) {
+  ByteWriter msg;
+  msg.raw(n1);
+  msg.raw(n2);
+  msg.raw(r);
+  msg.raw(iocap.bytes());
+  msg.raw(a1.bytes());
+  msg.raw(a2.bytes());
+  return truncate128(hmac_sha256(coordinate_bytes(curve, dhkey), msg.data()));
+}
+
+EncryptionKey h3(const LinkKey& t, const BdAddr& a1, const BdAddr& a2,
+                 const std::array<std::uint8_t, 8>& aco) {
+  ByteWriter msg;
+  msg.raw(kKeyIdBtak);
+  msg.raw(a1.bytes());
+  msg.raw(a2.bytes());
+  msg.raw(aco);
+  return truncate128(hmac_sha256(t, msg.data()));
+}
+
+LinkKey h4(const LinkKey& t, const BdAddr& a1, const BdAddr& a2) {
+  ByteWriter msg;
+  msg.raw(kKeyIdBtdk);
+  msg.raw(a1.bytes());
+  msg.raw(a2.bytes());
+  return truncate128(hmac_sha256(t, msg.data()));
+}
+
+H5Output h5(const LinkKey& s, const Rand128& r1, const Rand128& r2) {
+  ByteWriter msg;
+  msg.raw(r1);
+  msg.raw(r2);
+  const auto digest = hmac_sha256(s, msg.data());
+  H5Output out{};
+  std::copy_n(digest.begin(), 4, out.sres_master.begin());
+  std::copy_n(digest.begin() + 4, 4, out.sres_slave.begin());
+  std::copy_n(digest.begin() + 8, 8, out.aco.begin());
+  return out;
+}
+
+}  // namespace blap::crypto

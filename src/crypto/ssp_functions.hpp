@@ -1,0 +1,80 @@
+// ssp_functions.hpp — Secure Simple Pairing cryptographic functions
+// (Bluetooth Core, Vol 2, Part H §7): f1, g, f2, f3 and the Secure
+// Connections helpers h3, h4, h5.
+//
+//   f1(U, V, X, Z)                  commitment values in Authentication Stage 1
+//   g(U, V, X, Y)                   six-digit numeric comparison value
+//   f2(W, N1, N2, "btlk", A1, A2)   link key derivation from the DHKey
+//   f3(W, N1, N2, R, IOcap, A1,A2)  DHKey check values in Stage 2
+//   h3(T, "btak", A1, A2, ACO)      AES encryption key (Secure Connections)
+//   h4(T, "btdk", A1, A2)           device authentication key
+//   h5(S, R1, R2)                   secure authentication SRES/ACO
+//
+// U and V are ECDH public-key X coordinates serialized big-endian at the
+// curve's coordinate width (24 bytes for P-192, 32 for P-256); addresses are
+// big-endian 6-byte BD_ADDRs. Outputs marked "/128" are the most significant
+// 128 bits of the HMAC-SHA-256 digest.
+#pragma once
+
+#include "common/bdaddr.hpp"
+#include "crypto/ecdh.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/keys.hpp"
+
+namespace blap::crypto {
+
+/// IO capability triplet sent in the IO Capability exchange and bound into
+/// the f3 check: (IO capability code, OOB data present flag, AuthReq flags).
+struct IoCapTriplet {
+  std::uint8_t io_capability = 0;
+  std::uint8_t oob_data_present = 0;
+  std::uint8_t auth_req = 0;
+
+  [[nodiscard]] std::array<std::uint8_t, 3> bytes() const {
+    return {io_capability, oob_data_present, auth_req};
+  }
+};
+
+/// Serialize an EC coordinate big-endian at the width of the given curve.
+[[nodiscard]] Bytes coordinate_bytes(const EcCurve& curve, const U256& coord);
+
+/// f1 — commitment: HMAC-SHA-256_X(U || V || Z) / 128.
+[[nodiscard]] LinkKey f1(const EcCurve& curve, const U256& u, const U256& v, const Rand128& x,
+                         std::uint8_t z);
+
+/// g — numeric verification value: SHA-256(U || V || X || Y) mod 2^32.
+/// Display value = g % 1'000'000 rendered as six digits.
+[[nodiscard]] std::uint32_t g(const EcCurve& curve, const U256& u, const U256& v,
+                              const Rand128& x, const Rand128& y);
+
+/// Six-digit display form of g (the number both users compare).
+[[nodiscard]] std::uint32_t g_display(std::uint32_t g_value);
+
+/// f2 — link key: HMAC-SHA-256_W(N1 || N2 || "btlk" || A1 || A2) / 128.
+/// W is the DHKey serialized at curve width; A1 = initiator, A2 = responder.
+[[nodiscard]] LinkKey f2(const EcCurve& curve, const U256& dhkey, const Rand128& n1,
+                         const Rand128& n2, const BdAddr& a1, const BdAddr& a2);
+
+/// f3 — DHKey check: HMAC-SHA-256_W(N1 || N2 || R || IOcap || A1 || A2) / 128.
+[[nodiscard]] LinkKey f3(const EcCurve& curve, const U256& dhkey, const Rand128& n1,
+                         const Rand128& n2, const Rand128& r, const IoCapTriplet& iocap,
+                         const BdAddr& a1, const BdAddr& a2);
+
+/// h3 — Secure Connections AES encryption key:
+/// HMAC-SHA-256_T("btak" || A1 || A2 || ACO) / 128.
+[[nodiscard]] EncryptionKey h3(const LinkKey& t, const BdAddr& a1, const BdAddr& a2,
+                               const std::array<std::uint8_t, 8>& aco);
+
+/// h4 — device authentication key: HMAC-SHA-256_T("btdk" || A1 || A2) / 128.
+[[nodiscard]] LinkKey h4(const LinkKey& t, const BdAddr& a1, const BdAddr& a2);
+
+/// h5 — secure authentication responses:
+/// HMAC-SHA-256_S(R1 || R2) split into SRES_master, SRES_slave, ACO(64-bit).
+struct H5Output {
+  Sres sres_master;
+  Sres sres_slave;
+  std::array<std::uint8_t, 8> aco;
+};
+[[nodiscard]] H5Output h5(const LinkKey& s, const Rand128& r1, const Rand128& r2);
+
+}  // namespace blap::crypto

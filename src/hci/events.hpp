@@ -1,0 +1,186 @@
+// events.hpp — typed HCI event builders and parsers (controller → host).
+//
+// The event sequences these produce are exactly what the paper's Fig. 12
+// compares: a normal pairing shows Create_Connection → Connection_Complete →
+// Authentication_Requested → Link_Key_Request → ..., while a pairing under
+// page blocking starts with Connection_Request → Accept_Connection_Request.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bdaddr.hpp"
+#include "crypto/keys.hpp"
+#include "hci/packets.hpp"
+
+namespace blap::hci {
+
+struct CommandCompleteEvt {
+  std::uint8_t num_hci_command_packets = 1;
+  std::uint16_t command_opcode = 0;
+  Bytes return_parameters;  // first byte is usually a Status
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<CommandCompleteEvt> decode(BytesView params);
+};
+
+struct CommandStatusEvt {
+  Status status = Status::kSuccess;
+  std::uint8_t num_hci_command_packets = 1;
+  std::uint16_t command_opcode = 0;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<CommandStatusEvt> decode(BytesView params);
+};
+
+struct InquiryResultEvt {
+  BdAddr bdaddr;
+  std::uint8_t page_scan_repetition_mode = 0x01;
+  ClassOfDevice class_of_device;
+  std::uint16_t clock_offset = 0;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<InquiryResultEvt> decode(BytesView params);
+};
+
+struct InquiryCompleteEvt {
+  Status status = Status::kSuccess;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<InquiryCompleteEvt> decode(BytesView params);
+};
+
+/// Extended Inquiry Result (BT 2.1+): one response carrying RSSI and an EIR
+/// block whose 0x09 structure holds the responder's complete local name —
+/// how a scan list shows "carkit" before any connection exists (and how the
+/// paper's victim picks "C" from the picker).
+struct ExtendedInquiryResultEvt {
+  BdAddr bdaddr;
+  std::uint8_t page_scan_repetition_mode = 0x01;
+  ClassOfDevice class_of_device;
+  std::uint16_t clock_offset = 0;
+  std::int8_t rssi = -60;
+  std::string name;  // from / into the EIR complete-local-name structure
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<ExtendedInquiryResultEvt> decode(BytesView params);
+};
+
+struct ConnectionRequestEvt {
+  BdAddr bdaddr;
+  ClassOfDevice class_of_device;
+  std::uint8_t link_type = 0x01;  // ACL
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<ConnectionRequestEvt> decode(BytesView params);
+};
+
+struct ConnectionCompleteEvt {
+  Status status = Status::kSuccess;
+  ConnectionHandle handle = kInvalidHandle;
+  BdAddr bdaddr;
+  std::uint8_t link_type = 0x01;
+  std::uint8_t encryption_enabled = 0x00;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<ConnectionCompleteEvt> decode(BytesView params);
+};
+
+struct DisconnectionCompleteEvt {
+  Status status = Status::kSuccess;
+  ConnectionHandle handle = kInvalidHandle;
+  Status reason = Status::kRemoteUserTerminatedConnection;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<DisconnectionCompleteEvt> decode(BytesView params);
+};
+
+struct AuthenticationCompleteEvt {
+  Status status = Status::kSuccess;
+  ConnectionHandle handle = kInvalidHandle;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<AuthenticationCompleteEvt> decode(BytesView params);
+};
+
+struct RemoteNameRequestCompleteEvt {
+  Status status = Status::kSuccess;
+  BdAddr bdaddr;
+  std::string remote_name;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<RemoteNameRequestCompleteEvt> decode(BytesView params);
+};
+
+struct EncryptionChangeEvt {
+  Status status = Status::kSuccess;
+  ConnectionHandle handle = kInvalidHandle;
+  std::uint8_t encryption_enabled = 0x01;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<EncryptionChangeEvt> decode(BytesView params);
+};
+
+/// Controller asks the host for the stored link key of a peer. The host
+/// answers with Link_Key_Request_Reply (key in plaintext over the HCI) or
+/// the negative reply if no bond exists.
+struct LinkKeyRequestEvt {
+  BdAddr bdaddr;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<LinkKeyRequestEvt> decode(BytesView params);
+};
+
+/// Controller hands a freshly generated link key to the host for storage —
+/// the other plaintext key crossing the HCI, also captured by HCI dump.
+struct LinkKeyNotificationEvt {
+  BdAddr bdaddr;
+  crypto::LinkKey link_key{};
+  crypto::LinkKeyType key_type = crypto::LinkKeyType::kUnauthenticatedCombinationP192;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<LinkKeyNotificationEvt> decode(BytesView params);
+};
+
+struct IoCapabilityRequestEvt {
+  BdAddr bdaddr;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<IoCapabilityRequestEvt> decode(BytesView params);
+};
+
+/// Legacy pairing: controller asks the host for the PIN code.
+struct PinCodeRequestEvt {
+  BdAddr bdaddr;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<PinCodeRequestEvt> decode(BytesView params);
+};
+
+struct IoCapabilityResponseEvt {
+  BdAddr bdaddr;
+  IoCapability io_capability = IoCapability::kDisplayYesNo;
+  std::uint8_t oob_data_present = 0x00;
+  std::uint8_t authentication_requirements = 0x03;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<IoCapabilityResponseEvt> decode(BytesView params);
+};
+
+struct UserConfirmationRequestEvt {
+  BdAddr bdaddr;
+  std::uint32_t numeric_value = 0;  // six-digit value from g()
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<UserConfirmationRequestEvt> decode(BytesView params);
+};
+
+struct SimplePairingCompleteEvt {
+  Status status = Status::kSuccess;
+  BdAddr bdaddr;
+
+  [[nodiscard]] HciPacket encode() const;
+  [[nodiscard]] static std::optional<SimplePairingCompleteEvt> decode(BytesView params);
+};
+
+}  // namespace blap::hci

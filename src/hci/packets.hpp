@@ -1,0 +1,66 @@
+// packets.hpp — the generic HCI packet model.
+//
+// An HciPacket is what crosses the host–controller interface: a packet type
+// (H4 indicator byte) plus the type-specific payload. Commands and events
+// carry a small header inside the payload; ACL data carries a connection
+// handle. The same bytes appear in three places in BLAP:
+//   * on the transport between host and controller,
+//   * in btsnoop records written by the HCI dump, and
+//   * inside USB frames captured by the sniffer.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "hci/constants.hpp"
+
+namespace blap::hci {
+
+struct HciPacket {
+  PacketType type = PacketType::kCommand;
+  Bytes payload;  // excludes the H4 type indicator byte
+
+  /// H4 wire form: type byte followed by payload. This is the byte string
+  /// the paper's RADIX view shows, e.g. "01 0b 04 16 ..." for a
+  /// Link_Key_Request_Reply command.
+  [[nodiscard]] Bytes to_wire() const;
+
+  /// Parse an H4-framed packet (type byte + payload).
+  [[nodiscard]] static std::optional<HciPacket> from_wire(BytesView wire);
+
+  /// For a command packet: the 16-bit opcode (nullopt for other types or
+  /// truncated payloads).
+  [[nodiscard]] std::optional<std::uint16_t> command_opcode() const;
+
+  /// For a command packet: the parameter bytes after the 3-byte header.
+  [[nodiscard]] std::optional<BytesView> command_params() const;
+
+  /// For an event packet: the event code.
+  [[nodiscard]] std::optional<std::uint8_t> event_code() const;
+
+  /// For an event packet: the parameter bytes after the 2-byte header.
+  [[nodiscard]] std::optional<BytesView> event_params() const;
+
+  /// For an ACL data packet: the connection handle (low 12 bits).
+  [[nodiscard]] std::optional<ConnectionHandle> acl_handle() const;
+
+  /// For an ACL data packet: the data after the 4-byte header.
+  [[nodiscard]] std::optional<BytesView> acl_data() const;
+
+  /// Human-readable one-line summary ("Command HCI_Create_Connection (7 bytes)").
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const HciPacket&, const HciPacket&) = default;
+};
+
+/// Build a command packet: opcode + parameter length + parameters.
+[[nodiscard]] HciPacket make_command(std::uint16_t op, BytesView params);
+
+/// Build an event packet: event code + parameter length + parameters.
+[[nodiscard]] HciPacket make_event(std::uint8_t code, BytesView params);
+
+/// Build an ACL data packet: handle (PB/BC flags zero) + length + data.
+[[nodiscard]] HciPacket make_acl(ConnectionHandle handle, BytesView data);
+
+}  // namespace blap::hci

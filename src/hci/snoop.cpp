@@ -1,0 +1,163 @@
+#include "hci/snoop.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.hpp"
+#include "hci/events.hpp"
+
+namespace blap::hci {
+
+namespace {
+constexpr std::array<std::uint8_t, 8> kMagic = {'b', 't', 's', 'n', 'o', 'o', 'p', '\0'};
+}
+
+void SnoopLog::append(SnoopRecord record) {
+  if (record.original_length == 0)
+    record.original_length = static_cast<std::uint32_t>(record.packet.to_wire().size());
+  if (filter_) {
+    auto filtered = filter_(std::move(record));
+    if (!filtered) return;
+    records_.push_back(std::move(*filtered));
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+Bytes SnoopLog::serialize() const {
+  ByteWriter w;
+  w.raw(kMagic);
+  w.u32be(1);                 // version
+  w.u32be(kDatalinkHciUart);  // datalink: H4 with type byte
+  for (const auto& rec : records_) {
+    const Bytes wire = rec.packet.to_wire();
+    w.u32be(rec.original_length);
+    w.u32be(static_cast<std::uint32_t>(wire.size()));
+    w.u32be(rec.flags());
+    w.u32be(0);  // cumulative drops
+    w.u64be(rec.timestamp_us + kSnoopEpochOffsetUs);
+    w.raw(wire);
+  }
+  return std::move(w).take();
+}
+
+std::optional<SnoopLog> SnoopLog::parse(BytesView data) {
+  ByteReader r(data);
+  auto magic = r.array<8>();
+  auto version = r.u32be();
+  auto datalink = r.u32be();
+  if (!magic || *magic != kMagic || !version || *version != 1 || !datalink) return std::nullopt;
+
+  SnoopLog log;
+  for (;;) {
+    if (r.remaining() < 24) break;  // no complete record header left
+    auto orig_len = r.u32be();
+    auto incl_len = r.u32be();
+    auto flags = r.u32be();
+    auto drops = r.u32be();
+    auto timestamp = r.u64be();
+    if (!orig_len || !incl_len || !flags || !drops || !timestamp) break;
+    auto wire = r.bytes(*incl_len);
+    if (!wire) break;  // truncated final record — drop it
+    auto packet = HciPacket::from_wire(*wire);
+    if (!packet) continue;  // unknown packet type byte — skip record
+    SnoopRecord rec;
+    rec.timestamp_us =
+        (*timestamp >= kSnoopEpochOffsetUs) ? *timestamp - kSnoopEpochOffsetUs : 0;
+    rec.direction =
+        (*flags & 1) ? Direction::kControllerToHost : Direction::kHostToController;
+    rec.packet = std::move(*packet);
+    rec.original_length = *orig_len;
+    log.records_.push_back(std::move(rec));
+  }
+  return log;
+}
+
+bool SnoopLog::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const Bytes data = serialize();
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<SnoopLog> SnoopLog::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return parse(data);
+}
+
+std::string SnoopLog::format_table() const {
+  std::string out =
+      "Fra  Type     Opcode Command                                    Event"
+      "                              Handle  Status\n";
+  std::size_t frame = 0;
+  for (const auto& rec : records_) {
+    ++frame;
+    std::string type;
+    std::string command;
+    std::string event;
+    std::string handle;
+    std::string status;
+    char opcode_hex[8] = "";
+    switch (rec.packet.type) {
+      case PacketType::kCommand: {
+        type = "Command";
+        if (auto op_value = rec.packet.command_opcode()) {
+          std::snprintf(opcode_hex, sizeof(opcode_hex), "0x%04x", *op_value);
+          command = opcode_name(*op_value);
+        }
+        if (auto params = rec.packet.command_params()) {
+          if (rec.packet.command_opcode() == op::kAuthenticationRequested && params->size() >= 2)
+            handle = strfmt("0x%04x", (*params)[0] | ((*params)[1] << 8));
+        }
+        break;
+      }
+      case PacketType::kEvent: {
+        type = "Event";
+        if (auto code = rec.packet.event_code()) {
+          event = event_name(*code);
+          if (auto params = rec.packet.event_params()) {
+            if (*code == ev::kCommandStatus) {
+              if (auto evt = CommandStatusEvt::decode(*params)) {
+                command = opcode_name(evt->command_opcode);
+                status = to_string(evt->status);
+                event = "HCI_Command_Status";
+              }
+            } else if (*code == ev::kConnectionComplete) {
+              if (auto evt = ConnectionCompleteEvt::decode(*params)) {
+                handle = strfmt("0x%04x", evt->handle);
+                status = to_string(evt->status);
+              }
+            } else if (*code == ev::kAuthenticationComplete) {
+              if (auto evt = AuthenticationCompleteEvt::decode(*params)) {
+                handle = strfmt("0x%04x", evt->handle);
+                status = to_string(evt->status);
+              }
+            } else if (*code == ev::kCommandComplete) {
+              if (auto evt = CommandCompleteEvt::decode(*params)) {
+                command = opcode_name(evt->command_opcode);
+                if (!evt->return_parameters.empty())
+                  status = to_string(static_cast<Status>(evt->return_parameters[0]));
+              }
+            }
+          }
+        }
+        break;
+      }
+      case PacketType::kAclData: {
+        type = "ACL";
+        if (auto h = rec.packet.acl_handle()) handle = strfmt("0x%04x", *h);
+        break;
+      }
+      case PacketType::kScoData: type = "SCO"; break;
+    }
+    out += strfmt("%-4zu %-8s %-6s %-42s %-34s %-7s %s\n", frame, type.c_str(), opcode_hex,
+                  command.c_str(), event.c_str(), handle.c_str(), status.c_str());
+  }
+  return out;
+}
+
+}  // namespace blap::hci

@@ -1,0 +1,88 @@
+// snoop.hpp — the btsnoop HCI dump format (RFC 1761 "snoop", datalink 1002).
+//
+// The "HCI dump" the paper exploits is a file in this exact format: Android's
+// 'Bluetooth HCI snoop log' and BlueZ's hcidump both emit it. BLAP both
+// writes it (the host's dump tap) and parses it (the attacker's analyzer), so
+// the link key extraction attack operates on the same on-disk artifact a real
+// attacker would pull out of an Android bug report.
+//
+// Layout (all header/record integers big-endian):
+//   file header : 8-byte id "btsnoop\0" | u32 version=1 | u32 datalink=1002
+//   each record : u32 orig_len | u32 incl_len | u32 flags | u32 drops |
+//                 u64 timestamp (us since 0 AD) | packet bytes (H4 framed)
+//   flags       : bit0 = direction (0 sent/host→controller, 1 received)
+//                 bit1 = 1 for command/event channel
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/scheduler.hpp"
+#include "hci/packets.hpp"
+
+namespace blap::hci {
+
+/// Offset between the btsnoop epoch (0 AD) and the Unix epoch, microseconds.
+inline constexpr std::uint64_t kSnoopEpochOffsetUs = 0x00DCDDB30F2F8000ULL;
+
+/// Datalink type for H4-framed HCI (type byte included in packet data).
+inline constexpr std::uint32_t kDatalinkHciUart = 1002;
+
+struct SnoopRecord {
+  SimTime timestamp_us = 0;  // simulation time; serialized with epoch offset
+  Direction direction = Direction::kHostToController;
+  HciPacket packet;
+  /// True when the dump truncated the payload (mitigation §VII-A logs only
+  /// the header of key-bearing packets); orig_len then exceeds incl_len.
+  std::uint32_t original_length = 0;  // 0 = same as packet size
+
+  [[nodiscard]] std::uint32_t flags() const {
+    std::uint32_t f = (direction == Direction::kControllerToHost) ? 1u : 0u;
+    if (packet.type == PacketType::kCommand || packet.type == PacketType::kEvent) f |= 2u;
+    return f;
+  }
+};
+
+/// An in-memory HCI dump: the log a device's snoop tap accumulates.
+class SnoopLog {
+ public:
+  /// A record filter installed before logging. Returning std::nullopt drops
+  /// the record entirely; returning a modified record logs the modification.
+  /// This is the hook the §VII-A mitigation uses to redact link keys.
+  using Filter = std::function<std::optional<SnoopRecord>(SnoopRecord)>;
+
+  SnoopLog() = default;
+
+  void set_filter(Filter filter) { filter_ = std::move(filter); }
+
+  /// Append a record (through the filter, if any).
+  void append(SnoopRecord record);
+
+  [[nodiscard]] const std::vector<SnoopRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Serialize to the btsnoop on-disk format.
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Parse a btsnoop byte stream. Tolerates a truncated final record (as a
+  /// dump cut off mid-write would be) by dropping it. Returns nullopt only
+  /// for a bad header.
+  [[nodiscard]] static std::optional<SnoopLog> parse(BytesView data);
+
+  /// Write/read convenience over files.
+  [[nodiscard]] bool save(const std::string& path) const;
+  [[nodiscard]] static std::optional<SnoopLog> load(const std::string& path);
+
+  /// Render as the frame table of the paper's Fig. 12 (Fra/Type/Opcode/
+  /// Command/Event/Status columns).
+  [[nodiscard]] std::string format_table() const;
+
+ private:
+  std::vector<SnoopRecord> records_;
+  Filter filter_;
+};
+
+}  // namespace blap::hci

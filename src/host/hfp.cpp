@@ -1,0 +1,49 @@
+#include "host/hfp.hpp"
+
+namespace blap::host {
+
+namespace {
+constexpr std::uint8_t kAudioMarker = 0xA0;
+}
+
+bool HfpProfile::handle(L2cap& l2cap, const L2capChannel& channel, BytesView data) {
+  if (data.size() >= 2 && data[0] == 'A' && data[1] == 'T') {
+    const std::string command(data.begin(), data.end());
+    at_log_.push_back(command);
+    if (command == "ATA") {
+      call_active_ = true;
+      send_at(l2cap, channel, "AT:OK");
+    } else if (command == "AT+CHUP") {
+      call_active_ = false;
+      send_at(l2cap, channel, "AT:OK");
+    }
+    return true;
+  }
+  if (data.size() >= 4 && data[0] == 'R' && data[1] == 'I') {  // "RING"
+    at_log_.emplace_back(data.begin(), data.end());
+    return true;
+  }
+  if (!data.empty() && data[0] == kAudioMarker) {
+    ByteReader r(data);
+    (void)r.u8();
+    auto seq = r.u16();
+    if (!seq) return true;
+    if (call_active_) received_.push_back(AudioFrame{*seq, to_bytes(r.rest())});
+    return true;
+  }
+  return false;
+}
+
+void HfpProfile::send_at(L2cap& l2cap, const L2capChannel& channel,
+                         const std::string& command) {
+  l2cap.send(channel,
+             BytesView(reinterpret_cast<const std::uint8_t*>(command.data()), command.size()));
+}
+
+void HfpProfile::send_audio(L2cap& l2cap, const L2capChannel& channel, BytesView samples) {
+  ByteWriter w;
+  w.u8(kAudioMarker).u16(tx_sequence_++).raw(samples);
+  l2cap.send(channel, w.data());
+}
+
+}  // namespace blap::host

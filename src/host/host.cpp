@@ -1,0 +1,895 @@
+#include "host/host.hpp"
+
+namespace blap::host {
+
+HostStack::HostStack(Scheduler& scheduler, transport::HciTransport& transport, HostConfig config)
+    : scheduler_(scheduler), transport_(transport), config_(std::move(config)),
+      l2cap_([this](hci::ConnectionHandle handle, BytesView payload) {
+        Acl* acl = acl_by_handle(handle);
+        if (acl != nullptr) touch(*acl);
+        transport_.send(hci::Direction::kHostToController, hci::make_acl(handle, payload));
+      }),
+      sdp_client_(l2cap_) {
+  transport_.set_host_receiver([this](const hci::HciPacket& p) { on_packet(p); });
+  // The HCI dump tap records traffic in both directions at the transport —
+  // exactly where Android's snoop module and a hardware analyzer sit.
+  transport_.add_tap([this](hci::Direction direction, const hci::HciPacket& packet) {
+    if (!snoop_enabled_) return;
+    hci::SnoopRecord record;
+    record.timestamp_us = scheduler_.now();
+    record.direction = direction;
+    record.packet = packet;
+    snoop_.append(std::move(record));
+  });
+
+  l2cap_.set_auth_oracle([this](hci::ConnectionHandle handle) {
+    Acl* acl = acl_by_handle(handle);
+    return acl != nullptr && (acl->authenticated || acl->encrypted);
+  });
+  l2cap_.set_mitm_oracle([this](hci::ConnectionHandle handle) {
+    Acl* acl = acl_by_handle(handle);
+    if (acl == nullptr || !(acl->authenticated || acl->encrypted)) return false;
+    const BondRecord* bond = security_.bond_for(acl->peer);
+    if (bond == nullptr) return false;
+    // Only keys derived with user verification qualify for level 3.
+    return bond->key_type == crypto::LinkKeyType::kAuthenticatedCombinationP192 ||
+           bond->key_type == crypto::LinkKeyType::kAuthenticatedCombinationP256;
+  });
+
+  // SDP: requests -> server, responses -> client (shared PSM, both roles).
+  L2cap::Service sdp_service;
+  sdp_service.requires_authentication = false;
+  sdp_service.on_data = [this](const L2capChannel& channel, BytesView data) {
+    if (!sdp_server_.handle(l2cap_, channel, data)) sdp_client_.on_response(data);
+  };
+  l2cap_.register_service(psm::kSdp, std::move(sdp_service));
+
+  // PAN/BNEP: setup requests -> server, setup responses -> client.
+  L2cap::Service pan_service;
+  pan_service.requires_authentication = true;
+  pan_service.on_data = [this](const L2capChannel& channel, BytesView data) {
+    if (!pan_.handle_server(l2cap_, channel, data)) pan_.on_client_data(data);
+  };
+  l2cap_.register_service(psm::kBnep, std::move(pan_service));
+
+  // PBAP: phone book pulls, authenticated only — the paper's §III target
+  // data. A default phone book marks the device's "sensitive" content.
+  L2cap::Service pbap_service;
+  pbap_service.requires_authentication = true;
+  pbap_service.on_data = [this](const L2capChannel& channel, BytesView data) {
+    if (!pbap_.handle_server(l2cap_, channel, data)) pbap_.on_client_data(data);
+  };
+  l2cap_.register_service(psm_ext::kPbap, std::move(pbap_service));
+  pbap_.set_phonebook({"BEGIN:VCARD N:Alice TEL:+1-202-555-0101 END:VCARD",
+                       "BEGIN:VCARD N:Bob TEL:+1-202-555-0102 END:VCARD",
+                       "BEGIN:VCARD N:Charlie TEL:+1-202-555-0103 END:VCARD"});
+
+  // HFP: AT control + call audio, authenticated only. Channels are tracked
+  // per peer on both roles so either side can send RING/audio afterwards.
+  L2cap::Service hfp_service;
+  hfp_service.requires_authentication = true;
+  hfp_service.on_open = [this](const L2capChannel& channel) {
+    if (Acl* acl = acl_by_handle(channel.acl_handle)) hfp_channels_[acl->peer] = channel;
+  };
+  hfp_service.on_data = [this](const L2capChannel& channel, BytesView data) {
+    hfp_.handle(l2cap_, channel, data);
+  };
+  l2cap_.register_service(psm_ext2::kHfp, std::move(hfp_service));
+
+  // MAP: message store access, authenticated only.
+  L2cap::Service map_service;
+  map_service.requires_authentication = true;
+  map_service.on_data = [this](const L2capChannel& channel, BytesView data) {
+    if (!map_.handle_server(l2cap_, channel, data)) map_.on_client_data(data);
+  };
+  l2cap_.register_service(psm_ext3::kMap, std::move(map_service));
+  map_.add_message(0x0001, "FROM:+1-202-555-0199 BODY:Meeting moved to 3pm");
+  map_.add_message(0x0002, "FROM:bank BODY:Your one-time code is 482913");
+
+  sdp_server_.add_service(uuid16::kSdpServer);
+  sdp_server_.add_service(uuid16::kPanu);
+  sdp_server_.add_service(uuid16::kNap);
+  sdp_server_.add_service(uuid16::kPbap);
+  sdp_server_.add_service(uuid16::kHandsFree);
+  sdp_server_.add_service(uuid16::kMap);
+}
+
+void HostStack::power_on() {
+  send_command(hci::ResetCmd{}.encode());
+  send_command(hci::ReadBdAddrCmd{}.encode());
+  send_command(hci::WriteLocalNameCmd{config_.device_name}.encode());
+  send_command(hci::WriteSimplePairingModeCmd{
+      static_cast<std::uint8_t>(config_.simple_pairing ? 0x01 : 0x00)}.encode());
+  send_command(hci::WriteScanEnableCmd{hci::ScanEnable::kInquiryAndPage}.encode());
+}
+
+void HostStack::send_command(const hci::HciPacket& packet) {
+  transport_.send(hci::Direction::kHostToController, packet);
+}
+
+void HostStack::enable_snoop(bool enabled) {
+  if (enabled && !config_.hci_dump_available) {
+    BLAP_WARN("host", "%s: platform provides no HCI dump facility", config_.device_name.c_str());
+    return;
+  }
+  snoop_enabled_ = enabled;
+}
+
+// ---------------------------------------------------------------------------
+// GAP operations
+// ---------------------------------------------------------------------------
+
+void HostStack::discover(std::uint8_t inquiry_length,
+                         std::function<void(std::vector<Discovered>)> callback) {
+  discovery_callback_ = std::move(callback);
+  discovery_results_.clear();
+  hci::InquiryCmd cmd;
+  cmd.inquiry_length = inquiry_length;
+  send_command(cmd.encode());
+}
+
+void HostStack::set_scan_mode(hci::ScanEnable mode) {
+  send_command(hci::WriteScanEnableCmd{mode}.encode());
+}
+
+void HostStack::discover_services(const BdAddr& peer, std::uint16_t uuid16,
+                                  std::function<void(std::optional<SdpClient::Result>)> callback) {
+  Acl* acl = acl_by_peer(peer);
+  if (acl != nullptr) {
+    sdp_client_.search(acl->handle, uuid16, std::move(callback));
+    return;
+  }
+  // SDP needs no authentication, only an ACL: connect first.
+  connect_only(peer, [this, peer, uuid16, callback = std::move(callback)](hci::Status status) {
+    Acl* acl = acl_by_peer(peer);
+    if (status != hci::Status::kSuccess || acl == nullptr) {
+      if (callback) callback(std::nullopt);
+      return;
+    }
+    sdp_client_.search(acl->handle, uuid16, callback);
+  });
+}
+
+void HostStack::request_remote_name(const BdAddr& peer,
+                                    std::function<void(std::optional<std::string>)> callback) {
+  name_request_ = {peer, std::move(callback)};
+  hci::RemoteNameRequestCmd cmd;
+  cmd.bdaddr = peer;
+  send_command(cmd.encode());
+}
+
+void HostStack::on_remote_name_complete(const hci::RemoteNameRequestCompleteEvt& evt) {
+  if (!name_request_ || !(name_request_->first == evt.bdaddr)) return;
+  auto callback = std::move(name_request_->second);
+  name_request_.reset();
+  if (!callback) return;
+  if (evt.status == hci::Status::kSuccess) callback(evt.remote_name);
+  else callback(std::nullopt);
+}
+
+void HostStack::pair(const BdAddr& peer, StatusCallback callback) {
+  if (pair_op_) {
+    if (callback) callback(hci::Status::kPairingNotAllowed);  // one op at a time
+    return;
+  }
+  PairOp op;
+  op.peer = peer;
+  op.stage = OpStage::kConnecting;
+  op.callback = std::move(callback);
+  pair_op_ = std::move(op);
+
+  // THE CRITICAL GAP BEHAVIOUR (paper §V-B): if an ACL to this BD_ADDR
+  // already exists, skip connection establishment and send the pairing
+  // request down the existing link — without verifying who created it.
+  if (Acl* existing = acl_by_peer(peer)) {
+    continue_pair_after_connect(*existing);
+    return;
+  }
+  hci::CreateConnectionCmd cmd;
+  cmd.bdaddr = peer;
+  send_command(cmd.encode());
+}
+
+void HostStack::continue_pair_after_connect(Acl& acl) {
+  if (!pair_op_ || !(pair_op_->peer == acl.peer)) return;
+  pair_op_->stage = OpStage::kAuthenticating;
+  acl.is_pairing_initiator = true;
+  touch(acl);
+  send_command(hci::AuthenticationRequestedCmd{acl.handle}.encode());
+}
+
+void HostStack::connect_only(const BdAddr& peer, StatusCallback callback) {
+  if (acl_by_peer(peer) != nullptr) {
+    if (callback) callback(hci::Status::kConnectionAlreadyExists);
+    return;
+  }
+  connect_op_ = {peer, std::move(callback)};
+  hci::CreateConnectionCmd cmd;
+  cmd.bdaddr = peer;
+  send_command(cmd.encode());
+}
+
+void HostStack::connect_pan(const BdAddr& peer, BoolCallback callback) {
+  if (pair_op_) {
+    if (callback) callback(false);
+    return;
+  }
+  PairOp op;
+  op.peer = peer;
+  op.profile = ProfileTarget::kPan;
+  op.pan_callback = std::move(callback);
+  Acl* acl = acl_by_peer(peer);
+  if (acl != nullptr && (acl->authenticated || acl->encrypted)) {
+    op.stage = OpStage::kChannel;
+    pair_op_ = std::move(op);
+    start_profile_channel(peer);
+    return;
+  }
+  // Authenticate first (the profile's GAP security requirement).
+  op.stage = OpStage::kConnecting;
+  pair_op_ = std::move(op);
+  if (acl != nullptr) {
+    continue_pair_after_connect(*acl);
+  } else {
+    hci::CreateConnectionCmd cmd;
+    cmd.bdaddr = peer;
+    send_command(cmd.encode());
+  }
+}
+
+void HostStack::pull_phonebook(const BdAddr& peer, PbapProfile::PullCallback callback) {
+  if (pair_op_) {
+    if (callback) callback(std::nullopt);
+    return;
+  }
+  PairOp op;
+  op.peer = peer;
+  op.profile = ProfileTarget::kPbap;
+  op.pbap_callback = std::move(callback);
+  Acl* acl = acl_by_peer(peer);
+  if (acl != nullptr && (acl->authenticated || acl->encrypted)) {
+    op.stage = OpStage::kChannel;
+    pair_op_ = std::move(op);
+    start_profile_channel(peer);
+    return;
+  }
+  op.stage = OpStage::kConnecting;
+  pair_op_ = std::move(op);
+  if (acl != nullptr) {
+    continue_pair_after_connect(*acl);
+  } else {
+    hci::CreateConnectionCmd cmd;
+    cmd.bdaddr = peer;
+    send_command(cmd.encode());
+  }
+}
+
+void HostStack::read_messages(
+    const BdAddr& peer, std::function<void(std::optional<std::vector<std::string>>)> callback) {
+  if (pair_op_) {
+    if (callback) callback(std::nullopt);
+    return;
+  }
+  PairOp op;
+  op.peer = peer;
+  op.profile = ProfileTarget::kMap;
+  op.map_callback = std::move(callback);
+  Acl* acl = acl_by_peer(peer);
+  if (acl != nullptr && (acl->authenticated || acl->encrypted)) {
+    op.stage = OpStage::kChannel;
+    pair_op_ = std::move(op);
+    start_profile_channel(peer);
+    return;
+  }
+  op.stage = OpStage::kConnecting;
+  pair_op_ = std::move(op);
+  if (acl != nullptr) {
+    continue_pair_after_connect(*acl);
+  } else {
+    hci::CreateConnectionCmd cmd;
+    cmd.bdaddr = peer;
+    send_command(cmd.encode());
+  }
+}
+
+void HostStack::continue_map_read(const BdAddr& peer) {
+  if (!map_read_ || !pair_op_ || pair_op_->profile != ProfileTarget::kMap) return;
+  if (map_read_->next_index >= map_read_->handles.size()) {
+    // Done: deliver the loot.
+    auto callback = std::move(pair_op_->map_callback);
+    auto bodies = std::move(map_read_->bodies);
+    map_read_.reset();
+    pair_op_.reset();
+    if (callback) callback(std::move(bodies));
+    return;
+  }
+  const std::uint16_t handle = map_read_->handles[map_read_->next_index++];
+  map_.set_get_callback([this, peer](std::optional<std::string> body) {
+    if (!map_read_) return;
+    if (body) map_read_->bodies.push_back(std::move(*body));
+    continue_map_read(peer);
+  });
+  map_.request_message(l2cap_, map_read_->channel, handle);
+}
+
+void HostStack::connect_hfp(const BdAddr& peer, BoolCallback callback) {
+  if (pair_op_) {
+    if (callback) callback(false);
+    return;
+  }
+  PairOp op;
+  op.peer = peer;
+  op.profile = ProfileTarget::kHfp;
+  op.hfp_callback = std::move(callback);
+  Acl* acl = acl_by_peer(peer);
+  if (acl != nullptr && (acl->authenticated || acl->encrypted)) {
+    op.stage = OpStage::kChannel;
+    pair_op_ = std::move(op);
+    start_profile_channel(peer);
+    return;
+  }
+  op.stage = OpStage::kConnecting;
+  pair_op_ = std::move(op);
+  if (acl != nullptr) {
+    continue_pair_after_connect(*acl);
+  } else {
+    hci::CreateConnectionCmd cmd;
+    cmd.bdaddr = peer;
+    send_command(cmd.encode());
+  }
+}
+
+void HostStack::hfp_send_at(const BdAddr& peer, const std::string& command) {
+  auto it = hfp_channels_.find(peer);
+  if (it == hfp_channels_.end()) return;
+  hfp_.send_at(l2cap_, it->second, command);
+}
+
+void HostStack::hfp_send_audio(const BdAddr& peer, BytesView samples) {
+  auto it = hfp_channels_.find(peer);
+  if (it == hfp_channels_.end()) return;
+  hfp_.send_audio(l2cap_, it->second, samples);
+}
+
+void HostStack::start_profile_channel(const BdAddr& peer) {
+  Acl* acl = acl_by_peer(peer);
+  if (acl == nullptr || !pair_op_ || pair_op_->profile == ProfileTarget::kNone) return;
+  pair_op_->stage = OpStage::kChannel;
+  const ProfileTarget profile = pair_op_->profile;
+
+  auto fail = [this, peer, profile] {
+    if (!pair_op_ || !(pair_op_->peer == peer)) return;
+    PairOp op = std::move(*pair_op_);
+    pair_op_.reset();
+    if (profile == ProfileTarget::kPan && op.pan_callback) op.pan_callback(false);
+    if (profile == ProfileTarget::kPbap && op.pbap_callback) op.pbap_callback(std::nullopt);
+    if (profile == ProfileTarget::kHfp && op.hfp_callback) op.hfp_callback(false);
+    if (profile == ProfileTarget::kMap && op.map_callback) op.map_callback(std::nullopt);
+  };
+
+  if (profile == ProfileTarget::kPan) {
+    pan_.set_client_callback([this, peer](bool connected) {
+      if (pair_op_ && pair_op_->profile == ProfileTarget::kPan && pair_op_->peer == peer) {
+        auto callback = std::move(pair_op_->pan_callback);
+        pair_op_.reset();
+        if (callback) callback(connected);
+      }
+    });
+    l2cap_.connect_channel(acl->handle, psm::kBnep,
+                           [this, fail](std::optional<L2capChannel> channel) {
+                             if (!channel) {
+                               fail();
+                               return;
+                             }
+                             pan_.setup(l2cap_, *channel);
+                           });
+    return;
+  }
+
+  if (profile == ProfileTarget::kHfp) {
+    l2cap_.connect_channel(acl->handle, psm_ext2::kHfp,
+                           [this, peer, fail](std::optional<L2capChannel> channel) {
+                             if (!channel) {
+                               fail();
+                               return;
+                             }
+                             hfp_channels_[peer] = *channel;
+                             if (pair_op_ && pair_op_->profile == ProfileTarget::kHfp &&
+                                 pair_op_->peer == peer) {
+                               auto callback = std::move(pair_op_->hfp_callback);
+                               pair_op_.reset();
+                               if (callback) callback(true);
+                             }
+                           });
+    return;
+  }
+
+  if (profile == ProfileTarget::kMap) {
+    l2cap_.connect_channel(
+        acl->handle, psm_ext3::kMap, [this, peer, fail](std::optional<L2capChannel> channel) {
+          if (!channel) {
+            fail();
+            return;
+          }
+          map_read_ = MapReadState{*channel, {}, 0, {}};
+          map_.set_list_callback([this, peer](std::optional<std::vector<std::uint16_t>> handles) {
+            if (!map_read_) return;
+            if (!handles) {
+              map_read_.reset();
+              if (pair_op_ && pair_op_->profile == ProfileTarget::kMap) {
+                auto callback = std::move(pair_op_->map_callback);
+                pair_op_.reset();
+                if (callback) callback(std::nullopt);
+              }
+              return;
+            }
+            map_read_->handles = std::move(*handles);
+            continue_map_read(peer);
+          });
+          map_.request_list(l2cap_, *channel);
+        });
+    return;
+  }
+
+  // PBAP: pull the phone book once the channel opens.
+  pbap_.set_client_callback(
+      [this, peer](std::optional<std::vector<std::string>> entries) {
+        if (pair_op_ && pair_op_->profile == ProfileTarget::kPbap && pair_op_->peer == peer) {
+          auto callback = std::move(pair_op_->pbap_callback);
+          pair_op_.reset();
+          if (callback) callback(std::move(entries));
+        }
+      });
+  l2cap_.connect_channel(acl->handle, psm_ext::kPbap,
+                         [this, fail](std::optional<L2capChannel> channel) {
+                           if (!channel) {
+                             fail();
+                             return;
+                           }
+                           pbap_.pull(l2cap_, *channel);
+                         });
+}
+
+void HostStack::send_echo(const BdAddr& peer, std::function<void()> on_response) {
+  Acl* acl = acl_by_peer(peer);
+  if (acl == nullptr) return;
+  const Bytes ping = {'p', 'i', 'n', 'g'};
+  l2cap_.echo(acl->handle, ping, std::move(on_response));
+}
+
+void HostStack::disconnect(const BdAddr& peer, hci::Status reason) {
+  Acl* acl = acl_by_peer(peer);
+  if (acl == nullptr) return;
+  hci::DisconnectCmd cmd;
+  cmd.handle = acl->handle;
+  cmd.reason = reason;
+  send_command(cmd.encode());
+}
+
+bool HostStack::has_acl(const BdAddr& peer) const {
+  for (const auto& [handle, acl] : acls_)
+    if (acl.peer == peer) return true;
+  return false;
+}
+
+std::vector<HostStack::AclInfo> HostStack::acls() const {
+  std::vector<AclInfo> out;
+  for (const auto& [handle, acl] : acls_)
+    out.push_back(AclInfo{acl.handle, acl.peer, acl.initiator, acl.authenticated, acl.encrypted});
+  return out;
+}
+
+HostStack::Acl* HostStack::acl_by_peer(const BdAddr& peer) {
+  for (auto& [handle, acl] : acls_)
+    if (acl.peer == peer) return &acl;
+  return nullptr;
+}
+
+HostStack::Acl* HostStack::acl_by_handle(hci::ConnectionHandle handle) {
+  auto it = acls_.find(handle);
+  return it == acls_.end() ? nullptr : &it->second;
+}
+
+void HostStack::touch(Acl& acl) {
+  acl.last_activity = scheduler_.now();
+  arm_idle_timer(acl);
+}
+
+void HostStack::arm_idle_timer(Acl& acl) {
+  acl.idle_timer.cancel();
+  const hci::ConnectionHandle handle = acl.handle;
+  acl.idle_timer = scheduler_.schedule_in(config_.acl_idle_timeout, [this, handle] {
+    Acl* acl = acl_by_handle(handle);
+    if (acl == nullptr) return;
+    const bool busy = l2cap_.channel_count(handle) > 0 ||
+                      (pair_op_ && pair_op_->peer == acl->peer);
+    if (busy) {
+      arm_idle_timer(*acl);
+      return;
+    }
+    BLAP_DEBUG("host", "%s: dropping idle ACL to %s", config_.device_name.c_str(),
+               acl->peer.to_string().c_str());
+    hci::DisconnectCmd cmd;
+    cmd.handle = handle;
+    cmd.reason = hci::Status::kRemoteUserTerminatedConnection;
+    send_command(cmd.encode());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// HCI receive path (btu_hcif)
+// ---------------------------------------------------------------------------
+
+void HostStack::on_packet(const hci::HciPacket& packet) {
+  if (ploc_active_) {
+    ploc_queue_.push_back(packet);
+    return;
+  }
+  // PLOC hook (paper Fig. 13): stall processing when a Connection_Complete
+  // arrives, queueing it and everything after it for ploc_delay.
+  if (hooks_.ploc_delay > 0 && packet.type == hci::PacketType::kEvent &&
+      packet.event_code() == hci::ev::kConnectionComplete) {
+    BLAP_INFO("host", "%s: entering PLOC for %llu us", config_.device_name.c_str(),
+              static_cast<unsigned long long>(hooks_.ploc_delay));
+    ploc_active_ = true;
+    ploc_queue_.push_back(packet);
+    scheduler_.schedule_in(hooks_.ploc_delay, [this] {
+      ploc_active_ = false;
+      BLAP_INFO("host", "%s: leaving PLOC (%zu queued events)", config_.device_name.c_str(),
+                ploc_queue_.size());
+      while (!ploc_queue_.empty() && !ploc_active_) {
+        const hci::HciPacket queued = ploc_queue_.front();
+        ploc_queue_.pop_front();
+        process_packet(queued);
+      }
+    });
+    return;
+  }
+  process_packet(packet);
+}
+
+void HostStack::process_packet(const hci::HciPacket& packet) {
+  if (packet.type == hci::PacketType::kAclData) {
+    auto handle = packet.acl_handle();
+    auto data = packet.acl_data();
+    if (!handle || !data) return;
+    Acl* acl = acl_by_handle(*handle);
+    if (acl != nullptr) touch(*acl);
+    l2cap_.on_acl_data(*handle, *data);
+    return;
+  }
+  if (packet.type != hci::PacketType::kEvent) return;
+  auto code = packet.event_code();
+  auto params = packet.event_params();
+  if (!code || !params) return;
+  dispatch_event(*code, *params);
+}
+
+void HostStack::dispatch_event(std::uint8_t code, BytesView params) {
+  switch (code) {
+    case hci::ev::kConnectionRequest:
+      if (auto evt = hci::ConnectionRequestEvt::decode(params)) on_connection_request(*evt);
+      break;
+    case hci::ev::kConnectionComplete:
+      if (auto evt = hci::ConnectionCompleteEvt::decode(params)) on_connection_complete(*evt);
+      break;
+    case hci::ev::kDisconnectionComplete:
+      if (auto evt = hci::DisconnectionCompleteEvt::decode(params))
+        on_disconnection_complete(*evt);
+      break;
+    case hci::ev::kLinkKeyRequest:
+      if (auto evt = hci::LinkKeyRequestEvt::decode(params)) on_link_key_request(*evt);
+      break;
+    case hci::ev::kPinCodeRequest:
+      if (auto evt = hci::PinCodeRequestEvt::decode(params)) on_pin_code_request(*evt);
+      break;
+    case hci::ev::kLinkKeyNotification:
+      if (auto evt = hci::LinkKeyNotificationEvt::decode(params)) on_link_key_notification(*evt);
+      break;
+    case hci::ev::kIoCapabilityRequest:
+      if (auto evt = hci::IoCapabilityRequestEvt::decode(params)) on_io_capability_request(*evt);
+      break;
+    case hci::ev::kIoCapabilityResponse:
+      if (auto evt = hci::IoCapabilityResponseEvt::decode(params))
+        on_io_capability_response(*evt);
+      break;
+    case hci::ev::kUserConfirmationRequest:
+      if (auto evt = hci::UserConfirmationRequestEvt::decode(params))
+        on_user_confirmation_request(*evt);
+      break;
+    case hci::ev::kSimplePairingComplete:
+      if (auto evt = hci::SimplePairingCompleteEvt::decode(params))
+        on_simple_pairing_complete(*evt);
+      break;
+    case hci::ev::kAuthenticationComplete:
+      if (auto evt = hci::AuthenticationCompleteEvt::decode(params))
+        on_authentication_complete(*evt);
+      break;
+    case hci::ev::kEncryptionChange:
+      if (auto evt = hci::EncryptionChangeEvt::decode(params)) on_encryption_change(*evt);
+      break;
+    case hci::ev::kInquiryResult:
+      if (auto evt = hci::InquiryResultEvt::decode(params)) on_inquiry_result(*evt);
+      break;
+    case hci::ev::kExtendedInquiryResult:
+      if (auto evt = hci::ExtendedInquiryResultEvt::decode(params))
+        on_extended_inquiry_result(*evt);
+      break;
+    case hci::ev::kInquiryComplete:
+      on_inquiry_complete();
+      break;
+    case hci::ev::kRemoteNameRequestComplete:
+      if (auto evt = hci::RemoteNameRequestCompleteEvt::decode(params))
+        on_remote_name_complete(*evt);
+      break;
+    case hci::ev::kCommandComplete:
+      if (auto evt = hci::CommandCompleteEvt::decode(params)) on_command_complete(*evt);
+      break;
+    default:
+      break;
+  }
+}
+
+void HostStack::on_command_complete(const hci::CommandCompleteEvt& evt) {
+  if (evt.command_opcode == hci::op::kReadBdAddr && evt.return_parameters.size() >= 7) {
+    ByteReader r(evt.return_parameters);
+    (void)r.u8();  // status
+    if (auto addr = BdAddr::from_wire(r)) own_address_ = *addr;
+  }
+}
+
+void HostStack::on_connection_request(const hci::ConnectionRequestEvt& evt) {
+  if (!config_.auto_accept_connections) {
+    hci::RejectConnectionRequestCmd cmd;
+    cmd.bdaddr = evt.bdaddr;
+    send_command(cmd.encode());
+    return;
+  }
+  hci::AcceptConnectionRequestCmd cmd;
+  cmd.bdaddr = evt.bdaddr;
+  send_command(cmd.encode());
+}
+
+void HostStack::on_connection_complete(const hci::ConnectionCompleteEvt& evt) {
+  if (evt.status != hci::Status::kSuccess) {
+    if (pair_op_ && pair_op_->peer == evt.bdaddr && pair_op_->stage == OpStage::kConnecting)
+      finish_pair_op(evt.bdaddr, evt.status);
+    if (connect_op_ && connect_op_->first == evt.bdaddr) {
+      auto callback = std::move(connect_op_->second);
+      connect_op_.reset();
+      if (callback) callback(evt.status);
+    }
+    return;
+  }
+  Acl acl;
+  acl.handle = evt.handle;
+  acl.peer = evt.bdaddr;
+  acl.initiator = (pair_op_ && pair_op_->peer == evt.bdaddr) ||
+                  (connect_op_ && connect_op_->first == evt.bdaddr);
+  acls_[evt.handle] = std::move(acl);
+  touch(acls_[evt.handle]);
+  if (pair_op_ && pair_op_->peer == evt.bdaddr && pair_op_->stage == OpStage::kConnecting)
+    continue_pair_after_connect(acls_[evt.handle]);
+  if (connect_op_ && connect_op_->first == evt.bdaddr) {
+    auto callback = std::move(connect_op_->second);
+    connect_op_.reset();
+    if (callback) callback(hci::Status::kSuccess);
+  }
+}
+
+void HostStack::on_disconnection_complete(const hci::DisconnectionCompleteEvt& evt) {
+  Acl* acl = acl_by_handle(evt.handle);
+  if (acl == nullptr) return;
+  const BdAddr peer = acl->peer;
+  acl->idle_timer.cancel();
+  l2cap_.on_disconnected(evt.handle);
+  hfp_channels_.erase(peer);
+  acls_.erase(evt.handle);
+  if (pair_op_ && pair_op_->peer == peer) {
+    // An in-flight pairing/auth died with the link. The reason is whatever
+    // the controller reported (timeout, remote termination...) — real stacks
+    // do NOT purge the bond here.
+    finish_pair_op(peer, evt.reason == hci::Status::kSuccess
+                             ? hci::Status::kConnectionTimeout
+                             : evt.reason);
+  }
+}
+
+void HostStack::on_link_key_request(const hci::LinkKeyRequestEvt& evt) {
+  if (hooks_.ignore_link_key_request) {
+    // Paper Fig. 9: btu_hcif_link_key_request_evt() call skipped. The
+    // controller never gets an answer; the peer's LMP challenge times out.
+    ++ignored_link_key_requests_;
+    BLAP_INFO("host", "%s: IGNORING HCI_Link_Key_Request for %s (attack hook)",
+              config_.device_name.c_str(), evt.bdaddr.to_string().c_str());
+    return;
+  }
+  if (auto key = security_.link_key_for(evt.bdaddr)) {
+    hci::LinkKeyRequestReplyCmd cmd;
+    cmd.bdaddr = evt.bdaddr;
+    cmd.link_key = *key;
+    send_command(cmd.encode());  // the plaintext key crosses the HCI here
+  } else {
+    hci::LinkKeyRequestNegativeReplyCmd cmd;
+    cmd.bdaddr = evt.bdaddr;
+    send_command(cmd.encode());
+  }
+}
+
+void HostStack::on_pin_code_request(const hci::PinCodeRequestEvt& evt) {
+  std::string pin = config_.pin_code;
+  if (auto user_pin = user_agent_->on_pin_request(evt.bdaddr)) pin = *user_pin;
+  if (pin.empty() || pin.size() > 16) {
+    hci::PinCodeRequestNegativeReplyCmd cmd;
+    cmd.bdaddr = evt.bdaddr;
+    send_command(cmd.encode());
+    return;
+  }
+  hci::PinCodeRequestReplyCmd cmd;
+  cmd.bdaddr = evt.bdaddr;
+  cmd.pin = pin;
+  send_command(cmd.encode());
+}
+
+void HostStack::on_link_key_notification(const hci::LinkKeyNotificationEvt& evt) {
+  BondRecord record;
+  record.address = evt.bdaddr;
+  record.name = "";  // filled by later name discovery in real stacks
+  record.link_key = evt.link_key;
+  record.key_type = evt.key_type;
+  record.services = {Uuid::from_uuid16(uuid16::kPanu), Uuid::from_uuid16(uuid16::kNap)};
+  security_.store_bond(std::move(record));
+}
+
+void HostStack::on_io_capability_request(const hci::IoCapabilityRequestEvt& evt) {
+  hci::IoCapabilityRequestReplyCmd cmd;
+  cmd.bdaddr = evt.bdaddr;
+  cmd.io_capability = config_.io_capability;
+  cmd.authentication_requirements = config_.auth_requirements;
+  send_command(cmd.encode());
+}
+
+void HostStack::on_io_capability_response(const hci::IoCapabilityResponseEvt& evt) {
+  Acl* acl = acl_by_peer(evt.bdaddr);
+  if (acl == nullptr) return;
+  acl->peer_io = evt.io_capability;
+  // §VII-B detector: we initiated the pairing, the peer initiated the
+  // *connection*, and that connection initiator is NoInputNoOutput — the
+  // page blocking + SSP downgrade signature. Drop the pairing.
+  if (config_.detect_page_blocking && acl->is_pairing_initiator && !acl->initiator &&
+      evt.io_capability == hci::IoCapability::kNoInputNoOutput) {
+    ++detected_page_blocking_count_;
+    BLAP_WARN("host", "%s: page blocking signature on %s — aborting pairing",
+              config_.device_name.c_str(), evt.bdaddr.to_string().c_str());
+    const BdAddr peer = acl->peer;
+    disconnect(peer, hci::Status::kPairingNotAllowed);
+    finish_pair_op(peer, hci::Status::kPairingNotAllowed);
+  }
+}
+
+void HostStack::on_user_confirmation_request(const hci::UserConfirmationRequestEvt& evt) {
+  Acl* acl = acl_by_peer(evt.bdaddr);
+  const bool is_initiator = acl != nullptr && acl->is_pairing_initiator;
+  const hci::IoCapability peer_io =
+      acl != nullptr ? acl->peer_io : hci::IoCapability::kDisplayYesNo;
+
+  const ConfirmationBehavior behavior =
+      confirmation_behavior(config_.version, config_.io_capability, peer_io, is_initiator);
+
+  PopupRecord record;
+  record.peer = evt.bdaddr;
+  record.at = scheduler_.now();
+
+  bool accept = true;
+  if (behavior.automatic_confirmation || !behavior.shows_popup) {
+    record.shown_to_user = false;
+    accept = true;
+  } else {
+    record.shown_to_user = true;
+    if (behavior.shows_numeric_value) record.numeric_value = evt.numeric_value;
+    accept = user_agent_->on_pairing_popup(evt.bdaddr, record.numeric_value);
+  }
+  record.accepted = accept;
+  popups_.push_back(record);
+
+  if (accept) {
+    hci::UserConfirmationRequestReplyCmd cmd;
+    cmd.bdaddr = evt.bdaddr;
+    send_command(cmd.encode());
+  } else {
+    hci::UserConfirmationRequestNegativeReplyCmd cmd;
+    cmd.bdaddr = evt.bdaddr;
+    send_command(cmd.encode());
+  }
+}
+
+void HostStack::on_simple_pairing_complete(const hci::SimplePairingCompleteEvt& evt) {
+  pairing_events_.emplace_back(evt.bdaddr, evt.status == hci::Status::kSuccess);
+}
+
+void HostStack::on_authentication_complete(const hci::AuthenticationCompleteEvt& evt) {
+  Acl* acl = acl_by_handle(evt.handle);
+  const BdAddr peer = acl != nullptr ? acl->peer : BdAddr{};
+  if (evt.status == hci::Status::kSuccess) {
+    if (acl != nullptr) {
+      acl->authenticated = true;
+      touch(*acl);
+    }
+    if (pair_op_ && pair_op_->peer == peer && pair_op_->stage == OpStage::kAuthenticating) {
+      pair_op_->stage = OpStage::kEncrypting;
+      send_command(hci::SetConnectionEncryptionCmd{evt.handle, 0x01}.encode());
+    }
+    return;
+  }
+  // Bond-purge policy: only cryptographic failures invalidate the key.
+  if (acl != nullptr) security_.on_authentication_result(peer, evt.status);
+  if (pair_op_ && acl != nullptr && pair_op_->peer == peer) finish_pair_op(peer, evt.status);
+}
+
+void HostStack::on_encryption_change(const hci::EncryptionChangeEvt& evt) {
+  Acl* acl = acl_by_handle(evt.handle);
+  if (acl == nullptr) return;
+  if (evt.status == hci::Status::kSuccess && evt.encryption_enabled) {
+    acl->encrypted = true;
+    acl->authenticated = true;  // encryption start implies authentication
+    touch(*acl);
+  }
+  if (pair_op_ && pair_op_->peer == acl->peer && pair_op_->stage == OpStage::kEncrypting) {
+    if (pair_op_->profile != ProfileTarget::kNone) {
+      start_profile_channel(acl->peer);
+    } else {
+      finish_pair_op(acl->peer, evt.status);
+    }
+  }
+}
+
+void HostStack::on_inquiry_result(const hci::InquiryResultEvt& evt) {
+  if (!discovery_callback_) return;
+  for (const auto& existing : discovery_results_)
+    if (existing.address == evt.bdaddr) return;
+  discovery_results_.push_back(Discovered{evt.bdaddr, evt.class_of_device, "", 0});
+}
+
+void HostStack::on_extended_inquiry_result(const hci::ExtendedInquiryResultEvt& evt) {
+  if (!discovery_callback_) return;
+  for (auto& existing : discovery_results_) {
+    if (existing.address == evt.bdaddr) {
+      if (existing.name.empty()) existing.name = evt.name;  // upgrade in place
+      return;
+    }
+  }
+  discovery_results_.push_back(Discovered{evt.bdaddr, evt.class_of_device, evt.name, evt.rssi});
+}
+
+void HostStack::on_inquiry_complete() {
+  if (!discovery_callback_) return;
+  auto callback = std::move(*discovery_callback_);
+  discovery_callback_.reset();
+  callback(discovery_results_);
+}
+
+void HostStack::finish_pair_op(const BdAddr& peer, hci::Status status) {
+  if (!pair_op_ || !(pair_op_->peer == peer)) return;
+  PairOp op = std::move(*pair_op_);
+  pair_op_.reset();
+  switch (op.profile) {
+    case ProfileTarget::kPan:
+      if (op.pan_callback) op.pan_callback(status == hci::Status::kSuccess);
+      break;
+    case ProfileTarget::kPbap:
+      if (op.pbap_callback) op.pbap_callback(std::nullopt);  // never reached the pull
+      break;
+    case ProfileTarget::kHfp:
+      if (op.hfp_callback) op.hfp_callback(false);
+      break;
+    case ProfileTarget::kMap:
+      map_read_.reset();
+      if (op.map_callback) op.map_callback(std::nullopt);
+      break;
+    case ProfileTarget::kNone:
+      if (op.callback) op.callback(status);
+      break;
+  }
+}
+
+}  // namespace blap::host

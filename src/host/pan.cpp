@@ -1,0 +1,49 @@
+#include "host/pan.hpp"
+
+namespace blap::host {
+
+namespace {
+constexpr std::uint8_t kSetupRequest = 0x01;
+constexpr std::uint8_t kSetupResponse = 0x02;
+}  // namespace
+
+void PanProfile::attach_server(L2cap& l2cap) {
+  server_l2cap_ = &l2cap;
+  L2cap::Service service;
+  service.requires_authentication = true;  // the profile's GAP security rule
+  service.on_data = [this, &l2cap](const L2capChannel& channel, BytesView data) {
+    handle_server(l2cap, channel, data);
+  };
+  l2cap.register_service(psm::kBnep, std::move(service));
+}
+
+bool PanProfile::handle_server(L2cap& l2cap, const L2capChannel& channel, BytesView data) {
+  ByteReader r(data);
+  auto code = r.u8();
+  if (!code || *code != kSetupRequest) return false;
+  ++server_sessions_;
+  ByteWriter w;
+  w.u8(kSetupResponse).u8(0x00);
+  l2cap.send(channel, w.data());
+  return true;
+}
+
+void PanProfile::setup(L2cap& l2cap, const L2capChannel& channel) {
+  ByteWriter w;
+  w.u8(kSetupRequest).u8(0x00);  // PANU connecting to a NAP
+  l2cap.send(channel, w.data());
+}
+
+void PanProfile::on_client_data(BytesView payload) {
+  ByteReader r(payload);
+  auto code = r.u8();
+  auto status = r.u8();
+  if (!code || *code != kSetupResponse || !status) return;
+  if (client_callback_) {
+    auto cb = std::move(client_callback_);
+    client_callback_ = nullptr;
+    cb(*status == 0x00);
+  }
+}
+
+}  // namespace blap::host

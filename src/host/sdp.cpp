@@ -1,0 +1,74 @@
+#include "host/sdp.hpp"
+
+namespace blap::host {
+
+namespace {
+constexpr std::uint8_t kSearchRequest = 0x02;
+constexpr std::uint8_t kSearchResponse = 0x03;
+}  // namespace
+
+void SdpServer::attach(L2cap& l2cap) {
+  l2cap_ = &l2cap;
+  L2cap::Service service;
+  service.requires_authentication = false;  // SDP is open by design
+  service.on_data = [this, &l2cap](const L2capChannel& channel, BytesView data) {
+    handle(l2cap, channel, data);
+  };
+  l2cap.register_service(psm::kSdp, std::move(service));
+}
+
+bool SdpServer::handle(L2cap& l2cap, const L2capChannel& channel, BytesView data) {
+  ByteReader r(data);
+  auto code = r.u8();
+  if (!code || *code != kSearchRequest) return false;
+  auto uuid16 = r.u16();
+  if (!uuid16) return true;  // malformed request: consumed, ignored
+  const bool found = std::find(services_.begin(), services_.end(), *uuid16) != services_.end();
+  ByteWriter w;
+  w.u8(kSearchResponse);
+  w.u8(found ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(services_.size()));
+  for (std::uint16_t s : services_) w.u16(s);
+  l2cap.send(channel, w.data());
+  return true;
+}
+
+void SdpClient::search(hci::ConnectionHandle handle, std::uint16_t uuid16, Callback callback) {
+  pending_ = std::move(callback);
+  l2cap_.connect_channel(handle, psm::kSdp,
+                         [this, uuid16](std::optional<L2capChannel> channel) {
+                           if (!channel) {
+                             if (pending_) {
+                               auto cb = std::move(pending_);
+                               pending_ = nullptr;
+                               cb(std::nullopt);
+                             }
+                             return;
+                           }
+                           ByteWriter w;
+                           w.u8(kSearchRequest).u16(uuid16);
+                           l2cap_.send(*channel, w.data());
+                         });
+}
+
+void SdpClient::on_response(BytesView payload) {
+  ByteReader r(payload);
+  auto code = r.u8();
+  auto found = r.u8();
+  auto count = r.u8();
+  if (!code || *code != kSearchResponse || !found || !count) return;
+  Result result;
+  result.found = *found != 0;
+  for (std::uint8_t i = 0; i < *count; ++i) {
+    auto uuid16 = r.u16();
+    if (!uuid16) break;
+    result.all_services.push_back(*uuid16);
+  }
+  if (pending_) {
+    auto cb = std::move(pending_);
+    pending_ = nullptr;
+    cb(result);
+  }
+}
+
+}  // namespace blap::host

@@ -1,0 +1,70 @@
+// security_manager.hpp — the host's bonded-device database.
+//
+// Bluedroid persists bonds in /data/misc/bluedroid/bt_config.conf; BlueZ in
+// /var/lib/bluetooth/<adapter>/<peer>/info. Both store the 128-bit link key
+// in plaintext next to the peer's name and service UUIDs. BLAP reproduces the
+// bt_config.conf shape because the paper's impersonation step (Fig. 10)
+// works by *writing a fake bonding entry* into exactly this file: BD_ADDR of
+// the victim, the extracted link key, and the PAN service UUIDs.
+//
+// Key-lifetime policy reproduced from real stacks: a bond is deleted when
+// authentication completes with Authentication Failure (0x05) or PIN or Key
+// Missing (0x06) — but NOT on timeouts. That asymmetry is why the extraction
+// attack stalls the challenge instead of answering it wrongly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bdaddr.hpp"
+#include "common/uuid.hpp"
+#include "crypto/keys.hpp"
+#include "hci/constants.hpp"
+
+namespace blap::host {
+
+struct BondRecord {
+  BdAddr address;
+  std::string name;
+  crypto::LinkKey link_key{};
+  crypto::LinkKeyType key_type = crypto::LinkKeyType::kUnauthenticatedCombinationP192;
+  std::vector<Uuid> services;
+};
+
+class SecurityManager {
+ public:
+  /// Store (or overwrite) a bond.
+  void store_bond(BondRecord record);
+
+  /// The stored link key for a peer, if bonded.
+  [[nodiscard]] std::optional<crypto::LinkKey> link_key_for(const BdAddr& address) const;
+
+  [[nodiscard]] const BondRecord* bond_for(const BdAddr& address) const;
+  [[nodiscard]] bool is_bonded(const BdAddr& address) const;
+  void remove_bond(const BdAddr& address);
+  [[nodiscard]] std::vector<BondRecord> bonds() const;
+  [[nodiscard]] std::size_t bond_count() const { return bonds_.size(); }
+
+  /// Apply the stack's key-invalidation policy for an authentication result.
+  /// Returns true if the bond was purged.
+  bool on_authentication_result(const BdAddr& address, hci::Status status);
+
+  /// Serialize in bt_config.conf format (paper Fig. 10):
+  ///   [aa:bb:cc:dd:ee:ff]
+  ///   Name = VELVET
+  ///   Service = 00001115-... 00001116-...
+  ///   LinkKey = 71a70981f30d6af9e20adee8aafe3264
+  ///   LinkKeyType = 4
+  [[nodiscard]] std::string to_bt_config() const;
+
+  /// Parse a bt_config.conf document. Unknown keys are ignored; malformed
+  /// sections are skipped (a hand-edited config must not brick the stack).
+  [[nodiscard]] static SecurityManager from_bt_config(const std::string& text);
+
+ private:
+  std::map<BdAddr, BondRecord> bonds_;
+};
+
+}  // namespace blap::host

@@ -1,0 +1,109 @@
+#include "host/ui_model.hpp"
+
+namespace blap::host {
+
+const char* to_string(BtVersion version) {
+  switch (version) {
+    case BtVersion::kV4_2: return "4.2";
+    case BtVersion::kV5_0: return "5.0";
+  }
+  return "?";
+}
+
+const char* to_string(AssociationModel model) {
+  switch (model) {
+    case AssociationModel::kNumericComparison: return "Numeric Comparison";
+    case AssociationModel::kJustWorks: return "Just Works";
+    case AssociationModel::kPasskeyEntry: return "Passkey Entry";
+    case AssociationModel::kOutOfBand: return "Out of Band";
+  }
+  return "?";
+}
+
+AssociationModel select_association_model(hci::IoCapability initiator,
+                                          hci::IoCapability responder) {
+  using IO = hci::IoCapability;
+  // Spec Vol 3, Part C, Table 5.7 (OOB authentication data not present).
+  if (initiator == IO::kNoInputNoOutput || responder == IO::kNoInputNoOutput)
+    return AssociationModel::kJustWorks;
+  const bool init_kb = initiator == IO::kKeyboardOnly;
+  const bool resp_kb = responder == IO::kKeyboardOnly;
+  if (init_kb || resp_kb) return AssociationModel::kPasskeyEntry;
+  // Remaining capabilities are DisplayOnly / DisplayYesNo.
+  if (initiator == IO::kDisplayYesNo && responder == IO::kDisplayYesNo)
+    return AssociationModel::kNumericComparison;
+  // A DisplayOnly endpoint cannot confirm: automatic confirmation on it.
+  return AssociationModel::kJustWorks;
+}
+
+ConfirmationBehavior confirmation_behavior(BtVersion version, hci::IoCapability local,
+                                           hci::IoCapability remote,
+                                           bool local_is_initiator) {
+  using IO = hci::IoCapability;
+  ConfirmationBehavior behavior;
+
+  if (local == IO::kNoInputNoOutput || local == IO::kKeyboardOnly) {
+    // No display: nothing to show; the stack confirms automatically.
+    behavior.automatic_confirmation = true;
+    return behavior;
+  }
+
+  const AssociationModel model = select_association_model(
+      local_is_initiator ? local : remote, local_is_initiator ? remote : local);
+
+  if (model == AssociationModel::kNumericComparison) {
+    behavior.shows_popup = true;
+    behavior.shows_numeric_value = true;
+    return behavior;
+  }
+
+  // Just Works on a display-capable device: the version regimes differ.
+  if (version == BtVersion::kV4_2) {
+    if (local_is_initiator) {
+      // Most implementations silently confirm when initiating (Fig. 7a).
+      behavior.automatic_confirmation = true;
+    } else {
+      // Responders prompt to prevent silent pairing.
+      behavior.shows_popup = true;
+    }
+  } else {
+    // v5.0+: a Yes/No popup is mandated — but with no comparison value,
+    // so the user cannot distinguish the legitimate device from a spoof.
+    behavior.shows_popup = true;
+  }
+  return behavior;
+}
+
+std::string describe_cell(BtVersion version, hci::IoCapability initiator,
+                          hci::IoCapability responder) {
+  const AssociationModel model = select_association_model(initiator, responder);
+  if (model == AssociationModel::kPasskeyEntry) return "Passkey Entry";
+  if (model == AssociationModel::kNumericComparison)
+    return "Numeric Comparison: Both Display, Both Confirm.";
+
+  // Just Works variants, phrased as in the paper's Fig. 7. The spec table is
+  // capability-driven: a device without display+input confirms automatically;
+  // the v5.0 regime adds the mandated Yes/No popup note on the other side.
+  using IO = hci::IoCapability;
+  const bool init_auto = initiator == IO::kNoInputNoOutput || initiator == IO::kDisplayOnly;
+  const bool resp_auto = responder == IO::kNoInputNoOutput || responder == IO::kDisplayOnly;
+  if (init_auto && resp_auto)
+    return "Numeric Comparison with automatic confirmation on both devices.";
+  if (init_auto && !resp_auto) {
+    if (version == BtVersion::kV5_0)
+      return "Numeric Comparison with automatic confirmation on device A only and Yes/No "
+             "confirmation whether to pair on device B. Device B does not show the "
+             "confirmation value.";
+    return "Numeric Comparison with automatic confirmation on device A only.";
+  }
+  if (!init_auto && resp_auto) {
+    if (version == BtVersion::kV5_0)
+      return "Numeric Comparison with automatic confirmation on device B only and Yes/No "
+             "confirmation on whether to pair on device A. Device A does not show the "
+             "confirmation value.";
+    return "Numeric Comparison with automatic confirmation on device B only.";
+  }
+  return "Numeric Comparison with Yes/No confirmation on both devices.";
+}
+
+}  // namespace blap::host

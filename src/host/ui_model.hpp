@@ -1,0 +1,60 @@
+// ui_model.hpp — association-model selection and confirmation-popup policy.
+//
+// Encodes the IO-capability mapping of SSP Authentication Stage 1 (the
+// paper's Fig. 7) and the version-dependent popup rules the page blocking
+// attack rides on:
+//   * Bluetooth <= 4.2: a DisplayYesNo device confirms silently when it is
+//     the *pairing initiator* of a Just Works association, and only prompts
+//     the user when it is the responder;
+//   * Bluetooth >= 5.0: a DisplayYesNo device always shows a Yes/No popup —
+//     but the popup carries no numeric value when the peer is
+//     NoInputNoOutput, so the user cannot tell C from A (paper §V-B2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hci/constants.hpp"
+
+namespace blap::host {
+
+enum class BtVersion : std::uint8_t {
+  kV4_2,  // "4.2 and lower" regime of Fig. 7a
+  kV5_0,  // "5.0 and higher" regime of Fig. 7b
+};
+
+[[nodiscard]] const char* to_string(BtVersion version);
+
+enum class AssociationModel : std::uint8_t {
+  kNumericComparison,  // both display + confirm
+  kJustWorks,          // numeric comparison with automatic confirmation
+  kPasskeyEntry,
+  kOutOfBand,
+};
+
+[[nodiscard]] const char* to_string(AssociationModel model);
+
+/// The spec's IO-capability mapping for Authentication Stage 1 (OOB absent):
+/// which association model runs for a given (initiator, responder) pair.
+[[nodiscard]] AssociationModel select_association_model(hci::IoCapability initiator,
+                                                        hci::IoCapability responder);
+
+/// What the user experiences during stage-1 confirmation on ONE device.
+struct ConfirmationBehavior {
+  bool shows_popup = false;          // any UI at all
+  bool shows_numeric_value = false;  // six-digit comparison value displayed
+  bool automatic_confirmation = false;  // stack confirms without the user
+};
+
+/// Popup behaviour for a device with `local` IO capability pairing a peer
+/// with `remote`, under version `version`, acting as initiator or responder.
+[[nodiscard]] ConfirmationBehavior confirmation_behavior(BtVersion version,
+                                                         hci::IoCapability local,
+                                                         hci::IoCapability remote,
+                                                         bool local_is_initiator);
+
+/// Cell text for the Fig. 7 matrices (used by the reproduction bench).
+[[nodiscard]] std::string describe_cell(BtVersion version, hci::IoCapability initiator,
+                                        hci::IoCapability responder);
+
+}  // namespace blap::host

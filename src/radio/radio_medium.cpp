@@ -1,0 +1,121 @@
+#include "radio/radio_medium.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace blap::radio {
+
+void RadioMedium::attach(RadioEndpoint* endpoint) {
+  if (std::find(endpoints_.begin(), endpoints_.end(), endpoint) == endpoints_.end())
+    endpoints_.push_back(endpoint);
+}
+
+void RadioMedium::detach(RadioEndpoint* endpoint) {
+  std::erase(endpoints_, endpoint);
+  // Close any links the endpoint participates in.
+  std::vector<LinkId> doomed;
+  for (const auto& [id, link] : links_)
+    if (link.a == endpoint || link.b == endpoint) doomed.push_back(id);
+  for (LinkId id : doomed) close_link(id, endpoint, 0x08 /* connection timeout */);
+}
+
+void RadioMedium::start_inquiry(RadioEndpoint* requester, SimTime duration,
+                                std::function<void(const InquiryResponse&)> on_response,
+                                std::function<void()> on_complete) {
+  for (RadioEndpoint* ep : endpoints_) {
+    if (ep == requester || !ep->inquiry_scan_enabled()) continue;
+    // Responders answer somewhere inside the inquiry window; inquiry scan
+    // windows are dense enough that every scanning device is found.
+    const SimTime latency = 1 + rng_.uniform(duration > 1 ? duration - 1 : 1);
+    InquiryResponse response{ep->radio_address(), ep->radio_class_of_device(), ep->radio_name()};
+    scheduler_.schedule_in(latency, [on_response, response] {
+      if (on_response) on_response(response);
+    });
+  }
+  scheduler_.schedule_in(duration, [on_complete] {
+    if (on_complete) on_complete();
+  });
+}
+
+void RadioMedium::page(RadioEndpoint* initiator, const BdAddr& target, SimTime timeout,
+                       std::function<void(std::optional<LinkId>)> on_result) {
+  // Candidates: every page-scanning endpoint owning the target address.
+  // More than one candidate is the BD_ADDR-spoofing situation; the earliest
+  // sampled scan window wins the race.
+  RadioEndpoint* winner = nullptr;
+  SimTime best_latency = 0;
+  for (RadioEndpoint* ep : endpoints_) {
+    if (ep == initiator || !ep->page_scan_enabled()) continue;
+    if (!(ep->radio_address() == target)) continue;
+    const SimTime latency = ep->sample_page_response_latency(rng_);
+    if (winner == nullptr || latency < best_latency) {
+      winner = ep;
+      best_latency = latency;
+    }
+  }
+
+  if (winner == nullptr || best_latency > timeout) {
+    scheduler_.schedule_in(winner == nullptr ? timeout : timeout, [on_result] {
+      if (on_result) on_result(std::nullopt);
+    });
+    return;
+  }
+
+  const LinkId id = next_link_id_++;
+  RadioEndpoint* responder = winner;
+  scheduler_.schedule_in(best_latency, [this, id, initiator, responder, on_result] {
+    links_[id] = Link{initiator, responder};
+    BLAP_DEBUG("radio", "link %llu up: %s -> %s", static_cast<unsigned long long>(id),
+               initiator->radio_address().to_string().c_str(),
+               responder->radio_address().to_string().c_str());
+    responder->on_link_established(id, initiator->radio_address(), false);
+    initiator->on_link_established(id, responder->radio_address(), true);
+    if (on_result) on_result(id);
+  });
+}
+
+void RadioMedium::send_frame(LinkId link, RadioEndpoint* sender, Bytes frame) {
+  auto it = links_.find(link);
+  if (it == links_.end()) return;
+  RadioEndpoint* receiver = (it->second.a == sender) ? it->second.b : it->second.a;
+  if (!sniffers_.empty()) {
+    SniffedFrame sniffed;
+    sniffed.timestamp_us = scheduler_.now();
+    sniffed.link = link;
+    sniffed.sender = sender->radio_address();
+    sniffed.receiver = receiver->radio_address();
+    sniffed.frame = frame;
+    for (const auto& sniffer : sniffers_) sniffer(sniffed);
+  }
+  scheduler_.schedule_in(frame_latency_, [this, link, receiver, frame = std::move(frame)] {
+    // The link may have died while the frame was in flight.
+    auto it2 = links_.find(link);
+    if (it2 == links_.end()) return;
+    if (it2->second.a != receiver && it2->second.b != receiver) return;
+    receiver->on_air_frame(link, frame);
+  });
+}
+
+void RadioMedium::close_link(LinkId link, RadioEndpoint* closer, std::uint8_t reason) {
+  auto it = links_.find(link);
+  if (it == links_.end()) return;
+  RadioEndpoint* peer = (it->second.a == closer) ? it->second.b : it->second.a;
+  links_.erase(it);
+  BLAP_DEBUG("radio", "link %llu closed (reason 0x%02x)", static_cast<unsigned long long>(link),
+             reason);
+  // The peer learns of the teardown after one frame flight time.
+  scheduler_.schedule_in(frame_latency_, [peer, link, reason] {
+    peer->on_link_closed(link, reason);
+  });
+}
+
+RadioEndpoint* RadioMedium::peer_of(LinkId link, const RadioEndpoint* self) const {
+  auto it = links_.find(link);
+  if (it == links_.end()) return nullptr;
+  if (it->second.a == self) return it->second.b;
+  if (it->second.b == self) return it->second.a;
+  return nullptr;
+}
+
+}  // namespace blap::radio

@@ -1,0 +1,139 @@
+// radio_medium.hpp — the shared 2.4 GHz medium connecting all controllers.
+//
+// The medium implements the two baseband procedures BLAP's second attack
+// lives on:
+//
+//   * Inquiry — a requester broadcasts; every inquiry-scanning endpoint
+//     responds with (BD_ADDR, COD, name) after its own scan-window latency.
+//
+//   * Page — a requester pages one BD_ADDR. Every page-scanning endpoint
+//     that *owns that address* is a candidate; when an attacker spoofs the
+//     legitimate device's BD_ADDR there are two candidates, and the medium
+//     resolves the race by sampling each candidate's page-response latency.
+//     Whichever scan window catches the page train first wins the baseband
+//     connection. This race is exactly why the paper measures only 42–60 %
+//     MITM success without page blocking (§VI footnote 1, Table II): the
+//     same BD_ADDR is only meaningful during this short window, and the
+//     attacker cannot control who answers first. The page blocking attack
+//     sidesteps the race entirely by making the attacker the *initiator*.
+//
+// Established links carry opaque air frames (the controllers speak LMP and
+// ACL over them); the medium adds per-frame propagation/TDD latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bdaddr.hpp"
+#include "common/rng.hpp"
+#include "common/scheduler.hpp"
+
+namespace blap::radio {
+
+using LinkId = std::uint64_t;
+
+struct InquiryResponse {
+  BdAddr address;
+  ClassOfDevice class_of_device;
+  std::string name;
+};
+
+/// Interface a controller implements to exist on the air.
+class RadioEndpoint {
+ public:
+  virtual ~RadioEndpoint() = default;
+
+  [[nodiscard]] virtual BdAddr radio_address() const = 0;
+  [[nodiscard]] virtual ClassOfDevice radio_class_of_device() const = 0;
+  [[nodiscard]] virtual std::string radio_name() const = 0;
+  [[nodiscard]] virtual bool inquiry_scan_enabled() const = 0;
+  [[nodiscard]] virtual bool page_scan_enabled() const = 0;
+
+  /// Sample the time from page start until this endpoint's next page-scan
+  /// window catches the page train. Device profiles tune this distribution;
+  /// it decides the BD_ADDR-collision race.
+  [[nodiscard]] virtual SimTime sample_page_response_latency(Rng& rng) = 0;
+
+  /// A baseband link came up (page succeeded). The responder side should
+  /// normally surface HCI_Connection_Request to its host.
+  virtual void on_link_established(LinkId link, const BdAddr& peer, bool initiator) = 0;
+
+  /// The peer (or the medium, on supervision teardown) closed the link.
+  virtual void on_link_closed(LinkId link, std::uint8_t reason) = 0;
+
+  /// An air frame arrived from the peer.
+  virtual void on_air_frame(LinkId link, const Bytes& frame) = 0;
+};
+
+/// A frame observed on the air by a passive sniffer.
+struct SniffedFrame {
+  SimTime timestamp_us = 0;
+  LinkId link = 0;
+  BdAddr sender;
+  BdAddr receiver;
+  Bytes frame;  // LMP or (possibly encrypted) ACL air frame
+};
+
+class RadioMedium {
+ public:
+  RadioMedium(Scheduler& scheduler, Rng rng) : scheduler_(scheduler), rng_(rng) {}
+  RadioMedium(const RadioMedium&) = delete;
+  RadioMedium& operator=(const RadioMedium&) = delete;
+
+  void attach(RadioEndpoint* endpoint);
+  void detach(RadioEndpoint* endpoint);
+
+  /// Broadcast inquiry. Responses arrive individually; on_complete fires at
+  /// the end of the inquiry window.
+  void start_inquiry(RadioEndpoint* requester, SimTime duration,
+                     std::function<void(const InquiryResponse&)> on_response,
+                     std::function<void()> on_complete);
+
+  /// Page `target`. Resolves the scan race among all candidates; calls
+  /// on_result with the new link id, or nullopt on page timeout.
+  void page(RadioEndpoint* initiator, const BdAddr& target, SimTime timeout,
+            std::function<void(std::optional<LinkId>)> on_result);
+
+  /// Send an opaque frame to the peer of `link`. No-op if the link is gone.
+  void send_frame(LinkId link, RadioEndpoint* sender, Bytes frame);
+
+  /// Tear a link down; the peer gets on_link_closed(reason).
+  void close_link(LinkId link, RadioEndpoint* closer, std::uint8_t reason);
+
+  [[nodiscard]] bool link_alive(LinkId link) const { return links_.contains(link); }
+
+  /// Peer endpoint of `link` from `self`'s perspective (nullptr if gone).
+  [[nodiscard]] RadioEndpoint* peer_of(LinkId link, const RadioEndpoint* self) const;
+
+  /// Air latency applied to each frame (one-way).
+  void set_frame_latency(SimTime latency) { frame_latency_ = latency; }
+
+  /// Attach a passive air sniffer (an Ubertooth-style capture device). It
+  /// observes every frame on every link — including encrypted ACL payloads
+  /// as ciphertext — which is what makes an extracted link key retroactively
+  /// devastating (paper §IV-C: "decrypt not only the future, but also the
+  /// past communications ... captured by air-sniffers").
+  void add_sniffer(std::function<void(const SniffedFrame&)> sniffer) {
+    sniffers_.push_back(std::move(sniffer));
+  }
+
+ private:
+  struct Link {
+    RadioEndpoint* a = nullptr;  // initiator
+    RadioEndpoint* b = nullptr;  // responder
+  };
+
+  Scheduler& scheduler_;
+  Rng rng_;
+  std::vector<RadioEndpoint*> endpoints_;
+  std::vector<std::function<void(const SniffedFrame&)>> sniffers_;
+  std::unordered_map<LinkId, Link> links_;
+  LinkId next_link_id_ = 1;
+  SimTime frame_latency_ = 2 * kSlot;  // ~1.25 ms: one TDD round trip
+};
+
+}  // namespace blap::radio

@@ -1,0 +1,22 @@
+#include "transport/bin2hex.hpp"
+
+namespace blap::transport {
+
+std::string bin_to_hex_ascii(BytesView data, std::size_t bytes_per_line) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 3 + 16);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i != 0) {
+      if (bytes_per_line != 0 && i % bytes_per_line == 0) out.push_back('\n');
+      else out.push_back(' ');
+    }
+    out.push_back(digits[data[i] >> 4]);
+    out.push_back(digits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+std::optional<Bytes> hex_ascii_to_bin(const std::string& text) { return unhex(text); }
+
+}  // namespace blap::transport

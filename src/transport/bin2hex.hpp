@@ -1,0 +1,24 @@
+// bin2hex.hpp — the paper's "BinaryToHex" converter ([27]).
+//
+// The USB-sniff attack path is: capture raw binary stream → convert to an
+// ASCII hex string → text-search for the "0b 04 16" opcode/length prefix of
+// HCI_Link_Key_Request_Reply. This module is the conversion step, producing
+// the space-separated lowercase hex the search operates on.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace blap::transport {
+
+/// Convert a binary stream to space-separated hex, `bytes_per_line` bytes per
+/// output line (0 = single line). This is the format the extraction search
+/// runs over; line breaks never split a byte but may split a match, so the
+/// extractor searches the joined form.
+[[nodiscard]] std::string bin_to_hex_ascii(BytesView data, std::size_t bytes_per_line = 16);
+
+/// Inverse conversion (accepts the output of bin_to_hex_ascii).
+[[nodiscard]] std::optional<Bytes> hex_ascii_to_bin(const std::string& text);
+
+}  // namespace blap::transport

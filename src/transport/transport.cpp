@@ -1,0 +1,60 @@
+#include "transport/transport.hpp"
+
+#include "hci/constants.hpp"
+
+namespace blap::transport {
+
+void HciTransport::set_link_key_payload_protection(std::optional<crypto::Aes128::Key> key) {
+  protection_key_ = key;
+  protection_counter_[0] = protection_counter_[1] = 0;
+}
+
+hci::HciPacket HciTransport::wire_view(hci::Direction direction, const hci::HciPacket& packet) {
+  if (!protection_key_) return packet;
+
+  // Locate a 16-byte link key field inside the packet, if any.
+  std::size_t key_offset = 0;
+  if (packet.type == hci::PacketType::kCommand &&
+      packet.command_opcode() == hci::op::kLinkKeyRequestReply && packet.payload.size() >= 25) {
+    key_offset = 3 + 6;  // opcode(2) + len(1) + BD_ADDR(6)
+  } else if (packet.type == hci::PacketType::kEvent &&
+             packet.event_code() == hci::ev::kLinkKeyNotification &&
+             packet.payload.size() >= 24) {
+    key_offset = 2 + 6;  // event code(1) + len(1) + BD_ADDR(6)
+  } else {
+    return packet;
+  }
+
+  // AES-CTR keystream block: [counter LE u64 | direction | zero padding].
+  const std::uint64_t counter = protection_counter_[static_cast<int>(direction)]++;
+  crypto::Aes128::Block nonce{};
+  for (int i = 0; i < 8; ++i) nonce[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(counter >> (8 * i));
+  nonce[8] = static_cast<std::uint8_t>(direction);
+  const crypto::Aes128 cipher(*protection_key_);
+  const crypto::Aes128::Block keystream = cipher.encrypt(nonce);
+
+  hci::HciPacket protected_packet = packet;
+  for (std::size_t i = 0; i < 16; ++i) protected_packet.payload[key_offset + i] ^= keystream[i];
+  return protected_packet;
+}
+
+void HciTransport::send(hci::Direction direction, const hci::HciPacket& packet) {
+  const hci::HciPacket observed = wire_view(direction, packet);
+  for (const auto& tap : taps_) tap(direction, observed);
+  on_wire(direction, observed);
+  const SimTime delay = transit_delay(packet.to_wire().size());
+  // The receiving endpoint shares the session key and recovers the
+  // plaintext, so delivery carries the original packet.
+  hci::HciPacket copy = packet;
+  if (direction == hci::Direction::kHostToController) {
+    scheduler_.schedule_in(delay, [this, copy = std::move(copy)] {
+      if (to_controller_) to_controller_(copy);
+    });
+  } else {
+    scheduler_.schedule_in(delay, [this, copy = std::move(copy)] {
+      if (to_host_) to_host_(copy);
+    });
+  }
+}
+
+}  // namespace blap::transport

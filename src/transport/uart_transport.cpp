@@ -1,0 +1,5 @@
+#include "transport/uart_transport.hpp"
+
+// UartTransport is fully defined in the header; this translation unit anchors
+// the vtable.
+namespace blap::transport {}

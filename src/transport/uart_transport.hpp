@@ -1,0 +1,28 @@
+// uart_transport.hpp — H4 UART transport (controller-type chipsets).
+//
+// Phones connect their application processor to the Bluetooth controller
+// over a UART running the H4 protocol: exactly the type byte + payload
+// framing of HciPacket::to_wire(). Transit delay models the serial line at a
+// configurable baud rate (default 3 Mbaud, a common BT UART speed).
+#pragma once
+
+#include "transport/transport.hpp"
+
+namespace blap::transport {
+
+class UartTransport final : public HciTransport {
+ public:
+  explicit UartTransport(Scheduler& scheduler, std::uint32_t baud_rate = 3'000'000)
+      : HciTransport(scheduler), baud_rate_(baud_rate) {}
+
+ protected:
+  [[nodiscard]] SimTime transit_delay(std::size_t wire_bytes) const override {
+    // 10 bit times per byte (8N1), in microseconds.
+    return static_cast<SimTime>(wire_bytes) * 10u * kSecond / baud_rate_ + 1;
+  }
+
+ private:
+  std::uint32_t baud_rate_;
+};
+
+}  // namespace blap::transport

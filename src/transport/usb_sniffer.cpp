@@ -1,0 +1,27 @@
+#include "transport/usb_sniffer.hpp"
+
+namespace blap::transport {
+
+UsbSniffer::UsbSniffer(UsbTransport& transport, Rng* padding_rng) : padding_rng_(padding_rng) {
+  transport.add_frame_observer([this](const UsbFrame& frame) { on_frame(frame); });
+}
+
+void UsbSniffer::on_frame(const UsbFrame& frame) {
+  frames_.push_back(frame);
+
+  ByteWriter w;
+  w.u8('U').u8('R').u8('B');
+  w.u8(frame.endpoint);
+  w.u32(static_cast<std::uint32_t>(frame.timestamp_us));
+  w.u16(static_cast<std::uint16_t>(frame.payload.size()));
+  w.raw(frame.payload);
+  const Bytes record = std::move(w).take();
+  stream_.insert(stream_.end(), record.begin(), record.end());
+
+  if (padding_rng_ != nullptr) {
+    const std::size_t pad = padding_rng_->uniform(17);
+    stream_.insert(stream_.end(), pad, 0x00);
+  }
+}
+
+}  // namespace blap::transport

@@ -1,0 +1,47 @@
+// usb_sniffer.hpp — a passive USB protocol analyzer (the §IV-B capture tool).
+//
+// Models 'Free USB Analyzer' / FTS4USB clipped onto the host–dongle USB bus:
+// it appends every transfer to a raw binary capture. The capture format is a
+// simple URB-record stream (header + payload), interleaved with NULL padding
+// the way real bus captures contain idle/NULL traffic — the paper notes "the
+// USB dump comprises lots of HCI and NULL data", which is exactly the
+// haystack the 0b-04-16 search has to cut through.
+//
+// Record layout (little-endian):
+//   'U' 'R' 'B' | endpoint u8 | timestamp u32 (us, truncated) |
+//   length u16 | payload bytes | <zero padding, 0-16 bytes>
+#pragma once
+
+#include "transport/usb_transport.hpp"
+
+#include "common/rng.hpp"
+
+namespace blap::transport {
+
+class UsbSniffer {
+ public:
+  /// Attach to a transport. `padding_rng` drives the NULL-padding lengths
+  /// (pass a seeded fork for reproducible captures); nullptr disables padding.
+  explicit UsbSniffer(UsbTransport& transport, Rng* padding_rng = nullptr);
+
+  /// The raw binary capture so far (what the analyzer saves to disk).
+  [[nodiscard]] const Bytes& raw_stream() const { return stream_; }
+
+  /// All structured frames (what the analyzer's protocol view shows).
+  [[nodiscard]] const std::vector<UsbFrame>& frames() const { return frames_; }
+
+  [[nodiscard]] std::size_t frame_count() const { return frames_.size(); }
+  void clear() {
+    stream_.clear();
+    frames_.clear();
+  }
+
+ private:
+  void on_frame(const UsbFrame& frame);
+
+  Bytes stream_;
+  std::vector<UsbFrame> frames_;
+  Rng* padding_rng_;
+};
+
+}  // namespace blap::transport

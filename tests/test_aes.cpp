@@ -1,0 +1,63 @@
+// AES-128 validation against FIPS-197 and NIST SP 800-38A vectors.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/aes128.hpp"
+
+namespace blap::crypto {
+namespace {
+
+template <std::size_t N>
+std::array<std::uint8_t, N> arr(const std::string& hexstr) {
+  auto bytes = unhex(hexstr);
+  EXPECT_TRUE(bytes.has_value());
+  EXPECT_EQ(bytes->size(), N);
+  std::array<std::uint8_t, N> out{};
+  std::copy(bytes->begin(), bytes->end(), out.begin());
+  return out;
+}
+
+TEST(Aes128, Fips197AppendixC) {
+  const Aes128 cipher(arr<16>("000102030405060708090a0b0c0d0e0f"));
+  const auto ct = cipher.encrypt(arr<16>("00112233445566778899aabbccddeeff"));
+  EXPECT_EQ(hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, Sp80038aEcbVectors) {
+  // NIST SP 800-38A F.1.1 ECB-AES128.Encrypt, blocks 1-4.
+  const Aes128 cipher(arr<16>("2b7e151628aed2a6abf7158809cf4f3c"));
+  EXPECT_EQ(hex(cipher.encrypt(arr<16>("6bc1bee22e409f96e93d7e117393172a"))),
+            "3ad77bb40d7a3660a89ecaf32466ef97");
+  EXPECT_EQ(hex(cipher.encrypt(arr<16>("ae2d8a571e03ac9c9eb76fac45af8e51"))),
+            "f5d3d58503b9699de785895a96fdbaaf");
+  EXPECT_EQ(hex(cipher.encrypt(arr<16>("30c81c46a35ce411e5fbc1191a0a52ef"))),
+            "43b1cd7f598ece23881b00e3ed030688");
+  EXPECT_EQ(hex(cipher.encrypt(arr<16>("f69f2445df4f9b17ad2b417be66c3710"))),
+            "7b0c785e27e8ad3f8223207104725dd4");
+}
+
+TEST(Aes128, AllZeroKeyAndBlock) {
+  const Aes128 cipher(Aes128::Key{});
+  EXPECT_EQ(hex(cipher.encrypt(Aes128::Block{})), "66e94bd4ef8a2c3b884cfa59ca342b2e");
+}
+
+TEST(Aes128, KeyAvalanche) {
+  auto key = arr<16>("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto pt = arr<16>("6bc1bee22e409f96e93d7e117393172a");
+  const auto ct1 = Aes128(key).encrypt(pt);
+  key[0] ^= 0x01;  // single key bit flip
+  const auto ct2 = Aes128(key).encrypt(pt);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < 16; ++i)
+    differing_bits += __builtin_popcount(ct1[i] ^ ct2[i]);
+  EXPECT_GT(differing_bits, 40);  // ~64 expected for a good cipher
+}
+
+TEST(Aes128, EncryptionIsDeterministic) {
+  const Aes128 cipher(arr<16>("000102030405060708090a0b0c0d0e0f"));
+  const auto pt = arr<16>("00112233445566778899aabbccddeeff");
+  EXPECT_EQ(cipher.encrypt(pt), cipher.encrypt(pt));
+}
+
+}  // namespace
+}  // namespace blap::crypto

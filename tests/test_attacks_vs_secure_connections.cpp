@@ -1,0 +1,92 @@
+// Both BLAP attacks against Secure Connections devices: upgrading the
+// cryptography does NOT help, because neither attack goes through the
+// cryptography — extraction reads the key off the HCI, and page blocking
+// exploits the connection/pairing role split. This is the paper's implicit
+// claim ("standard-compliant ... above the controller layer") made explicit.
+#include <gtest/gtest.h>
+
+#include "core/link_key_extraction.hpp"
+#include "core/page_blocking.hpp"
+#include "core/profiles.hpp"
+
+namespace blap::core {
+namespace {
+
+struct Scenario {
+  std::unique_ptr<Simulation> sim;
+  Device* attacker = nullptr;
+  Device* accessory = nullptr;
+  Device* target = nullptr;
+};
+
+Scenario make_sc_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.sim = std::make_unique<Simulation>(seed);
+  DeviceSpec a = attacker_profile().to_spec("attacker", *BdAddr::parse("aa:aa:aa:00:00:01"));
+  a.controller.secure_connections = true;  // even the attacker speaks SC
+  DeviceSpec c = table1_profiles()[5].to_spec("s21-accessory", *BdAddr::parse("00:1b:7d:da:71:0a"),
+                                              ClassOfDevice(ClassOfDevice::kHandsFree));
+  c.controller.secure_connections = true;
+  DeviceSpec m = table2_profiles()[6].to_spec("s21-victim", *BdAddr::parse("48:90:12:34:56:78"));
+  m.controller.secure_connections = true;
+  s.attacker = &s.sim->add_device(a);
+  s.accessory = &s.sim->add_device(c);
+  s.target = &s.sim->add_device(m);
+  return s;
+}
+
+TEST(AttacksVsSecureConnections, ExtractionStillSucceedsOnP256Bonds) {
+  Scenario s = make_sc_scenario(140);
+  const auto report =
+      LinkKeyExtractionAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, {});
+  EXPECT_TRUE(report.bonded_precondition);
+  // The bond is a P-256 authenticated key...
+  const auto* bond = s.accessory->host().security().bond_for(s.target->address());
+  ASSERT_NE(bond, nullptr);
+  EXPECT_EQ(bond->key_type, crypto::LinkKeyType::kAuthenticatedCombinationP256);
+  // ...and it leaks through the HCI all the same.
+  EXPECT_TRUE(report.key_extracted);
+  EXPECT_TRUE(report.key_matches_bond);
+  EXPECT_TRUE(report.c_bond_survived);
+  EXPECT_TRUE(report.impersonation_succeeded);
+}
+
+TEST(AttacksVsSecureConnections, ExtractionStallWorksAgainstScAuthentication) {
+  // The stall targets the SC challenge (kAuRandSc) instead of the legacy
+  // one; the drop is still a timeout, never an authentication failure.
+  Scenario s = make_sc_scenario(141);
+  const auto report =
+      LinkKeyExtractionAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, {});
+  EXPECT_NE(report.c_auth_status, hci::Status::kAuthenticationFailure);
+  EXPECT_NE(report.c_auth_status, hci::Status::kPinOrKeyMissing);
+  EXPECT_TRUE(report.c_bond_survived);
+}
+
+TEST(AttacksVsSecureConnections, PageBlockingStillSucceedsAgainstScVictim) {
+  Scenario s = make_sc_scenario(142);
+  s.accessory->host().config().io_capability = hci::IoCapability::kNoInputNoOutput;
+  const auto report =
+      PageBlockingAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, {});
+  EXPECT_TRUE(report.mitm_established);
+  // The downgrade even produces an *unauthenticated P-256* key — Secure
+  // Connections crypto wrapped around a Just Works association.
+  const auto* bond = s.target->host().security().bond_for(s.accessory->address());
+  ASSERT_NE(bond, nullptr);
+  EXPECT_EQ(bond->key_type, crypto::LinkKeyType::kUnauthenticatedCombinationP256);
+  EXPECT_TRUE(report.downgraded_to_just_works);
+  EXPECT_EQ(report.m_flow, PairingFlow::kPageBlocked);
+}
+
+TEST(AttacksVsSecureConnections, MitigationsStillWorkUnderSc) {
+  // The §VII defenses are orthogonal to the crypto level too.
+  Scenario s = make_sc_scenario(143);
+  s.target->host().config().detect_page_blocking = true;
+  s.accessory->host().config().io_capability = hci::IoCapability::kNoInputNoOutput;
+  const auto report =
+      PageBlockingAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, {});
+  EXPECT_FALSE(report.mitm_established);
+  EXPECT_GT(s.target->host().detected_page_blocking_count(), 0);
+}
+
+}  // namespace
+}  // namespace blap::core

@@ -1,0 +1,104 @@
+// Unit tests for BD_ADDR and Class of Device types.
+#include <gtest/gtest.h>
+
+#include "common/bdaddr.hpp"
+
+namespace blap {
+namespace {
+
+TEST(BdAddr, ParsesColonSeparated) {
+  auto addr = BdAddr::parse("48:90:ab:cd:ef:12");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->to_string(), "48:90:ab:cd:ef:12");
+}
+
+TEST(BdAddr, ParsesDashesAndUppercase) {
+  auto addr = BdAddr::parse("AA-BB-CC-DD-EE-FF");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->to_string(), "aa:bb:cc:dd:ee:ff");
+}
+
+TEST(BdAddr, RejectsMalformed) {
+  EXPECT_FALSE(BdAddr::parse("").has_value());
+  EXPECT_FALSE(BdAddr::parse("48:90:ab:cd:ef").has_value());
+  EXPECT_FALSE(BdAddr::parse("48:90:ab:cd:ef:12:34").has_value());
+  EXPECT_FALSE(BdAddr::parse("zz:90:ab:cd:ef:12").has_value());
+  EXPECT_FALSE(BdAddr::parse("4:890:ab:cd:ef:12").has_value());
+}
+
+TEST(BdAddr, LapUapNapDecomposition) {
+  // Fig. 11 of the paper decodes BD_ADDR 00:1b:7d:da:71:0a into
+  // NAP=0x001b, UAP=0x7d, LAP=0xda710a.
+  auto addr = BdAddr::parse("00:1b:7d:da:71:0a");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->nap(), 0x001b);
+  EXPECT_EQ(addr->uap(), 0x7d);
+  EXPECT_EQ(addr->lap(), 0xda710au);
+}
+
+TEST(BdAddr, WireFormatIsLittleEndian) {
+  auto addr = BdAddr::parse("00:1b:7d:da:71:0a");
+  ASSERT_TRUE(addr.has_value());
+  ByteWriter w;
+  addr->to_wire(w);
+  // Fig. 11: on the wire the address appears as "0a 71 da 7d 1a 00"-style
+  // reversed order (LAP low byte first).
+  EXPECT_EQ(hex(w.data()), "0a71da7d1b00");
+}
+
+TEST(BdAddr, WireRoundTrip) {
+  auto addr = BdAddr::parse("12:34:56:78:9a:bc");
+  ASSERT_TRUE(addr.has_value());
+  ByteWriter w;
+  addr->to_wire(w);
+  ByteReader r(w.data());
+  auto back = BdAddr::from_wire(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, *addr);
+}
+
+TEST(BdAddr, FromWireUnderflow) {
+  const Bytes short_buf = {1, 2, 3};
+  ByteReader r(short_buf);
+  EXPECT_FALSE(BdAddr::from_wire(r).has_value());
+}
+
+TEST(BdAddr, ZeroDetection) {
+  EXPECT_TRUE(BdAddr{}.is_zero());
+  EXPECT_FALSE(BdAddr::parse("00:00:00:00:00:01")->is_zero());
+}
+
+TEST(BdAddr, OrderingAndHash) {
+  auto a = *BdAddr::parse("00:00:00:00:00:01");
+  auto b = *BdAddr::parse("00:00:00:00:00:02");
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<BdAddr>{}(a), std::hash<BdAddr>{}(b));
+}
+
+TEST(ClassOfDevice, PaperConstants) {
+  // The paper's Fig. 8 swaps COD 0x5A020C (phone) for 0x3C0404 (hands-free).
+  const ClassOfDevice phone(ClassOfDevice::kMobilePhone);
+  const ClassOfDevice handsfree(ClassOfDevice::kHandsFree);
+  EXPECT_EQ(phone.major_class(), 0x02);  // Phone
+  EXPECT_EQ(phone.describe(), "Phone");
+  EXPECT_EQ(handsfree.major_class(), 0x04);  // Audio/Video
+  EXPECT_EQ(handsfree.describe(), "Audio/Video");
+}
+
+TEST(ClassOfDevice, WireRoundTrip) {
+  const ClassOfDevice cod(0x3C0404);
+  ByteWriter w;
+  cod.to_wire(w);
+  EXPECT_EQ(hex(w.data()), "04043c");  // little-endian 3 bytes
+  ByteReader r(w.data());
+  auto back = ClassOfDevice::from_wire(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, cod);
+}
+
+TEST(ClassOfDevice, MasksTo24Bits) {
+  EXPECT_EQ(ClassOfDevice(0xFF123456).raw(), 0x123456u);
+}
+
+}  // namespace
+}  // namespace blap

@@ -1,0 +1,184 @@
+// Unit tests for the 256-bit modular arithmetic under the ECDH implementation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/bigint.hpp"
+
+namespace blap::crypto {
+namespace {
+
+__extension__ typedef unsigned __int128 u128;
+
+TEST(U256, FromHexAndBack) {
+  auto v = U256::from_hex("0123456789abcdef");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->to_hex(),
+            std::string(48, '0') + "0123456789abcdef");
+  // to_hex is fixed 64 digits
+  EXPECT_EQ(v->to_hex().size(), 64u);
+}
+
+TEST(U256, FromHexRejectsBadInput) {
+  EXPECT_FALSE(U256::from_hex("").has_value());
+  EXPECT_FALSE(U256::from_hex("xyz").has_value());
+  EXPECT_FALSE(U256::from_hex(std::string(65, 'f')).has_value());
+}
+
+TEST(U256, BytesRoundTrip) {
+  auto v = *U256::from_hex("deadbeef00112233445566778899aabbccddeeff0102030405060708090a0b0c");
+  const auto bytes = v.to_bytes_be();
+  auto back = U256::from_bytes_be(BytesView(bytes.data(), bytes.size()));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, v);
+}
+
+TEST(U256, ShortBytesAreZeroExtended) {
+  const Bytes b = {0x01, 0x02};
+  auto v = U256::from_bytes_be(b);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, U256(0x0102));
+}
+
+TEST(U256, AdditionWithCarryOut) {
+  U256 max = *U256::from_hex(std::string(64, 'f'));
+  U256 out;
+  EXPECT_EQ(U256::add(max, U256(1), out), 1u);
+  EXPECT_TRUE(out.is_zero());
+}
+
+TEST(U256, SubtractionWithBorrow) {
+  U256 out;
+  EXPECT_EQ(U256::sub(U256(0), U256(1), out), 1u);
+  EXPECT_EQ(out, *U256::from_hex(std::string(64, 'f')));
+}
+
+TEST(U256, Comparison) {
+  EXPECT_LT(U256(1), U256(2));
+  auto big = *U256::from_hex("100000000000000000000000000000000");  // 2^128
+  EXPECT_GT(big, U256(0xffffffffffffffffULL));
+}
+
+TEST(U256, BitAccessAndLength) {
+  auto v = *U256::from_hex("8000000000000001");
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(32));
+  EXPECT_EQ(v.bit_length(), 64u);
+  EXPECT_EQ(U256(0).bit_length(), 0u);
+  EXPECT_EQ(U256(1).bit_length(), 1u);
+}
+
+TEST(U512, MulSmallValues) {
+  const U512 prod = U512::mul(U256(0xFFFFFFFFULL), U256(0xFFFFFFFFULL));
+  EXPECT_EQ(mod(prod, *U256::from_hex("10000000000000000")), U256(0xFFFFFFFE00000001ULL));
+}
+
+TEST(Mod, ReducesWideProduct) {
+  // (2^255) * 2 mod (2^255 - 19-ish prime substitute): use p = 2^61 - 1.
+  const U256 p(0x1FFFFFFFFFFFFFFFULL);
+  const U256 a(0x1234567890ABCDEFULL);
+  const U256 b(0x0FEDCBA987654321ULL);
+  // Verify against __int128 arithmetic.
+  const u128 wide = static_cast<u128>(0x1234567890ABCDEFULL) * 0x0FEDCBA987654321ULL;
+  const std::uint64_t expect = static_cast<std::uint64_t>(wide % 0x1FFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(mul_mod(a, b, p), U256(expect));
+}
+
+TEST(ModularOps, AddSubInverse) {
+  const U256 p = *U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  const U256 a = *U256::from_hex("123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef0");
+  const U256 b = *U256::from_hex("fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210");
+  const U256 am = mod(U512::widen(a), p);
+  const U256 bm = mod(U512::widen(b), p);
+  EXPECT_EQ(sub_mod(add_mod(am, bm, p), bm, p), am);
+  EXPECT_EQ(add_mod(sub_mod(am, bm, p), bm, p), am);
+}
+
+TEST(PowMod, FermatLittleTheorem) {
+  // a^(p-1) = 1 mod p for prime p.
+  const U256 p(101);
+  for (std::uint64_t a = 2; a < 10; ++a) {
+    EXPECT_EQ(pow_mod(U256(a), U256(100), p), U256(1)) << a;
+  }
+}
+
+TEST(PowMod, KnownSmallCase) {
+  EXPECT_EQ(pow_mod(U256(3), U256(7), U256(1000)), U256(187));  // 3^7 = 2187
+}
+
+TEST(InvModPrime, ProducesMultiplicativeInverse) {
+  const U256 p = *U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  const U256 a = *U256::from_hex("deadbeefcafebabe0123456789abcdef");
+  const U256 inv = inv_mod_prime(a, p);
+  EXPECT_EQ(mul_mod(a, inv, p), U256(1));
+}
+
+TEST(InvModPrime, SmallPrime) {
+  // 3 * 4 = 12 = 1 mod 11.
+  EXPECT_EQ(inv_mod_prime(U256(3), U256(11)), U256(4));
+}
+
+// Property sweep: (a*b) mod p computed two ways agrees for many operands.
+class MulModProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MulModProperty, MatchesInt128Reference) {
+  const std::uint64_t p64 = 0xFFFFFFFFFFFFFFC5ULL;  // largest 64-bit prime
+  const std::uint64_t a = GetParam() * 0x9E3779B97F4A7C15ULL + 1;
+  const std::uint64_t b = GetParam() * 0xBF58476D1CE4E5B9ULL + 7;
+  const u128 expect = (static_cast<u128>(a % p64) * (b % p64)) % p64;
+  EXPECT_EQ(mul_mod(U256(a % p64), U256(b % p64), U256(p64)),
+            U256(static_cast<std::uint64_t>(expect)));
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyOperands, MulModProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace blap::crypto
+
+// NOTE: appended differential tests for the Algorithm D reduction.
+namespace blap::crypto {
+namespace {
+
+class ModDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModDifferential, KnuthMatchesBinaryReference) {
+  // Pseudo-random 512-bit dividends and moduli of every limb-width.
+  blap::Rng rng(GetParam() * 1315423911ULL + 3);
+  for (int width = 1; width <= 4; ++width) {
+    std::array<std::uint64_t, 4> mw{};
+    for (int i = 0; i < width; ++i) mw[static_cast<std::size_t>(i)] = rng.next_u64();
+    if (mw[static_cast<std::size_t>(width - 1)] == 0) mw[static_cast<std::size_t>(width - 1)] = 1;
+    const U256 modulus(mw);
+
+    std::array<std::uint64_t, 4> aw{}, bw{};
+    for (auto& w : aw) w = rng.next_u64();
+    for (auto& w : bw) w = rng.next_u64();
+    const U512 value = U512::mul(U256(aw), U256(bw));
+    EXPECT_EQ(mod(value, modulus), mod_binary_reference(value, modulus))
+        << "width=" << width << " modulus=" << modulus.to_hex();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomOperands, ModDifferential,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+TEST(ModDifferential, EdgeCases) {
+  const U256 p256 = *U256::from_hex(
+      "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  // Dividend == modulus, modulus-1, modulus+1, 0, and max.
+  EXPECT_TRUE(mod(U512::widen(p256), p256).is_zero());
+  U256 pm1;
+  U256::sub(p256, U256(1), pm1);
+  EXPECT_EQ(mod(U512::widen(pm1), p256), pm1);
+  EXPECT_TRUE(mod(U512(), p256).is_zero());
+  const U512 max_sq = U512::mul(pm1, pm1);
+  EXPECT_EQ(mod(max_sq, p256), mod_binary_reference(max_sq, p256));
+  // Power-of-two modulus exercises the normalize shift == 0 path.
+  const U256 pow2 = *U256::from_hex("8000000000000000000000000000000000000000000000000000000000000000");
+  const U512 big = U512::mul(pm1, p256);
+  EXPECT_EQ(mod(big, pow2), mod_binary_reference(big, pow2));
+}
+
+}  // namespace
+}  // namespace blap::crypto

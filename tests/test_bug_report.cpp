@@ -1,0 +1,106 @@
+// Tests for base64 and the Android bug-report exfiltration channel (§IV-A).
+#include <gtest/gtest.h>
+
+#include "common/base64.hpp"
+#include "core/bug_report.hpp"
+#include "core/snoop_extractor.hpp"
+
+namespace blap::core {
+namespace {
+
+Bytes ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(ascii("")), "");
+  EXPECT_EQ(base64_encode(ascii("f")), "Zg==");
+  EXPECT_EQ(base64_encode(ascii("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(ascii("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(ascii("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(ascii("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(ascii("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  EXPECT_EQ(base64_decode("Zm9vYmFy"), ascii("foobar"));
+  EXPECT_EQ(base64_decode("Zg=="), ascii("f"));
+  EXPECT_EQ(base64_decode(""), Bytes{});
+}
+
+TEST(Base64, DecodeSkipsWhitespace) {
+  EXPECT_EQ(base64_decode("Zm9v\nYmFy\r\n"), ascii("foobar"));
+}
+
+TEST(Base64, DecodeRejectsGarbage) {
+  EXPECT_FALSE(base64_decode("Zm9v!").has_value());
+  EXPECT_FALSE(base64_decode("Zg==Zg").has_value());  // data after padding
+  EXPECT_FALSE(base64_decode("====").has_value());
+}
+
+TEST(Base64, RoundTripBinary) {
+  Rng rng(42);
+  for (std::size_t n : {0u, 1u, 2u, 3u, 57u, 58u, 1000u}) {
+    const Bytes data = rng.buffer(n);
+    EXPECT_EQ(base64_decode(base64_encode(data)), data) << n;
+    EXPECT_EQ(base64_decode(base64_encode(data, 76)), data) << n;
+  }
+}
+
+TEST(BugReport, EmbedsAndRecoversSnoopLog) {
+  // End to end: enable the snoop, bond two devices, generate the bug
+  // report, carve the snoop out, extract the link key — the paper's §IV-A
+  // pipeline with no filesystem access to the log directory.
+  Simulation sim(110);
+  DeviceSpec ms;
+  ms.name = "velvet";
+  ms.address = *BdAddr::parse("48:90:00:00:00:01");
+  DeviceSpec cs;
+  cs.name = "carkit";
+  cs.address = *BdAddr::parse("00:1b:00:00:00:02");
+  Device& m = sim.add_device(ms);
+  Device& c = sim.add_device(cs);
+  c.host().enable_snoop(true);
+  bool done = false;
+  c.host().pair(m.address(), [&](hci::Status s) { done = s == hci::Status::kSuccess; });
+  for (int i = 0; i < 200 && !done; ++i) sim.run_for(100 * kMillisecond);
+  ASSERT_TRUE(done);
+
+  const std::string report = generate_bug_report(c, sim.now());
+  // The report looks like a bug report...
+  EXPECT_NE(report.find("dumpstate"), std::string::npos);
+  EXPECT_NE(report.find("hci snoop log: enabled"), std::string::npos);
+  // ...and never prints a key in the dumpsys section (keys leak only via
+  // the snoop attachment).
+  const auto bond_key = c.host().security().link_key_for(m.address());
+  ASSERT_TRUE(bond_key.has_value());
+  EXPECT_EQ(report.find(hex(*bond_key)), std::string::npos);
+
+  const auto recovered = extract_snoop_from_bug_report(report);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->size(), c.host().snoop().size());
+  const auto key = extract_link_key_for(*recovered, m.address());
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->key, *bond_key);
+}
+
+TEST(BugReport, NoSnoopSectionWhenDisabled) {
+  Simulation sim(111);
+  DeviceSpec ds;
+  ds.name = "phone";
+  ds.address = *BdAddr::parse("48:90:00:00:00:01");
+  Device& d = sim.add_device(ds);
+  const std::string report = generate_bug_report(d, sim.now());
+  EXPECT_NE(report.find("hci snoop log: disabled"), std::string::npos);
+  EXPECT_FALSE(extract_snoop_from_bug_report(report).has_value());
+}
+
+TEST(BugReport, ExtractorRejectsDamagedAttachment) {
+  EXPECT_FALSE(extract_snoop_from_bug_report("no markers here").has_value());
+  EXPECT_FALSE(extract_snoop_from_bug_report(
+                   "--- BEGIN:BTSNOOP (base64) ---\n!!!not base64!!!\n--- END:BTSNOOP ---")
+                   .has_value());
+  EXPECT_FALSE(extract_snoop_from_bug_report("--- BEGIN:BTSNOOP (base64) ---\nZm9v\n")
+                   .has_value());  // missing end marker
+}
+
+}  // namespace
+}  // namespace blap::core

@@ -1,0 +1,148 @@
+// Unit tests for the byte-buffer utilities every protocol layer builds on.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace blap {
+namespace {
+
+TEST(Hex, EncodesLowercaseWithoutSeparators) {
+  const Bytes data = {0x0b, 0x04, 0x16, 0xff, 0x00};
+  EXPECT_EQ(hex(data), "0b0416ff00");
+}
+
+TEST(Hex, EncodesEmpty) {
+  EXPECT_EQ(hex(Bytes{}), "");
+  EXPECT_EQ(hex_pretty(Bytes{}), "");
+}
+
+TEST(Hex, PrettyUsesSingleSpaces) {
+  const Bytes data = {0x0b, 0x04, 0x16};
+  EXPECT_EQ(hex_pretty(data), "0b 04 16");
+}
+
+TEST(Unhex, RoundTripsPlainHex) {
+  const Bytes data = {0x71, 0xbb, 0x87, 0xce, 0xcb};
+  EXPECT_EQ(unhex(hex(data)), data);
+}
+
+TEST(Unhex, AcceptsSpacesAndColonsAndMixedCase) {
+  EXPECT_EQ(unhex("0B 04:16"), (Bytes{0x0b, 0x04, 0x16}));
+}
+
+TEST(Unhex, RejectsOddDigitCount) { EXPECT_FALSE(unhex("0b0").has_value()); }
+
+TEST(Unhex, RejectsNonHexCharacters) { EXPECT_FALSE(unhex("0g").has_value()); }
+
+TEST(Unhex, RejectsSeparatorInsideByte) { EXPECT_FALSE(unhex("0 b").has_value()); }
+
+TEST(Hexdump, FormatsOffsetsHexAndAscii) {
+  Bytes data;
+  for (int i = 0; i < 20; ++i) data.push_back(static_cast<std::uint8_t>('A' + i));
+  const std::string dump = hexdump(data);
+  EXPECT_NE(dump.find("00000000"), std::string::npos);
+  EXPECT_NE(dump.find("00000010"), std::string::npos);
+  EXPECT_NE(dump.find("|ABCDEFGHIJKLMNOP|"), std::string::npos);
+}
+
+TEST(CtEqual, MatchesEqualBuffers) {
+  const Bytes a = {1, 2, 3};
+  EXPECT_TRUE(ct_equal(a, a));
+}
+
+TEST(CtEqual, RejectsDifferentContent) {
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+}
+
+TEST(CtEqual, RejectsDifferentLength) {
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2}));
+}
+
+TEST(ByteReader, ReadsLittleEndianIntegers) {
+  const Bytes data = {0x04, 0x0b, 0x78, 0x56, 0x34, 0x12};
+  ByteReader r(data);
+  EXPECT_EQ(r.u16(), 0x0b04);
+  EXPECT_EQ(r.u32(), 0x12345678u);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, ReadsBigEndianIntegers) {
+  const Bytes data = {0x12, 0x34, 0x56, 0x78};
+  ByteReader r(data);
+  EXPECT_EQ(r.u32be(), 0x12345678u);
+}
+
+TEST(ByteReader, Reads64BitBothEndiannesses) {
+  const Bytes le = {0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01};
+  ByteReader r1(le);
+  EXPECT_EQ(r1.u64(), 0x0123456789abcdefULL);
+  ByteReader r2(le);
+  EXPECT_EQ(r2.u64be(), 0xefcdab8967452301ULL);
+}
+
+TEST(ByteReader, ReturnsNulloptOnUnderflow) {
+  const Bytes data = {0x01};
+  ByteReader r(data);
+  EXPECT_FALSE(r.u16().has_value());
+  // A failed read consumes nothing.
+  EXPECT_EQ(r.u8(), 0x01);
+}
+
+TEST(ByteReader, FixedArrayRead) {
+  const Bytes data = {1, 2, 3, 4};
+  ByteReader r(data);
+  auto arr = r.array<3>();
+  ASSERT_TRUE(arr.has_value());
+  EXPECT_EQ((*arr)[2], 3);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_FALSE(r.array<2>().has_value());
+}
+
+TEST(ByteReader, SkipAndRest) {
+  const Bytes data = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  EXPECT_TRUE(r.skip(2));
+  EXPECT_EQ(r.rest().size(), 3u);
+  EXPECT_FALSE(r.skip(4));
+  EXPECT_EQ(r.position(), 2u);
+}
+
+TEST(ByteWriter, WritesLittleEndian) {
+  ByteWriter w;
+  w.u16(0x0b04).u8(0x16).u32(0x12345678);
+  EXPECT_EQ(hex(w.data()), "040b1678563412");
+}
+
+TEST(ByteWriter, WritesBigEndian) {
+  ByteWriter w;
+  w.u32be(0x12345678).u64be(0x0102030405060708ULL);
+  EXPECT_EQ(hex(w.data()), "123456780102030405060708");
+}
+
+TEST(ByteWriter, RoundTripsThroughReader) {
+  ByteWriter w;
+  w.u8(0xAA).u16(0xBEEF).u32(0xDEADBEEF).u64(0x1122334455667788ULL);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAA);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ULL);
+  EXPECT_TRUE(r.empty());
+}
+
+// Property sweep: hex round-trip over many deterministic buffers.
+class HexRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HexRoundTrip, RoundTrips) {
+  Bytes data;
+  for (std::size_t i = 0; i < GetParam(); ++i)
+    data.push_back(static_cast<std::uint8_t>(i * 37 + 11));
+  EXPECT_EQ(unhex(hex(data)), data);
+  EXPECT_EQ(unhex(hex_pretty(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HexRoundTrip,
+                         ::testing::Values(0, 1, 2, 15, 16, 17, 255, 1024));
+
+}  // namespace
+}  // namespace blap

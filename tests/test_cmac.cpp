@@ -1,0 +1,74 @@
+// AES-CMAC validation against RFC 4493 example vectors.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/cmac.hpp"
+
+namespace blap::crypto {
+namespace {
+
+Aes128::Key key() {
+  auto bytes = *unhex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128::Key k{};
+  std::copy(bytes.begin(), bytes.end(), k.begin());
+  return k;
+}
+
+TEST(AesCmac, Rfc4493EmptyMessage) {
+  EXPECT_EQ(hex(aes_cmac(key(), Bytes{})), "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST(AesCmac, Rfc4493SixteenBytes) {
+  const auto msg = *unhex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(hex(aes_cmac(key(), msg)), "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST(AesCmac, Rfc4493FortyBytes) {
+  const auto msg = *unhex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411");
+  EXPECT_EQ(hex(aes_cmac(key(), msg)), "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST(AesCmac, Rfc4493SixtyFourBytes) {
+  const auto msg = *unhex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(hex(aes_cmac(key(), msg)), "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST(AesCmac, PaddedVsCompleteBlockDiffer) {
+  const Bytes fifteen(15, 0x42);
+  const Bytes sixteen(16, 0x42);
+  EXPECT_NE(aes_cmac(key(), fifteen), aes_cmac(key(), sixteen));
+}
+
+TEST(AesCmac, KeySensitivity) {
+  Aes128::Key other = key();
+  other[15] ^= 1;
+  const Bytes msg(32, 0x11);
+  EXPECT_NE(aes_cmac(key(), msg), aes_cmac(other, msg));
+}
+
+// Length sweep: every length from 0..33 produces a distinct, deterministic tag.
+class CmacLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CmacLengths, DeterministicPerLength) {
+  Bytes msg(GetParam());
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<std::uint8_t>(i * 3);
+  EXPECT_EQ(aes_cmac(key(), msg), aes_cmac(key(), msg));
+  if (GetParam() > 0) {
+    Bytes flipped = msg;
+    flipped[GetParam() / 2] ^= 0x80;
+    EXPECT_NE(aes_cmac(key(), msg), aes_cmac(key(), flipped));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShortLengths, CmacLengths,
+                         ::testing::Values(0, 1, 7, 15, 16, 17, 31, 32, 33, 128));
+
+}  // namespace
+}  // namespace blap::crypto

@@ -1,0 +1,234 @@
+// Controller-level edge-case tests: connection rejection, accept timeouts,
+// invalid public keys, identity spoofing, and the LMP-stall teardown the
+// extraction attack exploits.
+#include <gtest/gtest.h>
+
+#include "core/air_analysis.hpp"
+#include "core/device.hpp"
+
+namespace blap::core {
+namespace {
+
+DeviceSpec spec(const std::string& name, const std::string& addr) {
+  DeviceSpec s;
+  s.name = name;
+  s.address = *BdAddr::parse(addr);
+  return s;
+}
+
+TEST(ControllerBehavior, RejectedConnectionReportsToInitiator) {
+  Simulation sim(80);
+  Device& a = sim.add_device(spec("a", "00:00:00:00:00:01"));
+  Device& b = sim.add_device(spec("b", "00:00:00:00:00:02"));
+  b.host().config().auto_accept_connections = false;
+
+  hci::Status status = hci::Status::kSuccess;
+  bool done = false;
+  a.host().connect_only(b.address(), [&](hci::Status s) {
+    status = s;
+    done = true;
+  });
+  sim.run_for(10 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_NE(status, hci::Status::kSuccess);
+  EXPECT_FALSE(a.host().has_acl(b.address()));
+  EXPECT_FALSE(b.host().has_acl(a.address()));
+}
+
+TEST(ControllerBehavior, DuplicateConnectFailsCleanly) {
+  Simulation sim(81);
+  Device& a = sim.add_device(spec("a", "00:00:00:00:00:01"));
+  Device& b = sim.add_device(spec("b", "00:00:00:00:00:02"));
+  bool first = false;
+  a.host().connect_only(b.address(), [&](hci::Status s) {
+    first = s == hci::Status::kSuccess;
+  });
+  sim.run_for(5 * kSecond);
+  ASSERT_TRUE(first);
+  hci::Status second = hci::Status::kSuccess;
+  a.host().connect_only(b.address(), [&](hci::Status s) { second = s; });
+  sim.run_for(kSecond);
+  EXPECT_EQ(second, hci::Status::kConnectionAlreadyExists);
+  EXPECT_EQ(a.host().acls().size(), 1u);
+}
+
+TEST(ControllerBehavior, SpoofedIdentityAnswersPagesForThatAddress) {
+  Simulation sim(82);
+  Device& a = sim.add_device(spec("a", "00:00:00:00:00:01"));
+  Device& b = sim.add_device(spec("b", "00:00:00:00:00:02"));
+  Device& victim = sim.add_device(spec("v", "00:00:00:00:00:03"));
+  b.set_radio_enabled(false);  // the real owner is away
+  a.spoof_identity(b.address(), ClassOfDevice(ClassOfDevice::kHandsFree));
+
+  bool connected = false;
+  victim.host().connect_only(b.address(), [&](hci::Status s) {
+    connected = s == hci::Status::kSuccess;
+  });
+  sim.run_for(5 * kSecond);
+  EXPECT_TRUE(connected);
+  // The spoofing device holds the link under the stolen identity.
+  EXPECT_TRUE(a.host().has_acl(victim.address()));
+}
+
+TEST(ControllerBehavior, RadioDisableTearsDownLiveLinks) {
+  Simulation sim(83);
+  Device& a = sim.add_device(spec("a", "00:00:00:00:00:01"));
+  Device& b = sim.add_device(spec("b", "00:00:00:00:00:02"));
+  bool connected = false;
+  a.host().connect_only(b.address(), [&](hci::Status s) {
+    connected = s == hci::Status::kSuccess;
+  });
+  sim.run_for(5 * kSecond);
+  ASSERT_TRUE(connected);
+  b.set_radio_enabled(false);
+  sim.run_for(kSecond);
+  EXPECT_FALSE(a.host().has_acl(b.address()));
+}
+
+TEST(ControllerBehavior, StalledAuthDropsWithoutAuthFailureStatus) {
+  // The exact controller behavior the extraction attack's step 5 exploits:
+  // an unanswered challenge ends in a timeout-family status, never 0x05.
+  Simulation sim(84);
+  Device& c = sim.add_device(spec("c", "00:00:00:00:00:01"));
+  Device& a = sim.add_device(spec("a", "00:00:00:00:00:02"));
+  // Pre-install matching bonds so authentication starts immediately.
+  crypto::LinkKey shared{};
+  shared.fill(0x77);
+  host::BondRecord bond_c;
+  bond_c.address = a.address();
+  bond_c.link_key = shared;
+  c.host().security().store_bond(bond_c);
+  // ...but A's host ignores its controller's key request (Fig. 9 hook).
+  a.host().hooks().ignore_link_key_request = true;
+
+  hci::Status status = hci::Status::kSuccess;
+  bool done = false;
+  c.host().pair(a.address(), [&](hci::Status s) {
+    status = s;
+    done = true;
+  });
+  sim.run_for(45 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_NE(status, hci::Status::kSuccess);
+  EXPECT_NE(status, hci::Status::kAuthenticationFailure);
+  EXPECT_NE(status, hci::Status::kPinOrKeyMissing);
+  EXPECT_TRUE(c.host().security().is_bonded(a.address()));  // bond survives
+  EXPECT_GT(a.host().ignored_link_key_requests(), 0);
+}
+
+TEST(ControllerBehavior, MismatchedBondsFailWithAuthFailure) {
+  // Contrast: answering with the WRONG key is a crypto failure, 0x05.
+  Simulation sim(85);
+  Device& c = sim.add_device(spec("c", "00:00:00:00:00:01"));
+  Device& a = sim.add_device(spec("a", "00:00:00:00:00:02"));
+  host::BondRecord bond_c;
+  bond_c.address = a.address();
+  bond_c.link_key.fill(0x11);
+  c.host().security().store_bond(bond_c);
+  host::BondRecord bond_a;
+  bond_a.address = c.address();
+  bond_a.link_key.fill(0x99);
+  a.host().security().store_bond(bond_a);
+
+  hci::Status status = hci::Status::kSuccess;
+  bool done = false;
+  c.host().pair(a.address(), [&](hci::Status s) {
+    status = s;
+    done = true;
+  });
+  sim.run_for(20 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(status, hci::Status::kAuthenticationFailure);
+  EXPECT_FALSE(c.host().security().is_bonded(a.address()));  // purged
+}
+
+TEST(ControllerBehavior, PeerWithoutBondTriggersRepairing) {
+  // C has a bond, A does not (factory reset): A answers "key missing" and
+  // C's host sees 0x06, purges, and a retry pairs fresh.
+  Simulation sim(86);
+  Device& c = sim.add_device(spec("c", "00:00:00:00:00:01"));
+  Device& a = sim.add_device(spec("a", "00:00:00:00:00:02"));
+  host::BondRecord bond_c;
+  bond_c.address = a.address();
+  bond_c.link_key.fill(0x33);
+  c.host().security().store_bond(bond_c);
+
+  hci::Status status = hci::Status::kSuccess;
+  bool done = false;
+  c.host().pair(a.address(), [&](hci::Status s) {
+    status = s;
+    done = true;
+  });
+  sim.run_for(20 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(status, hci::Status::kPinOrKeyMissing);
+  EXPECT_FALSE(c.host().security().is_bonded(a.address()));
+
+  // Retry: fresh SSP pairing succeeds.
+  done = false;
+  c.host().pair(a.address(), [&](hci::Status s) {
+    status = s;
+    done = true;
+  });
+  sim.run_for(20 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(status, hci::Status::kSuccess);
+}
+
+TEST(ControllerBehavior, EncryptedTrafficIsCiphertextOnAir) {
+  Simulation sim(87);
+  AirSniffer sniffer(sim.medium());
+  Device& m = sim.add_device(spec("m", "00:00:00:00:00:01"));
+  Device& c = sim.add_device(spec("c", "00:00:00:00:00:02"));
+  bool done = false;
+  m.host().pair(c.address(), [&](hci::Status s) { done = s == hci::Status::kSuccess; });
+  // Step until the pairing completes so the idle policy cannot reap the
+  // link before the echo goes out.
+  for (int i = 0; i < 200 && !done; ++i) sim.run_for(100 * kMillisecond);
+  ASSERT_TRUE(done);
+  bool echoed = false;
+  m.host().send_echo(c.address(), [&] { echoed = true; });
+  sim.run_for(kSecond);
+  ASSERT_TRUE(echoed);
+
+  // No sniffed ACL frame after encryption start may contain 'ping' verbatim.
+  bool plaintext_leak = false;
+  for (const auto& frame : sniffer.frames()) {
+    auto acl = controller::parse_acl_air_frame(frame.frame);
+    if (!acl) continue;
+    const std::string text(acl->begin(), acl->end());
+    if (text.find("ping") != std::string::npos) plaintext_leak = true;
+  }
+  EXPECT_FALSE(plaintext_leak);
+}
+
+TEST(ControllerBehavior, UnencryptedTrafficIsVisibleOnAir) {
+  // Without pairing (SDP only) the air frames are plaintext — the contrast
+  // case for the eavesdropping story.
+  Simulation sim(88);
+  AirSniffer sniffer(sim.medium());
+  Device& m = sim.add_device(spec("m", "00:00:00:00:00:01"));
+  Device& c = sim.add_device(spec("c", "00:00:00:00:00:02"));
+  bool connected = false;
+  m.host().connect_only(c.address(), [&](hci::Status s) {
+    connected = s == hci::Status::kSuccess;
+  });
+  sim.run_for(5 * kSecond);
+  ASSERT_TRUE(connected);
+  bool echoed = false;
+  m.host().send_echo(c.address(), [&] { echoed = true; });
+  sim.run_for(kSecond);
+  ASSERT_TRUE(echoed);
+
+  bool saw_plaintext = false;
+  for (const auto& frame : sniffer.frames()) {
+    auto acl = controller::parse_acl_air_frame(frame.frame);
+    if (!acl) continue;
+    const std::string text(acl->begin(), acl->end());
+    if (text.find("ping") != std::string::npos) saw_plaintext = true;
+  }
+  EXPECT_TRUE(saw_plaintext);
+}
+
+}  // namespace
+}  // namespace blap::core

@@ -1,0 +1,150 @@
+// Randomized property sweeps over the security-algorithm contracts the
+// whole simulator rests on: agreement (both sides derive the same secret),
+// binding (changing any input changes the output), and uniqueness.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/e1.hpp"
+#include "crypto/ecdh.hpp"
+#include "crypto/ssp_functions.hpp"
+
+namespace blap::crypto {
+namespace {
+
+BdAddr random_addr(Rng& rng) {
+  const auto bytes = rng.bytes<6>();
+  return BdAddr(bytes);
+}
+
+class CryptoAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CryptoAgreement, E1VerifierClaimantAgreeOnRandomInputs) {
+  Rng rng(GetParam() * 7919 + 1);
+  for (int i = 0; i < 20; ++i) {
+    const LinkKey key = rng.bytes<16>();
+    const Rand128 challenge = rng.bytes<16>();
+    const BdAddr claimant = random_addr(rng);
+    const E1Output verifier_side = e1(key, challenge, claimant);
+    const E1Output claimant_side = e1(key, challenge, claimant);
+    ASSERT_EQ(verifier_side.sres, claimant_side.sres);
+    ASSERT_EQ(verifier_side.aco, claimant_side.aco);
+    // A single key-bit flip breaks the response.
+    LinkKey flipped = key;
+    flipped[i % 16] ^= static_cast<std::uint8_t>(1u << (i % 8));
+    ASSERT_NE(e1(flipped, challenge, claimant).sres, verifier_side.sres);
+  }
+}
+
+TEST_P(CryptoAgreement, SspFullHandshakeDerivesSharedLinkKey) {
+  // Complete SSP derivation both ways: ECDH -> f1 commitment check -> f2.
+  Rng rng(GetParam() * 104729 + 3);
+  const auto& curve = (GetParam() % 2 == 0) ? EcCurve::p256() : EcCurve::p192();
+  const EcKeyPair initiator = generate_keypair(curve, rng);
+  const EcKeyPair responder = generate_keypair(curve, rng);
+  const BdAddr a1 = random_addr(rng);
+  const BdAddr a2 = random_addr(rng);
+  const Rand128 na = rng.bytes<16>();
+  const Rand128 nb = rng.bytes<16>();
+
+  const auto dh_initiator =
+      ecdh_shared_secret(curve, initiator.private_key, responder.public_key);
+  const auto dh_responder =
+      ecdh_shared_secret(curve, responder.private_key, initiator.public_key);
+  ASSERT_TRUE(dh_initiator && dh_responder);
+  ASSERT_EQ(*dh_initiator, *dh_responder);
+
+  // Responder's commitment opens for the initiator.
+  const LinkKey commitment =
+      f1(curve, responder.public_key.x, initiator.public_key.x, nb, 0);
+  ASSERT_EQ(commitment, f1(curve, responder.public_key.x, initiator.public_key.x, nb, 0));
+
+  // Both display the same six digits and derive the same link key.
+  ASSERT_EQ(g(curve, initiator.public_key.x, responder.public_key.x, na, nb),
+            g(curve, initiator.public_key.x, responder.public_key.x, na, nb));
+  const LinkKey key_initiator = f2(curve, *dh_initiator, na, nb, a1, a2);
+  const LinkKey key_responder = f2(curve, *dh_responder, na, nb, a1, a2);
+  ASSERT_EQ(key_initiator, key_responder);
+}
+
+TEST_P(CryptoAgreement, ScSecureAuthenticationAgrees) {
+  Rng rng(GetParam() * 1299709 + 5);
+  const LinkKey link_key = rng.bytes<16>();
+  const BdAddr verifier = random_addr(rng);
+  const BdAddr claimant = random_addr(rng);
+  const Rand128 r_m = rng.bytes<16>();
+  const Rand128 r_s = rng.bytes<16>();
+
+  const LinkKey dev_verifier = h4(link_key, verifier, claimant);
+  const LinkKey dev_claimant = h4(link_key, verifier, claimant);
+  ASSERT_EQ(dev_verifier, dev_claimant);
+  const H5Output out_verifier = h5(dev_verifier, r_m, r_s);
+  const H5Output out_claimant = h5(dev_claimant, r_m, r_s);
+  ASSERT_EQ(out_verifier.sres_master, out_claimant.sres_master);
+  ASSERT_EQ(out_verifier.sres_slave, out_claimant.sres_slave);
+  ASSERT_EQ(out_verifier.aco, out_claimant.aco);
+
+  // A different link key fails both directions.
+  LinkKey wrong = link_key;
+  wrong[0] ^= 1;
+  const H5Output out_wrong = h5(h4(wrong, verifier, claimant), r_m, r_s);
+  ASSERT_NE(out_wrong.sres_slave, out_verifier.sres_slave);
+  ASSERT_NE(out_wrong.sres_master, out_verifier.sres_master);
+}
+
+TEST_P(CryptoAgreement, LegacyDerivationAgreesAndBindsPin) {
+  Rng rng(GetParam() * 15485863 + 7);
+  const Rand128 in_rand = rng.bytes<16>();
+  const BdAddr initiator = random_addr(rng);
+  const BdAddr responder = random_addr(rng);
+  const Bytes pin = {'1', '9', '8', '7'};
+
+  const LinkKey kinit_a = e22(in_rand, pin, initiator);
+  const LinkKey kinit_b = e22(in_rand, pin, initiator);
+  ASSERT_EQ(kinit_a, kinit_b);
+
+  const LinkKey lk_rand_i = rng.bytes<16>();
+  const LinkKey lk_rand_r = rng.bytes<16>();
+  const LinkKey key =
+      combination_key(e21(lk_rand_i, initiator), e21(lk_rand_r, responder));
+  ASSERT_EQ(key, combination_key(e21(lk_rand_i, initiator), e21(lk_rand_r, responder)));
+
+  const Bytes other_pin = {'1', '9', '8', '8'};
+  ASSERT_NE(e22(in_rand, other_pin, initiator), kinit_a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CryptoAgreement, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(CryptoUniqueness, LinkKeysNeverCollideAcrossSessions) {
+  // 200 independent SSP sessions must yield 200 distinct link keys — the
+  // uniqueness the extraction attack's value depends on (each bond is its
+  // own secret).
+  Rng rng(424242);
+  const auto& curve = EcCurve::p256();
+  std::set<std::string> keys;
+  const BdAddr a1 = random_addr(rng);
+  const BdAddr a2 = random_addr(rng);
+  for (int i = 0; i < 200; ++i) {
+    const EcKeyPair initiator = generate_keypair(curve, rng);
+    const EcKeyPair responder = generate_keypair(curve, rng);
+    const auto dh = ecdh_shared_secret(curve, initiator.private_key, responder.public_key);
+    ASSERT_TRUE(dh.has_value());
+    keys.insert(hex(f2(curve, *dh, rng.bytes<16>(), rng.bytes<16>(), a1, a2)));
+  }
+  EXPECT_EQ(keys.size(), 200u);
+}
+
+TEST(CryptoUniqueness, SresSpaceHasNoObviousCollisions) {
+  // 32-bit SRES over 500 random keys for a fixed challenge: collisions are
+  // possible but should be rare (birthday bound ~3e-5 here).
+  Rng rng(515151);
+  const Rand128 challenge = rng.bytes<16>();
+  const BdAddr claimant = random_addr(rng);
+  std::set<std::string> responses;
+  for (int i = 0; i < 500; ++i)
+    responses.insert(hex(e1(rng.bytes<16>(), challenge, claimant).sres));
+  EXPECT_GE(responses.size(), 499u);
+}
+
+}  // namespace
+}  // namespace blap::crypto

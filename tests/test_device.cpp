@@ -1,0 +1,121 @@
+// Unit tests for device assembly and simulation determinism.
+#include <gtest/gtest.h>
+
+#include "core/device.hpp"
+
+namespace blap::core {
+namespace {
+
+DeviceSpec spec(const std::string& name, const std::string& addr,
+                TransportKind transport = TransportKind::kUart) {
+  DeviceSpec s;
+  s.name = name;
+  s.address = *BdAddr::parse(addr);
+  s.transport = transport;
+  return s;
+}
+
+TEST(Device, UartDeviceHasNoUsbTransport) {
+  Simulation sim(1);
+  Device& d = sim.add_device(spec("phone", "00:00:00:00:00:01", TransportKind::kUart));
+  EXPECT_EQ(d.usb_transport(), nullptr);
+}
+
+TEST(Device, UsbDeviceExposesUsbTransport) {
+  Simulation sim(1);
+  Device& d = sim.add_device(spec("pc", "00:00:00:00:00:01", TransportKind::kUsb));
+  EXPECT_NE(d.usb_transport(), nullptr);
+}
+
+TEST(Device, PowerOnInitializesHostAddress) {
+  Simulation sim(2);
+  Device& d = sim.add_device(spec("phone", "12:34:56:78:9a:bc"));
+  EXPECT_EQ(d.host().address().to_string(), "12:34:56:78:9a:bc");
+}
+
+TEST(Device, SpoofIdentityChangesRadioPresence) {
+  Simulation sim(3);
+  Device& spoofer = sim.add_device(spec("spoofer", "00:00:00:00:00:01"));
+  Device& observer = sim.add_device(spec("observer", "00:00:00:00:00:02"));
+  spoofer.spoof_identity(*BdAddr::parse("de:ad:be:ef:00:01"),
+                         ClassOfDevice(ClassOfDevice::kHandsFree));
+
+  std::vector<host::HostStack::Discovered> found;
+  observer.host().discover(2, [&](std::vector<host::HostStack::Discovered> r) { found = r; });
+  sim.run_for(5 * kSecond);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].address.to_string(), "de:ad:be:ef:00:01");
+  EXPECT_EQ(found[0].class_of_device.raw(), ClassOfDevice::kHandsFree);
+}
+
+TEST(Device, RadioDisableRemovesFromInquiry) {
+  Simulation sim(4);
+  Device& hidden = sim.add_device(spec("hidden", "00:00:00:00:00:01"));
+  Device& observer = sim.add_device(spec("observer", "00:00:00:00:00:02"));
+  hidden.set_radio_enabled(false);
+  EXPECT_FALSE(hidden.radio_enabled());
+
+  std::vector<host::HostStack::Discovered> found;
+  observer.host().discover(2, [&](std::vector<host::HostStack::Discovered> r) { found = r; });
+  sim.run_for(5 * kSecond);
+  EXPECT_TRUE(found.empty());
+
+  hidden.set_radio_enabled(true);
+  observer.host().discover(2, [&](std::vector<host::HostStack::Discovered> r) { found = r; });
+  sim.run_for(5 * kSecond);
+  EXPECT_EQ(found.size(), 1u);
+}
+
+TEST(Device, RadioToggleIsIdempotent) {
+  Simulation sim(5);
+  Device& d = sim.add_device(spec("phone", "00:00:00:00:00:01"));
+  d.set_radio_enabled(true);   // already enabled
+  d.set_radio_enabled(false);
+  d.set_radio_enabled(false);  // already disabled
+  EXPECT_FALSE(d.radio_enabled());
+}
+
+TEST(Simulation, SameSeedReproducesIdenticalLinkKeys) {
+  // The determinism contract everything in EXPERIMENTS.md relies on.
+  auto run_once = [] {
+    Simulation sim(1234);
+    Device& a = sim.add_device(spec("a", "00:00:00:00:00:01"));
+    Device& b = sim.add_device(spec("b", "00:00:00:00:00:02"));
+    a.host().pair(b.address(), [](hci::Status) {});
+    sim.run_for(15 * kSecond);
+    auto key = a.host().security().link_key_for(b.address());
+    EXPECT_TRUE(key.has_value());
+    return key ? *key : crypto::LinkKey{};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Simulation, DifferentSeedsProduceDifferentKeys) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulation sim(seed);
+    Device& a = sim.add_device(spec("a", "00:00:00:00:00:01"));
+    Device& b = sim.add_device(spec("b", "00:00:00:00:00:02"));
+    a.host().pair(b.address(), [](hci::Status) {});
+    sim.run_for(15 * kSecond);
+    auto key = a.host().security().link_key_for(b.address());
+    return key ? *key : crypto::LinkKey{};
+  };
+  EXPECT_NE(run_once(1), run_once(2));
+}
+
+TEST(Simulation, ManyDevicesCoexist) {
+  Simulation sim(6);
+  std::vector<Device*> devices;
+  for (int i = 0; i < 6; ++i) {
+    char addr[18];
+    std::snprintf(addr, sizeof(addr), "00:00:00:00:01:%02x", i);
+    devices.push_back(&sim.add_device(spec("dev" + std::to_string(i), addr)));
+  }
+  std::vector<host::HostStack::Discovered> found;
+  devices[0]->host().discover(3, [&](std::vector<host::HostStack::Discovered> r) { found = r; });
+  sim.run_for(6 * kSecond);
+  EXPECT_EQ(found.size(), 5u);
+}
+
+}  // namespace
+}  // namespace blap::core

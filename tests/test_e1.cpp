@@ -1,0 +1,140 @@
+// Tests for the legacy authentication/key-generation functions E1/E21/E22/E3.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/e1.hpp"
+
+namespace blap::crypto {
+namespace {
+
+const BdAddr kAddrC = *BdAddr::parse("00:1b:7d:da:71:0a");
+const BdAddr kAddrM = *BdAddr::parse("48:90:12:34:56:78");
+
+LinkKey key_of(std::uint8_t fill) {
+  LinkKey k{};
+  k.fill(fill);
+  return k;
+}
+
+Rand128 rand_of(std::uint8_t fill) {
+  Rand128 r{};
+  r.fill(fill);
+  return r;
+}
+
+TEST(E1, VerifierAndClaimantAgree) {
+  // The whole point of LMP authentication: both sides with the same link key
+  // and the same challenge compute the same SRES.
+  const LinkKey key = key_of(0x71);
+  const Rand128 challenge = rand_of(0x2a);
+  const E1Output verifier = e1(key, challenge, kAddrC);
+  const E1Output claimant = e1(key, challenge, kAddrC);
+  EXPECT_EQ(verifier.sres, claimant.sres);
+  EXPECT_EQ(verifier.aco, claimant.aco);
+}
+
+TEST(E1, WrongKeyFailsChallenge) {
+  const Rand128 challenge = rand_of(0x2a);
+  const E1Output good = e1(key_of(0x71), challenge, kAddrC);
+  const E1Output bad = e1(key_of(0x72), challenge, kAddrC);
+  EXPECT_NE(good.sres, bad.sres);
+}
+
+TEST(E1, ChallengeFreshness) {
+  const LinkKey key = key_of(0x71);
+  EXPECT_NE(e1(key, rand_of(0x01), kAddrC).sres, e1(key, rand_of(0x02), kAddrC).sres);
+}
+
+TEST(E1, AddressBinding) {
+  // SRES binds the claimant's BD_ADDR — an impersonator spoofing a different
+  // address computes a different response.
+  const LinkKey key = key_of(0x71);
+  const Rand128 challenge = rand_of(0x2a);
+  EXPECT_NE(e1(key, challenge, kAddrC).sres, e1(key, challenge, kAddrM).sres);
+}
+
+TEST(E1, AcoDependsOnChallenge) {
+  const LinkKey key = key_of(0x71);
+  EXPECT_NE(e1(key, rand_of(0x01), kAddrC).aco, e1(key, rand_of(0x02), kAddrC).aco);
+}
+
+TEST(E21, DistinctAddressesDistinctKeys) {
+  const Rand128 rand = rand_of(0x11);
+  EXPECT_NE(e21(rand, kAddrC), e21(rand, kAddrM));
+}
+
+TEST(E21, DistinctRandsDistinctKeys) {
+  EXPECT_NE(e21(rand_of(0x11), kAddrC), e21(rand_of(0x12), kAddrC));
+}
+
+TEST(CombinationKey, XorOfContributions) {
+  const LinkKey a = key_of(0xF0);
+  const LinkKey b = key_of(0x0F);
+  const LinkKey combo = combination_key(a, b);
+  for (auto byte : combo) EXPECT_EQ(byte, 0xFF);
+  // Symmetric: both devices derive the same combination key.
+  EXPECT_EQ(combination_key(a, b), combination_key(b, a));
+}
+
+TEST(E22, PinAndAddressBound) {
+  const Rand128 rand = rand_of(0x33);
+  const Bytes pin1 = {'1', '2', '3', '4'};
+  const Bytes pin2 = {'1', '2', '3', '5'};
+  EXPECT_NE(e22(rand, pin1, kAddrC), e22(rand, pin2, kAddrC));
+  EXPECT_NE(e22(rand, pin1, kAddrC), e22(rand, pin1, kAddrM));
+}
+
+TEST(E22, AcceptsFullSixteenBytePin) {
+  const Rand128 rand = rand_of(0x33);
+  const Bytes pin(16, 0x77);
+  // With a 16-byte PIN no address augmentation happens; must still work and
+  // stay address-independent.
+  EXPECT_EQ(e22(rand, pin, kAddrC), e22(rand, pin, kAddrM));
+}
+
+TEST(E3, EncryptionKeyBindsAllInputs) {
+  const LinkKey key = key_of(0x71);
+  const Rand128 rand = rand_of(0x44);
+  Aco cof{};
+  cof.fill(0x55);
+  const EncryptionKey base = e3(key, rand, cof);
+
+  EXPECT_NE(e3(key_of(0x72), rand, cof), base);
+  EXPECT_NE(e3(key, rand_of(0x45), cof), base);
+  Aco cof2 = cof;
+  cof2[0] ^= 1;
+  EXPECT_NE(e3(key, rand, cof2), base);
+}
+
+TEST(E3, UsesAcoFromAuthentication) {
+  // The intended flow: E1 produces the ACO, E3 consumes it as COF.
+  const LinkKey key = key_of(0x71);
+  const E1Output auth = e1(key, rand_of(0x2a), kAddrC);
+  const EncryptionKey kc = e3(key, rand_of(0x99), auth.aco);
+  EXPECT_EQ(kc, e3(key, rand_of(0x99), auth.aco));  // deterministic
+}
+
+TEST(ShortenKey, ReducesEntropyByTruncation) {
+  EncryptionKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i + 1);
+  const EncryptionKey one_byte = shorten_key(key, 1);  // the KNOB end state
+  EXPECT_EQ(one_byte[0], 1);
+  for (std::size_t i = 1; i < one_byte.size(); ++i) EXPECT_EQ(one_byte[i], 0);
+  EXPECT_EQ(shorten_key(key, 16), key);
+  EXPECT_EQ(shorten_key(key, 99), key);  // clamped
+}
+
+// Sweep: SRES over many keys shows no obvious collisions.
+class E1KeySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(E1KeySweep, SresVariesWithKey) {
+  const Rand128 challenge = rand_of(0xAB);
+  const auto base = e1(key_of(0), challenge, kAddrC).sres;
+  const auto out = e1(key_of(static_cast<std::uint8_t>(GetParam())), challenge, kAddrC).sres;
+  EXPECT_NE(out, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(KeyFills, E1KeySweep, ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 255));
+
+}  // namespace
+}  // namespace blap::crypto

@@ -1,0 +1,154 @@
+// ECDH validation: NIST curve constants, known scalar multiples, and the
+// Diffie–Hellman agreement property SSP relies on.
+#include <gtest/gtest.h>
+
+#include "crypto/ecdh.hpp"
+
+namespace blap::crypto {
+namespace {
+
+TEST(EcCurve, GeneratorsAreOnCurve) {
+  EXPECT_TRUE(EcCurve::p256().on_curve(EcCurve::p256().generator()));
+  EXPECT_TRUE(EcCurve::p192().on_curve(EcCurve::p192().generator()));
+}
+
+TEST(EcCurve, P256DoubleGeneratorMatchesKnownValue) {
+  const auto& curve = EcCurve::p256();
+  const EcPoint twog = curve.double_point(curve.generator());
+  EXPECT_EQ(twog.x.to_hex(),
+            "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978");
+  EXPECT_EQ(twog.y.to_hex(),
+            "07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1");
+}
+
+TEST(EcCurve, P192DoubleGeneratorMatchesKnownValue) {
+  const auto& curve = EcCurve::p192();
+  const EcPoint twog = curve.double_point(curve.generator());
+  EXPECT_EQ(twog.x.to_hex().substr(16),
+            "dafebf5828783f2ad35534631588a3f629a70fb16982a888");
+  EXPECT_EQ(twog.y.to_hex().substr(16),
+            "dd6bda0d993da0fa46b27bbc141b868f59331afa5c7e93ab");
+}
+
+TEST(EcCurve, AddMatchesDouble) {
+  const auto& curve = EcCurve::p256();
+  const EcPoint g = curve.generator();
+  EXPECT_EQ(curve.add(g, g), curve.double_point(g));
+}
+
+TEST(EcCurve, ThreeGTwoWays) {
+  const auto& curve = EcCurve::p256();
+  const EcPoint g = curve.generator();
+  const EcPoint via_add = curve.add(curve.double_point(g), g);
+  const EcPoint via_mult = curve.multiply(U256(3), g);
+  EXPECT_EQ(via_add, via_mult);
+  EXPECT_TRUE(curve.on_curve(via_mult));
+}
+
+TEST(EcCurve, OrderTimesGeneratorIsInfinity) {
+  const auto& curve = EcCurve::p256();
+  EXPECT_TRUE(curve.multiply(curve.order(), curve.generator()).is_infinity());
+}
+
+TEST(EcCurve, P192OrderTimesGeneratorIsInfinity) {
+  const auto& curve = EcCurve::p192();
+  EXPECT_TRUE(curve.multiply(curve.order(), curve.generator()).is_infinity());
+}
+
+TEST(EcCurve, AddingInverseGivesInfinity) {
+  const auto& curve = EcCurve::p256();
+  const EcPoint g = curve.generator();
+  U256 neg_y;
+  U256::sub(curve.p(), g.y, neg_y);
+  const EcPoint minus_g = EcPoint::affine(g.x, neg_y);
+  EXPECT_TRUE(curve.on_curve(minus_g));
+  EXPECT_TRUE(curve.add(g, minus_g).is_infinity());
+}
+
+TEST(EcCurve, InfinityIsAdditiveIdentity) {
+  const auto& curve = EcCurve::p256();
+  const EcPoint g = curve.generator();
+  EXPECT_EQ(curve.add(g, EcPoint::at_infinity()), g);
+  EXPECT_EQ(curve.add(EcPoint::at_infinity(), g), g);
+}
+
+TEST(EcCurve, RejectsOffCurvePoint) {
+  const auto& curve = EcCurve::p256();
+  EcPoint bogus = curve.generator();
+  bogus.y = add_mod(bogus.y, U256(1), curve.p());
+  EXPECT_FALSE(curve.on_curve(bogus));
+}
+
+TEST(Ecdh, SharedSecretAgrees) {
+  Rng rng(2022);
+  const auto& curve = EcCurve::p256();
+  const EcKeyPair alice = generate_keypair(curve, rng);
+  const EcKeyPair bob = generate_keypair(curve, rng);
+  const auto s_alice = ecdh_shared_secret(curve, alice.private_key, bob.public_key);
+  const auto s_bob = ecdh_shared_secret(curve, bob.private_key, alice.public_key);
+  ASSERT_TRUE(s_alice.has_value());
+  ASSERT_TRUE(s_bob.has_value());
+  EXPECT_EQ(*s_alice, *s_bob);
+}
+
+TEST(Ecdh, P192SharedSecretAgrees) {
+  Rng rng(7);
+  const auto& curve = EcCurve::p192();
+  const EcKeyPair alice = generate_keypair(curve, rng);
+  const EcKeyPair bob = generate_keypair(curve, rng);
+  const auto s_alice = ecdh_shared_secret(curve, alice.private_key, bob.public_key);
+  const auto s_bob = ecdh_shared_secret(curve, bob.private_key, alice.public_key);
+  ASSERT_TRUE(s_alice && s_bob);
+  EXPECT_EQ(*s_alice, *s_bob);
+}
+
+TEST(Ecdh, RejectsInvalidPeerPoint) {
+  // The fixed-coordinate invalid-curve attack (paper ref [10]) is closed by
+  // validating the peer point before multiplying.
+  Rng rng(5);
+  const auto& curve = EcCurve::p256();
+  const EcKeyPair alice = generate_keypair(curve, rng);
+  EcPoint off_curve = EcPoint::affine(U256(1), U256(1));
+  EXPECT_FALSE(ecdh_shared_secret(curve, alice.private_key, off_curve).has_value());
+  EXPECT_FALSE(ecdh_shared_secret(curve, alice.private_key, EcPoint::at_infinity()).has_value());
+}
+
+TEST(Ecdh, DistinctKeyPairsDistinctSecrets) {
+  Rng rng(9);
+  const auto& curve = EcCurve::p256();
+  const EcKeyPair a = generate_keypair(curve, rng);
+  const EcKeyPair b = generate_keypair(curve, rng);
+  const EcKeyPair c = generate_keypair(curve, rng);
+  const auto s_ab = ecdh_shared_secret(curve, a.private_key, b.public_key);
+  const auto s_ac = ecdh_shared_secret(curve, a.private_key, c.public_key);
+  ASSERT_TRUE(s_ab && s_ac);
+  EXPECT_NE(*s_ab, *s_ac);
+}
+
+TEST(Ecdh, KeypairPrivateScalarInRange) {
+  Rng rng(123);
+  const auto& curve = EcCurve::p256();
+  for (int i = 0; i < 8; ++i) {
+    const EcKeyPair kp = generate_keypair(curve, rng);
+    EXPECT_FALSE(kp.private_key.is_zero());
+    EXPECT_LT(kp.private_key, curve.order());
+    EXPECT_TRUE(curve.on_curve(kp.public_key));
+  }
+}
+
+// Scalar-multiplication consistency sweep: (k+1)G == kG + G for many k.
+class ScalarMulProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalarMulProperty, IncrementalConsistency) {
+  const auto& curve = EcCurve::p256();
+  const EcPoint g = curve.generator();
+  const EcPoint kg = curve.multiply(U256(GetParam()), g);
+  const EcPoint k1g = curve.multiply(U256(GetParam() + 1), g);
+  EXPECT_EQ(curve.add(kg, g), k1g);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallScalars, ScalarMulProperty,
+                         ::testing::Values(1, 2, 3, 5, 16, 100, 255, 65537));
+
+}  // namespace
+}  // namespace blap::crypto

@@ -1,0 +1,144 @@
+// Tests for the HFP profile and the paper's "phone call conversations" leak:
+// a sniffed encrypted call decrypts retroactively once the link key leaks.
+#include <gtest/gtest.h>
+
+#include "core/air_analysis.hpp"
+#include "core/device.hpp"
+#include "core/snoop_extractor.hpp"
+
+namespace blap::core {
+namespace {
+
+DeviceSpec spec(const std::string& name, const std::string& addr) {
+  DeviceSpec s;
+  s.name = name;
+  s.address = *BdAddr::parse(addr);
+  return s;
+}
+
+struct CallScenario {
+  std::unique_ptr<Simulation> sim;
+  Device* phone = nullptr;
+  Device* carkit = nullptr;
+
+  explicit CallScenario(std::uint64_t seed) {
+    sim = std::make_unique<Simulation>(seed);
+    phone = &sim->add_device(spec("phone", "48:90:00:00:00:01"));
+    carkit = &sim->add_device(spec("carkit", "00:1b:00:00:00:02"));
+  }
+
+  bool open_channel() {
+    bool connected = false;
+    bool done = false;
+    carkit->host().connect_hfp(phone->address(), [&](bool ok) {
+      connected = ok;
+      done = true;
+    });
+    for (int i = 0; i < 400 && !done; ++i) sim->run_for(100 * kMillisecond);
+    return connected;
+  }
+};
+
+TEST(Hfp, ChannelRequiresAndTriggersAuthentication) {
+  CallScenario s(100);
+  EXPECT_TRUE(s.open_channel());
+  EXPECT_TRUE(s.carkit->host().security().is_bonded(s.phone->address()));
+  EXPECT_TRUE(s.carkit->host().hfp_channel_open(s.phone->address()));
+  EXPECT_TRUE(s.phone->host().hfp_channel_open(s.carkit->address()));
+}
+
+TEST(Hfp, AnswerCallFlowsAudioBothWays) {
+  CallScenario s(101);
+  ASSERT_TRUE(s.open_channel());
+
+  // Phone rings the car-kit; car-kit answers; both sides mark call active.
+  s.phone->host().hfp_send_at(s.carkit->address(), "RING");
+  s.sim->run_for(100 * kMillisecond);
+  s.carkit->host().hfp_send_at(s.phone->address(), "ATA");
+  s.sim->run_for(100 * kMillisecond);
+  EXPECT_TRUE(s.phone->host().hfp().call_active());
+  s.carkit->host().hfp().set_call_active(true);
+
+  // Voice frames in both directions.
+  const Bytes voice_up = {'h', 'e', 'l', 'l', 'o'};
+  const Bytes voice_down = {'w', 'o', 'r', 'l', 'd'};
+  s.carkit->host().hfp_send_audio(s.phone->address(), voice_up);
+  s.phone->host().hfp_send_audio(s.carkit->address(), voice_down);
+  s.sim->run_for(kSecond);
+
+  ASSERT_EQ(s.phone->host().hfp().received_audio().size(), 1u);
+  EXPECT_EQ(s.phone->host().hfp().received_audio()[0].samples, voice_up);
+  ASSERT_EQ(s.carkit->host().hfp().received_audio().size(), 1u);
+  EXPECT_EQ(s.carkit->host().hfp().received_audio()[0].samples, voice_down);
+  // The control log captured the exchange.
+  ASSERT_FALSE(s.phone->host().hfp().at_log().empty());
+  EXPECT_EQ(s.phone->host().hfp().at_log()[0], "ATA");
+}
+
+TEST(Hfp, HangupStopsRecording) {
+  CallScenario s(102);
+  ASSERT_TRUE(s.open_channel());
+  s.carkit->host().hfp_send_at(s.phone->address(), "ATA");
+  s.sim->run_for(100 * kMillisecond);
+  s.carkit->host().hfp_send_at(s.phone->address(), "AT+CHUP");
+  s.sim->run_for(100 * kMillisecond);
+  EXPECT_FALSE(s.phone->host().hfp().call_active());
+  s.carkit->host().hfp_send_audio(s.phone->address(), Bytes{1, 2, 3});
+  s.sim->run_for(kSecond);
+  EXPECT_TRUE(s.phone->host().hfp().received_audio().empty());
+}
+
+TEST(Hfp, CallAudioIsEncryptedOnAirAndDecryptsWithStolenKey) {
+  // The paper's full eavesdropping claim for calls (§IV): the sniffer only
+  // ever sees ciphertext, but the extracted link key unlocks the recording.
+  CallScenario s(103);
+  AirSniffer sniffer(s.sim->medium());
+  ASSERT_TRUE(s.open_channel());
+  s.carkit->host().hfp_send_at(s.phone->address(), "ATA");
+  s.sim->run_for(100 * kMillisecond);
+  const Bytes voice = {'s', 'e', 'c', 'r', 'e', 't', 'c', 'a', 'l', 'l'};
+  s.carkit->host().hfp_send_audio(s.phone->address(), voice);
+  s.sim->run_for(kSecond);
+  ASSERT_EQ(s.phone->host().hfp().received_audio().size(), 1u);
+
+  // On the air: no frame carries the voice verbatim.
+  bool plaintext_on_air = false;
+  for (const auto& frame : sniffer.frames()) {
+    const std::string text(frame.frame.begin(), frame.frame.end());
+    if (text.find("secretcall") != std::string::npos) plaintext_on_air = true;
+  }
+  EXPECT_FALSE(plaintext_on_air);
+
+  // With the link key (as the extraction attack obtains): full recovery.
+  const auto key = s.carkit->host().security().link_key_for(s.phone->address());
+  ASSERT_TRUE(key.has_value());
+  const auto decrypted = decrypt_captured_traffic(sniffer.frames(), *key);
+  ASSERT_TRUE(decrypted.has_value());
+  bool recovered = false;
+  for (const auto& payload : *decrypted) {
+    const std::string text(payload.plaintext.begin(), payload.plaintext.end());
+    if (text.find("secretcall") != std::string::npos) recovered = true;
+  }
+  EXPECT_TRUE(recovered);
+}
+
+TEST(Hfp, AudioBeforeChannelIsDropped) {
+  CallScenario s(104);
+  // No channel open: sends are no-ops, no crash.
+  s.carkit->host().hfp_send_audio(s.phone->address(), Bytes{1});
+  s.carkit->host().hfp_send_at(s.phone->address(), "ATA");
+  s.sim->run_for(kSecond);
+  EXPECT_TRUE(s.phone->host().hfp().received_audio().empty());
+}
+
+TEST(Hfp, ChannelClosesWithAcl) {
+  CallScenario s(105);
+  ASSERT_TRUE(s.open_channel());
+  s.carkit->host().disconnect(s.phone->address());
+  s.sim->run_for(kSecond);
+  EXPECT_FALSE(s.carkit->host().hfp_channel_open(s.phone->address()));
+  EXPECT_FALSE(s.phone->host().hfp_channel_open(s.carkit->address()));
+}
+
+}  // namespace
+}  // namespace blap::core

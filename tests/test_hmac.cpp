@@ -1,0 +1,69 @@
+// HMAC-SHA-256 validation against RFC 4231 test cases.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace blap::crypto {
+namespace {
+
+Bytes ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex(hmac_sha256(key, ascii("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(hex(hmac_sha256(ascii("Jefe"), ascii("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case4) {
+  Bytes key;
+  for (std::uint8_t i = 1; i <= 25; ++i) key.push_back(i);
+  const Bytes data(50, 0xcd);
+  EXPECT_EQ(hex(hmac_sha256(key, data)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(hex(hmac_sha256(key, ascii("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, Rfc4231Case7LongKeyLongData) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(hex(hmac_sha256(
+                key, ascii("This is a test using a larger than block-size key and a larger than "
+                           "block-size data. The key needs to be hashed before being used by the "
+                           "HMAC algorithm."))),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  const Bytes k1(16, 0x01), k2(16, 0x02);
+  EXPECT_NE(hmac_sha256(k1, ascii("m")), hmac_sha256(k2, ascii("m")));
+}
+
+TEST(HmacSha256, MessageSensitivity) {
+  const Bytes key(16, 0x01);
+  EXPECT_NE(hmac_sha256(key, ascii("m1")), hmac_sha256(key, ascii("m2")));
+}
+
+TEST(HmacSha256, EmptyKeyAndMessageWellDefined) {
+  const auto tag = hmac_sha256(Bytes{}, Bytes{});
+  EXPECT_EQ(hex(tag), "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
+}
+
+}  // namespace
+}  // namespace blap::crypto

@@ -1,0 +1,208 @@
+// Integration tests for the host's GAP service APIs: scan modes (including
+// the §II-B non-connectable defense), SDP service discovery, remote names,
+// and end-to-end attack persistence.
+#include <gtest/gtest.h>
+
+#include "core/device.hpp"
+#include "core/page_blocking.hpp"
+
+namespace blap::core {
+namespace {
+
+DeviceSpec spec(const std::string& name, const std::string& addr) {
+  DeviceSpec s;
+  s.name = name;
+  s.address = *BdAddr::parse(addr);
+  return s;
+}
+
+class HostServices : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim = std::make_unique<Simulation>(70);
+    m = &sim->add_device(spec("phone", "48:90:00:00:00:01"));
+    c = &sim->add_device(spec("headset", "00:1b:00:00:00:02"));
+  }
+  std::unique_ptr<Simulation> sim;
+  Device* m = nullptr;
+  Device* c = nullptr;
+};
+
+TEST_F(HostServices, NonDiscoverableDeviceHiddenFromInquiry) {
+  c->host().set_scan_mode(hci::ScanEnable::kPageOnly);
+  sim->run_for(100 * kMillisecond);
+  std::vector<host::HostStack::Discovered> found;
+  m->host().discover(2, [&](std::vector<host::HostStack::Discovered> r) { found = r; });
+  sim->run_for(5 * kSecond);
+  EXPECT_TRUE(found.empty());
+  // ...but still connectable.
+  bool connected = false;
+  m->host().connect_only(c->address(), [&](hci::Status s) {
+    connected = s == hci::Status::kSuccess;
+  });
+  sim->run_for(5 * kSecond);
+  EXPECT_TRUE(connected);
+}
+
+TEST_F(HostServices, NonConnectableModeDefeatsPaging) {
+  // §II-B: "a responder may set the non-connectable mode to disable the
+  // page procedure."
+  c->host().set_scan_mode(hci::ScanEnable::kNone);
+  sim->run_for(100 * kMillisecond);
+  hci::Status status = hci::Status::kSuccess;
+  bool done = false;
+  m->host().connect_only(c->address(), [&](hci::Status s) {
+    status = s;
+    done = true;
+  });
+  sim->run_for(10 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(status, hci::Status::kPageTimeout);
+}
+
+TEST_F(HostServices, NonConnectableVictimDefeatsPageBlocking) {
+  // A page-blocking attacker cannot PLOC a device that will not answer
+  // pages — the strongest (if impractical) defense.
+  Simulation sim2(71);
+  Device& attacker = sim2.add_device(spec("attacker", "aa:aa:aa:00:00:01"));
+  Device& accessory = sim2.add_device(spec("headset", "00:1b:7d:da:71:0a"));
+  Device& target = sim2.add_device(spec("victim", "48:90:12:34:56:78"));
+  target.host().set_scan_mode(hci::ScanEnable::kInquiryOnly);  // no page scan
+  sim2.run_for(100 * kMillisecond);
+  const auto report = PageBlockingAttack::run(sim2, attacker, accessory, target, {});
+  EXPECT_FALSE(report.ploc_established);
+  EXPECT_FALSE(report.mitm_established);
+}
+
+TEST_F(HostServices, SdpFindsAdvertisedService) {
+  std::optional<host::SdpClient::Result> result;
+  bool done = false;
+  m->host().discover_services(c->address(), uuid16::kNap,
+                              [&](std::optional<host::SdpClient::Result> r) {
+                                result = r;
+                                done = true;
+                              });
+  sim->run_for(10 * kSecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->found);
+  EXPECT_FALSE(result->all_services.empty());
+}
+
+TEST_F(HostServices, SdpReportsMissingService) {
+  std::optional<host::SdpClient::Result> result;
+  m->host().discover_services(c->address(), 0x1234 /* bogus uuid */,
+                              [&](std::optional<host::SdpClient::Result> r) { result = r; });
+  sim->run_for(10 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->found);
+}
+
+TEST_F(HostServices, SdpWorksWithoutAuthentication) {
+  // GAP allows SDP on an unauthenticated link — the property the paper's
+  // §VII-B discussion leans on (a connection may legitimately never pair).
+  std::optional<host::SdpClient::Result> result;
+  m->host().discover_services(c->address(), uuid16::kSdpServer,
+                              [&](std::optional<host::SdpClient::Result> r) { result = r; });
+  sim->run_for(10 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->found);
+  // And no bond was created along the way.
+  EXPECT_FALSE(m->host().security().is_bonded(c->address()));
+}
+
+TEST_F(HostServices, RemoteNameRequest) {
+  bool connected = false;
+  m->host().connect_only(c->address(), [&](hci::Status s) {
+    connected = s == hci::Status::kSuccess;
+  });
+  sim->run_for(5 * kSecond);
+  ASSERT_TRUE(connected);
+  std::optional<std::string> name;
+  m->host().request_remote_name(c->address(), [&](std::optional<std::string> n) { name = n; });
+  sim->run_for(2 * kSecond);
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(*name, "headset");
+}
+
+TEST_F(HostServices, RemoteNameFailsWithoutConnection) {
+  std::optional<std::string> name = "sentinel";
+  bool done = false;
+  m->host().request_remote_name(c->address(), [&](std::optional<std::string> n) {
+    name = n;
+    done = true;
+  });
+  sim->run_for(2 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(name.has_value());
+}
+
+TEST(AttackPersistence, PageBlockedKeyWorksInLaterSessions) {
+  // The paper's end goal: PERSISTENT impersonation. After page blocking, the
+  // attacker holds M's bond for "C" — days later (new connection, victim
+  // reboots...) the attacker reconnects with the stored key, no UI at all.
+  Simulation sim(72);
+  Device& attacker = sim.add_device(spec("attacker", "aa:aa:aa:00:00:01"));
+  Device& accessory = sim.add_device(spec("headset", "00:1b:7d:da:71:0a"));
+  Device& target = sim.add_device(spec("victim", "48:90:12:34:56:78"));
+  accessory.host().config().io_capability = hci::IoCapability::kNoInputNoOutput;
+
+  const auto report = PageBlockingAttack::run(sim, attacker, accessory, target, {});
+  ASSERT_TRUE(report.mitm_established);
+
+  // Tear everything down; time passes.
+  attacker.host().disconnect(target.address());
+  sim.run_for(5 * kSecond);
+  ASSERT_FALSE(target.host().has_acl(accessory.address()));
+  const std::size_t popups_before = target.host().popup_history().size();
+
+  // The attacker comes back: PAN tethering straight through LMP auth.
+  bool pan_ok = false;
+  attacker.host().connect_pan(target.address(), [&](bool ok) { pan_ok = ok; });
+  sim.run_for(20 * kSecond);
+  EXPECT_TRUE(pan_ok);
+  EXPECT_EQ(target.host().popup_history().size(), popups_before);  // silent
+}
+
+}  // namespace
+}  // namespace blap::core
+
+// NOTE: appended — EIR names surfacing in discovery.
+namespace blap::core {
+namespace {
+
+TEST(Discovery, ResultsCarryEirNames) {
+  Simulation sim(160);
+  Device& scanner = sim.add_device(spec("scanner", "00:00:00:00:00:01"));
+  Device& target = sim.add_device(spec("friendly-speaker", "00:00:00:00:00:02"));
+  (void)target;
+  std::vector<host::HostStack::Discovered> found;
+  scanner.host().discover(2, [&](std::vector<host::HostStack::Discovered> r) {
+    found = std::move(r);
+  });
+  sim.run_for(5 * kSecond);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].name, "friendly-speaker");
+  EXPECT_NE(found[0].rssi, 0);
+}
+
+TEST(Discovery, SpoofedDeviceAdvertisesStolenNameToo) {
+  // The attacker's controller reports its (spoofed) identity in the EIR —
+  // the scan list shows "headset", indistinguishable from the real thing.
+  Simulation sim(161);
+  Device& scanner = sim.add_device(spec("scanner", "00:00:00:00:00:01"));
+  Device& attacker = sim.add_device(spec("attacker", "aa:aa:aa:00:00:02"));
+  attacker.spoof_identity(*BdAddr::parse("00:1b:7d:da:71:0a"),
+                          ClassOfDevice(ClassOfDevice::kHandsFree));
+  std::vector<host::HostStack::Discovered> found;
+  scanner.host().discover(2, [&](std::vector<host::HostStack::Discovered> r) {
+    found = std::move(r);
+  });
+  sim.run_for(5 * kSecond);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].address.to_string(), "00:1b:7d:da:71:0a");
+  EXPECT_EQ(found[0].class_of_device.describe(), "Audio/Video");
+}
+
+}  // namespace
+}  // namespace blap::core

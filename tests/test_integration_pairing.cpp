@@ -1,0 +1,177 @@
+// End-to-end integration: two full devices pairing, bonding, reconnecting,
+// and encrypting over the simulated radio — the paper's Fig. 2 procedures.
+#include <gtest/gtest.h>
+
+#include "core/device.hpp"
+#include "core/snoop_extractor.hpp"
+
+namespace blap::core {
+namespace {
+
+DeviceSpec phone_spec(const std::string& name, const std::string& addr) {
+  DeviceSpec spec;
+  spec.name = name;
+  spec.address = *BdAddr::parse(addr);
+  spec.class_of_device = ClassOfDevice(ClassOfDevice::kMobilePhone);
+  return spec;
+}
+
+class PairingIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim = std::make_unique<Simulation>(42);
+    m = &sim->add_device(phone_spec("phone-M", "48:90:00:00:00:01"));
+    c = &sim->add_device(phone_spec("headset-C", "00:1b:00:00:00:02"));
+  }
+
+  // Run the simulation in small steps until the operation completes, so
+  // post-completion idle policies don't race the assertions.
+  hci::Status pair(Device& initiator, Device& responder) {
+    hci::Status result = hci::Status::kPageTimeout;
+    bool done = false;
+    initiator.host().pair(responder.address(), [&](hci::Status status) {
+      result = status;
+      done = true;
+    });
+    for (int i = 0; i < 400 && !done; ++i) sim->run_for(100 * kMillisecond);
+    EXPECT_TRUE(done) << "pairing never completed";
+    return result;
+  }
+
+  std::unique_ptr<Simulation> sim;
+  Device* m = nullptr;
+  Device* c = nullptr;
+};
+
+TEST_F(PairingIntegration, HostsLearnTheirAddresses) {
+  EXPECT_EQ(m->host().address(), m->address());
+  EXPECT_EQ(c->host().address(), c->address());
+}
+
+TEST_F(PairingIntegration, DiscoveryFindsPeer) {
+  std::vector<host::HostStack::Discovered> found;
+  m->host().discover(2, [&](std::vector<host::HostStack::Discovered> results) {
+    found = std::move(results);
+  });
+  sim->run_for(5 * kSecond);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].address, c->address());
+}
+
+TEST_F(PairingIntegration, FreshPairingSucceedsAndBondsBothSides) {
+  EXPECT_EQ(pair(*m, *c), hci::Status::kSuccess);
+  ASSERT_TRUE(m->host().security().is_bonded(c->address()));
+  ASSERT_TRUE(c->host().security().is_bonded(m->address()));
+  // Both sides derived the same link key — the SSP f2 contract.
+  EXPECT_EQ(*m->host().security().link_key_for(c->address()),
+            *c->host().security().link_key_for(m->address()));
+}
+
+TEST_F(PairingIntegration, PairedLinkIsAuthenticatedAndEncrypted) {
+  ASSERT_EQ(pair(*m, *c), hci::Status::kSuccess);
+  const auto acls = m->host().acls();
+  ASSERT_EQ(acls.size(), 1u);
+  EXPECT_TRUE(acls[0].authenticated);
+  EXPECT_TRUE(acls[0].encrypted);
+}
+
+TEST_F(PairingIntegration, NumericComparisonPopupsAgreeOnBothSides) {
+  ASSERT_EQ(pair(*m, *c), hci::Status::kSuccess);
+  // Both DisplayYesNo at v5.0: numeric comparison with the value displayed.
+  ASSERT_FALSE(m->host().popup_history().empty());
+  ASSERT_FALSE(c->host().popup_history().empty());
+  const auto& pm = m->host().popup_history().front();
+  const auto& pc = c->host().popup_history().front();
+  ASSERT_TRUE(pm.numeric_value.has_value());
+  ASSERT_TRUE(pc.numeric_value.has_value());
+  EXPECT_EQ(*pm.numeric_value, *pc.numeric_value);
+  EXPECT_LT(*pm.numeric_value, 1'000'000u);
+}
+
+TEST_F(PairingIntegration, BondedReconnectSkipsPairing) {
+  ASSERT_EQ(pair(*m, *c), hci::Status::kSuccess);
+  m->host().disconnect(c->address());
+  sim->run_for(2 * kSecond);
+  ASSERT_FALSE(m->host().has_acl(c->address()));
+
+  const std::size_t pairings_before = m->host().pairing_events().size();
+  EXPECT_EQ(pair(*m, *c), hci::Status::kSuccess);
+  // No Simple_Pairing_Complete the second time: LMP auth with the stored key.
+  EXPECT_EQ(m->host().pairing_events().size(), pairings_before);
+}
+
+TEST_F(PairingIntegration, RejectingUserFailsPairing) {
+  struct Rejector : host::UserAgent {
+    bool on_pairing_popup(const BdAddr&, std::optional<std::uint32_t>) override {
+      return false;
+    }
+  } rejector;
+  c->host().set_user_agent(&rejector);
+  EXPECT_NE(pair(*m, *c), hci::Status::kSuccess);
+  EXPECT_FALSE(m->host().security().is_bonded(c->address()));
+}
+
+TEST_F(PairingIntegration, PageTimeoutWhenPeerOffline) {
+  c->set_radio_enabled(false);
+  EXPECT_EQ(pair(*m, *c), hci::Status::kPageTimeout);
+}
+
+TEST_F(PairingIntegration, SnoopRecordsLinkKeyDuringPairing) {
+  m->host().enable_snoop(true);
+  ASSERT_EQ(pair(*m, *c), hci::Status::kSuccess);
+  // The fresh key crossed M's HCI in a Link_Key_Notification.
+  const auto keys = extract_link_keys(m->host().snoop());
+  ASSERT_FALSE(keys.empty());
+  EXPECT_EQ(keys.back().key, *m->host().security().link_key_for(c->address()));
+}
+
+TEST_F(PairingIntegration, BondedReconnectLogsKeyInRequestReply) {
+  ASSERT_EQ(pair(*m, *c), hci::Status::kSuccess);
+  m->host().disconnect(c->address());
+  sim->run_for(2 * kSecond);
+
+  m->host().enable_snoop(true);
+  ASSERT_EQ(pair(*m, *c), hci::Status::kSuccess);
+  const auto key = extract_link_key_for(m->host().snoop(), c->address());
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->source, KeySource::kLinkKeyRequestReply);
+  EXPECT_EQ(key->key, *m->host().security().link_key_for(c->address()));
+}
+
+TEST_F(PairingIntegration, IdleAclIsDroppedByHost) {
+  bool connected = false;
+  m->host().connect_only(c->address(), [&](hci::Status s) {
+    connected = s == hci::Status::kSuccess;
+  });
+  sim->run_for(3 * kSecond);
+  ASSERT_TRUE(connected);
+  ASSERT_TRUE(m->host().has_acl(c->address()));
+  // No channels, no pending ops: the idle policy kills the link.
+  sim->run_for(m->host().config().acl_idle_timeout + 5 * kSecond);
+  EXPECT_FALSE(m->host().has_acl(c->address()));
+}
+
+TEST_F(PairingIntegration, PanConnectRequiresAndTriggersAuthentication) {
+  bool pan_ok = false;
+  bool done = false;
+  m->host().connect_pan(c->address(), [&](bool ok) {
+    pan_ok = ok;
+    done = true;
+  });
+  sim->run_for(20 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(pan_ok);
+  EXPECT_TRUE(c->host().pan().server_session_active());
+  EXPECT_TRUE(m->host().security().is_bonded(c->address()));
+}
+
+TEST_F(PairingIntegration, EchoRoundTripWorks) {
+  ASSERT_EQ(pair(*m, *c), hci::Status::kSuccess);
+  bool echoed = false;
+  m->host().send_echo(c->address(), [&] { echoed = true; });
+  sim->run_for(kSecond);
+  EXPECT_TRUE(echoed);
+}
+
+}  // namespace
+}  // namespace blap::core

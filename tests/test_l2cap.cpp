@@ -1,0 +1,176 @@
+// Unit tests for the L2CAP layer: channels, the auth gate, echo, cleanup.
+#include <gtest/gtest.h>
+
+#include "host/l2cap.hpp"
+
+namespace blap::host {
+namespace {
+
+/// Wire two L2cap instances back to back through in-memory "ACL links".
+struct Pair {
+  std::unique_ptr<L2cap> left;
+  std::unique_ptr<L2cap> right;
+  std::vector<std::pair<bool, Bytes>> in_flight;  // (to_right, payload)
+
+  Pair() {
+    left = std::make_unique<L2cap>([this](hci::ConnectionHandle, BytesView p) {
+      in_flight.emplace_back(true, to_bytes(p));
+    });
+    right = std::make_unique<L2cap>([this](hci::ConnectionHandle, BytesView p) {
+      in_flight.emplace_back(false, to_bytes(p));
+    });
+  }
+
+  void pump(hci::ConnectionHandle handle = 1) {
+    while (!in_flight.empty()) {
+      auto [to_right, payload] = in_flight.front();
+      in_flight.erase(in_flight.begin());
+      (to_right ? right : left)->on_acl_data(handle, payload);
+    }
+  }
+};
+
+TEST(L2cap, ConnectToRegisteredPsm) {
+  Pair p;
+  std::vector<Bytes> server_data;
+  L2cap::Service service;
+  service.on_data = [&](const L2capChannel&, BytesView data) {
+    server_data.push_back(to_bytes(data));
+  };
+  p.right->register_service(0x1001, std::move(service));
+
+  std::optional<L2capChannel> channel;
+  p.left->connect_channel(1, 0x1001, [&](std::optional<L2capChannel> ch) { channel = ch; });
+  p.pump();
+  ASSERT_TRUE(channel.has_value());
+  EXPECT_EQ(channel->psm, 0x1001);
+  EXPECT_NE(channel->remote_cid, 0);
+
+  p.left->send(*channel, Bytes{0xAA, 0xBB});
+  p.pump();
+  ASSERT_EQ(server_data.size(), 1u);
+  EXPECT_EQ(server_data[0], (Bytes{0xAA, 0xBB}));
+}
+
+TEST(L2cap, ConnectToUnknownPsmFails) {
+  Pair p;
+  bool called = false;
+  std::optional<L2capChannel> channel;
+  p.left->connect_channel(1, 0x9999, [&](std::optional<L2capChannel> ch) {
+    channel = ch;
+    called = true;
+  });
+  p.pump();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(channel.has_value());
+}
+
+TEST(L2cap, AuthGateBlocksUnauthenticatedPeers) {
+  Pair p;
+  L2cap::Service service;
+  service.requires_authentication = true;
+  service.on_data = [](const L2capChannel&, BytesView) {};
+  p.right->register_service(0x000F, std::move(service));
+  // No auth oracle installed: default deny.
+
+  std::optional<L2capChannel> channel = L2capChannel{};
+  p.left->connect_channel(1, 0x000F, [&](std::optional<L2capChannel> ch) { channel = ch; });
+  p.pump();
+  EXPECT_FALSE(channel.has_value());
+
+  // Now grant authentication and retry.
+  p.right->set_auth_oracle([](hci::ConnectionHandle) { return true; });
+  p.left->connect_channel(1, 0x000F, [&](std::optional<L2capChannel> ch) { channel = ch; });
+  p.pump();
+  EXPECT_TRUE(channel.has_value());
+}
+
+TEST(L2cap, OnOpenFiresForInboundChannels) {
+  Pair p;
+  int opened = 0;
+  L2cap::Service service;
+  service.on_open = [&](const L2capChannel&) { ++opened; };
+  p.right->register_service(0x1001, std::move(service));
+  p.left->connect_channel(1, 0x1001, nullptr);
+  p.pump();
+  EXPECT_EQ(opened, 1);
+}
+
+TEST(L2cap, EchoRoundTrip) {
+  Pair p;
+  bool echoed = false;
+  p.left->echo(1, Bytes{'h', 'i'}, [&] { echoed = true; });
+  p.pump();
+  EXPECT_TRUE(echoed);
+}
+
+TEST(L2cap, EchoWorksWithoutAnyService) {
+  // Echo is signaling-level: it needs no PSM — that is what makes it good
+  // PLOC keep-alive dummy data.
+  Pair p;
+  bool echoed = false;
+  p.left->echo(1, Bytes{}, [&] { echoed = true; });
+  p.pump();
+  EXPECT_TRUE(echoed);
+}
+
+TEST(L2cap, ChannelCountTracksLifecycle) {
+  Pair p;
+  L2cap::Service service;
+  service.on_data = [](const L2capChannel&, BytesView) {};
+  p.right->register_service(0x1001, std::move(service));
+  EXPECT_EQ(p.left->channel_count(1), 0u);
+  p.left->connect_channel(1, 0x1001, nullptr);
+  p.pump();
+  EXPECT_EQ(p.left->channel_count(1), 1u);
+  EXPECT_EQ(p.right->channel_count(1), 1u);
+  p.left->on_disconnected(1);
+  EXPECT_EQ(p.left->channel_count(1), 0u);
+}
+
+TEST(L2cap, DisconnectedCleansPendingCallbacks) {
+  Pair p;
+  // Connect request whose response never arrives.
+  bool called = false;
+  p.left->connect_channel(1, 0x1001, [&](std::optional<L2capChannel>) { called = true; });
+  p.left->on_disconnected(1);
+  p.pump();  // the response (PSM not supported) arrives for a dead link
+  EXPECT_FALSE(called);  // no dangling callback fired
+}
+
+TEST(L2cap, MalformedSignalingIsIgnored) {
+  Pair p;
+  // Truncated signaling command must not crash or respond.
+  p.right->on_acl_data(1, Bytes{0x01, 0x00, 0x02});  // CID 1, half a header
+  p.right->on_acl_data(1, Bytes{0x01});              // CID only... truncated
+  p.right->on_acl_data(1, Bytes{});                  // empty
+  EXPECT_TRUE(p.in_flight.empty());
+}
+
+TEST(L2cap, DataOnUnknownCidIgnored) {
+  Pair p;
+  int delivered = 0;
+  L2cap::Service service;
+  service.on_data = [&](const L2capChannel&, BytesView) { ++delivered; };
+  p.right->register_service(0x1001, std::move(service));
+  p.right->on_acl_data(1, Bytes{0x40, 0x00, 0xAA});  // CID 0x0040 never opened
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(L2cap, MultipleChannelsSamePsm) {
+  Pair p;
+  L2cap::Service service;
+  service.on_data = [](const L2capChannel&, BytesView) {};
+  p.right->register_service(0x1001, std::move(service));
+  std::optional<L2capChannel> ch1, ch2;
+  p.left->connect_channel(1, 0x1001, [&](std::optional<L2capChannel> ch) { ch1 = ch; });
+  p.left->connect_channel(1, 0x1001, [&](std::optional<L2capChannel> ch) { ch2 = ch; });
+  p.pump();
+  ASSERT_TRUE(ch1 && ch2);
+  EXPECT_NE(ch1->local_cid, ch2->local_cid);
+  EXPECT_NE(ch1->remote_cid, ch2->remote_cid);
+  EXPECT_EQ(p.left->channel_count(1), 2u);
+}
+
+}  // namespace
+}  // namespace blap::host

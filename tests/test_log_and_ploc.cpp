@@ -1,0 +1,144 @@
+// Tests for the logging facility and the host's PLOC event-queue mechanics
+// (the Fig. 13 hook) observed directly at the HCI boundary.
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "core/device.hpp"
+
+namespace blap {
+namespace {
+
+TEST(Logger, SinkCapturesMessagesAtOrAboveLevel) {
+  auto& logger = Logger::instance();
+  const LogLevel old_level = logger.level();
+  std::vector<std::pair<std::string, std::string>> captured;
+  logger.set_sink([&](LogLevel, const std::string& component, const std::string& message) {
+    captured.emplace_back(component, message);
+  });
+  logger.set_level(LogLevel::Info);
+
+  BLAP_DEBUG("test", "hidden %d", 1);
+  BLAP_INFO("test", "visible %d", 2);
+  BLAP_ERROR("other", "also visible");
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, "test");
+  EXPECT_EQ(captured[0].second, "visible 2");
+  EXPECT_EQ(captured[1].first, "other");
+
+  logger.set_sink(nullptr);
+  logger.set_level(old_level);
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::Trace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::Error), "ERROR");
+}
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%s=%d", "x", 42), "x=42");
+  EXPECT_EQ(strfmt("%04x", 0xab), "00ab");
+  EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace blap
+
+namespace blap::core {
+namespace {
+
+DeviceSpec spec(const std::string& name, const std::string& addr) {
+  DeviceSpec s;
+  s.name = name;
+  s.address = *BdAddr::parse(addr);
+  return s;
+}
+
+TEST(Ploc, QueuedEventsProcessInOrderAfterFlush) {
+  Simulation sim(150);
+  Device& attacker = sim.add_device(spec("attacker", "00:00:00:00:00:01"));
+  Device& victim = sim.add_device(spec("victim", "00:00:00:00:00:02"));
+  attacker.host().hooks().ploc_delay = 3 * kSecond;
+
+  bool connected = false;
+  attacker.host().connect_only(victim.address(), [&](hci::Status s) {
+    connected = s == hci::Status::kSuccess;
+  });
+  // Shortly after the baseband link is up, A's host must NOT have processed
+  // the Connection_Complete (it is stalled in the PLOC queue)...
+  sim.run_for(2 * kSecond);
+  EXPECT_FALSE(connected);
+  EXPECT_FALSE(attacker.host().has_acl(victim.address()));
+  // ...while the victim's side sees the link as fully up.
+  EXPECT_TRUE(victim.host().has_acl(attacker.address()));
+
+  // After the PLOC window, the queued events drain in order and the host
+  // state catches up.
+  sim.run_for(3 * kSecond);
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(attacker.host().has_acl(victim.address()));
+}
+
+TEST(Ploc, TrafficDuringPlocIsNotLost) {
+  Simulation sim(151);
+  Device& attacker = sim.add_device(spec("attacker", "00:00:00:00:00:01"));
+  Device& victim = sim.add_device(spec("victim", "00:00:00:00:00:02"));
+  attacker.host().hooks().ploc_delay = 3 * kSecond;
+
+  attacker.host().connect_only(victim.address(), nullptr);
+  // Wait for the victim side of the link (page latency is randomized).
+  for (int i = 0; i < 50 && !victim.host().has_acl(attacker.address()); ++i)
+    sim.run_for(100 * kMillisecond);
+  ASSERT_TRUE(victim.host().has_acl(attacker.address()));
+
+  // The victim's host can use the link immediately: its echo request lands
+  // in A's PLOC queue and is answered after the flush.
+  bool echoed = false;
+  victim.host().send_echo(attacker.address(), [&] { echoed = true; });
+  sim.run_for(500 * kMillisecond);
+  EXPECT_FALSE(echoed);  // still queued on A's side
+  sim.run_for(5 * kSecond);
+  EXPECT_TRUE(echoed);  // answered post-flush, nothing lost
+}
+
+TEST(Ploc, ZeroDelayMeansNoQueueing) {
+  Simulation sim(152);
+  Device& a = sim.add_device(spec("a", "00:00:00:00:00:01"));
+  Device& b = sim.add_device(spec("b", "00:00:00:00:00:02"));
+  ASSERT_EQ(a.host().hooks().ploc_delay, 0u);
+  bool connected = false;
+  a.host().connect_only(b.address(), [&](hci::Status s) {
+    connected = s == hci::Status::kSuccess;
+  });
+  sim.run_for(3 * kSecond);
+  EXPECT_TRUE(connected);
+}
+
+TEST(Ploc, RearmsForSubsequentConnections) {
+  // Fig. 13's hook stalls on EVERY Connection_Complete while enabled.
+  Simulation sim(153);
+  Device& attacker = sim.add_device(spec("attacker", "00:00:00:00:00:01"));
+  Device& victim = sim.add_device(spec("victim", "00:00:00:00:00:02"));
+  attacker.host().hooks().ploc_delay = 2 * kSecond;
+
+  bool first = false;
+  attacker.host().connect_only(victim.address(), [&](hci::Status s) {
+    first = s == hci::Status::kSuccess;
+  });
+  sim.run_for(5 * kSecond);
+  ASSERT_TRUE(first);
+  attacker.host().disconnect(victim.address());
+  sim.run_for(kSecond);
+
+  bool second = false;
+  attacker.host().connect_only(victim.address(), [&](hci::Status s) {
+    second = s == hci::Status::kSuccess;
+  });
+  sim.run_for(1500 * kMillisecond);
+  EXPECT_FALSE(second);  // stalled again
+  sim.run_for(3 * kSecond);
+  EXPECT_TRUE(second);
+}
+
+}  // namespace
+}  // namespace blap::core

@@ -1,0 +1,120 @@
+// Unit tests for the §VII mitigation building blocks.
+#include <gtest/gtest.h>
+
+#include "core/mitigations.hpp"
+#include "core/snoop_extractor.hpp"
+#include "hci/commands.hpp"
+#include "hci/events.hpp"
+
+namespace blap::core {
+namespace {
+
+const BdAddr kAddr = *BdAddr::parse("00:1b:7d:da:71:0a");
+
+hci::HciPacket key_reply() {
+  hci::LinkKeyRequestReplyCmd cmd;
+  cmd.bdaddr = kAddr;
+  for (std::size_t i = 0; i < 16; ++i) cmd.link_key[i] = static_cast<std::uint8_t>(0x30 + i);
+  return cmd.encode();
+}
+
+hci::HciPacket key_notification() {
+  hci::LinkKeyNotificationEvt evt;
+  evt.bdaddr = kAddr;
+  evt.link_key.fill(0x44);
+  return evt.encode();
+}
+
+hci::SnoopRecord rec(hci::HciPacket packet) {
+  hci::SnoopRecord record;
+  record.timestamp_us = 1;
+  record.direction = hci::Direction::kHostToController;
+  record.packet = std::move(packet);
+  return record;
+}
+
+TEST(IsKeyBearing, IdentifiesBothKeyMessages) {
+  EXPECT_TRUE(is_key_bearing(key_reply()));
+  EXPECT_TRUE(is_key_bearing(key_notification()));
+  EXPECT_FALSE(is_key_bearing(hci::make_command(hci::op::kReset, {})));
+  EXPECT_FALSE(is_key_bearing(hci::make_command(hci::op::kLinkKeyRequestNegativeReply, Bytes(6))));
+  EXPECT_FALSE(is_key_bearing(hci::make_event(hci::ev::kLinkKeyRequest, Bytes(6))));
+  EXPECT_FALSE(is_key_bearing(hci::make_acl(1, Bytes{1, 2, 3})));
+}
+
+TEST(SnoopFilter, HeaderOnlyKeepsOpcodeDropsPayload) {
+  hci::SnoopLog log;
+  log.set_filter(make_link_key_snoop_filter(SnoopFilterMode::kHeaderOnly));
+  log.append(rec(key_reply()));
+  ASSERT_EQ(log.size(), 1u);
+  const auto& record = log.records()[0];
+  // Paper §VII-A1: "logging only the first four bytes of the header" —
+  // the H4 byte + opcode(2) + length(1); our payload keeps 3 header bytes.
+  EXPECT_EQ(record.packet.payload.size(), 3u);
+  EXPECT_EQ(record.packet.command_opcode(), hci::op::kLinkKeyRequestReply);
+  // The truncation is visible: orig_len records the full size.
+  EXPECT_GT(record.original_length, record.packet.to_wire().size());
+  // Nothing extractable remains.
+  EXPECT_TRUE(extract_link_keys(log).empty());
+}
+
+TEST(SnoopFilter, HeaderOnlyTruncatesEventForm) {
+  hci::SnoopLog log;
+  log.set_filter(make_link_key_snoop_filter(SnoopFilterMode::kHeaderOnly));
+  log.append(rec(key_notification()));
+  EXPECT_EQ(log.records()[0].packet.payload.size(), 2u);
+  EXPECT_TRUE(extract_link_keys(log).empty());
+}
+
+TEST(SnoopFilter, RandomizePreservesShapeButNotKey) {
+  hci::SnoopLog log;
+  log.set_filter(make_link_key_snoop_filter(SnoopFilterMode::kRandomizeKey));
+  const hci::HciPacket original = key_reply();
+  log.append(rec(original));
+  const auto& record = log.records()[0];
+  // Same size, same opcode, same address — only the key bytes changed.
+  EXPECT_EQ(record.packet.payload.size(), original.payload.size());
+  auto logged = hci::LinkKeyRequestReplyCmd::decode(*record.packet.command_params());
+  auto truth = hci::LinkKeyRequestReplyCmd::decode(*original.command_params());
+  ASSERT_TRUE(logged && truth);
+  EXPECT_EQ(logged->bdaddr, truth->bdaddr);
+  EXPECT_NE(logged->link_key, truth->link_key);
+  // The extractor still "finds" a key record — but it is worthless.
+  const auto keys = extract_link_keys(log);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_NE(keys[0].key, truth->link_key);
+}
+
+TEST(SnoopFilter, RandomizeIsDeterministicPerSeed) {
+  hci::SnoopLog log1, log2;
+  log1.set_filter(make_link_key_snoop_filter(SnoopFilterMode::kRandomizeKey, 7));
+  log2.set_filter(make_link_key_snoop_filter(SnoopFilterMode::kRandomizeKey, 7));
+  log1.append(rec(key_reply()));
+  log2.append(rec(key_reply()));
+  EXPECT_EQ(log1.records()[0].packet, log2.records()[0].packet);
+}
+
+TEST(SnoopFilter, NonKeyTrafficPassesUntouched) {
+  hci::SnoopLog log;
+  log.set_filter(make_link_key_snoop_filter(SnoopFilterMode::kHeaderOnly));
+  const hci::HciPacket cmd = hci::make_command(hci::op::kCreateConnection, Bytes(13, 0xAB));
+  log.append(rec(cmd));
+  EXPECT_EQ(log.records()[0].packet, cmd);
+}
+
+TEST(ApplyHelpers, WireUpDevices) {
+  Simulation sim(9);
+  DeviceSpec spec;
+  spec.name = "d";
+  spec.address = *BdAddr::parse("00:00:00:00:00:01");
+  Device& d = sim.add_device(spec);
+  EXPECT_FALSE(d.transport().link_key_payload_protected());
+  apply_hci_payload_encryption(d);
+  EXPECT_TRUE(d.transport().link_key_payload_protected());
+  EXPECT_FALSE(d.host().config().detect_page_blocking);
+  apply_page_blocking_detection(d);
+  EXPECT_TRUE(d.host().config().detect_page_blocking);
+}
+
+}  // namespace
+}  // namespace blap::core

@@ -1,0 +1,127 @@
+// Unit tests for the device-profile catalog and the race-bias calibration.
+#include <gtest/gtest.h>
+
+#include "core/profiles.hpp"
+
+namespace blap::core {
+namespace {
+
+TEST(Profiles, Table1HasNineRows) {
+  EXPECT_EQ(table1_profiles().size(), 9u);
+}
+
+TEST(Profiles, Table1SuColumnMatchesPaper) {
+  // Only the Ubuntu/BlueZ row requires superuser privilege.
+  int su_rows = 0;
+  for (const auto& profile : table1_profiles()) {
+    if (profile.su_required) {
+      ++su_rows;
+      EXPECT_EQ(profile.os, "Ubuntu 20.04");
+      EXPECT_EQ(profile.host_stack, "BlueZ");
+    }
+  }
+  EXPECT_EQ(su_rows, 1);
+}
+
+TEST(Profiles, Table1WindowsRowsLackHciDump) {
+  for (const auto& profile : table1_profiles()) {
+    if (profile.os == "Windows 10") {
+      EXPECT_FALSE(profile.hci_dump_available) << profile.host_stack;
+      EXPECT_EQ(profile.transport, TransportKind::kUsb);
+    }
+    if (profile.host_stack == "Bluedroid") {
+      EXPECT_TRUE(profile.hci_dump_available) << profile.model;
+      EXPECT_EQ(profile.transport, TransportKind::kUart);
+    }
+  }
+}
+
+TEST(Profiles, Table2HasSevenVictims) {
+  EXPECT_EQ(table2_profiles().size(), 7u);
+}
+
+TEST(Profiles, Table2BaselinesMatchPaperNumbers) {
+  const std::vector<std::pair<std::string, double>> expected = {
+      {"iPhone Xs", 0.52}, {"Nexus 5x", 0.52},  {"LG V50", 0.57},    {"Galaxy S8", 0.42},
+      {"Pixel 2 XL", 0.60}, {"LG VELVET", 0.60}, {"Galaxy s21", 0.51},
+  };
+  ASSERT_EQ(table2_profiles().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(table2_profiles()[i].model, expected[i].first);
+    EXPECT_DOUBLE_EQ(table2_profiles()[i].baseline_mitm_success, expected[i].second);
+  }
+}
+
+TEST(Profiles, Table2BaselinesInPaperBand) {
+  for (const auto& profile : table2_profiles()) {
+    EXPECT_GE(profile.baseline_mitm_success, 0.42);
+    EXPECT_LE(profile.baseline_mitm_success, 0.60);
+  }
+}
+
+TEST(Profiles, NexusVictimIsV42Regime) {
+  // The Android 8 Nexus row exercises the pre-5.0 silent-confirm behavior.
+  EXPECT_EQ(table2_profiles()[1].version, host::BtVersion::kV4_2);
+  EXPECT_EQ(table2_profiles()[4].version, host::BtVersion::kV5_0);
+}
+
+TEST(Profiles, ToSpecCarriesFields) {
+  const auto spec = table1_profiles()[6].to_spec("pc", *BdAddr::parse("11:22:33:44:55:66"));
+  EXPECT_EQ(spec.name, "pc");
+  EXPECT_EQ(spec.transport, TransportKind::kUsb);
+  EXPECT_FALSE(spec.host.hci_dump_available);
+}
+
+TEST(RaceBias, FiftyPercentGivesEqualIntervals) {
+  const SimTime a = 1'280'000;
+  EXPECT_EQ(accessory_interval_for_bias(0.5, a), a);
+}
+
+TEST(RaceBias, LowBiasShortensAccessoryInterval) {
+  const SimTime a = 1'280'000;
+  // p = 0.42: P(A first) = c/(2a) => c = 0.84 a.
+  const SimTime c = accessory_interval_for_bias(0.42, a);
+  EXPECT_EQ(c, static_cast<SimTime>(0.84 * 1'280'000));
+  EXPECT_LT(c, a);
+}
+
+TEST(RaceBias, HighBiasLengthensAccessoryInterval) {
+  const SimTime a = 1'280'000;
+  // p = 0.60: c = a / (2 * 0.4) = 1.25 a.
+  const SimTime c = accessory_interval_for_bias(0.60, a);
+  EXPECT_EQ(c, static_cast<SimTime>(1.25 * 1'280'000));
+  EXPECT_GT(c, a);
+}
+
+TEST(RaceBias, AnalyticProbabilityRecovered) {
+  // Closed-form sanity: with the computed interval, P(A first) == p.
+  const double a = 1'280'000;
+  for (double p : {0.42, 0.51, 0.52, 0.57, 0.60}) {
+    const double c = static_cast<double>(accessory_interval_for_bias(p, static_cast<SimTime>(a)));
+    const double recovered = (c <= a) ? c / (2 * a) : 1 - a / (2 * c);
+    EXPECT_NEAR(recovered, p, 0.001) << p;
+  }
+}
+
+// Monte-Carlo confirmation of the analytic model for every Table II victim.
+class RaceBiasMonteCarlo : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RaceBiasMonteCarlo, EmpiricalRateMatchesTarget) {
+  const double target = table2_profiles()[GetParam()].baseline_mitm_success;
+  const SimTime a = 1'280'000;
+  const SimTime c = accessory_interval_for_bias(target, a);
+  Rng rng(GetParam() * 977 + 1);
+  int a_wins = 0;
+  const int trials = 20'000;
+  for (int t = 0; t < trials; ++t) {
+    const SimTime la = 1 + rng.uniform(a);
+    const SimTime lc = 1 + rng.uniform(c);
+    if (la < lc) ++a_wins;
+  }
+  EXPECT_NEAR(a_wins / static_cast<double>(trials), target, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVictims, RaceBiasMonteCarlo, ::testing::Range<std::size_t>(0, 7));
+
+}  // namespace
+}  // namespace blap::core

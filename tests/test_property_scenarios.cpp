@@ -1,0 +1,163 @@
+// Property-based scenario fuzzing: random operation sequences over a small
+// fleet of devices must preserve the stack's core invariants across seeds —
+// no deadlocks, symmetric bonds, keys only where pairing succeeded.
+#include <gtest/gtest.h>
+
+#include "core/device.hpp"
+#include "core/snoop_extractor.hpp"
+
+namespace blap::core {
+namespace {
+
+DeviceSpec spec(const std::string& name, const std::string& addr) {
+  DeviceSpec s;
+  s.name = name;
+  s.address = *BdAddr::parse(addr);
+  return s;
+}
+
+class ScenarioFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScenarioFuzz, RandomOperationSequencePreservesInvariants) {
+  const std::uint64_t seed = GetParam();
+  Simulation sim(seed);
+  Rng op_rng(seed ^ 0xF00D);
+
+  std::vector<Device*> devices;
+  devices.push_back(&sim.add_device(spec("d0", "00:00:00:00:02:00")));
+  devices.push_back(&sim.add_device(spec("d1", "00:00:00:00:02:01")));
+  devices.push_back(&sim.add_device(spec("d2", "00:00:00:00:02:02")));
+  for (auto* d : devices) d->host().enable_snoop(true);
+
+  int operations_completed = 0;
+  for (int step = 0; step < 12; ++step) {
+    Device& actor = *devices[op_rng.uniform(devices.size())];
+    Device& peer = *devices[op_rng.uniform(devices.size())];
+    if (&actor == &peer) continue;
+    switch (op_rng.uniform(4)) {
+      case 0: {
+        bool done = false;
+        actor.host().pair(peer.address(), [&](hci::Status) { done = true; });
+        for (int i = 0; i < 400 && !done; ++i) sim.run_for(100 * kMillisecond);
+        EXPECT_TRUE(done) << "pair deadlocked at step " << step << " seed " << seed;
+        ++operations_completed;
+        break;
+      }
+      case 1:
+        actor.host().disconnect(peer.address());
+        sim.run_for(kSecond);
+        ++operations_completed;
+        break;
+      case 2: {
+        bool done = false;
+        actor.host().connect_pan(peer.address(), [&](bool) { done = true; });
+        for (int i = 0; i < 400 && !done; ++i) sim.run_for(100 * kMillisecond);
+        EXPECT_TRUE(done) << "pan deadlocked at step " << step << " seed " << seed;
+        ++operations_completed;
+        break;
+      }
+      case 3: {
+        actor.host().send_echo(peer.address(), [] {});
+        sim.run_for(kSecond);
+        ++operations_completed;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(operations_completed, 0);
+  sim.run_for(5 * kSecond);
+
+  // Invariant 1: bonds are symmetric with matching keys.
+  for (auto* a : devices) {
+    for (auto* b : devices) {
+      if (a == b) continue;
+      const auto key_ab = a->host().security().link_key_for(b->address());
+      const auto key_ba = b->host().security().link_key_for(a->address());
+      if (key_ab && key_ba) {
+        EXPECT_EQ(*key_ab, *key_ba);
+      }
+    }
+  }
+
+  // Invariant 2: every key in every snoop log corresponds to a real bond
+  // either currently held or since replaced — i.e. the extractor never
+  // fabricates keys that were never on the HCI.
+  for (auto* d : devices) {
+    for (const auto& extracted : extract_link_keys(d->host().snoop())) {
+      // The key crossed d's HCI; at minimum its peer must be a fleet member.
+      bool known_peer = false;
+      for (auto* other : devices)
+        if (other->address() == extracted.peer) known_peer = true;
+      EXPECT_TRUE(known_peer);
+    }
+  }
+
+  // Invariant 3: the scheduler quiesces (no runaway self-rescheduling) —
+  // run_all() must terminate once idle timers fire.
+  sim.run_for(60 * kSecond);
+  EXPECT_LT(sim.scheduler().pending_events(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioFuzz, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace blap::core
+
+// NOTE: appended — heterogeneous-fleet fuzzing across stack generations.
+namespace blap::core {
+namespace {
+
+class HeterogeneousFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeterogeneousFuzz, MixedGenerationFleetsInteroperate) {
+  // Devices spanning three stack generations (legacy PIN, SSP/P-192,
+  // Secure Connections/P-256) and both UI regimes must all pair with each
+  // other through the negotiation fallbacks, with symmetric bonds.
+  const std::uint64_t seed = GetParam();
+  Simulation sim(seed);
+  Rng cfg(seed ^ 0xD1CE);
+
+  std::vector<Device*> fleet;
+  for (int i = 0; i < 4; ++i) {
+    char addr[18];
+    std::snprintf(addr, sizeof(addr), "00:00:00:00:03:%02x", i);
+    DeviceSpec s;
+    s.name = "gen" + std::to_string(i);
+    s.address = *BdAddr::parse(addr);
+    const int generation = static_cast<int>(cfg.uniform(3));
+    s.host.simple_pairing = generation != 0;           // gen 0: pre-2.1
+    s.controller.secure_connections = generation == 2; // gen 2: BT 4.1+
+    s.host.version = cfg.chance(0.5) ? host::BtVersion::kV4_2 : host::BtVersion::kV5_0;
+    s.host.pin_code = "2580";  // shared fleet PIN for the legacy fallback
+    fleet.push_back(&sim.add_device(s));
+  }
+
+  for (int round = 0; round < 4; ++round) {
+    Device& a = *fleet[cfg.uniform(fleet.size())];
+    Device& b = *fleet[cfg.uniform(fleet.size())];
+    if (&a == &b) continue;
+    bool done = false;
+    hci::Status status{};
+    a.host().pair(b.address(), [&](hci::Status s) {
+      status = s;
+      done = true;
+    });
+    for (int i = 0; i < 400 && !done; ++i) sim.run_for(100 * kMillisecond);
+    ASSERT_TRUE(done) << "pairing deadlocked, seed " << seed << " round " << round;
+    EXPECT_EQ(status, hci::Status::kSuccess)
+        << a.spec().name << " x " << b.spec().name << " seed " << seed;
+    if (status == hci::Status::kSuccess) {
+      const auto key_ab = a.host().security().link_key_for(b.address());
+      const auto key_ba = b.host().security().link_key_for(a.address());
+      ASSERT_TRUE(key_ab && key_ba);
+      EXPECT_EQ(*key_ab, *key_ba);
+    }
+    a.host().disconnect(b.address());
+    sim.run_for(kSecond);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeterogeneousFuzz, ::testing::Range<std::uint64_t>(100, 115));
+
+}  // namespace
+}  // namespace blap::core

@@ -1,0 +1,248 @@
+// Unit tests for the radio medium: inquiry, paging, the BD_ADDR race.
+#include <gtest/gtest.h>
+
+#include "radio/radio_medium.hpp"
+
+namespace blap::radio {
+namespace {
+
+/// Scriptable endpoint for driving the medium directly.
+class FakeEndpoint : public RadioEndpoint {
+ public:
+  FakeEndpoint(BdAddr addr, SimTime scan_interval)
+      : addr_(addr), scan_interval_(scan_interval) {}
+
+  BdAddr radio_address() const override { return addr_; }
+  ClassOfDevice radio_class_of_device() const override { return cod_; }
+  std::string radio_name() const override { return "fake"; }
+  bool inquiry_scan_enabled() const override { return inquiry_scan_; }
+  bool page_scan_enabled() const override { return page_scan_; }
+  SimTime sample_page_response_latency(Rng& rng) override {
+    ++latency_samples;
+    return fixed_latency_ ? *fixed_latency_ : 1 + rng.uniform(scan_interval_);
+  }
+  void on_link_established(LinkId link, const BdAddr& peer, bool initiator) override {
+    links.push_back({link, peer, initiator});
+  }
+  void on_link_closed(LinkId link, std::uint8_t reason) override {
+    closed.push_back({link, reason});
+  }
+  void on_air_frame(LinkId link, const Bytes& frame) override {
+    frames.push_back({link, frame});
+  }
+
+  BdAddr addr_;
+  ClassOfDevice cod_{0x240404};
+  SimTime scan_interval_;
+  std::optional<SimTime> fixed_latency_;
+  bool inquiry_scan_ = true;
+  bool page_scan_ = true;
+  int latency_samples = 0;
+
+  struct LinkEvent {
+    LinkId id;
+    BdAddr peer;
+    bool initiator;
+  };
+  std::vector<LinkEvent> links;
+  std::vector<std::pair<LinkId, std::uint8_t>> closed;
+  std::vector<std::pair<LinkId, Bytes>> frames;
+};
+
+class RadioTest : public ::testing::Test {
+ protected:
+  RadioTest() : medium(sched, Rng(5)) {}
+  Scheduler sched;
+  RadioMedium medium;
+};
+
+TEST_F(RadioTest, InquiryCollectsScanningEndpoints) {
+  FakeEndpoint a(*BdAddr::parse("00:00:00:00:00:01"), kSecond);
+  FakeEndpoint b(*BdAddr::parse("00:00:00:00:00:02"), kSecond);
+  FakeEndpoint c(*BdAddr::parse("00:00:00:00:00:03"), kSecond);
+  c.inquiry_scan_ = false;
+  medium.attach(&a);
+  medium.attach(&b);
+  medium.attach(&c);
+
+  std::vector<InquiryResponse> responses;
+  bool complete = false;
+  medium.start_inquiry(&a, 2 * kSecond,
+                       [&](const InquiryResponse& r) { responses.push_back(r); },
+                       [&] { complete = true; });
+  sched.run_all();
+  ASSERT_EQ(responses.size(), 1u);  // b responds; c is not scanning; a is requester
+  EXPECT_EQ(responses[0].address, b.addr_);
+  EXPECT_TRUE(complete);
+}
+
+TEST_F(RadioTest, PageConnectsToMatchingAddress) {
+  FakeEndpoint a(*BdAddr::parse("00:00:00:00:00:01"), kSecond);
+  FakeEndpoint b(*BdAddr::parse("00:00:00:00:00:02"), kSecond);
+  medium.attach(&a);
+  medium.attach(&b);
+
+  std::optional<LinkId> result;
+  medium.page(&a, b.addr_, 5 * kSecond, [&](std::optional<LinkId> id) { result = id; });
+  sched.run_all();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(a.links.size(), 1u);
+  ASSERT_EQ(b.links.size(), 1u);
+  EXPECT_TRUE(a.links[0].initiator);
+  EXPECT_FALSE(b.links[0].initiator);
+  EXPECT_EQ(a.links[0].peer, b.addr_);
+  EXPECT_EQ(b.links[0].peer, a.addr_);
+  EXPECT_TRUE(medium.link_alive(*result));
+}
+
+TEST_F(RadioTest, PageTimesOutWithNoCandidate) {
+  FakeEndpoint a(*BdAddr::parse("00:00:00:00:00:01"), kSecond);
+  medium.attach(&a);
+  std::optional<LinkId> result = LinkId{99};
+  bool called = false;
+  medium.page(&a, *BdAddr::parse("00:00:00:00:00:09"), 5 * kSecond,
+              [&](std::optional<LinkId> id) {
+                result = id;
+                called = true;
+              });
+  sched.run_all();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(sched.now(), 5 * kSecond);  // full page timeout elapsed
+}
+
+TEST_F(RadioTest, PageTimesOutWhenScanDisabled) {
+  FakeEndpoint a(*BdAddr::parse("00:00:00:00:00:01"), kSecond);
+  FakeEndpoint b(*BdAddr::parse("00:00:00:00:00:02"), kSecond);
+  b.page_scan_ = false;
+  medium.attach(&a);
+  medium.attach(&b);
+  bool connected = true;
+  medium.page(&a, b.addr_, kSecond, [&](std::optional<LinkId> id) { connected = id.has_value(); });
+  sched.run_all();
+  EXPECT_FALSE(connected);
+}
+
+TEST_F(RadioTest, PageRaceLowestLatencyWins) {
+  // Two endpoints own the same address — the spoofing situation. Fixed
+  // latencies make the winner deterministic.
+  const BdAddr shared = *BdAddr::parse("00:00:00:00:00:02");
+  FakeEndpoint pager(*BdAddr::parse("00:00:00:00:00:01"), kSecond);
+  FakeEndpoint real(shared, kSecond);
+  FakeEndpoint spoof(shared, kSecond);
+  real.fixed_latency_ = 800;
+  spoof.fixed_latency_ = 300;
+  medium.attach(&pager);
+  medium.attach(&real);
+  medium.attach(&spoof);
+
+  medium.page(&pager, shared, 5 * kSecond, nullptr);
+  sched.run_all();
+  EXPECT_EQ(real.links.size(), 0u);
+  ASSERT_EQ(spoof.links.size(), 1u);
+  EXPECT_EQ(real.latency_samples, 1);  // both candidates were sampled
+  EXPECT_EQ(spoof.latency_samples, 1);
+}
+
+TEST_F(RadioTest, FramesFlowBothWays) {
+  FakeEndpoint a(*BdAddr::parse("00:00:00:00:00:01"), kSecond);
+  FakeEndpoint b(*BdAddr::parse("00:00:00:00:00:02"), kSecond);
+  medium.attach(&a);
+  medium.attach(&b);
+  LinkId link = 0;
+  medium.page(&a, b.addr_, 5 * kSecond, [&](std::optional<LinkId> id) { link = *id; });
+  sched.run_all();
+
+  medium.send_frame(link, &a, Bytes{1, 2, 3});
+  medium.send_frame(link, &b, Bytes{4, 5});
+  sched.run_all();
+  ASSERT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(b.frames[0].second, (Bytes{1, 2, 3}));
+  ASSERT_EQ(a.frames.size(), 1u);
+  EXPECT_EQ(a.frames[0].second, (Bytes{4, 5}));
+}
+
+TEST_F(RadioTest, CloseNotifiesPeerOnce) {
+  FakeEndpoint a(*BdAddr::parse("00:00:00:00:00:01"), kSecond);
+  FakeEndpoint b(*BdAddr::parse("00:00:00:00:00:02"), kSecond);
+  medium.attach(&a);
+  medium.attach(&b);
+  LinkId link = 0;
+  medium.page(&a, b.addr_, 5 * kSecond, [&](std::optional<LinkId> id) { link = *id; });
+  sched.run_all();
+
+  medium.close_link(link, &a, 0x13);
+  medium.close_link(link, &a, 0x13);  // idempotent
+  sched.run_all();
+  ASSERT_EQ(b.closed.size(), 1u);
+  EXPECT_EQ(b.closed[0].second, 0x13);
+  EXPECT_FALSE(medium.link_alive(link));
+  EXPECT_TRUE(a.closed.empty());  // the closer is not notified
+}
+
+TEST_F(RadioTest, FramesInFlightWhenLinkDiesAreDropped) {
+  FakeEndpoint a(*BdAddr::parse("00:00:00:00:00:01"), kSecond);
+  FakeEndpoint b(*BdAddr::parse("00:00:00:00:00:02"), kSecond);
+  medium.attach(&a);
+  medium.attach(&b);
+  LinkId link = 0;
+  medium.page(&a, b.addr_, 5 * kSecond, [&](std::optional<LinkId> id) { link = *id; });
+  sched.run_all();
+
+  medium.send_frame(link, &a, Bytes{9});
+  medium.close_link(link, &a, 0x13);  // close before delivery
+  sched.run_all();
+  EXPECT_TRUE(b.frames.empty());
+}
+
+TEST_F(RadioTest, DetachClosesItsLinks) {
+  FakeEndpoint a(*BdAddr::parse("00:00:00:00:00:01"), kSecond);
+  FakeEndpoint b(*BdAddr::parse("00:00:00:00:00:02"), kSecond);
+  medium.attach(&a);
+  medium.attach(&b);
+  LinkId link = 0;
+  medium.page(&a, b.addr_, 5 * kSecond, [&](std::optional<LinkId> id) { link = *id; });
+  sched.run_all();
+
+  medium.detach(&a);
+  sched.run_all();
+  EXPECT_FALSE(medium.link_alive(link));
+  ASSERT_EQ(b.closed.size(), 1u);
+}
+
+TEST_F(RadioTest, PeerOfResolvesBothSides) {
+  FakeEndpoint a(*BdAddr::parse("00:00:00:00:00:01"), kSecond);
+  FakeEndpoint b(*BdAddr::parse("00:00:00:00:00:02"), kSecond);
+  medium.attach(&a);
+  medium.attach(&b);
+  LinkId link = 0;
+  medium.page(&a, b.addr_, 5 * kSecond, [&](std::optional<LinkId> id) { link = *id; });
+  sched.run_all();
+  EXPECT_EQ(medium.peer_of(link, &a), &b);
+  EXPECT_EQ(medium.peer_of(link, &b), &a);
+  EXPECT_EQ(medium.peer_of(9999, &a), nullptr);
+}
+
+// Statistical property: with equal scan intervals the race is a coin flip.
+TEST(RadioRace, EqualIntervalsGiveHalfHalf) {
+  int wins = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    Scheduler sched;
+    RadioMedium medium(sched, Rng(static_cast<std::uint64_t>(t) + 1));
+    const BdAddr shared = *BdAddr::parse("00:00:00:00:00:02");
+    FakeEndpoint pager(*BdAddr::parse("00:00:00:00:00:01"), kSecond);
+    FakeEndpoint x(shared, kSecond);
+    FakeEndpoint y(shared, kSecond);
+    medium.attach(&pager);
+    medium.attach(&x);
+    medium.attach(&y);
+    medium.page(&pager, shared, 5 * kSecond, nullptr);
+    sched.run_all();
+    if (!x.links.empty()) ++wins;
+  }
+  EXPECT_NEAR(wins / static_cast<double>(trials), 0.5, 0.08);
+}
+
+}  // namespace
+}  // namespace blap::radio

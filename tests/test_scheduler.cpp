@@ -1,0 +1,122 @@
+// Unit tests for the discrete-event scheduler that all devices run on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/scheduler.hpp"
+
+namespace blap {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30, [&] { order.push_back(3); });
+  sched.schedule_at(10, [&] { order.push_back(1); });
+  sched.schedule_at(20, [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30u);
+}
+
+TEST(Scheduler, TiesBreakByScheduleOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(10, [&] { order.push_back(1); });
+  sched.schedule_at(10, [&] { order.push_back(2); });
+  sched.schedule_at(10, [&] { order.push_back(3); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler sched;
+  SimTime fired_at = 0;
+  sched.schedule_at(100, [&] {});
+  sched.run_all();
+  sched.schedule_in(50, [&] { fired_at = sched.now(); });
+  sched.run_all();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(10, [&] { ++fired; });
+  sched.schedule_at(20, [&] { ++fired; });
+  sched.schedule_at(30, [&] { ++fired; });
+  EXPECT_EQ(sched.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.now(), 20u);
+  EXPECT_EQ(sched.pending_events(), 1u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  Scheduler sched;
+  sched.run_until(500);
+  EXPECT_EQ(sched.now(), 500u);
+}
+
+TEST(Scheduler, EventsScheduledInThePastRunNow) {
+  Scheduler sched;
+  sched.schedule_at(100, [] {});
+  sched.run_all();
+  SimTime fired_at = 0;
+  sched.schedule_at(10, [&] { fired_at = sched.now(); });  // in the past
+  sched.run_all();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  auto handle = sched.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sched.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelAfterFiringIsSafe) {
+  Scheduler sched;
+  auto handle = sched.schedule_at(10, [] {});
+  sched.run_all();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no-op
+}
+
+TEST(Scheduler, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  std::vector<SimTime> fire_times;
+  sched.schedule_at(10, [&] {
+    fire_times.push_back(sched.now());
+    sched.schedule_in(5, [&] { fire_times.push_back(sched.now()); });
+  });
+  sched.run_all();
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Scheduler, PendingIsFalseInsideOwnCallback) {
+  Scheduler sched;
+  EventHandle handle;
+  bool pending_inside = true;
+  handle = sched.schedule_at(10, [&] { pending_inside = handle.pending(); });
+  sched.run_all();
+  EXPECT_FALSE(pending_inside);
+}
+
+TEST(Scheduler, TimeConstants) {
+  EXPECT_EQ(kSecond, 1'000'000u);
+  EXPECT_EQ(kMillisecond, 1'000u);
+  EXPECT_EQ(kSlot, 625u);  // one Bluetooth baseband slot
+}
+
+}  // namespace
+}  // namespace blap

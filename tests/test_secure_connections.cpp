@@ -1,0 +1,149 @@
+// Integration tests for Secure Connections: P-256 SSP pairing and the h4/h5
+// secure authentication procedure, including the trial-and-fallback
+// negotiation with pre-4.1 peers.
+#include <gtest/gtest.h>
+
+#include "core/air_analysis.hpp"
+#include "core/device.hpp"
+
+namespace blap::core {
+namespace {
+
+DeviceSpec sc_spec(const std::string& name, const std::string& addr, bool secure_connections) {
+  DeviceSpec spec;
+  spec.name = name;
+  spec.address = *BdAddr::parse(addr);
+  spec.controller.secure_connections = secure_connections;
+  return spec;
+}
+
+hci::Status pair(Simulation& sim, Device& initiator, Device& responder) {
+  hci::Status result = hci::Status::kPageTimeout;
+  bool done = false;
+  initiator.host().pair(responder.address(), [&](hci::Status status) {
+    result = status;
+    done = true;
+  });
+  for (int i = 0; i < 400 && !done; ++i) sim.run_for(100 * kMillisecond);
+  EXPECT_TRUE(done) << "pairing never completed";
+  return result;
+}
+
+int count_lmp(const std::vector<radio::SniffedFrame>& frames, controller::LmpOpcode opcode) {
+  int count = 0;
+  for (const auto& frame : frames) {
+    auto pdu = controller::LmpPdu::from_air_frame(frame.frame);
+    if (pdu && pdu->opcode == opcode) ++count;
+  }
+  return count;
+}
+
+TEST(SecureConnections, PairingDerivesP256KeyType) {
+  Simulation sim(60);
+  Device& a = sim.add_device(sc_spec("phone", "00:00:00:00:00:01", true));
+  Device& b = sim.add_device(sc_spec("headset", "00:00:00:00:00:02", true));
+  ASSERT_EQ(pair(sim, a, b), hci::Status::kSuccess);
+  const auto* bond = a.host().security().bond_for(b.address());
+  ASSERT_NE(bond, nullptr);
+  EXPECT_EQ(bond->key_type, crypto::LinkKeyType::kAuthenticatedCombinationP256);
+}
+
+TEST(SecureConnections, ReconnectUsesSecureAuthentication) {
+  Simulation sim(61);
+  AirSniffer sniffer(sim.medium());
+  Device& a = sim.add_device(sc_spec("phone", "00:00:00:00:00:01", true));
+  Device& b = sim.add_device(sc_spec("headset", "00:00:00:00:00:02", true));
+  ASSERT_EQ(pair(sim, a, b), hci::Status::kSuccess);
+  a.host().disconnect(b.address());
+  sim.run_for(2 * kSecond);
+  sniffer.clear();
+  ASSERT_EQ(pair(sim, a, b), hci::Status::kSuccess);
+  // SC auth: exactly one kAuRandSc/kSresSc exchange, and no legacy kAuRand.
+  EXPECT_EQ(count_lmp(sniffer.frames(), controller::LmpOpcode::kAuRandSc), 1);
+  EXPECT_EQ(count_lmp(sniffer.frames(), controller::LmpOpcode::kSresSc), 1);
+  EXPECT_EQ(count_lmp(sniffer.frames(), controller::LmpOpcode::kAuRand), 0);
+}
+
+TEST(SecureConnections, FallsBackToE1ForLegacyPeer) {
+  Simulation sim(62);
+  AirSniffer sniffer(sim.medium());
+  Device& sc = sim.add_device(sc_spec("phone", "00:00:00:00:00:01", true));
+  Device& legacy = sim.add_device(sc_spec("headset", "00:00:00:00:00:02", false));
+  ASSERT_EQ(pair(sim, sc, legacy), hci::Status::kSuccess);
+  sc.host().disconnect(legacy.address());
+  sim.run_for(2 * kSecond);
+  sniffer.clear();
+  ASSERT_EQ(pair(sim, sc, legacy), hci::Status::kSuccess);
+  // The SC side tried kAuRandSc, got rejected, fell back to legacy E1.
+  EXPECT_GE(count_lmp(sniffer.frames(), controller::LmpOpcode::kAuRandSc), 1);
+  EXPECT_GE(count_lmp(sniffer.frames(), controller::LmpOpcode::kAuRand), 1);
+}
+
+TEST(SecureConnections, EncryptionWorksAfterSecureAuth) {
+  Simulation sim(63);
+  Device& a = sim.add_device(sc_spec("phone", "00:00:00:00:00:01", true));
+  Device& b = sim.add_device(sc_spec("headset", "00:00:00:00:00:02", true));
+  ASSERT_EQ(pair(sim, a, b), hci::Status::kSuccess);
+  // Encrypted echo: both sides must hold identical Kc (same extended ACO).
+  bool echoed = false;
+  a.host().send_echo(b.address(), [&] { echoed = true; });
+  sim.run_for(kSecond);
+  EXPECT_TRUE(echoed);
+  const auto acls = a.host().acls();
+  ASSERT_FALSE(acls.empty());
+  EXPECT_TRUE(acls[0].encrypted);
+}
+
+TEST(SecureConnections, WrongKeyStillFailsUnderSc) {
+  // Install mismatched fake bonds on both sides; SC auth must reject.
+  Simulation sim(64);
+  Device& a = sim.add_device(sc_spec("phone", "00:00:00:00:00:01", true));
+  Device& b = sim.add_device(sc_spec("headset", "00:00:00:00:00:02", true));
+
+  host::BondRecord bond_a;
+  bond_a.address = b.address();
+  bond_a.link_key.fill(0x11);
+  a.host().security().store_bond(bond_a);
+  host::BondRecord bond_b;
+  bond_b.address = a.address();
+  bond_b.link_key.fill(0x22);  // different key
+  b.host().security().store_bond(bond_b);
+
+  EXPECT_EQ(pair(sim, a, b), hci::Status::kAuthenticationFailure);
+  // Purge policy applies to SC failures too.
+  EXPECT_FALSE(a.host().security().is_bonded(b.address()));
+}
+
+TEST(SecureConnections, MatchingFakeBondsAuthenticate) {
+  // The impersonation property the extraction attack relies on holds under
+  // SC as well: possession of the key IS the identity.
+  Simulation sim(65);
+  Device& a = sim.add_device(sc_spec("phone", "00:00:00:00:00:01", true));
+  Device& b = sim.add_device(sc_spec("headset", "00:00:00:00:00:02", true));
+  crypto::LinkKey shared{};
+  shared.fill(0x5C);
+  host::BondRecord bond_a;
+  bond_a.address = b.address();
+  bond_a.link_key = shared;
+  a.host().security().store_bond(bond_a);
+  host::BondRecord bond_b;
+  bond_b.address = a.address();
+  bond_b.link_key = shared;
+  b.host().security().store_bond(bond_b);
+
+  EXPECT_EQ(pair(sim, a, b), hci::Status::kSuccess);
+  EXPECT_TRUE(a.host().acls()[0].authenticated);
+}
+
+TEST(SecureConnections, BothLegacyNeverUseScOpcodes) {
+  Simulation sim(66);
+  AirSniffer sniffer(sim.medium());
+  Device& a = sim.add_device(sc_spec("phone", "00:00:00:00:00:01", false));
+  Device& b = sim.add_device(sc_spec("headset", "00:00:00:00:00:02", false));
+  ASSERT_EQ(pair(sim, a, b), hci::Status::kSuccess);
+  EXPECT_EQ(count_lmp(sniffer.frames(), controller::LmpOpcode::kAuRandSc), 0);
+  EXPECT_EQ(count_lmp(sniffer.frames(), controller::LmpOpcode::kSresSc), 0);
+}
+
+}  // namespace
+}  // namespace blap::core

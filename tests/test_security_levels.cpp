@@ -1,0 +1,137 @@
+// Tests for GAP Security Mode 4 service levels — and why they matter for
+// the SSP downgrade: a Just Works key satisfies level 2 (which is all PAN,
+// PBAP and HFP demand in practice — the attack surface), but a level-3
+// service refuses it, blunting the downgrade.
+#include <gtest/gtest.h>
+
+#include "core/page_blocking.hpp"
+
+namespace blap::core {
+namespace {
+
+DeviceSpec spec(const std::string& name, const std::string& addr) {
+  DeviceSpec s;
+  s.name = name;
+  s.address = *BdAddr::parse(addr);
+  return s;
+}
+
+/// Register a level-3 test service on a device and probe it from a peer.
+constexpr std::uint16_t kVaultPsm = 0x1777;
+
+void register_vault(Device& device, int& serves) {
+  host::L2cap::Service vault;
+  vault.requires_authentication = true;
+  vault.minimum_security = host::L2cap::SecurityLevel::kMitmProtected;
+  vault.on_data = [&serves](const host::L2capChannel&, BytesView) { ++serves; };
+  device.host().l2cap().register_service(kVaultPsm, std::move(vault));
+}
+
+bool probe_vault(Simulation& sim, Device& client, Device& server) {
+  const auto acls = client.host().acls();
+  hci::ConnectionHandle handle = hci::kInvalidHandle;
+  for (const auto& acl : acls)
+    if (acl.peer == server.address()) handle = acl.handle;
+  if (handle == hci::kInvalidHandle) return false;
+  bool opened = false;
+  bool known = false;
+  client.host().l2cap().connect_channel(handle, kVaultPsm,
+                                        [&](std::optional<host::L2capChannel> ch) {
+                                          opened = ch.has_value();
+                                          known = true;
+                                        });
+  sim.run_for(2 * kSecond);
+  return known && opened;
+}
+
+TEST(SecurityLevels, NumericComparisonKeySatisfiesLevel3) {
+  Simulation sim(120);
+  Device& a = sim.add_device(spec("laptop", "00:00:00:00:00:01"));
+  Device& b = sim.add_device(spec("phone", "00:00:00:00:00:02"));
+  int serves = 0;
+  register_vault(b, serves);
+
+  bool done = false;
+  a.host().pair(b.address(), [&](hci::Status s) { done = s == hci::Status::kSuccess; });
+  for (int i = 0; i < 200 && !done; ++i) sim.run_for(100 * kMillisecond);
+  ASSERT_TRUE(done);
+  // Both DisplayYesNo => Numeric Comparison => authenticated key.
+  EXPECT_TRUE(probe_vault(sim, a, b));
+}
+
+TEST(SecurityLevels, JustWorksKeyFailsLevel3) {
+  Simulation sim(121);
+  Device& a = sim.add_device(spec("headless", "00:00:00:00:00:01"));
+  a.host().config().io_capability = hci::IoCapability::kNoInputNoOutput;
+  Device& b = sim.add_device(spec("phone", "00:00:00:00:00:02"));
+  int serves = 0;
+  register_vault(b, serves);
+
+  bool done = false;
+  a.host().pair(b.address(), [&](hci::Status s) { done = s == hci::Status::kSuccess; });
+  for (int i = 0; i < 200 && !done; ++i) sim.run_for(100 * kMillisecond);
+  ASSERT_TRUE(done);
+  // NoInputNoOutput => Just Works => unauthenticated key => level 3 refused,
+  // even though the link IS authenticated and encrypted.
+  EXPECT_TRUE(a.host().acls()[0].encrypted);
+  EXPECT_FALSE(probe_vault(sim, a, b));
+}
+
+TEST(SecurityLevels, PageBlockedBondCannotReachLevel3Service) {
+  // The downgrade's limit: the MITM bond from page blocking is a Just Works
+  // key, so a level-3 service on the victim stays closed to the attacker —
+  // but the level-2 profiles (PAN/PBAP/HFP) remain exposed, which is why
+  // the paper's impact stands for today's profiles.
+  Simulation sim(122);
+  DeviceSpec a_spec = attacker_profile().to_spec("attacker", *BdAddr::parse("aa:aa:aa:00:00:01"));
+  DeviceSpec c_spec = accessory_profile().to_spec("headset", *BdAddr::parse("00:1b:7d:da:71:0a"),
+                                                  ClassOfDevice(ClassOfDevice::kHandsFree));
+  c_spec.host.io_capability = hci::IoCapability::kNoInputNoOutput;
+  DeviceSpec m_spec = table2_profiles()[5].to_spec("victim", *BdAddr::parse("48:90:12:34:56:78"));
+  Device& attacker = sim.add_device(a_spec);
+  Device& accessory = sim.add_device(c_spec);
+  Device& target = sim.add_device(m_spec);
+  int serves = 0;
+  register_vault(target, serves);
+
+  const auto report = PageBlockingAttack::run(sim, attacker, accessory, target, {});
+  ASSERT_TRUE(report.mitm_established);
+  ASSERT_TRUE(report.downgraded_to_just_works);
+
+  // Level-2 probe (PBAP) succeeds...
+  std::optional<std::vector<std::string>> loot;
+  bool pbap_done = false;
+  attacker.host().pull_phonebook(target.address(),
+                                 [&](std::optional<std::vector<std::string>> e) {
+                                   loot = std::move(e);
+                                   pbap_done = true;
+                                 });
+  for (int i = 0; i < 200 && !pbap_done; ++i) sim.run_for(100 * kMillisecond);
+  ASSERT_TRUE(pbap_done);
+  EXPECT_TRUE(loot.has_value());
+
+  // ...while the level-3 vault refuses the unauthenticated key.
+  EXPECT_FALSE(probe_vault(sim, attacker, target));
+  EXPECT_EQ(serves, 0);
+}
+
+TEST(SecurityLevels, Level2ServicesUnaffectedByLevelPolicy) {
+  // Existing behavior regression guard: default services still open for
+  // Just Works bonds.
+  Simulation sim(123);
+  Device& a = sim.add_device(spec("headless", "00:00:00:00:00:01"));
+  a.host().config().io_capability = hci::IoCapability::kNoInputNoOutput;
+  Device& b = sim.add_device(spec("phone", "00:00:00:00:00:02"));
+  bool pan_ok = false;
+  bool done = false;
+  a.host().connect_pan(b.address(), [&](bool ok) {
+    pan_ok = ok;
+    done = true;
+  });
+  for (int i = 0; i < 200 && !done; ++i) sim.run_for(100 * kMillisecond);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(pan_ok);
+}
+
+}  // namespace
+}  // namespace blap::core

@@ -1,0 +1,148 @@
+// Unit tests for the bonded-device store and the bt_config.conf format.
+#include <gtest/gtest.h>
+
+#include "host/security_manager.hpp"
+
+namespace blap::host {
+namespace {
+
+const BdAddr kAddrM = *BdAddr::parse("48:90:12:34:56:78");
+const BdAddr kAddrC = *BdAddr::parse("00:1b:7d:da:71:0a");
+
+BondRecord bond_for_m() {
+  BondRecord record;
+  record.address = kAddrM;
+  record.name = "VELVET";
+  record.link_key = *crypto::link_key_from_hex("71a70981f30d6af9e20adee8aafe3264");
+  record.key_type = crypto::LinkKeyType::kUnauthenticatedCombinationP192;
+  record.services = {Uuid::from_uuid16(uuid16::kPanu), Uuid::from_uuid16(uuid16::kNap)};
+  return record;
+}
+
+TEST(SecurityManager, StoreAndLookup) {
+  SecurityManager manager;
+  EXPECT_FALSE(manager.is_bonded(kAddrM));
+  manager.store_bond(bond_for_m());
+  EXPECT_TRUE(manager.is_bonded(kAddrM));
+  ASSERT_TRUE(manager.link_key_for(kAddrM).has_value());
+  EXPECT_EQ(hex(*manager.link_key_for(kAddrM)), "71a70981f30d6af9e20adee8aafe3264");
+  EXPECT_FALSE(manager.link_key_for(kAddrC).has_value());
+}
+
+TEST(SecurityManager, OverwriteReplacesKey) {
+  SecurityManager manager;
+  manager.store_bond(bond_for_m());
+  BondRecord updated = bond_for_m();
+  updated.link_key.fill(0xEE);
+  manager.store_bond(updated);
+  EXPECT_EQ(manager.bond_count(), 1u);
+  EXPECT_EQ((*manager.link_key_for(kAddrM))[0], 0xEE);
+}
+
+TEST(SecurityManager, RemoveBond) {
+  SecurityManager manager;
+  manager.store_bond(bond_for_m());
+  manager.remove_bond(kAddrM);
+  EXPECT_FALSE(manager.is_bonded(kAddrM));
+}
+
+TEST(SecurityManager, PurgePolicyOnlyOnCryptoFailures) {
+  // The property the extraction attack's stall depends on (paper §IV-C).
+  SecurityManager manager;
+  manager.store_bond(bond_for_m());
+  EXPECT_FALSE(manager.on_authentication_result(kAddrM, hci::Status::kConnectionTimeout));
+  EXPECT_FALSE(manager.on_authentication_result(kAddrM, hci::Status::kLmpResponseTimeout));
+  EXPECT_FALSE(manager.on_authentication_result(kAddrM,
+                                                hci::Status::kRemoteUserTerminatedConnection));
+  EXPECT_TRUE(manager.is_bonded(kAddrM));  // survived all timeouts
+  EXPECT_TRUE(manager.on_authentication_result(kAddrM, hci::Status::kAuthenticationFailure));
+  EXPECT_FALSE(manager.is_bonded(kAddrM));  // purged on the real failure
+}
+
+TEST(SecurityManager, PurgeOnKeyMissing) {
+  SecurityManager manager;
+  manager.store_bond(bond_for_m());
+  EXPECT_TRUE(manager.on_authentication_result(kAddrM, hci::Status::kPinOrKeyMissing));
+  EXPECT_FALSE(manager.is_bonded(kAddrM));
+}
+
+TEST(SecurityManager, BtConfigMatchesPaperFig10Shape) {
+  SecurityManager manager;
+  manager.store_bond(bond_for_m());
+  const std::string config = manager.to_bt_config();
+  EXPECT_NE(config.find("[48:90:12:34:56:78]"), std::string::npos);
+  EXPECT_NE(config.find("Name = VELVET"), std::string::npos);
+  EXPECT_NE(config.find("Service = 00001115-0000-1000-8000-00805f9b34fb "
+                        "00001116-0000-1000-8000-00805f9b34fb"),
+            std::string::npos);
+  EXPECT_NE(config.find("LinkKey = 71a70981f30d6af9e20adee8aafe3264"), std::string::npos);
+}
+
+TEST(SecurityManager, BtConfigRoundTrip) {
+  SecurityManager manager;
+  manager.store_bond(bond_for_m());
+  BondRecord second;
+  second.address = kAddrC;
+  second.name = "carkit";
+  second.link_key.fill(0x5A);
+  second.key_type = crypto::LinkKeyType::kAuthenticatedCombinationP256;
+  manager.store_bond(second);
+
+  const SecurityManager parsed = SecurityManager::from_bt_config(manager.to_bt_config());
+  EXPECT_EQ(parsed.bond_count(), 2u);
+  ASSERT_TRUE(parsed.bond_for(kAddrM) != nullptr);
+  EXPECT_EQ(parsed.bond_for(kAddrM)->name, "VELVET");
+  EXPECT_EQ(parsed.bond_for(kAddrM)->services.size(), 2u);
+  EXPECT_EQ(parsed.bond_for(kAddrC)->key_type,
+            crypto::LinkKeyType::kAuthenticatedCombinationP256);
+  EXPECT_EQ(*parsed.link_key_for(kAddrC), second.link_key);
+}
+
+TEST(SecurityManager, ParsesHandWrittenFakeBondingInfo) {
+  // Exactly the paper's Fig. 10 content, hand-typed by the attacker.
+  const std::string fake =
+      "[48:90:12:34:56:78]\n"
+      "Name = VELVET\n"
+      "Service = 00001115-0000-1000-8000-00805f9b34fb "
+      "00001116-0000-1000-8000-00805f9b34fb\n"
+      "LinkKey = 71a70981f30d6af9e20adee8aafe3264\n";
+  const SecurityManager parsed = SecurityManager::from_bt_config(fake);
+  ASSERT_TRUE(parsed.is_bonded(kAddrM));
+  EXPECT_EQ(hex(*parsed.link_key_for(kAddrM)), "71a70981f30d6af9e20adee8aafe3264");
+}
+
+TEST(SecurityManager, ParserSkipsMalformedSections) {
+  const std::string mixed =
+      "[not-an-address]\n"
+      "LinkKey = 00112233445566778899aabbccddeeff\n"
+      "\n"
+      "[48:90:12:34:56:78]\n"
+      "LinkKey = zzzz\n"  // bad key -> section dropped
+      "\n"
+      "[00:1b:7d:da:71:0a]\n"
+      "# a comment line\n"
+      "Name = good\n"
+      "LinkKey = 00112233445566778899aabbccddeeff\n";
+  const SecurityManager parsed = SecurityManager::from_bt_config(mixed);
+  EXPECT_EQ(parsed.bond_count(), 1u);
+  EXPECT_TRUE(parsed.is_bonded(kAddrC));
+  EXPECT_FALSE(parsed.is_bonded(kAddrM));
+}
+
+TEST(SecurityManager, ParserHandlesEmptyAndGarbage) {
+  EXPECT_EQ(SecurityManager::from_bt_config("").bond_count(), 0u);
+  EXPECT_EQ(SecurityManager::from_bt_config("random text\nno sections").bond_count(), 0u);
+}
+
+TEST(SecurityManager, BondsListsAll) {
+  SecurityManager manager;
+  manager.store_bond(bond_for_m());
+  BondRecord second;
+  second.address = kAddrC;
+  second.link_key.fill(1);
+  manager.store_bond(second);
+  EXPECT_EQ(manager.bonds().size(), 2u);
+}
+
+}  // namespace
+}  // namespace blap::host

@@ -1,0 +1,164 @@
+// Tests for the SSP functions f1/g/f2/f3 and Secure Connections h3/h4/h5.
+#include <gtest/gtest.h>
+
+#include "crypto/ssp_functions.hpp"
+
+namespace blap::crypto {
+namespace {
+
+const BdAddr kA1 = *BdAddr::parse("aa:bb:cc:dd:ee:01");
+const BdAddr kA2 = *BdAddr::parse("aa:bb:cc:dd:ee:02");
+
+Rand128 rand_of(std::uint8_t fill) {
+  Rand128 r{};
+  r.fill(fill);
+  return r;
+}
+
+struct PairingContext {
+  const EcCurve& curve = EcCurve::p256();
+  EcKeyPair initiator;
+  EcKeyPair responder;
+  U256 dhkey;
+
+  explicit PairingContext(std::uint64_t seed) {
+    Rng rng(seed);
+    initiator = generate_keypair(curve, rng);
+    responder = generate_keypair(curve, rng);
+    dhkey = *ecdh_shared_secret(curve, initiator.private_key, responder.public_key);
+  }
+};
+
+TEST(CoordinateBytes, WidthFollowsCurve) {
+  const U256 v(0x1234);
+  EXPECT_EQ(coordinate_bytes(EcCurve::p256(), v).size(), 32u);
+  EXPECT_EQ(coordinate_bytes(EcCurve::p192(), v).size(), 24u);
+}
+
+TEST(F1, CommitmentOpensCorrectly) {
+  // Responder commits to its nonce; initiator later verifies the opening.
+  const PairingContext ctx(1);
+  const Rand128 nonce = rand_of(0x55);
+  const LinkKey commitment =
+      f1(ctx.curve, ctx.responder.public_key.x, ctx.initiator.public_key.x, nonce, 0);
+  // Verification recomputes with the revealed nonce.
+  EXPECT_EQ(commitment,
+            f1(ctx.curve, ctx.responder.public_key.x, ctx.initiator.public_key.x, nonce, 0));
+  // A different nonce cannot open the commitment.
+  EXPECT_NE(commitment,
+            f1(ctx.curve, ctx.responder.public_key.x, ctx.initiator.public_key.x, rand_of(0x56), 0));
+}
+
+TEST(F1, BindsPublicKeys) {
+  const PairingContext ctx(1);
+  const PairingContext other(2);
+  const Rand128 nonce = rand_of(0x55);
+  EXPECT_NE(f1(ctx.curve, ctx.responder.public_key.x, ctx.initiator.public_key.x, nonce, 0),
+            f1(ctx.curve, other.responder.public_key.x, ctx.initiator.public_key.x, nonce, 0));
+}
+
+TEST(F1, BindsZByte) {
+  // Passkey Entry uses Z = 0x80|bit; commitments for different Z must differ.
+  const PairingContext ctx(1);
+  const Rand128 nonce = rand_of(0x55);
+  EXPECT_NE(f1(ctx.curve, ctx.responder.public_key.x, ctx.initiator.public_key.x, nonce, 0x80),
+            f1(ctx.curve, ctx.responder.public_key.x, ctx.initiator.public_key.x, nonce, 0x81));
+}
+
+TEST(G, BothSidesComputeSameSixDigits) {
+  const PairingContext ctx(3);
+  const Rand128 na = rand_of(0x01), nb = rand_of(0x02);
+  const auto va = g(ctx.curve, ctx.initiator.public_key.x, ctx.responder.public_key.x, na, nb);
+  const auto vb = g(ctx.curve, ctx.initiator.public_key.x, ctx.responder.public_key.x, na, nb);
+  EXPECT_EQ(va, vb);
+  EXPECT_LT(g_display(va), 1'000'000u);
+}
+
+TEST(G, MitmKeySubstitutionChangesDisplayValue) {
+  // Numeric Comparison's defense: a MITM substituting its own public key
+  // makes the two displays disagree (with overwhelming probability).
+  const PairingContext ctx(4);
+  const PairingContext mitm(5);
+  const Rand128 na = rand_of(0x01), nb = rand_of(0x02);
+  const auto genuine = g(ctx.curve, ctx.initiator.public_key.x, ctx.responder.public_key.x, na, nb);
+  const auto attacked = g(ctx.curve, mitm.initiator.public_key.x, ctx.responder.public_key.x, na, nb);
+  EXPECT_NE(genuine, attacked);
+}
+
+TEST(F2, BothSidesDeriveSameLinkKey) {
+  const PairingContext ctx(6);
+  // Both sides know the same DHKey after ECDH; f2 gives the shared link key.
+  const U256 dh_resp =
+      *ecdh_shared_secret(ctx.curve, ctx.responder.private_key, ctx.initiator.public_key);
+  const Rand128 n1 = rand_of(0x0a), n2 = rand_of(0x0b);
+  EXPECT_EQ(f2(ctx.curve, ctx.dhkey, n1, n2, kA1, kA2),
+            f2(ctx.curve, dh_resp, n1, n2, kA1, kA2));
+}
+
+TEST(F2, BindsAddressesAndNonces) {
+  const PairingContext ctx(6);
+  const Rand128 n1 = rand_of(0x0a), n2 = rand_of(0x0b);
+  const LinkKey base = f2(ctx.curve, ctx.dhkey, n1, n2, kA1, kA2);
+  EXPECT_NE(f2(ctx.curve, ctx.dhkey, n1, n2, kA2, kA1), base);  // swapped roles
+  EXPECT_NE(f2(ctx.curve, ctx.dhkey, rand_of(0x0c), n2, kA1, kA2), base);
+}
+
+TEST(F3, ChecksDifferPerIoCap) {
+  const PairingContext ctx(7);
+  const Rand128 n1 = rand_of(1), n2 = rand_of(2), r = rand_of(3);
+  const IoCapTriplet display_yes_no{0x01, 0x00, 0x03};
+  const IoCapTriplet no_input_no_output{0x03, 0x00, 0x03};
+  EXPECT_NE(f3(ctx.curve, ctx.dhkey, n1, n2, r, display_yes_no, kA1, kA2),
+            f3(ctx.curve, ctx.dhkey, n1, n2, r, no_input_no_output, kA1, kA2));
+}
+
+TEST(F3, BindsDhkey) {
+  const PairingContext ctx(8);
+  const PairingContext other(9);
+  const Rand128 n1 = rand_of(1), n2 = rand_of(2), r = rand_of(3);
+  const IoCapTriplet iocap{0x01, 0x00, 0x03};
+  EXPECT_NE(f3(ctx.curve, ctx.dhkey, n1, n2, r, iocap, kA1, kA2),
+            f3(other.curve, other.dhkey, n1, n2, r, iocap, kA1, kA2));
+}
+
+TEST(H4, DeviceKeyBindsAddresses) {
+  LinkKey t{};
+  t.fill(0x11);
+  EXPECT_NE(h4(t, kA1, kA2), h4(t, kA2, kA1));
+}
+
+TEST(H5, SecureAuthenticationSplitsDigest) {
+  LinkKey s{};
+  s.fill(0x22);
+  const auto out = h5(s, rand_of(0x01), rand_of(0x02));
+  // SRES halves and ACO must all be distinct functions of the inputs.
+  EXPECT_NE(out.sres_master, out.sres_slave);
+  const auto out2 = h5(s, rand_of(0x03), rand_of(0x02));
+  EXPECT_NE(out.sres_master, out2.sres_master);
+  EXPECT_NE(out.aco, out2.aco);
+}
+
+TEST(H3, EncryptionKeyDerivation) {
+  LinkKey t{};
+  t.fill(0x33);
+  std::array<std::uint8_t, 8> aco{};
+  aco.fill(0x44);
+  const auto k1 = h3(t, kA1, kA2, aco);
+  aco[0] ^= 1;
+  const auto k2 = h3(t, kA1, kA2, aco);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(P192AndP256, ProduceDifferentLinkKeys) {
+  // Same logical inputs on different curves must not collide (different
+  // coordinate widths feed the HMAC).
+  Rng rng(10);
+  const auto& c192 = EcCurve::p192();
+  const auto& c256 = EcCurve::p256();
+  const Rand128 n1 = rand_of(1), n2 = rand_of(2);
+  const U256 w(0x12345678);
+  EXPECT_NE(f2(c192, w, n1, n2, kA1, kA2), f2(c256, w, n1, n2, kA1, kA2));
+}
+
+}  // namespace
+}  // namespace blap::crypto

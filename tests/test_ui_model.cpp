@@ -1,0 +1,136 @@
+// Unit tests for association-model selection and popup policy (Fig. 7).
+#include <gtest/gtest.h>
+
+#include "host/ui_model.hpp"
+
+namespace blap::host {
+namespace {
+
+using IO = hci::IoCapability;
+
+TEST(AssociationModel, NoInputNoOutputForcesJustWorksEitherSide) {
+  for (IO other : {IO::kDisplayOnly, IO::kDisplayYesNo, IO::kKeyboardOnly,
+                   IO::kNoInputNoOutput}) {
+    EXPECT_EQ(select_association_model(IO::kNoInputNoOutput, other),
+              AssociationModel::kJustWorks);
+    EXPECT_EQ(select_association_model(other, IO::kNoInputNoOutput),
+              AssociationModel::kJustWorks);
+  }
+}
+
+TEST(AssociationModel, BothDisplayYesNoGivesNumericComparison) {
+  EXPECT_EQ(select_association_model(IO::kDisplayYesNo, IO::kDisplayYesNo),
+            AssociationModel::kNumericComparison);
+}
+
+TEST(AssociationModel, KeyboardGivesPasskeyEntry) {
+  EXPECT_EQ(select_association_model(IO::kKeyboardOnly, IO::kDisplayYesNo),
+            AssociationModel::kPasskeyEntry);
+  EXPECT_EQ(select_association_model(IO::kDisplayOnly, IO::kKeyboardOnly),
+            AssociationModel::kPasskeyEntry);
+  EXPECT_EQ(select_association_model(IO::kKeyboardOnly, IO::kKeyboardOnly),
+            AssociationModel::kPasskeyEntry);
+}
+
+TEST(AssociationModel, DisplayOnlyCannotConfirm) {
+  EXPECT_EQ(select_association_model(IO::kDisplayOnly, IO::kDisplayYesNo),
+            AssociationModel::kJustWorks);
+  EXPECT_EQ(select_association_model(IO::kDisplayOnly, IO::kDisplayOnly),
+            AssociationModel::kJustWorks);
+}
+
+TEST(Confirmation, NumericComparisonShowsValueBothVersions) {
+  for (BtVersion version : {BtVersion::kV4_2, BtVersion::kV5_0}) {
+    const auto behavior =
+        confirmation_behavior(version, IO::kDisplayYesNo, IO::kDisplayYesNo, true);
+    EXPECT_TRUE(behavior.shows_popup);
+    EXPECT_TRUE(behavior.shows_numeric_value);
+    EXPECT_FALSE(behavior.automatic_confirmation);
+  }
+}
+
+TEST(Confirmation, V42JustWorksInitiatorSilent) {
+  // The paper: "most implementations automatically confirm the pairing
+  // without any user confirmation when working as the initiator" (<= 4.2).
+  const auto behavior =
+      confirmation_behavior(BtVersion::kV4_2, IO::kDisplayYesNo, IO::kNoInputNoOutput, true);
+  EXPECT_TRUE(behavior.automatic_confirmation);
+  EXPECT_FALSE(behavior.shows_popup);
+}
+
+TEST(Confirmation, V42JustWorksResponderPrompts) {
+  // "when working as the responder, most implementations ask for users'
+  // confirmation ... to prevent silent pairing by Just Works".
+  const auto behavior =
+      confirmation_behavior(BtVersion::kV4_2, IO::kDisplayYesNo, IO::kNoInputNoOutput, false);
+  EXPECT_TRUE(behavior.shows_popup);
+  EXPECT_FALSE(behavior.shows_numeric_value);
+}
+
+TEST(Confirmation, V50JustWorksAlwaysPromptsWithoutValue) {
+  // "In version 5.0 or higher, displaying a confirmation popup is mandated
+  // on DisplayYesNo devices ... Device does not show the confirmation value."
+  for (bool initiator : {true, false}) {
+    const auto behavior = confirmation_behavior(BtVersion::kV5_0, IO::kDisplayYesNo,
+                                                IO::kNoInputNoOutput, initiator);
+    EXPECT_TRUE(behavior.shows_popup) << initiator;
+    EXPECT_FALSE(behavior.shows_numeric_value) << initiator;
+  }
+}
+
+TEST(Confirmation, NoInputNoOutputDeviceAlwaysAutomatic) {
+  for (BtVersion version : {BtVersion::kV4_2, BtVersion::kV5_0}) {
+    for (bool initiator : {true, false}) {
+      const auto behavior =
+          confirmation_behavior(version, IO::kNoInputNoOutput, IO::kDisplayYesNo, initiator);
+      EXPECT_TRUE(behavior.automatic_confirmation);
+      EXPECT_FALSE(behavior.shows_popup);
+    }
+  }
+}
+
+TEST(DescribeCell, PaperFig7aCells) {
+  // Version 4.2 and lower quadrant, as printed in the paper.
+  EXPECT_EQ(describe_cell(BtVersion::kV4_2, IO::kDisplayYesNo, IO::kDisplayYesNo),
+            "Numeric Comparison: Both Display, Both Confirm.");
+  EXPECT_EQ(describe_cell(BtVersion::kV4_2, IO::kNoInputNoOutput, IO::kDisplayYesNo),
+            "Numeric Comparison with automatic confirmation on device A only.");
+  EXPECT_EQ(describe_cell(BtVersion::kV4_2, IO::kDisplayYesNo, IO::kNoInputNoOutput),
+            "Numeric Comparison with automatic confirmation on device B only.");
+  EXPECT_EQ(describe_cell(BtVersion::kV4_2, IO::kNoInputNoOutput, IO::kNoInputNoOutput),
+            "Numeric Comparison with automatic confirmation on both devices.");
+}
+
+TEST(DescribeCell, PaperFig7bCellsMentionValuelessPopup) {
+  const std::string a_only =
+      describe_cell(BtVersion::kV5_0, IO::kNoInputNoOutput, IO::kDisplayYesNo);
+  EXPECT_NE(a_only.find("automatic confirmation on device A only"), std::string::npos);
+  EXPECT_NE(a_only.find("Device B does not show the confirmation value"), std::string::npos);
+
+  const std::string b_only =
+      describe_cell(BtVersion::kV5_0, IO::kDisplayYesNo, IO::kNoInputNoOutput);
+  EXPECT_NE(b_only.find("automatic confirmation on device B only"), std::string::npos);
+  EXPECT_NE(b_only.find("Device A does not show the confirmation value"), std::string::npos);
+}
+
+// Exhaustive sweep: every (version, local, remote, role) combination yields a
+// consistent behavior — a popup never coexists with automatic confirmation.
+class BehaviorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BehaviorSweep, PopupAndAutoAreMutuallyExclusive) {
+  const int param = GetParam();
+  const auto version = (param & 1) ? BtVersion::kV5_0 : BtVersion::kV4_2;
+  const auto local = static_cast<IO>((param >> 1) & 3);
+  const auto remote = static_cast<IO>((param >> 3) & 3);
+  const bool initiator = (param >> 5) & 1;
+  const auto behavior = confirmation_behavior(version, local, remote, initiator);
+  EXPECT_FALSE(behavior.shows_popup && behavior.automatic_confirmation);
+  if (behavior.shows_numeric_value) {
+    EXPECT_TRUE(behavior.shows_popup);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, BehaviorSweep, ::testing::Range(0, 64));
+
+}  // namespace
+}  // namespace blap::host

@@ -1,0 +1,54 @@
+// Unit tests for Bluetooth service UUID handling.
+#include <gtest/gtest.h>
+
+#include "common/uuid.hpp"
+
+namespace blap {
+namespace {
+
+TEST(Uuid, ExpandsUuid16AgainstBaseUuid) {
+  // The paper's fake bonding entry lists the PAN UUIDs in expanded form:
+  // 00001115-0000-1000-8000-00805f9b34fb and 00001116-....
+  EXPECT_EQ(Uuid::from_uuid16(uuid16::kPanu).to_string(),
+            "00001115-0000-1000-8000-00805f9b34fb");
+  EXPECT_EQ(Uuid::from_uuid16(uuid16::kNap).to_string(),
+            "00001116-0000-1000-8000-00805f9b34fb");
+}
+
+TEST(Uuid, ParsesCanonicalForm) {
+  auto parsed = Uuid::parse("00001115-0000-1000-8000-00805f9b34fb");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, Uuid::from_uuid16(0x1115));
+}
+
+TEST(Uuid, RejectsMalformed) {
+  EXPECT_FALSE(Uuid::parse("").has_value());
+  EXPECT_FALSE(Uuid::parse("00001115").has_value());
+  EXPECT_FALSE(Uuid::parse("00001115-0000-1000-8000-00805f9b34").has_value());
+  EXPECT_FALSE(Uuid::parse("0000111g-0000-1000-8000-00805f9b34fb").has_value());
+}
+
+TEST(Uuid, As16RecoversShortForm) {
+  EXPECT_EQ(Uuid::from_uuid16(0x110B).as_uuid16(), 0x110B);
+}
+
+TEST(Uuid, As16RejectsNonBaseExpansion) {
+  auto custom = Uuid::parse("00001115-0000-1000-8000-00805f9b34fc");  // last byte off
+  ASSERT_TRUE(custom.has_value());
+  EXPECT_FALSE(custom->as_uuid16().has_value());
+}
+
+TEST(Uuid, RoundTripsThroughString) {
+  const Uuid original = Uuid::from_uuid16(uuid16::kHandsFree);
+  auto reparsed = Uuid::parse(original.to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, original);
+}
+
+TEST(Uuid, OrderingDistinguishesProfiles) {
+  EXPECT_NE(Uuid::from_uuid16(uuid16::kPanu), Uuid::from_uuid16(uuid16::kNap));
+  EXPECT_LT(Uuid::from_uuid16(uuid16::kPanu), Uuid::from_uuid16(uuid16::kNap));
+}
+
+}  // namespace
+}  // namespace blap
