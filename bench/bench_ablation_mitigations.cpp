@@ -4,17 +4,26 @@
 // undefended run succeeds; and the defenses are channel-specific — the snoop
 // filter does NOT stop USB sniffing (the paper's argument for payload
 // encryption).
+//
+// All ablation cells are independent seeded trials, so they run as one
+// campaign over BLAP_JOBS workers; seeds are fixed per cell (root + index,
+// matching the historical sequential order), keeping every measured column
+// bit-identical for any worker count.
 #include "bench_util.hpp"
+
+#include <functional>
 
 #include "core/mitigations.hpp"
 
 namespace {
-struct Row {
+
+struct Cell {
   const char* attack;
   const char* mitigation;
   bool expected_success;
-  bool measured_success;
+  std::function<bool(std::uint64_t seed)> run;  // returns measured success
 };
+
 }  // namespace
 
 int main() {
@@ -22,22 +31,24 @@ int main() {
   using namespace blap::bench;
   using namespace blap::core;
 
-  std::vector<Row> rows;
-  std::uint64_t seed = 9'000;
+  std::vector<Cell> cells;
 
   auto extraction = [&](const char* label, bool usb, auto prepare, bool expected) {
-    // HCI-dump path: C is an Android phone (Table I row 0); USB path: C is
-    // the Windows 10 PC with the CSR dongle (row 7).
-    Scenario s = usb ? make_extraction_scenario(seed++, table1_profiles()[7])
-                     : make_extraction_scenario(seed++, table1_profiles()[0]);
-    prepare(s);
-    LinkKeyExtractionOptions options;
-    options.use_usb_sniff = usb;
-    options.validate_by_impersonation = false;
-    const auto report =
-        LinkKeyExtractionAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, options);
-    rows.push_back(Row{usb ? "extraction (USB sniff)" : "extraction (HCI dump)", label,
-                       expected, report.key_extracted && report.key_matches_bond});
+    cells.push_back(Cell{
+        usb ? "extraction (USB sniff)" : "extraction (HCI dump)", label, expected,
+        [usb, prepare](std::uint64_t seed) {
+          // HCI-dump path: C is an Android phone (Table I row 0); USB path: C
+          // is the Windows 10 PC with the CSR dongle (row 7).
+          Scenario s = usb ? make_extraction_scenario(seed, table1_profiles()[7])
+                           : make_extraction_scenario(seed, table1_profiles()[0]);
+          prepare(s);
+          LinkKeyExtractionOptions options;
+          options.use_usb_sniff = usb;
+          options.validate_by_impersonation = false;
+          const auto report = LinkKeyExtractionAttack::run(*s.sim, *s.attacker,
+                                                           *s.accessory, *s.target, options);
+          return report.key_extracted && report.key_matches_bond;
+        }});
   };
 
   extraction("none", false, [](Scenario&) {}, true);
@@ -59,94 +70,93 @@ int main() {
              [](Scenario& s) { apply_hci_payload_encryption(*s.accessory); }, false);
 
   auto page_blocking = [&](const char* label, auto prepare, bool expected) {
-    Scenario s = make_scenario(seed++, table2_profiles()[5], TransportKind::kUart, true);
-    prepare(s);
-    const auto report =
-        PageBlockingAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, {});
-    rows.push_back(Row{"page blocking", label, expected, report.mitm_established});
+    cells.push_back(Cell{"page blocking", label, expected, [prepare](std::uint64_t seed) {
+                           Scenario s = make_scenario(seed, table2_profiles()[5],
+                                                      TransportKind::kUart, true);
+                           prepare(s);
+                           const auto report = PageBlockingAttack::run(
+                               *s.sim, *s.attacker, *s.accessory, *s.target, {});
+                           return report.mitm_established;
+                         }});
   };
 
   page_blocking("none", [](Scenario&) {}, true);
   page_blocking("role/IO-cap detector (§VII-B)",
                 [](Scenario& s) { apply_page_blocking_detection(*s.target); }, false);
-
-  banner("ABLATION — attack success under §VII mitigations");
-  std::printf("%-24s %-36s %-9s %-9s %s\n", "attack", "mitigation", "expected", "measured",
-              "ok");
-  std::printf("%s\n", std::string(90, '-').c_str());
-  bool all_ok = true;
-  for (const auto& row : rows) {
-    const bool ok = row.expected_success == row.measured_success;
-    all_ok &= ok;
-    std::printf("%-24s %-36s %-9s %-9s %s\n", row.attack, row.mitigation,
-                row.expected_success ? "succeeds" : "fails",
-                row.measured_success ? "succeeds" : "fails", ok ? "PASS" : "FAIL");
-  }
+  const std::size_t mitigation_cells = cells.size();
 
   // --- Attack-design ablations (DESIGN.md §5) -------------------------------
-  std::vector<Row> design_rows;
-
   // 1. Drop point: the paper stalls the key request; answering with a wrong
   //    key instead triggers an auth failure that purges C's bond.
-  {
-    Scenario s = make_extraction_scenario(seed++, table1_profiles()[0]);
-    LinkKeyExtractionOptions options;
-    options.validate_by_impersonation = false;
-    const auto report =
-        LinkKeyExtractionAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, options);
-    design_rows.push_back(
-        Row{"extraction drop point", "stall (paper) -> bond survives", true,
-            report.c_bond_survived});
-  }
-  {
-    Scenario s = make_extraction_scenario(seed++, table1_profiles()[0]);
-    LinkKeyExtractionOptions options;
-    options.answer_with_wrong_key = true;
-    options.validate_by_impersonation = false;
-    const auto report =
-        LinkKeyExtractionAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, options);
-    design_rows.push_back(Row{"extraction drop point", "wrong key -> bond purged", false,
-                              report.c_bond_survived});
-  }
+  auto drop_point = [&](const char* label, bool wrong_key, bool expected) {
+    cells.push_back(Cell{"extraction drop point", label, expected,
+                         [wrong_key](std::uint64_t seed) {
+                           Scenario s = make_extraction_scenario(seed, table1_profiles()[0]);
+                           LinkKeyExtractionOptions options;
+                           options.answer_with_wrong_key = wrong_key;
+                           options.validate_by_impersonation = false;
+                           const auto report = LinkKeyExtractionAttack::run(
+                               *s.sim, *s.attacker, *s.accessory, *s.target, options);
+                           return report.c_bond_survived;
+                         }});
+  };
+  drop_point("stall (paper) -> bond survives", false, true);
+  drop_point("wrong key -> bond purged", true, false);
 
   // 2. PLOC lifetime: a long hold dies to the victim's idle timeout unless
   //    the attacker feeds it dummy traffic (the paper's SDP keep-alive).
-  {
-    Scenario s = make_scenario(seed++, table2_profiles()[5], TransportKind::kUart, true);
-    PageBlockingOptions options;
-    options.ploc_hold = 30 * kSecond;
-    options.pairing_delay = 25 * kSecond;
-    options.keepalive = false;
-    options.window = 80 * kSecond;
-    const auto report =
-        PageBlockingAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, options);
-    design_rows.push_back(Row{"PLOC 30s hold", "no keep-alive -> link dies", false,
-                              report.mitm_established});
-  }
-  {
-    Scenario s = make_scenario(seed++, table2_profiles()[5], TransportKind::kUart, true);
-    PageBlockingOptions options;
-    options.ploc_hold = 30 * kSecond;
-    options.pairing_delay = 25 * kSecond;
-    options.keepalive = true;
-    options.window = 80 * kSecond;
-    const auto report =
-        PageBlockingAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, options);
-    design_rows.push_back(Row{"PLOC 30s hold", "L2CAP echo keep-alive -> survives", true,
-                              report.mitm_established});
-  }
+  auto ploc_hold = [&](const char* label, bool keepalive, bool expected) {
+    cells.push_back(Cell{"PLOC 30s hold", label, expected, [keepalive](std::uint64_t seed) {
+                           Scenario s = make_scenario(seed, table2_profiles()[5],
+                                                      TransportKind::kUart, true);
+                           PageBlockingOptions options;
+                           options.ploc_hold = 30 * kSecond;
+                           options.pairing_delay = 25 * kSecond;
+                           options.keepalive = keepalive;
+                           options.window = 80 * kSecond;
+                           const auto report = PageBlockingAttack::run(
+                               *s.sim, *s.attacker, *s.accessory, *s.target, options);
+                           return report.mitm_established;
+                         }});
+  };
+  ploc_hold("no keep-alive -> link dies", false, false);
+  ploc_hold("L2CAP echo keep-alive -> survives", true, true);
+
+  // One campaign over every cell; seeds follow the historical sequential
+  // order (9'000 + registration index).
+  campaign::CampaignConfig cfg;
+  cfg.label = "mitigation ablation";
+  cfg.trials = cells.size();
+  cfg.root_seed = 9'000;
+  cfg.seed_fn = sequential_seed;
+  const auto summary = campaign::run_campaign(cfg, [&](const campaign::TrialSpec& spec) {
+    campaign::TrialResult r;
+    r.success = cells[spec.index].run(spec.seed);
+    return r;
+  });
+
+  auto print_rows = [&](std::size_t begin, std::size_t end, const char* col0) {
+    std::printf("%-24s %-36s %-9s %-9s %s\n", col0, begin == 0 ? "mitigation" : "variant",
+                "expected", "measured", "ok");
+    std::printf("%s\n", std::string(90, '-').c_str());
+    bool all_ok = true;
+    for (std::size_t i = begin; i < end; ++i) {
+      const Cell& cell = cells[i];
+      const bool measured = summary.results[i].success;
+      const bool ok = cell.expected_success == measured;
+      all_ok &= ok;
+      std::printf("%-24s %-36s %-9s %-9s %s\n", cell.attack, cell.mitigation,
+                  cell.expected_success ? "succeeds" : "fails",
+                  measured ? "succeeds" : "fails", ok ? "PASS" : "FAIL");
+    }
+    return all_ok;
+  };
+
+  banner("ABLATION — attack success under §VII mitigations");
+  bool all_ok = print_rows(0, mitigation_cells, "attack");
 
   banner("ABLATION — attack design choices (DESIGN.md §5)");
-  std::printf("%-24s %-36s %-9s %-9s %s\n", "dimension", "variant", "expected", "measured",
-              "ok");
-  std::printf("%s\n", std::string(90, '-').c_str());
-  for (const auto& row : design_rows) {
-    const bool ok = row.expected_success == row.measured_success;
-    all_ok &= ok;
-    std::printf("%-24s %-36s %-9s %-9s %s\n", row.attack, row.mitigation,
-                row.expected_success ? "succeeds" : "fails",
-                row.measured_success ? "succeeds" : "fails", ok ? "PASS" : "FAIL");
-  }
+  all_ok &= print_rows(mitigation_cells, cells.size(), "dimension");
 
   std::printf("\nAblation %s\n", all_ok ? "HOLDS" : "DOES NOT HOLD");
   return all_ok ? 0 : 1;

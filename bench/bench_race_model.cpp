@@ -6,6 +6,9 @@
 // mechanism that produces the paper's footnote-1 observation ("success rate
 // of establishing the MITM connection shows 42~60%") — and the reason the
 // page blocking attack's determinism matters.
+//
+// Runs on the campaign engine (BLAP_JOBS workers, per-index seeds), so the
+// measured column is bit-identical for any worker count.
 #include "bench_util.hpp"
 
 int main() {
@@ -15,19 +18,26 @@ int main() {
 
   const int trials = trial_count(120);
   banner("Supplementary — MITM page-race win rate vs scan-interval ratio");
-  std::printf("%-12s %-14s %-14s %-10s\n", "c/a ratio", "predicted", "measured",
-              "|error|");
-  std::printf("%s\n", std::string(54, '-').c_str());
+  std::printf("%-12s %-14s %-14s %-10s %s\n", "c/a ratio", "predicted", "measured",
+              "|error|", "wilson95");
+  std::printf("%s\n", std::string(78, '-').c_str());
 
   const SimTime a_interval = static_cast<SimTime>(1.28 * kSecond);
   bool ok = true;
   std::uint64_t seed = 70'000;
   for (double ratio : {0.5, 0.75, 0.84, 1.0, 1.25, 1.5, 2.0}) {
     const double predicted = ratio <= 1.0 ? ratio / 2.0 : 1.0 - 1.0 / (2.0 * ratio);
-    int wins = 0;
-    for (int t = 0; t < trials; ++t) {
+
+    campaign::CampaignConfig cfg;
+    cfg.label = "race c/a=" + std::to_string(ratio);
+    cfg.trials = static_cast<std::size_t>(trials);
+    cfg.root_seed = seed;
+    cfg.seed_fn = sequential_seed;
+    seed += static_cast<std::uint64_t>(trials);
+
+    const auto summary = campaign::run_campaign(cfg, [&](const campaign::TrialSpec& spec) {
       Scenario s;
-      s.sim = std::make_unique<Simulation>(seed++);
+      s.sim = std::make_unique<Simulation>(spec.seed);
       DeviceSpec a = attacker_profile().to_spec("attacker", *BdAddr::parse("aa:aa:aa:00:00:01"));
       a.controller.page_scan_interval = a_interval;
       DeviceSpec c = accessory_profile().to_spec("headset", *BdAddr::parse("00:1b:7d:da:71:0a"),
@@ -38,17 +48,21 @@ int main() {
       s.attacker = &s.sim->add_device(a);
       s.accessory = &s.sim->add_device(c);
       s.target = &s.sim->add_device(m);
-      if (PageBlockingAttack::baseline_trial(*s.sim, *s.attacker, *s.accessory, *s.target))
-        ++wins;
-    }
-    const double measured = static_cast<double>(wins) / trials;
+      campaign::TrialResult r;
+      r.success = PageBlockingAttack::baseline_trial(*s.sim, *s.attacker, *s.accessory, *s.target);
+      r.virtual_end = s.sim->now();
+      return r;
+    });
+
+    const double measured = summary.success_rate;
     const double error = std::abs(measured - predicted);
     // Tolerance: 3.5 sigma of binomial sampling noise (floor 0.08) — a
     // fixed band would misfire at low trial counts.
     const double sigma = std::sqrt(predicted * (1.0 - predicted) / trials);
     const double tolerance = std::max(0.08, 3.5 * sigma);
     ok &= error < tolerance;
-    std::printf("%-12.2f %-14.3f %-14.3f %-10.3f\n", ratio, predicted, measured, error);
+    std::printf("%-12.2f %-14.3f %-14.3f %-10.3f [%.3f, %.3f]\n", ratio, predicted,
+                measured, error, summary.ci.low, summary.ci.high);
   }
 
   std::printf("\n(%d trials per point; set BLAP_TRIALS to tighten.)\n", trials);

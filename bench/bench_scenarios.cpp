@@ -21,9 +21,11 @@ DeviceSpec spec(const std::string& name, const std::string& addr) {
   return s;
 }
 
+// Shared across all benchmark fixtures; atomic, so fixtures stay race-free
+// under --benchmark_threads (the old `static std::uint64_t seed++` was not).
 std::uint64_t next_seed() {
-  static std::uint64_t seed = 1'000'000;
-  return seed++;
+  static blap::bench::SeedStream stream(1'000'000);
+  return stream.next();
 }
 
 void BM_DeviceBringUp(benchmark::State& state) {
@@ -122,6 +124,35 @@ void BM_BaselineMitmTrial(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BaselineMitmTrial);
+
+// One Table II cell through the campaign engine: 32 baseline trials per
+// iteration, worker count from the benchmark argument. Sizes the batch
+// throughput the sweep binaries actually see.
+void BM_CampaignBaselineCell(benchmark::State& state) {
+  const auto& profile = table2_profiles()[5];
+  std::size_t successes = 0;
+  for (auto _ : state) {
+    campaign::CampaignConfig cfg;
+    cfg.label = "bench cell";
+    cfg.trials = 32;
+    cfg.root_seed = next_seed();
+    cfg.jobs = static_cast<unsigned>(state.range(0));
+    const auto summary =
+        campaign::run_campaign(cfg, [&](const campaign::TrialSpec& spec) {
+          Scenario s = blap::bench::make_scenario(spec.seed, profile,
+                                                  TransportKind::kUart, true);
+          campaign::TrialResult r;
+          r.success = PageBlockingAttack::baseline_trial(*s.sim, *s.attacker,
+                                                         *s.accessory, *s.target);
+          r.virtual_end = s.sim->now();
+          return r;
+        });
+    successes += summary.successes;
+  }
+  benchmark::DoNotOptimize(successes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_CampaignBaselineCell)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

@@ -1,0 +1,87 @@
+// Microbenchmark for the discrete-event scheduler hot path. Every simulated
+// trial is dominated by schedule/fire cycles, so ns/event here bounds the
+// throughput of all campaign-scale experiments (Table II alone pays ~10^5
+// events per trial).
+#include <benchmark/benchmark.h>
+
+#include "common/scheduler.hpp"
+
+namespace {
+
+using namespace blap;
+
+// The common case: events scheduled and fired, never cancelled.
+void BM_ScheduleFire(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sched.schedule_at(static_cast<SimTime>(i), [&fired] { ++fired; });
+    }
+    sched.run_all();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ScheduleFire)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Timer churn: schedule + cancel before firing (LMP response timers, idle
+// timers that almost always get cancelled by the response arriving).
+void BM_ScheduleCancel(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    for (std::size_t i = 0; i < batch; ++i) {
+      auto handle = sched.schedule_at(static_cast<SimTime>(i), [&fired] { ++fired; });
+      handle.cancel();
+    }
+    sched.run_all();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ScheduleCancel)->Arg(1024);
+
+// Self-rescheduling chain: one live event at a time (periodic beacons,
+// page-scan windows). Exercises push/pop with a warm, tiny queue.
+void BM_PeriodicChain(benchmark::State& state) {
+  const std::size_t hops = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    std::size_t remaining = hops;
+    std::function<void()> tick = [&] {
+      if (remaining-- > 1) sched.schedule_in(kSlot, tick);
+    };
+    sched.schedule_in(kSlot, tick);
+    sched.run_all();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(hops));
+}
+BENCHMARK(BM_PeriodicChain)->Arg(4096);
+
+// Scheduler construction/teardown churn: campaigns build one fresh
+// Simulation (and thus one Scheduler) per trial, so setup cost is paid tens
+// of thousands of times per sweep.
+void BM_SchedulerChurn(benchmark::State& state) {
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    for (std::size_t i = 0; i < 32; ++i) {
+      sched.schedule_at(static_cast<SimTime>(i), [&fired] { ++fired; });
+    }
+    sched.run_all();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

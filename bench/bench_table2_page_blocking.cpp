@@ -8,8 +8,15 @@
 //     PLOC; M's pairing request lands on the attacker deterministically.
 //     Paper: 100 %.
 //
-// Trials default to the paper's 100 per cell; set BLAP_TRIALS to override.
+// Trials run through the campaign engine: BLAP_TRIALS overrides the paper's
+// 100 per cell, BLAP_JOBS sets the worker count (default: all cores). Seeds
+// are per-trial-index (root + index, the historical sequential stream), so
+// the aggregate numbers are bit-identical for every BLAP_JOBS value — and
+// identical to the pre-campaign sequential bench. Set BLAP_JSON=<path> to
+// also dump the per-cell aggregate JSON.
 #include "bench_util.hpp"
+
+#include <fstream>
 
 int main() {
   using namespace blap;
@@ -27,41 +34,78 @@ int main() {
 
   bool shape_holds = true;
   std::uint64_t seed = 10'000;
+  std::string json_dump;
+  std::uint64_t wall_ns_total = 0;
+  unsigned jobs_used = 1;
   for (const auto& profile : core::table2_profiles()) {
+    campaign::CampaignConfig cfg;
+    cfg.seed_fn = sequential_seed;
+
     // Baseline: the race.
-    int baseline_wins = 0;
-    for (int t = 0; t < baseline_trials; ++t) {
-      Scenario s = make_scenario(seed++, profile, core::TransportKind::kUart, true,
+    cfg.label = profile.model + " baseline";
+    cfg.trials = static_cast<std::size_t>(baseline_trials);
+    cfg.root_seed = seed;
+    seed += static_cast<std::uint64_t>(baseline_trials);
+    const auto baseline = campaign::run_campaign(cfg, [&](const campaign::TrialSpec& spec) {
+      Scenario s = make_scenario(spec.seed, profile, core::TransportKind::kUart, true,
                                  profile.baseline_mitm_success);
-      if (core::PageBlockingAttack::baseline_trial(*s.sim, *s.attacker, *s.accessory,
-                                                   *s.target))
-        ++baseline_wins;
-    }
+      campaign::TrialResult r;
+      r.success = core::PageBlockingAttack::baseline_trial(*s.sim, *s.attacker,
+                                                           *s.accessory, *s.target);
+      r.virtual_end = s.sim->now();
+      return r;
+    });
+
     // Attack: PLOC.
-    int attack_wins = 0;
-    for (int t = 0; t < attack_trials; ++t) {
-      Scenario s = make_scenario(seed++, profile, core::TransportKind::kUart, true,
+    cfg.label = profile.model + " page blocking";
+    cfg.trials = static_cast<std::size_t>(attack_trials);
+    cfg.root_seed = seed;
+    seed += static_cast<std::uint64_t>(attack_trials);
+    const auto attack = campaign::run_campaign(cfg, [&](const campaign::TrialSpec& spec) {
+      Scenario s = make_scenario(spec.seed, profile, core::TransportKind::kUart, true,
                                  profile.baseline_mitm_success);
       const auto report =
           core::PageBlockingAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, {});
-      if (report.mitm_established) ++attack_wins;
-    }
+      campaign::TrialResult r;
+      r.success = report.mitm_established;
+      r.virtual_end = s.sim->now();
+      return r;
+    });
 
-    const double baseline_rate = 100.0 * baseline_wins / baseline_trials;
-    const double attack_rate = 100.0 * attack_wins / attack_trials;
+    const double baseline_rate = 100.0 * baseline.success_rate;
+    const double attack_rate = 100.0 * attack.success_rate;
     std::printf("%-26s | %7.0f%%   %9.1f%%   | %7s    %9.1f%%\n",
                 (profile.model + " (" + profile.os + ")").c_str(),
                 100.0 * profile.baseline_mitm_success, baseline_rate, "100%", attack_rate);
 
+    wall_ns_total += baseline.wall_total_ns + attack.wall_total_ns;
+    jobs_used = baseline.jobs_used;
+    json_dump += baseline.to_json();
+    json_dump += attack.to_json();
+
     // Shape check: baseline within a binomial-noise band of the paper's
-    // value; attack exactly 100 %.
+    // value (3.5 sigma, floored at the historical 15-point band so the
+    // 100-trial verdict is unchanged; a fixed band misfires at the quick
+    // BLAP_TRIALS CI settings); attack exactly 100 %.
     const double expected = 100.0 * profile.baseline_mitm_success;
-    if (std::abs(baseline_rate - expected) > 15.0) shape_holds = false;
+    const double sigma = 100.0 * std::sqrt(profile.baseline_mitm_success *
+                                           (1.0 - profile.baseline_mitm_success) /
+                                           baseline_trials);
+    if (std::abs(baseline_rate - expected) > std::max(15.0, 3.5 * sigma))
+      shape_holds = false;
     if (attack_rate < 100.0) shape_holds = false;
   }
 
   std::printf("\n(baseline: %d trials/device, attack: %d trials/device; "
               "paper used 100. Shape %s.)\n",
               baseline_trials, attack_trials, shape_holds ? "HOLDS" : "DOES NOT HOLD");
+  std::fprintf(stderr, "[campaign] full sweep: %.3f s wall on %u worker(s)\n",
+               static_cast<double>(wall_ns_total) * 1e-9, jobs_used);
+
+  if (const char* path = std::getenv("BLAP_JSON")) {
+    std::ofstream out(path);
+    out << json_dump;
+    std::fprintf(stderr, "[campaign] aggregate JSON written to %s\n", path);
+  }
   return shape_holds ? 0 : 1;
 }

@@ -1,17 +1,41 @@
 // bench_util.hpp — shared scenario builders for the reproduction benches.
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
+#include "campaign/campaign.hpp"
 #include "core/link_key_extraction.hpp"
 #include "core/page_blocking.hpp"
 #include "core/profiles.hpp"
 
 namespace blap::bench {
+
+/// Explicit, thread-safe seed stream for benches that burn seeds ad hoc
+/// (Google-benchmark fixtures run the same function from multiple threads
+/// under --benchmark_threads; a plain `static std::uint64_t seed++` there is
+/// a data race AND makes trials order-dependent). Campaign-style benches
+/// should prefer per-index seeds via blap::campaign::trial_seed.
+class SeedStream {
+ public:
+  explicit SeedStream(std::uint64_t start) : next_(start) {}
+  std::uint64_t next() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> next_;
+};
+
+/// The sequential seed derivation the pre-campaign benches used (one global
+/// counter across all cells): trial i of a campaign rooted at `root` gets
+/// seed root+i. Keeps aggregate outputs bit-identical to the historical
+/// single-threaded loops for the same root seeds.
+inline std::uint64_t sequential_seed(std::uint64_t root, std::size_t index) {
+  return root + index;
+}
 
 struct Scenario {
   std::unique_ptr<core::Simulation> sim;

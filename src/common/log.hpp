@@ -6,6 +6,7 @@
 // A capture sink can be installed to assert on log output in tests.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -22,8 +23,11 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
+  /// Level reads/writes are atomic: campaign workers consult enabled() on
+  /// every log macro while the main thread may still be configuring. The
+  /// sink, by contrast, must be installed before any worker threads start.
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Replace the output sink (nullptr restores the stderr default).
   void set_sink(Sink sink);
@@ -31,12 +35,12 @@ class Logger {
   void log(LogLevel level, const std::string& component, const std::string& msg);
 
   [[nodiscard]] bool enabled(LogLevel level) const {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >= static_cast<int>(this->level());
   }
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::Warn;
+  std::atomic<LogLevel> level_{LogLevel::Warn};
   Sink sink_;
 };
 

@@ -1,35 +1,100 @@
 #include "common/scheduler.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace blap {
+namespace {
 
-void EventHandle::cancel() {
-  if (alive_) *alive_ = false;
+// High-water capacity pool for Scheduler storage. Campaign workloads
+// construct one Simulation — and so one Scheduler — per trial; each new
+// Scheduler pre-reserves the largest queue/slot capacity any earlier
+// Scheduler on this thread reached, so steady-state trials pay a fixed
+// up-front reserve instead of a log(n) chain of growth reallocations.
+// Thread-local: campaign workers each get a private pool, no synchronisation.
+struct StoragePool {
+  std::size_t heap_capacity = 0;
+  std::size_t slot_capacity = 0;
+};
+
+StoragePool& pool() {
+  thread_local StoragePool p;
+  return p;
 }
 
-bool EventHandle::pending() const { return alive_ && *alive_; }
+}  // namespace
+
+void EventHandle::cancel() {
+  if (scheduler_ != nullptr && scheduler_->slot_live(slot_, generation_)) {
+    // Detach the queued event; its slot is returned to the free list when it
+    // is eventually popped (the queue entry itself stays until then).
+    ++scheduler_->generations_[slot_];
+  }
+}
+
+bool EventHandle::pending() const {
+  return scheduler_ != nullptr && scheduler_->slot_live(slot_, generation_);
+}
+
+Scheduler::Scheduler() {
+  const StoragePool& p = pool();
+  if (p.heap_capacity > 0) heap_.reserve(p.heap_capacity);
+  if (p.slot_capacity > 0) {
+    generations_.reserve(p.slot_capacity);
+    free_slots_.reserve(p.slot_capacity);
+  }
+}
+
+Scheduler::~Scheduler() {
+  StoragePool& p = pool();
+  p.heap_capacity = std::max(p.heap_capacity, heap_.capacity());
+  p.slot_capacity = std::max(p.slot_capacity, generations_.capacity());
+}
+
+void Scheduler::reserve(std::size_t events) {
+  heap_.reserve(events);
+  generations_.reserve(events);
+  free_slots_.reserve(events);
+}
 
 EventHandle Scheduler::schedule_at(SimTime when, std::function<void()> fn) {
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(fn), alive});
-  return EventHandle(std::move(alive));
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(generations_.size());
+    generations_.push_back(0);
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  const std::uint32_t generation = generations_[slot];
+  heap_.push_back(Event{when < now_ ? now_ : when, next_seq_++, slot, generation,
+                        std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle(this, slot, generation);
 }
 
 EventHandle Scheduler::schedule_in(SimTime delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+Scheduler::Event Scheduler::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
 std::size_t Scheduler::run_until(SimTime deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!heap_.empty() && heap_.front().when <= deadline) {
+    Event ev = pop_event();
     now_ = ev.when;
-    if (*ev.alive) {
-      *ev.alive = false;  // mark fired before running, so pending() is false inside the callback
+    if (slot_live(ev.slot, ev.generation)) {
+      retire_slot(ev.slot);  // pending() is false inside the callback
       ev.fn();
       ++executed;
+    } else {
+      free_slots_.push_back(ev.slot);  // cancelled; generation already bumped
     }
   }
   // The clock always reaches the deadline: events beyond it stay queued,
@@ -41,14 +106,15 @@ std::size_t Scheduler::run_until(SimTime deadline) {
 
 std::size_t Scheduler::run_all() {
   std::size_t executed = 0;
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    Event ev = pop_event();
     now_ = ev.when;
-    if (*ev.alive) {
-      *ev.alive = false;
+    if (slot_live(ev.slot, ev.generation)) {
+      retire_slot(ev.slot);
       ev.fn();
       ++executed;
+    } else {
+      free_slots_.push_back(ev.slot);
     }
   }
   return executed;

@@ -9,14 +9,25 @@
 //   * all randomness (e.g. page-response jitter) is injected by callers from
 //     seeded Rng streams — the scheduler itself is entirely deterministic.
 //
+// Cancellation uses generation-counted slots instead of a per-event
+// shared_ptr<bool>: a handle is {slot index, generation}, live iff the slot's
+// current generation matches. The never-cancelled common case costs zero heap
+// allocations (slots live in a pooled vector), and cancel() stays O(1).
+// Queue/slot storage is recycled through a thread-local pool so that
+// campaign-style workloads building one Scheduler per trial do not re-pay
+// vector growth every trial.
+//
+// Lifetime contract: an EventHandle holds a raw back-pointer into its
+// Scheduler and must not be used after that Scheduler is destroyed. All
+// in-tree holders (host/controller timers) are owned by Devices, which a
+// Simulation destroys before its Scheduler.
+//
 // Virtual time is in microseconds; Bluetooth's 625 us slot is the natural
 // granularity for baseband events.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 namespace blap {
@@ -30,7 +41,10 @@ constexpr SimTime kSecond = 1'000'000;
 /// One Bluetooth baseband slot (625 us).
 constexpr SimTime kSlot = 625;
 
+class Scheduler;
+
 /// Handle to a scheduled event; lets the owner cancel it. Cheap to copy.
+/// Must not outlive the Scheduler that issued it (see header comment).
 class EventHandle {
  public:
   EventHandle() = default;
@@ -44,13 +58,17 @@ class EventHandle {
 
  private:
   friend class Scheduler;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(Scheduler* scheduler, std::uint32_t slot, std::uint32_t generation)
+      : scheduler_(scheduler), slot_(slot), generation_(generation) {}
+  Scheduler* scheduler_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Scheduler {
  public:
-  Scheduler() = default;
+  Scheduler();
+  ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -73,15 +91,21 @@ class Scheduler {
   /// quiesces; periodic self-rescheduling events would never finish).
   std::size_t run_all();
 
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Pre-size queue and slot storage for about `events` in-flight events.
+  void reserve(std::size_t events);
+
+  [[nodiscard]] bool idle() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
 
  private:
+  friend class EventHandle;
+
   struct Event {
     SimTime when;
     std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t generation;
     std::function<void()> fn;
-    std::shared_ptr<bool> alive;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -90,9 +114,23 @@ class Scheduler {
     }
   };
 
+  [[nodiscard]] bool slot_live(std::uint32_t slot, std::uint32_t generation) const {
+    return slot < generations_.size() && generations_[slot] == generation;
+  }
+  void retire_slot(std::uint32_t slot) {
+    ++generations_[slot];
+    free_slots_.push_back(slot);
+  }
+  Event pop_event();
+  /// Pop the next live event at or before `deadline`, retiring cancelled
+  /// ones along the way. Returns false when none qualifies.
+  bool pop_runnable(SimTime deadline, Event& out);
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;                 // binary min-heap ordered by Later
+  std::vector<std::uint32_t> generations_;  // current generation per slot
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace blap

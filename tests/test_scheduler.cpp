@@ -112,6 +112,92 @@ TEST(Scheduler, PendingIsFalseInsideOwnCallback) {
   EXPECT_FALSE(pending_inside);
 }
 
+// Regression: schedule_at clamps past timestamps to now, and the clamped
+// events must still fire in schedule order relative to events genuinely
+// scheduled at `now` — the tie-break the campaign engine's determinism
+// guarantee rests on.
+TEST(Scheduler, ClampedPastEventsKeepScheduleOrderTiebreak) {
+  Scheduler sched;
+  sched.schedule_at(100, [] {});
+  sched.run_all();
+  ASSERT_EQ(sched.now(), 100u);
+
+  std::vector<int> order;
+  sched.schedule_at(10, [&] { order.push_back(1); });   // past: clamped to 100
+  sched.schedule_at(100, [&] { order.push_back(2); });  // exactly now
+  sched.schedule_at(5, [&] { order.push_back(3); });    // past: clamped to 100
+  EXPECT_EQ(sched.pending_events(), 3u);
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 100u);
+}
+
+// Regression: a cancelled event stays queued (pending_events unchanged)
+// but must not execute, and must not disturb the tie-break order of its
+// same-timestamp neighbours.
+TEST(Scheduler, CancelPreservesQueueAndTiebreakOfNeighbours) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(10, [&] { order.push_back(1); });
+  auto doomed = sched.schedule_at(10, [&] { order.push_back(2); });
+  sched.schedule_at(10, [&] { order.push_back(3); });
+  doomed.cancel();
+  EXPECT_EQ(sched.pending_events(), 3u);  // cancelled entry stays queued
+  EXPECT_EQ(sched.run_until(10), 2u);     // ...but only live events execute
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+// Regression: cancel after fire is a no-op even when the event's internal
+// slot has been reused by a newer event — the stale handle must not cancel
+// (or report pending for) its successor.
+TEST(Scheduler, StaleHandleCannotTouchSlotSuccessor) {
+  Scheduler sched;
+  bool first_fired = false;
+  auto first = sched.schedule_at(10, [&] { first_fired = true; });
+  sched.run_all();
+  ASSERT_TRUE(first_fired);
+  ASSERT_FALSE(first.pending());
+
+  // The next event recycles the first one's slot.
+  bool second_fired = false;
+  auto second = sched.schedule_at(20, [&] { second_fired = true; });
+  ASSERT_TRUE(second.pending());
+  EXPECT_FALSE(first.pending());  // stale handle must not alias the new event
+  first.cancel();                 // no-op
+  EXPECT_TRUE(second.pending());
+  EXPECT_EQ(sched.pending_events(), 1u);
+  sched.run_all();
+  EXPECT_TRUE(second_fired);
+}
+
+// Double-cancel and cancel-of-cancelled are no-ops that never unblock or
+// re-kill anything scheduled later.
+TEST(Scheduler, RepeatedCancelIsIdempotent) {
+  Scheduler sched;
+  int fired = 0;
+  auto a = sched.schedule_at(10, [&] { ++fired; });
+  auto b = sched.schedule_at(10, [&] { ++fired; });
+  a.cancel();
+  a.cancel();
+  EXPECT_TRUE(b.pending());
+  sched.run_all();
+  EXPECT_EQ(fired, 1);
+  a.cancel();  // after the queue drained: still a no-op
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+// Storage reservation must not disturb scheduling semantics.
+TEST(Scheduler, ReserveKeepsSemantics) {
+  Scheduler sched;
+  sched.reserve(1024);
+  std::vector<int> order;
+  sched.schedule_at(20, [&] { order.push_back(2); });
+  sched.schedule_at(10, [&] { order.push_back(1); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 TEST(Scheduler, TimeConstants) {
   EXPECT_EQ(kSecond, 1'000'000u);
   EXPECT_EQ(kMillisecond, 1'000u);
