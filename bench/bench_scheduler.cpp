@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/scheduler.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -26,6 +27,32 @@ void BM_ScheduleFire(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_ScheduleFire)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Same hot path with the observability hook attached (metrics on): what a
+// campaign pays per dispatched event when run with --metrics. Compare with
+// BM_ScheduleFire to read the tracing-enabled overhead; the no-observer
+// configuration above is the "disabled costs one branch" baseline the obs
+// layer promises to keep within noise.
+void BM_ScheduleFireHooked(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::uint64_t fired = 0;
+  obs::ObsConfig config;
+  config.metrics = true;
+  for (auto _ : state) {
+    obs::Observer observer(config);
+    Scheduler sched;
+    sched.set_hook(&observer);
+    for (std::size_t i = 0; i < batch; ++i) {
+      sched.schedule_at(static_cast<SimTime>(i), [&fired] { ++fired; });
+    }
+    sched.run_all();
+    benchmark::DoNotOptimize(observer.events_dispatched());
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ScheduleFireHooked)->Arg(64)->Arg(1024)->Arg(16384);
 
 // Timer churn: schedule + cancel before firing (LMP response timers, idle
 // timers that almost always get cancelled by the response arriving).

@@ -8,12 +8,19 @@
 //   BLAP_JOBS    worker threads             (default: all hardware threads)
 //   BLAP_SEED    campaign root seed         (default 1)
 //
-//   campaign_sweep [--json FILE] [--csv FILE]
+//   campaign_sweep [--json FILE] [--csv FILE] [--metrics] [--trace-out FILE]
+//
+// --metrics runs every trial's Simulation with the metrics half of the
+// observability layer on and folds the per-trial snapshots into each cell's
+// JSON ("metrics" block). --trace-out additionally runs ONE fully-traced
+// page blocking trial (first Table II victim, trial seed 0) and writes its
+// Chrome trace-event JSON — load it in Perfetto to see the attacker and
+// victim lanes race.
 //
 // Results are bit-identical for any BLAP_JOBS value and any re-run with the
 // same BLAP_TRIALS/BLAP_SEED: per-trial seeds are SplitMix64-derived from
-// (root seed, cell, trial index) and wall-clock never leaks into the
-// deterministic emits.
+// (root seed, cell, trial index), wall-clock never leaks into the
+// deterministic emits, and metrics snapshots merge order-independently.
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -27,11 +34,17 @@ int main(int argc, char** argv) {
 
   const char* json_path = nullptr;
   const char* csv_path = nullptr;
+  const char* trace_path = nullptr;
+  bool with_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
     else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) csv_path = argv[++i];
+    else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) trace_path = argv[++i];
+    else if (std::strcmp(argv[i], "--metrics") == 0) with_metrics = true;
     else {
-      std::fprintf(stderr, "usage: %s [--json FILE] [--csv FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json FILE] [--csv FILE] [--metrics] [--trace-out FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -65,6 +78,11 @@ int main(int argc, char** argv) {
           campaign::run_campaign(cfg, [&](const campaign::TrialSpec& spec) {
             Scenario s = make_scenario(spec.seed, profile, TransportKind::kUart, true,
                                        profile.baseline_mitm_success);
+            if (with_metrics) {
+              obs::ObsConfig obs_cfg;
+              obs_cfg.metrics = true;
+              s.sim->enable_observability(obs_cfg);
+            }
             campaign::TrialResult r;
             if (with_blocking) {
               const auto report = PageBlockingAttack::run(*s.sim, *s.attacker,
@@ -75,6 +93,9 @@ int main(int argc, char** argv) {
                                                              *s.accessory, *s.target);
             }
             r.virtual_end = s.sim->now();
+            if (with_metrics)
+              r.metrics = std::make_shared<const obs::MetricsSnapshot>(
+                  s.sim->observer()->snapshot());
             return r;
           });
       wall_s += static_cast<double>(summary.wall_total_ns) * 1e-9;
@@ -114,5 +135,20 @@ int main(int argc, char** argv) {
   };
   if (json_path) emit(json_path, json_all, "aggregate JSON");
   if (csv_path) emit(csv_path, csv_all, "per-trial CSV ");
+
+  if (trace_path) {
+    // One fully-traced trial for Perfetto: the first Table II victim under
+    // page blocking, same seed derivation as the sweep's cell 1 / trial 0.
+    const auto& profile = table2_profiles().front();
+    Scenario s = make_scenario(campaign::trial_seed(campaign::trial_seed(root, 1), 0),
+                               profile, TransportKind::kUart, true,
+                               profile.baseline_mitm_success);
+    obs::ObsConfig obs_cfg;
+    obs_cfg.tracing = true;
+    obs_cfg.metrics = true;
+    auto& observer = s.sim->enable_observability(obs_cfg);
+    (void)PageBlockingAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, {});
+    emit(trace_path, observer.recorder().to_chrome_json(), "Chrome trace JSON");
+  }
   return emit_ok ? 0 : 1;
 }

@@ -2,20 +2,59 @@
 //
 //   $ ./snoop_inspector <file.btsnoop>       # analyze an existing dump
 //   $ ./snoop_inspector --demo <out.btsnoop> # generate a dump, then analyze
+//   $ ./snoop_inspector <file.btsnoop> --trace-out <file.trace.json>
+//                                            # ...and convert to Chrome trace
 //
 // Parses an RFC 1761 btsnoop file, prints the frame table, flags every
 // key-bearing packet, and extracts the link keys — the exact workflow of
-// paper §IV-A against a log pulled from an Android bug report.
+// paper §IV-A against a log pulled from an Android bug report. --trace-out
+// re-emits the dump as the same Chrome trace-event JSON the simulator's
+// observability layer produces (one lane per direction, key-bearing frames
+// as attack-layer instants), so a captured log and a simulated trial can be
+// compared side by side in Perfetto.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/device.hpp"
 #include "core/snoop_extractor.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
-int analyze(const std::string& path) {
+int export_trace(const blap::hci::SnoopLog& log, const std::string& out_path) {
+  using namespace blap;
+  obs::TraceRecorder recorder(log.size() + 16);
+  const std::uint32_t h2c = recorder.intern_device("host->controller");
+  const std::uint32_t c2h = recorder.intern_device("controller->host");
+  const std::uint32_t keys = recorder.intern_device("key material");
+  std::size_t index = 0;
+  for (const auto& record : log.records()) {
+    const bool to_host = record.direction == hci::Direction::kControllerToHost;
+    recorder.instant(record.timestamp_us, to_host ? c2h : h2c, obs::Layer::kHci,
+                     record.packet.describe(),
+                     strfmt("frame %zu, %zu bytes", index, record.packet.payload.size()));
+    ++index;
+  }
+  for (const auto& key : core::extract_link_keys(log)) {
+    const auto& record = log.records()[key.frame_index];
+    recorder.instant(record.timestamp_us, keys, obs::Layer::kAttack, "plaintext_link_key",
+                     strfmt("frame %zu (%s): peer %s", key.frame_index, to_string(key.source),
+                            key.peer.to_string().c_str()));
+  }
+  std::ofstream out(out_path);
+  out << recorder.to_chrome_json();
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("Chrome trace JSON (%zu events) -> %s\n", recorder.size(), out_path.c_str());
+  return 0;
+}
+
+int analyze(const std::string& path, const std::string& trace_out = {}) {
   using namespace blap;
   auto log = hci::SnoopLog::load(path);
   if (!log) {
@@ -24,6 +63,10 @@ int analyze(const std::string& path) {
   }
   std::printf("%s: %zu records\n\n", path.c_str(), log->size());
   std::printf("%s\n", log->format_table().c_str());
+  if (!trace_out.empty()) {
+    const int rc = export_trace(*log, trace_out);
+    if (rc != 0) return rc;
+  }
 
   const auto keys = blap::core::extract_link_keys(*log);
   if (keys.empty()) {
@@ -73,9 +116,11 @@ int demo(const std::string& path) {
 
 int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--demo") == 0) return demo(argv[2]);
+  if (argc == 4 && std::strcmp(argv[2], "--trace-out") == 0)
+    return analyze(argv[1], argv[3]);
   if (argc == 2) return analyze(argv[1]);
   std::fprintf(stderr,
-               "usage: %s <file.btsnoop>\n"
+               "usage: %s <file.btsnoop> [--trace-out <out.trace.json>]\n"
                "       %s --demo <out.btsnoop>\n",
                argv[0], argv[0]);
   return 2;

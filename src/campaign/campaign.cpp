@@ -26,9 +26,25 @@ void append_fmt(std::string& out, const char* fmt, ...) {
   char buf[256];
   va_list args;
   va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
   const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
-  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n), sizeof buf - 1));
+  if (n < 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<std::size_t>(n) < sizeof buf) {
+    va_end(args_copy);
+    out.append(buf, static_cast<std::size_t>(n));
+    return;
+  }
+  // The stack buffer clipped the output (long campaign labels); reformat
+  // into an exactly-sized heap buffer instead of truncating silently.
+  std::vector<char> big(static_cast<std::size_t>(n) + 1);
+  std::vsnprintf(big.data(), big.size(), fmt, args_copy);
+  va_end(args_copy);
+  out.append(big.data(), static_cast<std::size_t>(n));
 }
 
 /// Shortest %.17g-style representation that still round-trips is overkill
@@ -65,15 +81,22 @@ unsigned resolve_jobs(unsigned requested) {
 Histogram make_histogram(const std::vector<double>& values, std::size_t bucket_count) {
   Histogram h;
   if (values.empty() || bucket_count == 0) return h;
-  h.min = *std::min_element(values.begin(), values.end());
-  h.max = *std::max_element(values.begin(), values.end());
+  // NaN poisons min/max and makes the bucket index computation UB; ±inf
+  // makes every width degenerate. Histogram only the finite samples.
+  std::vector<double> finite;
+  finite.reserve(values.size());
+  for (double v : values)
+    if (std::isfinite(v)) finite.push_back(v);
+  if (finite.empty()) return h;
+  h.min = *std::min_element(finite.begin(), finite.end());
+  h.max = *std::max_element(finite.begin(), finite.end());
   double sum = 0.0;
-  for (double v : values) sum += v;
-  h.mean = sum / static_cast<double>(values.size());
+  for (double v : finite) sum += v;
+  h.mean = sum / static_cast<double>(finite.size());
 
   const double width = (h.max - h.min) / static_cast<double>(bucket_count);
   if (width <= 0.0) {
-    h.buckets.push_back(HistogramBucket{h.min, h.max, values.size()});
+    h.buckets.push_back(HistogramBucket{h.min, h.max, finite.size()});
     return h;
   }
   h.buckets.resize(bucket_count);
@@ -81,7 +104,7 @@ Histogram make_histogram(const std::vector<double>& values, std::size_t bucket_c
     h.buckets[b].lo = h.min + static_cast<double>(b) * width;
     h.buckets[b].hi = h.min + static_cast<double>(b + 1) * width;
   }
-  for (double v : values) {
+  for (double v : finite) {
     std::size_t b = static_cast<std::size_t>((v - h.min) / width);
     if (b >= bucket_count) b = bucket_count - 1;  // v == max lands in the last
     ++h.buckets[b].count;
@@ -136,6 +159,10 @@ std::string CampaignSummary::to_json(bool per_trial) const {
     append_fmt(out, ", \"count\": %zu}", bucket.count);
   }
   out += "]}";
+  if (has_metrics) {
+    out += ",\n  \"metrics\": ";
+    out += metrics.to_json("  ");
+  }
   if (per_trial) {
     out += ",\n  \"per_trial\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -237,11 +264,19 @@ CampaignSummary run_campaign(const CampaignConfig& config, const TrialFn& fn) {
     value_sum += r.value;
     virtual_ends.push_back(static_cast<double>(r.virtual_end));
     walls.push_back(static_cast<double>(r.wall_ns));
+    if (r.metrics != nullptr && !r.metrics->empty()) {
+      summary.metrics.merge_from(*r.metrics);
+      summary.has_metrics = true;
+    }
   }
+  // trials == 0 must emit clean zeros, not 0/0 NaN, in the JSON/CSV.
   summary.success_rate =
-      static_cast<double>(summary.successes) / static_cast<double>(config.trials);
+      config.trials != 0
+          ? static_cast<double>(summary.successes) / static_cast<double>(config.trials)
+          : 0.0;
   summary.ci = wilson95(summary.successes, config.trials);
-  summary.value_mean = value_sum / static_cast<double>(config.trials);
+  summary.value_mean =
+      config.trials != 0 ? value_sum / static_cast<double>(config.trials) : 0.0;
   summary.virtual_time = make_histogram(virtual_ends, config.histogram_buckets);
   summary.wall_time = make_histogram(walls, config.histogram_buckets);
   return summary;

@@ -21,10 +21,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/scheduler.hpp"
+#include "obs/obs.hpp"
 
 namespace blap::campaign {
 
@@ -54,6 +56,11 @@ struct TrialResult {
   bool success = false;
   double value = 0.0;
   SimTime virtual_end = 0;
+  /// Optional per-trial metrics snapshot (a trial that ran its Simulation
+  /// with observability on fills this). Snapshots are merged index-ordered
+  /// into CampaignSummary::metrics; shared_ptr keeps TrialResult cheap to
+  /// move/copy for trials that don't use it.
+  std::shared_ptr<const obs::MetricsSnapshot> metrics;
   // Filled in by the engine:
   std::size_t index = 0;
   std::uint64_t seed = 0;
@@ -109,6 +116,11 @@ struct CampaignSummary {
   WilsonInterval ci;
   double value_mean = 0.0;
   Histogram virtual_time;  // over virtual_end, microseconds
+  /// Merge of every trial's metrics snapshot (counters summed, gauges
+  /// maxed, histogram buckets summed — all order-independent, so identical
+  /// for any worker count). has_metrics gates the to_json() block.
+  obs::MetricsSnapshot metrics;
+  bool has_metrics = false;
   std::vector<TrialResult> results;  // index order
 
   // Throughput bookkeeping — never part of to_json()/to_csv().

@@ -22,12 +22,24 @@ Logger& Logger::instance() {
   return logger;
 }
 
-void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+void Logger::set_sink(Sink sink) {
+  std::shared_ptr<const Sink> next =
+      sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = std::move(next);
+}
+
+std::shared_ptr<const Logger::Sink> Logger::current_sink() const {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  return sink_;
+}
 
 void Logger::log(LogLevel level, const std::string& component, const std::string& msg) {
   if (!enabled(level)) return;
-  if (sink_) {
-    sink_(level, component, msg);
+  // Grab a reference under the lock, call outside it: a concurrent
+  // set_sink() can retire the sink but not destroy it under our feet.
+  if (const std::shared_ptr<const Sink> sink = current_sink()) {
+    (*sink)(level, component, msg);
     return;
   }
   std::fprintf(stderr, "[%-5s] %-12s %s\n", to_string(level), component.c_str(), msg.c_str());

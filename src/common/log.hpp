@@ -9,6 +9,8 @@
 #include <atomic>
 #include <cstdio>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 
 namespace blap {
@@ -24,12 +26,14 @@ class Logger {
   static Logger& instance();
 
   /// Level reads/writes are atomic: campaign workers consult enabled() on
-  /// every log macro while the main thread may still be configuring. The
-  /// sink, by contrast, must be installed before any worker threads start.
+  /// every log macro while the main thread may still be configuring.
   void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
   [[nodiscard]] LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
-  /// Replace the output sink (nullptr restores the stderr default).
+  /// Replace the output sink (an empty Sink restores the stderr default).
+  /// Safe to call while other threads log: the sink lives behind a
+  /// mutex-guarded shared_ptr, so an in-flight log() keeps the sink it
+  /// already grabbed alive while the swap happens.
   void set_sink(Sink sink);
 
   void log(LogLevel level, const std::string& component, const std::string& msg);
@@ -40,8 +44,11 @@ class Logger {
 
  private:
   Logger() = default;
+  [[nodiscard]] std::shared_ptr<const Sink> current_sink() const;
+
   std::atomic<LogLevel> level_{LogLevel::Warn};
-  Sink sink_;
+  mutable std::mutex sink_mutex_;
+  std::shared_ptr<const Sink> sink_;  // null = stderr default
 };
 
 /// printf-style formatting into std::string.

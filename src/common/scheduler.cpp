@@ -93,6 +93,7 @@ std::size_t Scheduler::run_until(SimTime deadline) {
       retire_slot(ev.slot);  // pending() is false inside the callback
       ev.fn();
       ++executed;
+      if (hook_ != nullptr) hook_->on_dispatch(now_, heap_.size());
     } else {
       free_slots_.push_back(ev.slot);  // cancelled; generation already bumped
     }
@@ -113,6 +114,7 @@ std::size_t Scheduler::run_all() {
       retire_slot(ev.slot);
       ev.fn();
       ++executed;
+      if (hook_ != nullptr) hook_->on_dispatch(now_, heap_.size());
     } else {
       free_slots_.push_back(ev.slot);
     }

@@ -43,6 +43,18 @@ constexpr SimTime kSlot = 625;
 
 class Scheduler;
 
+/// Observation point for event dispatch. The observability layer (src/obs/)
+/// implements this to count dispatched events and watch queue depth without
+/// the scheduler knowing anything about metrics. With no hook installed the
+/// run loops pay exactly one predictable branch per event.
+class SchedulerHook {
+ public:
+  virtual ~SchedulerHook() = default;
+  /// Called after each event callback returns. `queue_depth` is the number
+  /// of events still queued (live or cancelled) at that instant.
+  virtual void on_dispatch(SimTime now, std::size_t queue_depth) = 0;
+};
+
 /// Handle to a scheduled event; lets the owner cancel it. Cheap to copy.
 /// Must not outlive the Scheduler that issued it (see header comment).
 class EventHandle {
@@ -97,6 +109,11 @@ class Scheduler {
   [[nodiscard]] bool idle() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
 
+  /// Install (or clear, with nullptr) the dispatch hook. The hook must
+  /// outlive the scheduler or be cleared before it is destroyed.
+  void set_hook(SchedulerHook* hook) { hook_ = hook; }
+  [[nodiscard]] SchedulerHook* hook() const { return hook_; }
+
  private:
   friend class EventHandle;
 
@@ -127,6 +144,7 @@ class Scheduler {
   bool pop_runnable(SimTime deadline, Event& out);
 
   SimTime now_ = 0;
+  SchedulerHook* hook_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::vector<Event> heap_;                 // binary min-heap ordered by Later
   std::vector<std::uint32_t> generations_;  // current generation per slot

@@ -45,6 +45,11 @@ SimTime Controller::sample_page_response_latency(Rng& rng) {
 // ---------------------------------------------------------------------------
 
 void Controller::send_event(const hci::HciPacket& packet) {
+  if (obs_ != nullptr && obs_->metrics_on()) {
+    obs_->count("hci.evt.total");
+    if (const auto code = packet.event_code())
+      obs_->count(strfmt("hci.evt.0x%02x", *code));
+  }
   transport_.send(hci::Direction::kControllerToHost, packet);
 }
 
@@ -71,6 +76,7 @@ void Controller::command_status(std::uint16_t opcode, hci::Status status) {
 void Controller::on_command(const hci::HciPacket& packet) {
   if (packet.type == hci::PacketType::kAclData) {
     // Outgoing ACL data from the host.
+    if (obs_ != nullptr) obs_->count("hci.acl.tx");
     auto handle = packet.acl_handle();
     auto data = packet.acl_data();
     if (!handle || !data) return;
@@ -90,6 +96,16 @@ void Controller::on_command(const hci::HciPacket& packet) {
   const auto opcode = packet.command_opcode();
   const auto params = packet.command_params();
   if (!opcode || !params) return;
+
+  if (obs_ != nullptr && obs_->metrics_on()) {
+    obs_->count("hci.cmd.total");
+    switch (*opcode >> 10) {  // opcode group field
+      case 0x01: obs_->count("hci.cmd.link_control"); break;
+      case 0x03: obs_->count("hci.cmd.baseband"); break;
+      case 0x04: obs_->count("hci.cmd.informational"); break;
+      default: obs_->count("hci.cmd.other"); break;
+    }
+  }
 
   switch (*opcode) {
     case hci::op::kReset:
@@ -239,6 +255,9 @@ void Controller::handle_create_connection(const hci::CreateConnectionCmd& cmd) {
   }
   command_status(hci::op::kCreateConnection, hci::Status::kSuccess);
   const BdAddr target = cmd.bdaddr;
+  if (obs_ != nullptr && obs_->tracing())
+    obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kController,
+                  "create_connection", strfmt("page %s", target.to_string().c_str()));
   medium_.page(this, target, config_.page_timeout,
                [this, target](std::optional<radio::LinkId> link_id) {
                  if (!link_id) {
@@ -377,11 +396,23 @@ void Controller::handle_authentication_requested(const hci::AuthenticationReques
   command_status(hci::op::kAuthenticationRequested, hci::Status::kSuccess);
   link->auth_requested_by_host = true;
   link->auth = AuthState::kWaitLocalKey;
+  if (obs_ != nullptr) {
+    obs_->count("hci.link_key_requests");
+    obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kHci, "link_key_request",
+                  "controller asks its host for the bond key");
+  }
   // Pull the link key from the host — the moment the key crosses the HCI.
   send_event(hci::LinkKeyRequestEvt{link->peer}.encode());
 }
 
 void Controller::handle_link_key_reply(const hci::LinkKeyRequestReplyCmd& cmd) {
+  if (obs_ != nullptr) {
+    // The extraction attack's whole premise: this reply carries the bond
+    // key across the HCI in plaintext, visible to any dump/sniffer.
+    obs_->count("hci.link_key_replies");
+    obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kHci,
+                  "link_key_request_reply", "plaintext link key crosses the HCI");
+  }
   command_complete(hci::op::kLinkKeyRequestReply, hci::Status::kSuccess);
   Link* link = link_by_peer(cmd.bdaddr);
   if (link == nullptr) return;
@@ -441,6 +472,9 @@ void Controller::handle_set_encryption(const hci::SetConnectionEncryptionCmd& cm
     return;
   }
   command_status(hci::op::kSetConnectionEncryption, hci::Status::kSuccess);
+  if (obs_ != nullptr && link->obs_enc_span == 0)
+    link->obs_enc_span = obs_->begin_span(scheduler_.now(), obs_tid_,
+                                          obs::Layer::kLmp, "encryption_start");
   send_lmp(*link, LmpOpcode::kEncryptionModeReq, Bytes{cmd.encryption_enable});
   arm_lmp_timer(*link);
 }
@@ -485,6 +519,12 @@ void Controller::on_air_frame(radio::LinkId link_id, const Bytes& frame) {
 
 void Controller::on_lmp(Link& link, const LmpPdu& pdu) {
   disarm_lmp_timer(link);
+  if (obs_ != nullptr) {
+    obs_->count("lmp.rx");
+    if (obs_->tracing())
+      obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kLmp,
+                    strfmt("lmp_rx:%s", to_string(pdu.opcode)));
+  }
   const hci::ConnectionHandle handle = link.handle;
   switch (pdu.opcode) {
     case LmpOpcode::kHostConnectionReq: on_lmp_host_connection_req(link); break;
@@ -603,6 +643,11 @@ void Controller::on_lmp_accepted(Link& link, LmpOpcode about) {
       link.enc_key = crypto::e3(link.key, link.pending_en_rand, link.aco);
       link.encrypted = true;
       link.tx_counter = link.rx_counter = 0;
+      if (obs_ != nullptr) {
+        obs_->count("lmp.encryption_starts");
+        obs_->end_span(scheduler_.now(), link.obs_enc_span, "E0 key live");
+        link.obs_enc_span = 0;
+      }
       hci::EncryptionChangeEvt evt;
       evt.handle = link.handle;
       evt.encryption_enabled = 1;
@@ -669,6 +714,10 @@ void Controller::on_lmp_not_accepted(Link& link, const LmpNotAccepted& pdu) {
 // ---------------------------------------------------------------------------
 
 void Controller::send_challenge(Link& link) {
+  if (obs_ != nullptr && link.obs_auth_span == 0)
+    link.obs_auth_span =
+        obs_->begin_span(scheduler_.now(), obs_tid_, obs::Layer::kLmp, "lmp_auth",
+                         strfmt("challenge %s", link.peer.to_string().c_str()));
   link.challenge = rng_.bytes<16>();
   link.auth = AuthState::kWaitSres;
   // Secure Connections controllers first try the h4/h5 secure
@@ -823,6 +872,17 @@ void Controller::on_lmp_sres(Link& link, const crypto::Sres& sres) {
 }
 
 void Controller::auth_failed(Link& link, hci::Status status) {
+  if (obs_ != nullptr) {
+    obs_->count("lmp.auth_failures");
+    obs_->end_span(scheduler_.now(), link.obs_auth_span,
+                   strfmt("FAILED (%s)", to_string(status)));
+    link.obs_auth_span = 0;
+    // A pairing attempt aborted below the SSP/legacy completion paths
+    // (e.g. a mid-exchange NotAccepted) still closes its span here.
+    obs_->end_span(scheduler_.now(), link.obs_pair_span,
+                   strfmt("aborted (%s)", to_string(status)));
+    link.obs_pair_span = 0;
+  }
   link.auth = AuthState::kIdle;
   link.ssp.reset();
   if (link.auth_requested_by_host) {
@@ -835,6 +895,11 @@ void Controller::auth_failed(Link& link, hci::Status status) {
 }
 
 void Controller::auth_succeeded(Link& link) {
+  if (obs_ != nullptr) {
+    obs_->count("lmp.auth_successes");
+    obs_->end_span(scheduler_.now(), link.obs_auth_span, "mutual auth OK");
+    link.obs_auth_span = 0;
+  }
   link.auth = AuthState::kIdle;
   if (link.auth_requested_by_host) {
     link.auth_requested_by_host = false;
@@ -849,12 +914,30 @@ void Controller::auth_succeeded(Link& link) {
 // Secure Simple Pairing
 // ---------------------------------------------------------------------------
 
+void Controller::obs_begin_pair(Link& link, const char* kind) {
+  if (obs_ == nullptr) return;
+  obs_->count("lmp.pairings_started");
+  if (link.obs_pair_span == 0)
+    link.obs_pair_span =
+        obs_->begin_span(scheduler_.now(), obs_tid_, obs::Layer::kLmp, "pairing", kind);
+}
+
+void Controller::obs_end_pair(Link& link, bool success) {
+  if (obs_ == nullptr) return;
+  obs_->count(success ? "lmp.pairings_succeeded" : "lmp.pairings_failed");
+  obs_->end_span(scheduler_.now(), link.obs_pair_span,
+                 success ? "link key derived" : "FAILED");
+  link.obs_pair_span = 0;
+}
+
 void Controller::start_pairing_as_initiator(Link& link) {
   link.auth = AuthState::kPairing;
   link.ssp = std::make_unique<SspContext>();
   link.ssp->initiator = true;
   link.ssp->curve =
       config_.secure_connections ? &crypto::EcCurve::p256() : &crypto::EcCurve::p192();
+  obs_begin_pair(link, config_.secure_connections ? "ssp initiator (P-256)"
+                                                  : "ssp initiator (P-192)");
   send_event(hci::IoCapabilityRequestEvt{link.peer}.encode());
 }
 
@@ -899,6 +982,7 @@ void Controller::on_lmp_io_cap_req(Link& link, const LmpIoCap& iocap) {
     link.auth = AuthState::kPairing;
     link.ssp = std::make_unique<SspContext>();
     link.ssp->initiator = false;
+    obs_begin_pair(link, "ssp responder");
   }
   link.ssp->peer_iocap =
       crypto::IoCapTriplet{iocap.io_capability, iocap.oob_data_present,
@@ -1145,6 +1229,7 @@ crypto::LinkKeyType Controller::derived_key_type(const Link& link) const {
 void Controller::finish_pairing(Link& link, bool success) {
   if (link.ssp == nullptr) return;
   if (!success) {
+    obs_end_pair(link, false);
     hci::SimplePairingCompleteEvt evt;
     evt.status = hci::Status::kAuthenticationFailure;
     evt.bdaddr = link.peer;
@@ -1165,6 +1250,13 @@ void Controller::finish_pairing(Link& link, bool success) {
   pairing_evt.bdaddr = link.peer;
   send_event(pairing_evt.encode());
 
+  obs_end_pair(link, true);
+  if (obs_ != nullptr) {
+    obs_->count("hci.link_key_notifications");
+    if (obs_->tracing())
+      obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kHci, "link_key_notification",
+                    strfmt("new SSP key for %s", link.peer.to_string().c_str()));
+  }
   hci::LinkKeyNotificationEvt key_evt;
   key_evt.bdaddr = link.peer;
   key_evt.link_key = link.key;
@@ -1196,6 +1288,7 @@ void Controller::start_legacy_pairing_as_initiator(Link& link) {
   link.auth = AuthState::kPairing;
   link.legacy = std::make_unique<LegacyContext>();
   link.legacy->initiator = true;
+  obs_begin_pair(link, "legacy pin initiator");
   send_event(hci::PinCodeRequestEvt{link.peer}.encode());
 }
 
@@ -1230,6 +1323,7 @@ void Controller::handle_pin_code_negative_reply(const BdAddr& addr) {
                           static_cast<std::uint8_t>(hci::Status::kPairingNotAllowed)}
                .encode());
   link->legacy.reset();
+  obs_end_pair(*link, false);
   auth_failed(*link, hci::Status::kPairingNotAllowed);
 }
 
@@ -1241,6 +1335,7 @@ void Controller::on_lmp_in_rand(Link& link, const crypto::Rand128& in_rand) {
   link.legacy->initiator = false;
   link.legacy->in_rand = in_rand;
   link.legacy->have_in_rand = true;
+  obs_begin_pair(link, "legacy pin responder");
   send_event(hci::PinCodeRequestEvt{link.peer}.encode());
 }
 
@@ -1273,6 +1368,13 @@ void Controller::finish_legacy_pairing(Link& link, const crypto::LinkKey& peer_l
   link.key = crypto::combination_key(local_contribution, peer_contribution);
   link.have_key = true;
 
+  obs_end_pair(link, true);
+  if (obs_ != nullptr) {
+    obs_->count("hci.link_key_notifications");
+    if (obs_->tracing())
+      obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kHci, "link_key_notification",
+                    strfmt("new legacy combination key for %s", link.peer.to_string().c_str()));
+  }
   hci::LinkKeyNotificationEvt key_evt;
   key_evt.bdaddr = link.peer;
   key_evt.link_key = link.key;
@@ -1305,6 +1407,11 @@ void Controller::on_lmp_start_encryption_req(Link& link, const crypto::Rand128& 
   link.enc_key = crypto::e3(link.key, en_rand, link.aco);
   link.encrypted = true;
   link.tx_counter = link.rx_counter = 0;
+  if (obs_ != nullptr) {
+    obs_->count("lmp.encryption_starts");
+    obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kLmp, "encryption_on",
+                  "responder side: E0 key live");
+  }
   send_lmp(link, LmpOpcode::kAccepted,
            Bytes{static_cast<std::uint8_t>(LmpOpcode::kStartEncryptionReq)});
   hci::EncryptionChangeEvt evt;
@@ -1321,6 +1428,12 @@ void Controller::send_lmp(Link& link, LmpOpcode opcode, Bytes payload) {
   LmpPdu pdu;
   pdu.opcode = opcode;
   pdu.payload = std::move(payload);
+  if (obs_ != nullptr) {
+    obs_->count("lmp.tx");
+    if (obs_->tracing())
+      obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kLmp,
+                    strfmt("lmp_tx:%s", to_string(opcode)));
+  }
   BLAP_TRACE("lmp", "%s tx %s", config_.address.to_string().c_str(), to_string(opcode));
   medium_.send_frame(link.radio_link, this, pdu.to_air_frame());
 }
@@ -1341,6 +1454,14 @@ void Controller::lmp_timeout(hci::ConnectionHandle handle) {
             config_.address.to_string().c_str(), handle);
   // The peer stalled mid-transaction. Tear the link down with a timeout —
   // crucially NOT an authentication failure, so the host keeps any bond.
+  if (obs_ != nullptr) {
+    obs_->count("lmp.response_timeouts");
+    obs_->end_span(scheduler_.now(), link->obs_auth_span,
+                   "LMP response timeout (bond preserved)");
+    link->obs_auth_span = 0;
+    obs_->end_span(scheduler_.now(), link->obs_pair_span, "LMP response timeout");
+    link->obs_pair_span = 0;
+  }
   if (link->auth_requested_by_host) {
     hci::AuthenticationCompleteEvt evt;
     evt.status = hci::Status::kLmpResponseTimeout;

@@ -30,6 +30,7 @@
 #include "crypto/e1.hpp"
 #include "crypto/ssp_functions.hpp"
 #include "controller/lmp.hpp"
+#include "obs/obs.hpp"
 #include "hci/commands.hpp"
 #include "hci/events.hpp"
 #include "radio/radio_medium.hpp"
@@ -77,6 +78,13 @@ class Controller final : public radio::RadioEndpoint {
   void set_address(const BdAddr& address) { config_.address = address; }
   void set_class_of_device(ClassOfDevice cod) { config_.class_of_device = cod; }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
+
+  /// Wire the simulation's observer (null = off). The trace lane is keyed
+  /// by the device *name*, which — unlike the BD_ADDR — survives spoofing.
+  void set_observer(obs::Observer* observer) {
+    obs_ = observer;
+    obs_tid_ = observer != nullptr ? observer->device_tid(config_.name) : 0;
+  }
 
  private:
   enum class LinkState : std::uint8_t {
@@ -157,6 +165,10 @@ class Controller final : public radio::RadioEndpoint {
     // Timers.
     EventHandle lmp_timer;
     EventHandle accept_timer;
+    // Open observability spans (0 = none).
+    std::uint64_t obs_auth_span = 0;
+    std::uint64_t obs_pair_span = 0;
+    std::uint64_t obs_enc_span = 0;
   };
 
   // HCI plumbing.
@@ -238,11 +250,17 @@ class Controller final : public radio::RadioEndpoint {
   Link* link_by_radio(radio::LinkId id);
   void teardown_link(Link& link, hci::Status reason, bool notify_peer);
 
+  // Observability helpers (no-ops while obs_ is null).
+  void obs_begin_pair(Link& link, const char* kind);
+  void obs_end_pair(Link& link, bool success);
+
   Scheduler& scheduler_;
   radio::RadioMedium& medium_;
   transport::HciTransport& transport_;
   ControllerConfig config_;
   Rng rng_;
+  obs::Observer* obs_ = nullptr;
+  std::uint32_t obs_tid_ = 0;
 
   hci::ScanEnable scan_enable_ = hci::ScanEnable::kInquiryAndPage;
   bool simple_pairing_mode_ = true;

@@ -2,7 +2,8 @@
 
 namespace blap::core {
 
-Device::Device(Scheduler& scheduler, radio::RadioMedium& medium, DeviceSpec spec, Rng rng)
+Device::Device(Scheduler& scheduler, radio::RadioMedium& medium, DeviceSpec spec, Rng rng,
+               obs::Observer* observer)
     : medium_(medium), spec_(std::move(spec)) {
   if (spec_.transport == TransportKind::kUsb) {
     auto usb = std::make_unique<transport::UsbTransport>(scheduler);
@@ -23,7 +24,13 @@ Device::Device(Scheduler& scheduler, radio::RadioMedium& medium, DeviceSpec spec
   host::HostConfig host_config = spec_.host;
   host_config.device_name = spec_.name;
   host_ = std::make_unique<host::HostStack>(scheduler, *transport_, host_config);
+  if (observer != nullptr) set_observer(observer);
   host_->power_on();
+}
+
+void Device::set_observer(obs::Observer* observer) {
+  controller_->set_observer(observer);
+  host_->set_observer(observer);
 }
 
 void Device::set_radio_enabled(bool enabled) {
@@ -44,10 +51,19 @@ Simulation::Simulation(std::uint64_t seed)
     : rng_(seed), medium_(scheduler_, Rng(seed ^ 0x9E3779B97F4A7C15ULL)) {}
 
 Device& Simulation::add_device(DeviceSpec spec) {
-  devices_.push_back(std::make_unique<Device>(scheduler_, medium_, std::move(spec), rng_.fork()));
+  devices_.push_back(std::make_unique<Device>(scheduler_, medium_, std::move(spec),
+                                              rng_.fork(), obs_.get()));
   // Let power-on traffic (Reset, Read_BD_ADDR, ...) drain.
   scheduler_.run_for(10 * kMillisecond);
   return *devices_.back();
+}
+
+obs::Observer& Simulation::enable_observability(obs::ObsConfig config) {
+  obs_ = std::make_unique<obs::Observer>(config);
+  scheduler_.set_hook(obs_.get());
+  medium_.set_observer(obs_.get());
+  for (const auto& device : devices_) device->set_observer(obs_.get());
+  return *obs_;
 }
 
 }  // namespace blap::core

@@ -12,6 +12,7 @@
 
 #include "controller/controller.hpp"
 #include "host/host.hpp"
+#include "obs/obs.hpp"
 #include "radio/radio_medium.hpp"
 #include "transport/uart_transport.hpp"
 #include "transport/usb_transport.hpp"
@@ -36,7 +37,11 @@ struct DeviceSpec {
 
 class Device {
  public:
-  Device(Scheduler& scheduler, radio::RadioMedium& medium, DeviceSpec spec, Rng rng);
+  /// `observer` may be null (observability off). When set, the controller
+  /// and host are wired before power-on so even the Reset/Read_BD_ADDR
+  /// bring-up traffic is observed.
+  Device(Scheduler& scheduler, radio::RadioMedium& medium, DeviceSpec spec, Rng rng,
+         obs::Observer* observer = nullptr);
 
   [[nodiscard]] host::HostStack& host() { return *host_; }
   [[nodiscard]] const host::HostStack& host() const { return *host_; }
@@ -54,6 +59,10 @@ class Device {
   /// Rewrite the radio identity (the paper's BDADDR/COD spoofing via
   /// /persist/bdaddr.txt + bt_target.h).
   void spoof_identity(const BdAddr& address, ClassOfDevice class_of_device);
+
+  /// Attach (or detach, with nullptr) the simulation's observer to the
+  /// controller and host of this device.
+  void set_observer(obs::Observer* observer);
 
  private:
   radio::RadioMedium& medium_;
@@ -82,10 +91,19 @@ class Simulation {
   void run_until_idle() { scheduler_.run_all(); }
   [[nodiscard]] SimTime now() const { return scheduler_.now(); }
 
+  /// Turn on tracing and/or metrics for this simulation. Devices added
+  /// before and after the call are both wired. Off by default: without
+  /// this call every instrumentation site in the stack is a single
+  /// never-taken branch on a null pointer.
+  obs::Observer& enable_observability(obs::ObsConfig config);
+  /// Null unless enable_observability() was called.
+  [[nodiscard]] obs::Observer* observer() { return obs_.get(); }
+
  private:
   Scheduler scheduler_;
   Rng rng_;
   radio::RadioMedium medium_;
+  std::unique_ptr<obs::Observer> obs_;
   std::vector<std::unique_ptr<Device>> devices_;
 };
 

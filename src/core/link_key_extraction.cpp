@@ -16,8 +16,16 @@ LinkKeyExtractionReport LinkKeyExtractionAttack::run(Simulation& sim, Device& at
   const ClassOfDevice m_cod = target.spec().class_of_device;
   const ClassOfDevice c_cod = accessory.spec().class_of_device;
 
+  obs::Observer* obs = sim.observer();
+  const std::uint32_t a_tid = obs != nullptr ? obs->device_tid(attacker.spec().name) : 0;
+  if (obs != nullptr) obs->count("attack.extraction.runs");
+
   // --- Precondition: C and M are bonded (the paper's testbed state). -------
   {
+    const std::uint64_t bond_span =
+        obs != nullptr ? obs->begin_span(sim.now(), a_tid, obs::Layer::kAttack,
+                                         "precondition_bond", "legitimate C<->M pairing")
+                       : 0;
     // Keep the attacker off the air while the legitimate bond forms.
     attacker.set_radio_enabled(false);
     bool paired = false;
@@ -25,6 +33,8 @@ LinkKeyExtractionReport LinkKeyExtractionAttack::run(Simulation& sim, Device& at
       paired = status == hci::Status::kSuccess;
     });
     sim.run_for(10 * kSecond);
+    if (obs != nullptr && bond_span != 0)
+      obs->end_span(sim.now(), bond_span, paired ? "bond established" : "FAILED");
     if (!paired) {
       BLAP_ERROR("attack", "precondition pairing C<->M failed");
       return report;
@@ -50,11 +60,18 @@ LinkKeyExtractionReport LinkKeyExtractionAttack::run(Simulation& sim, Device& at
   } else {
     accessory.host().enable_snoop(true);
   }
+  if (obs != nullptr && obs->tracing())
+    obs->instant(sim.now(), a_tid, obs::Layer::kAttack, "step1_capture_armed",
+                 strfmt("recording C's HCI traffic via %s", report.capture_channel.c_str()));
 
   // --- Steps 2 & 5: A impersonates M; A's host will stall the key request.
   target.set_radio_enabled(false);  // M is elsewhere during the attack
   attacker.set_radio_enabled(true);
   attacker.spoof_identity(m_addr, m_cod);
+  if (obs != nullptr && obs->tracing())
+    obs->instant(sim.now(), a_tid, obs::Layer::kAttack, "step2_impersonate_m",
+                 strfmt("A answers as M (%s); key request will %s", m_addr.to_string().c_str(),
+                        options.answer_with_wrong_key ? "get a bogus key" : "be stalled"));
   if (options.answer_with_wrong_key) {
     // Ablation: respond to the challenge with a bogus key instead.
     host::BondRecord bogus;
@@ -68,6 +85,11 @@ LinkKeyExtractionReport LinkKeyExtractionAttack::run(Simulation& sim, Device& at
   }
 
   // --- Step 3: C initiates reconnection + LMP authentication toward "M". ---
+  const std::uint64_t reconnect_span =
+      obs != nullptr ? obs->begin_span(sim.now(), a_tid, obs::Layer::kAttack,
+                                       "step3_reconnect_auth",
+                                       "C reconnects; its LinkKeyRequestReply is the capture")
+                     : 0;
   bool c_completed = false;
   hci::Status c_status = hci::Status::kSuccess;
   accessory.host().pair(m_addr, [&](hci::Status status) {
@@ -76,9 +98,15 @@ LinkKeyExtractionReport LinkKeyExtractionAttack::run(Simulation& sim, Device& at
   });
   sim.run_for(options.attack_window);
   report.c_auth_status = c_completed ? c_status : hci::Status::kConnectionTimeout;
+  if (obs != nullptr && reconnect_span != 0)
+    obs->end_span(sim.now(), reconnect_span,
+                  strfmt("C's auth ended: %s", to_string(report.c_auth_status)));
 
   // --- Step 5 outcome: did C keep its bond? ---------------------------------
   report.c_bond_survived = accessory.host().security().is_bonded(m_addr);
+  if (obs != nullptr)
+    obs->count(report.c_bond_survived ? "attack.extraction.bond_survived"
+                                      : "attack.extraction.bond_lost");
 
   // --- Step 6: extract the key from the capture. ----------------------------
   std::optional<ExtractedKey> extracted;
@@ -106,6 +134,16 @@ LinkKeyExtractionReport LinkKeyExtractionAttack::run(Simulation& sim, Device& at
     report.key_source = extracted->source;
     report.key_matches_bond = extracted->key == *real_key;
   }
+  if (obs != nullptr) {
+    obs->count(report.key_extracted ? "attack.extraction.keys_extracted"
+                                    : "attack.extraction.no_key_in_capture");
+    if (obs->tracing())
+      obs->instant(sim.now(), a_tid, obs::Layer::kAttack, "step6_extract",
+                   report.key_extracted
+                       ? strfmt("link key recovered from %s (%zu keys in capture)",
+                                to_string(report.key_source), report.keys_in_capture)
+                       : std::string("capture held no usable key"));
+  }
 
   // Undo the attack-phase manipulation.
   attacker.host().hooks().ignore_link_key_request = false;
@@ -113,6 +151,11 @@ LinkKeyExtractionReport LinkKeyExtractionAttack::run(Simulation& sim, Device& at
   // --- Step 7: impersonate C against M; validate over PAN. ------------------
   if (options.validate_by_impersonation && report.key_extracted) {
     report.impersonation_attempted = true;
+    const std::uint64_t validate_span =
+        obs != nullptr ? obs->begin_span(sim.now(), a_tid, obs::Layer::kAttack,
+                                         "step7_validate_impersonation",
+                                         "A installs the extracted key as C's bond, opens PAN")
+                       : 0;
     accessory.set_radio_enabled(false);  // the real C is out of range
     target.set_radio_enabled(true);
 
@@ -143,6 +186,16 @@ LinkKeyExtractionReport LinkKeyExtractionAttack::run(Simulation& sim, Device& at
         target.host().pairing_events().size() > pairings_before;
     report.impersonation_succeeded = pan_done && pan_ok && !new_pairing_happened;
     report.impersonation_repaired = new_pairing_happened;
+    if (obs != nullptr) {
+      obs->count(report.impersonation_succeeded ? "attack.extraction.impersonation_success"
+                                                : "attack.extraction.impersonation_failed");
+      if (validate_span != 0)
+        obs->end_span(sim.now(), validate_span,
+                      report.impersonation_succeeded
+                          ? "PAN opened on the stolen key, no re-pairing"
+                          : (new_pairing_happened ? "M forced a fresh pairing"
+                                                  : "PAN setup failed"));
+    }
   }
 
   return report;

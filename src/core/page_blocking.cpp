@@ -11,10 +11,17 @@ PageBlockingReport PageBlockingAttack::run(Simulation& sim, Device& attacker,
   const BdAddr m_addr = target.address();
   const BdAddr c_addr = accessory.address();
 
+  obs::Observer* obs = sim.observer();
+  const std::uint32_t a_tid = obs != nullptr ? obs->device_tid(attacker.spec().name) : 0;
+  if (obs != nullptr) obs->count("attack.page_blocking.runs");
+
   // Step 1: A sets NoInputNoOutput to force Just Works later.
   attacker.host().config().io_capability = hci::IoCapability::kNoInputNoOutput;
   // Step 2: A impersonates C (address + hands-free class of device).
   attacker.spoof_identity(c_addr, ClassOfDevice(ClassOfDevice::kHandsFree));
+  if (obs != nullptr && obs->tracing())
+    obs->instant(sim.now(), a_tid, obs::Layer::kAttack, "spoof_identity",
+                 strfmt("A now answers as C (%s, NoInputNoOutput)", c_addr.to_string().c_str()));
   // A's host will hold the PLOC once the connection completes (Fig. 13).
   attacker.host().hooks().ploc_delay = options.ploc_hold;
 
@@ -25,6 +32,10 @@ PageBlockingReport PageBlockingAttack::run(Simulation& sim, Device& attacker,
   target.host().enable_snoop(true);
 
   // Step 3: A establishes the connection to M and stays in PLOC.
+  const std::uint64_t connect_span =
+      obs != nullptr ? obs->begin_span(sim.now(), a_tid, obs::Layer::kAttack, "ploc_connect",
+                                       "A pages M, then stalls its own host")
+                     : 0;
   bool connected = false;
   attacker.host().connect_only(m_addr, [&](hci::Status status) {
     connected = status == hci::Status::kSuccess;
@@ -33,6 +44,14 @@ PageBlockingReport PageBlockingAttack::run(Simulation& sim, Device& attacker,
   // A's host is stalled inside PLOC, so its callback has not fired yet; the
   // ground truth is M's side of the link.
   report.ploc_established = target.host().has_acl(c_addr);
+  if (obs != nullptr) {
+    obs->count(report.ploc_established ? "attack.page_blocking.ploc_established"
+                                       : "attack.page_blocking.ploc_failed");
+    if (connect_span != 0)
+      obs->end_span(sim.now(), connect_span,
+                    report.ploc_established ? "PLOC up (M sees an ACL from \"C\")"
+                                            : "no PLOC — M never saw the connection");
+  }
   if (!report.ploc_established) {
     sim.run_for(options.window);
     return report;
@@ -73,10 +92,18 @@ PageBlockingReport PageBlockingAttack::run(Simulation& sim, Device& attacker,
     });
   });
 
+  const std::uint64_t window_span =
+      obs != nullptr
+          ? obs->begin_span(sim.now(), a_tid, obs::Layer::kAttack, "victim_pairing_window",
+                            "waiting for M to discover and pair with the spoofed \"C\"")
+          : 0;
   sim.run_for(options.window);
   keepalive_timer.cancel();
 
   report.pairing_completed = m_done && m_status == hci::Status::kSuccess;
+  if (obs != nullptr && window_span != 0)
+    obs->end_span(sim.now(), window_span,
+                  report.pairing_completed ? "M paired the attacker" : "no pairing");
   report.m_pair_status = m_done ? m_status : hci::Status::kConnectionTimeout;
 
   // MITM check: M believes it paired C, but the bond key must live in A.
@@ -84,6 +111,15 @@ PageBlockingReport PageBlockingAttack::run(Simulation& sim, Device& attacker,
   const auto a_bond = attacker.host().security().link_key_for(m_addr);
   report.mitm_established = report.pairing_completed && m_bond && a_bond && *m_bond == *a_bond;
   report.attacker_holds_link_key = report.mitm_established;
+  if (obs != nullptr) {
+    obs->count(report.mitm_established ? "attack.page_blocking.mitm_success"
+                                       : "attack.page_blocking.mitm_failed");
+    if (obs->tracing())
+      obs->instant(sim.now(), a_tid, obs::Layer::kAttack, "mitm_verdict",
+                   report.mitm_established
+                       ? "A holds the bond key M filed under C's address"
+                       : "attacker does not hold M's bond key");
+  }
 
   if (const auto* bond = target.host().security().bond_for(c_addr)) {
     report.downgraded_to_just_works =
@@ -105,6 +141,14 @@ PageBlockingReport PageBlockingAttack::run(Simulation& sim, Device& attacker,
 bool PageBlockingAttack::baseline_trial(Simulation& sim, Device& attacker, Device& accessory,
                                         Device& target) {
   const BdAddr c_addr = accessory.address();
+  obs::Observer* obs = sim.observer();
+  if (obs != nullptr) {
+    obs->count("attack.baseline.trials");
+    if (obs->tracing())
+      obs->instant(sim.now(), obs->device_tid(attacker.spec().name), obs::Layer::kAttack,
+                   "baseline_page_race",
+                   "A spoofs C but stays passive — the paging race decides who M reaches");
+  }
   // The attacker spoofs C and waits in page-scan — but does NOT initiate.
   attacker.host().config().io_capability = hci::IoCapability::kNoInputNoOutput;
   attacker.spoof_identity(c_addr, ClassOfDevice(ClassOfDevice::kHandsFree));
@@ -118,12 +162,18 @@ bool PageBlockingAttack::baseline_trial(Simulation& sim, Device& attacker, Devic
     status = s;
   });
   sim.run_for(30 * kSecond);
-  if (!done || status != hci::Status::kSuccess) return false;
+  if (!done || status != hci::Status::kSuccess) {
+    if (obs != nullptr) obs->count("attack.baseline.pair_failed");
+    return false;
+  }
 
   // Who got the connection? The winner holds the new bond's link key.
   const auto m_key = target.host().security().link_key_for(c_addr);
   const auto a_key = attacker.host().security().link_key_for(target.address());
-  return m_key.has_value() && a_key.has_value() && *m_key == *a_key;
+  const bool attacker_won = m_key.has_value() && a_key.has_value() && *m_key == *a_key;
+  if (obs != nullptr)
+    obs->count(attacker_won ? "attack.baseline.race_won" : "attack.baseline.race_lost");
+  return attacker_won;
 }
 
 }  // namespace blap::core

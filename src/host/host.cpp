@@ -104,6 +104,7 @@ void HostStack::power_on() {
 }
 
 void HostStack::send_command(const hci::HciPacket& packet) {
+  if (obs_ != nullptr) obs_->count("host.cmds_sent");
   transport_.send(hci::Direction::kHostToController, packet);
 }
 
@@ -176,6 +177,12 @@ void HostStack::pair(const BdAddr& peer, StatusCallback callback) {
   op.peer = peer;
   op.stage = OpStage::kConnecting;
   op.callback = std::move(callback);
+  if (obs_ != nullptr) {
+    obs_->count("host.pair_ops");
+    if (obs_->tracing())
+      op.obs_span = obs_->begin_span(scheduler_.now(), obs_tid_, obs::Layer::kHost, "pair_op",
+                                     strfmt("target %s", peer.to_string().c_str()));
+  }
   pair_op_ = std::move(op);
 
   // THE CRITICAL GAP BEHAVIOUR (paper §V-B): if an ACL to this BD_ADDR
@@ -532,11 +539,22 @@ void HostStack::on_packet(const hci::HciPacket& packet) {
     BLAP_INFO("host", "%s: entering PLOC for %llu us", config_.device_name.c_str(),
               static_cast<unsigned long long>(hooks_.ploc_delay));
     ploc_active_ = true;
+    if (obs_ != nullptr) {
+      obs_->count("host.ploc_entries");
+      if (obs_->tracing())
+        obs_ploc_span_ = obs_->begin_span(scheduler_.now(), obs_tid_, obs::Layer::kHost, "ploc",
+                                          "Fig. 13 hook: HCI processing stalled");
+    }
     ploc_queue_.push_back(packet);
     scheduler_.schedule_in(hooks_.ploc_delay, [this] {
       ploc_active_ = false;
       BLAP_INFO("host", "%s: leaving PLOC (%zu queued events)", config_.device_name.c_str(),
                 ploc_queue_.size());
+      if (obs_ != nullptr && obs_ploc_span_ != 0) {
+        obs_->end_span(scheduler_.now(), obs_ploc_span_,
+                       strfmt("%zu queued packets replayed", ploc_queue_.size()));
+        obs_ploc_span_ = 0;
+      }
       while (!ploc_queue_.empty() && !ploc_active_) {
         const hci::HciPacket queued = ploc_queue_.front();
         ploc_queue_.pop_front();
@@ -566,6 +584,7 @@ void HostStack::process_packet(const hci::HciPacket& packet) {
 }
 
 void HostStack::dispatch_event(std::uint8_t code, BytesView params) {
+  if (obs_ != nullptr) obs_->count("host.events_dispatched");
   switch (code) {
     case hci::ev::kConnectionRequest:
       if (auto evt = hci::ConnectionRequestEvt::decode(params)) on_connection_request(*evt);
@@ -700,16 +719,26 @@ void HostStack::on_link_key_request(const hci::LinkKeyRequestEvt& evt) {
     // Paper Fig. 9: btu_hcif_link_key_request_evt() call skipped. The
     // controller never gets an answer; the peer's LMP challenge times out.
     ++ignored_link_key_requests_;
+    if (obs_ != nullptr) {
+      obs_->count("host.link_key_requests_ignored");
+      if (obs_->tracing())
+        obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kSecurity,
+                      "link_key_request_stalled",
+                      strfmt("Fig. 9 hook: no reply for %s, peer LMP challenge will time out",
+                             evt.bdaddr.to_string().c_str()));
+    }
     BLAP_INFO("host", "%s: IGNORING HCI_Link_Key_Request for %s (attack hook)",
               config_.device_name.c_str(), evt.bdaddr.to_string().c_str());
     return;
   }
   if (auto key = security_.link_key_for(evt.bdaddr)) {
+    if (obs_ != nullptr) obs_->count("host.link_key_replies");
     hci::LinkKeyRequestReplyCmd cmd;
     cmd.bdaddr = evt.bdaddr;
     cmd.link_key = *key;
     send_command(cmd.encode());  // the plaintext key crosses the HCI here
   } else {
+    if (obs_ != nullptr) obs_->count("host.link_key_negative_replies");
     hci::LinkKeyRequestNegativeReplyCmd cmd;
     cmd.bdaddr = evt.bdaddr;
     send_command(cmd.encode());
@@ -732,6 +761,13 @@ void HostStack::on_pin_code_request(const hci::PinCodeRequestEvt& evt) {
 }
 
 void HostStack::on_link_key_notification(const hci::LinkKeyNotificationEvt& evt) {
+  if (obs_ != nullptr) {
+    obs_->count("security.bonds_stored");
+    if (obs_->tracing())
+      obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kSecurity, "bond_stored",
+                    strfmt("key for %s (type %u)", evt.bdaddr.to_string().c_str(),
+                           static_cast<unsigned>(evt.key_type)));
+  }
   BondRecord record;
   record.address = evt.bdaddr;
   record.name = "";  // filled by later name discovery in real stacks
@@ -822,6 +858,12 @@ void HostStack::on_authentication_complete(const hci::AuthenticationCompleteEvt&
     return;
   }
   // Bond-purge policy: only cryptographic failures invalidate the key.
+  if (obs_ != nullptr) {
+    obs_->count("security.auth_failures");
+    if (obs_->tracing())
+      obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kSecurity, "auth_failed",
+                    strfmt("%s: %s", peer.to_string().c_str(), to_string(evt.status)));
+  }
   if (acl != nullptr) security_.on_authentication_result(peer, evt.status);
   if (pair_op_ && acl != nullptr && pair_op_->peer == peer) finish_pair_op(peer, evt.status);
 }
@@ -872,6 +914,8 @@ void HostStack::finish_pair_op(const BdAddr& peer, hci::Status status) {
   if (!pair_op_ || !(pair_op_->peer == peer)) return;
   PairOp op = std::move(*pair_op_);
   pair_op_.reset();
+  if (obs_ != nullptr && op.obs_span != 0)
+    obs_->end_span(scheduler_.now(), op.obs_span, to_string(status));
   switch (op.profile) {
     case ProfileTarget::kPan:
       if (op.pan_callback) op.pan_callback(status == hci::Status::kSuccess);

@@ -32,6 +32,7 @@
 #include "common/log.hpp"
 #include "common/scheduler.hpp"
 #include "hci/commands.hpp"
+#include "obs/obs.hpp"
 #include "hci/events.hpp"
 #include "hci/snoop.hpp"
 #include "host/hfp.hpp"
@@ -215,6 +216,14 @@ class HostStack {
   [[nodiscard]] hci::SnoopLog& snoop() { return snoop_; }
   [[nodiscard]] const hci::SnoopLog& snoop() const { return snoop_; }
 
+  /// Attach (or clear, with nullptr) the simulation's observer. The host
+  /// records HCI dispatch counts, link-key request handling (including the
+  /// Fig. 9 stall), bond stores, PLOC windows and pair-operation spans.
+  void set_observer(obs::Observer* observer) {
+    obs_ = observer;
+    obs_tid_ = observer != nullptr ? observer->device_tid(config_.device_name) : 0;
+  }
+
   void set_user_agent(UserAgent* agent) { user_agent_ = agent; }
   [[nodiscard]] const std::vector<PopupRecord>& popup_history() const { return popups_; }
 
@@ -241,6 +250,7 @@ class HostStack {
   struct PairOp {
     BdAddr peer;
     OpStage stage = OpStage::kConnecting;
+    std::uint64_t obs_span = 0;
     StatusCallback callback;
     ProfileTarget profile = ProfileTarget::kNone;
     BoolCallback pan_callback;
@@ -300,6 +310,9 @@ class HostStack {
   transport::HciTransport& transport_;
   HostConfig config_;
   BdAddr own_address_;
+  obs::Observer* obs_ = nullptr;
+  std::uint32_t obs_tid_ = 0;
+  std::uint64_t obs_ploc_span_ = 0;
 
   SecurityManager security_;
   AttackHooks hooks_;

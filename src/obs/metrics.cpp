@@ -1,0 +1,130 @@
+#include "obs/obs.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace blap::obs {
+
+void HistData::observe(std::uint64_t value) {
+  if (count == 0 || value < min) min = value;
+  if (value > max) max = value;
+  ++count;
+  sum += value;
+  ++buckets[std::bit_width(value)];
+}
+
+void HistData::merge(const HistData& other) {
+  if (other.count == 0) return;
+  if (count == 0 || other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t b = 0; b < buckets.size(); ++b) buckets[b] += other.buckets[b];
+}
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) {
+    auto [it, inserted] = gauges.try_emplace(name, value);
+    if (!inserted && value > it->second) it->second = value;
+  }
+  for (const auto& [name, hist] : other.histograms) histograms[name].merge(hist);
+}
+
+std::string MetricsSnapshot::to_json(const std::string& indent) const {
+  const std::string in1 = indent + "  ";
+  const std::string in2 = indent + "    ";
+  std::string out = "{\n";
+
+  auto emit_u64_map = [&](const char* key,
+                          const std::map<std::string, std::uint64_t, std::less<>>& map,
+                          bool trailing_comma) {
+    out += in1 + "\"" + key + "\": {";
+    bool first = true;
+    for (const auto& [name, value] : map) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += in2 +
+             strfmt("\"%s\": %llu", json_escape(name).c_str(),
+                    static_cast<unsigned long long>(value));
+    }
+    out += first ? "}" : "\n" + in1 + "}";
+    if (trailing_comma) out += ",";
+    out += "\n";
+  };
+
+  emit_u64_map("counters", counters, true);
+  emit_u64_map("gauges", gauges, true);
+
+  out += in1 + "\"histograms\": {";
+  bool first = true;
+  for (const auto& [name, hist] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += in2 + strfmt("\"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+                        "\"max\": %llu, \"log2_buckets\": [",
+                        json_escape(name).c_str(),
+                        static_cast<unsigned long long>(hist.count),
+                        static_cast<unsigned long long>(hist.sum),
+                        static_cast<unsigned long long>(hist.count > 0 ? hist.min : 0),
+                        static_cast<unsigned long long>(hist.max));
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+      if (hist.buckets[b] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += strfmt("[%zu, %llu]", b, static_cast<unsigned long long>(hist.buckets[b]));
+    }
+    out += "]}";
+  }
+  out += first ? "}" : "\n" + in1 + "}";
+  out += "\n" + indent + "}";
+  return out;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  const auto it = data_.counters.find(name);
+  if (it != data_.counters.end()) {
+    it->second += delta;
+  } else {
+    data_.counters.emplace(std::string(name), delta);
+  }
+}
+
+void MetricsRegistry::gauge_max(std::string_view name, std::uint64_t value) {
+  const auto it = data_.gauges.find(name);
+  if (it != data_.gauges.end()) {
+    if (value > it->second) it->second = value;
+  } else {
+    data_.gauges.emplace(std::string(name), value);
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, std::uint64_t value) {
+  auto it = data_.histograms.find(name);
+  if (it == data_.histograms.end())
+    it = data_.histograms.emplace(std::string(name), HistData{}).first;
+  it->second.observe(value);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = data_.counters.find(name);
+  return it != data_.counters.end() ? it->second : 0;
+}
+
+Observer::Observer(ObsConfig config)
+    : config_(config), trace_(config.trace_capacity) {}
+
+MetricsSnapshot Observer::snapshot() const {
+  MetricsSnapshot snap = metrics_.data();
+  if (config_.metrics) {
+    snap.counters["scheduler.events_dispatched"] += dispatched_;
+    auto [it, inserted] =
+        snap.gauges.try_emplace("scheduler.max_queue_depth", max_queue_depth_);
+    if (!inserted && max_queue_depth_ > it->second) it->second = max_queue_depth_;
+  }
+  return snap;
+}
+
+}  // namespace blap::obs

@@ -23,8 +23,14 @@ void RadioMedium::detach(RadioEndpoint* endpoint) {
 void RadioMedium::start_inquiry(RadioEndpoint* requester, SimTime duration,
                                 std::function<void(const InquiryResponse&)> on_response,
                                 std::function<void()> on_complete) {
+  if (obs_ != nullptr) {
+    obs_->count("radio.inquiries");
+    obs_->span(scheduler_.now(), scheduler_.now() + duration,
+               obs_->device_tid(requester->radio_name()), obs::Layer::kRadio, "inquiry");
+  }
   for (RadioEndpoint* ep : endpoints_) {
     if (ep == requester || !ep->inquiry_scan_enabled()) continue;
+    if (obs_ != nullptr) obs_->count("radio.inquiry_responses");
     // Responders answer somewhere inside the inquiry window; inquiry scan
     // windows are dense enough that every scanning device is found.
     const SimTime latency = 1 + rng_.uniform(duration > 1 ? duration - 1 : 1);
@@ -45,27 +51,62 @@ void RadioMedium::page(RadioEndpoint* initiator, const BdAddr& target, SimTime t
   // sampled scan window wins the race.
   RadioEndpoint* winner = nullptr;
   SimTime best_latency = 0;
+  struct Candidate {
+    RadioEndpoint* ep;
+    SimTime latency;
+  };
+  std::vector<Candidate> candidates;
   for (RadioEndpoint* ep : endpoints_) {
     if (ep == initiator || !ep->page_scan_enabled()) continue;
     if (!(ep->radio_address() == target)) continue;
     const SimTime latency = ep->sample_page_response_latency(rng_);
+    candidates.push_back(Candidate{ep, latency});
     if (winner == nullptr || latency < best_latency) {
       winner = ep;
       best_latency = latency;
     }
   }
 
+  if (obs_ != nullptr) {
+    obs_->count("radio.pages");
+    const SimTime now = scheduler_.now();
+    // One span per candidate on the candidate's own lane: from page start
+    // until its sampled scan window catches the train. With a spoofed
+    // BD_ADDR two lanes carry overlapping spans — the race of Table II.
+    for (const Candidate& c : candidates) {
+      if (!obs_->tracing()) break;
+      const bool won = c.ep == winner && best_latency <= timeout;
+      obs_->span(now, now + c.latency, obs_->device_tid(c.ep->radio_name()),
+                 obs::Layer::kRadio, "page_scan_race",
+                 strfmt("%s for %s (latency %llu us)", won ? "WINS" : "loses",
+                        target.to_string().c_str(),
+                        static_cast<unsigned long long>(c.latency)));
+    }
+    obs_->instant(now, obs_->device_tid(initiator->radio_name()), obs::Layer::kRadio,
+                  "page_start", strfmt("target %s, %zu candidate(s)",
+                                       target.to_string().c_str(), candidates.size()));
+  }
+
   if (winner == nullptr || best_latency > timeout) {
+    if (obs_ != nullptr) obs_->count("radio.page_timeouts");
     scheduler_.schedule_in(winner == nullptr ? timeout : timeout, [on_result] {
       if (on_result) on_result(std::nullopt);
     });
     return;
   }
+  if (obs_ != nullptr) obs_->observe("radio.page_latency_us", best_latency);
 
   const LinkId id = next_link_id_++;
   RadioEndpoint* responder = winner;
   scheduler_.schedule_in(best_latency, [this, id, initiator, responder, on_result] {
     links_[id] = Link{initiator, responder};
+    if (obs_ != nullptr) {
+      obs_->count("radio.links_up");
+      obs_->instant(scheduler_.now(), obs_->device_tid(responder->radio_name()),
+                    obs::Layer::kRadio, "link_up",
+                    strfmt("link %llu, paged by %s", static_cast<unsigned long long>(id),
+                           initiator->radio_name().c_str()));
+    }
     BLAP_DEBUG("radio", "link %llu up: %s -> %s", static_cast<unsigned long long>(id),
                initiator->radio_address().to_string().c_str(),
                responder->radio_address().to_string().c_str());
@@ -79,6 +120,10 @@ void RadioMedium::send_frame(LinkId link, RadioEndpoint* sender, Bytes frame) {
   auto it = links_.find(link);
   if (it == links_.end()) return;
   RadioEndpoint* receiver = (it->second.a == sender) ? it->second.b : it->second.a;
+  if (obs_ != nullptr) {
+    obs_->count("radio.frames");
+    obs_->observe("radio.frame_bytes", frame.size());
+  }
   if (!sniffers_.empty()) {
     SniffedFrame sniffed;
     sniffed.timestamp_us = scheduler_.now();
@@ -102,6 +147,13 @@ void RadioMedium::close_link(LinkId link, RadioEndpoint* closer, std::uint8_t re
   if (it == links_.end()) return;
   RadioEndpoint* peer = (it->second.a == closer) ? it->second.b : it->second.a;
   links_.erase(it);
+  if (obs_ != nullptr) {
+    obs_->count("radio.links_closed");
+    obs_->instant(scheduler_.now(), obs_->device_tid(closer->radio_name()),
+                  obs::Layer::kRadio, "link_closed",
+                  strfmt("link %llu, reason 0x%02x", static_cast<unsigned long long>(link),
+                         reason));
+  }
   BLAP_DEBUG("radio", "link %llu closed (reason 0x%02x)", static_cast<unsigned long long>(link),
              reason);
   // The peer learns of the teardown after one frame flight time.

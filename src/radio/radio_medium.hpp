@@ -31,6 +31,7 @@
 #include "common/bdaddr.hpp"
 #include "common/rng.hpp"
 #include "common/scheduler.hpp"
+#include "obs/obs.hpp"
 
 namespace blap::radio {
 
@@ -112,6 +113,11 @@ class RadioMedium {
   /// Air latency applied to each frame (one-way).
   void set_frame_latency(SimTime latency) { frame_latency_ = latency; }
 
+  /// Attach (or clear) the simulation's observer. The medium records
+  /// inquiry windows, the per-candidate paging-race spans that decide the
+  /// Table II baseline, page timeouts and frame counts.
+  void set_observer(obs::Observer* observer) { obs_ = observer; }
+
   /// Attach a passive air sniffer (an Ubertooth-style capture device). It
   /// observes every frame on every link — including encrypted ACL payloads
   /// as ciphertext — which is what makes an extracted link key retroactively
@@ -129,6 +135,7 @@ class RadioMedium {
 
   Scheduler& scheduler_;
   Rng rng_;
+  obs::Observer* obs_ = nullptr;
   std::vector<RadioEndpoint*> endpoints_;
   std::vector<std::function<void(const SniffedFrame&)>> sniffers_;
   std::unordered_map<LinkId, Link> links_;

@@ -3,7 +3,9 @@
 // deterministic JSON/CSV emits the experiment pipeline depends on.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <set>
 
 #include "campaign/campaign.hpp"
@@ -103,6 +105,26 @@ TEST(HistogramTest, DegenerateSingleValue) {
   EXPECT_EQ(h.buckets[0].count, 3u);
 }
 
+TEST(HistogramTest, NonFiniteSamplesAreDropped) {
+  // NaN/inf virtual durations (a trial that never ran) must not poison the
+  // stats or the bucket edges.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto h = make_histogram({nan, 1.0, inf, 3.0, -inf}, 2);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 3.0);
+  EXPECT_DOUBLE_EQ(h.mean, 2.0);
+  std::size_t total = 0;
+  for (const auto& b : h.buckets) total += b.count;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(HistogramTest, AllNonFiniteYieldsEmpty) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto h = make_histogram({nan, nan}, 4);
+  EXPECT_TRUE(h.buckets.empty());
+}
+
 TEST(Campaign, AggregateJsonIsIdenticalForAnyWorkerCount) {
   CampaignConfig cfg;
   cfg.label = "determinism";
@@ -194,6 +216,86 @@ TEST(Campaign, ZeroTrialsIsEmptyNotCrash) {
   EXPECT_EQ(summary.trials, 0u);
   EXPECT_EQ(summary.successes, 0u);
   EXPECT_TRUE(summary.results.empty());
+  EXPECT_FALSE(summary.has_metrics);
+  // The emits must still be well-formed (no 0/0 rates, no NaN in JSON).
+  const std::string json = summary.to_json(true);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(Campaign, SingleTrialWilsonIntervalIsSane) {
+  CampaignConfig cfg;
+  cfg.trials = 1;
+  cfg.root_seed = 5;
+  cfg.jobs = 1;
+  const auto summary = run_campaign(cfg, rng_trial);
+  ASSERT_EQ(summary.results.size(), 1u);
+  // n=1: the interval is wide but stays inside [0, 1] and brackets the rate.
+  EXPECT_GE(summary.ci.low, 0.0);
+  EXPECT_LE(summary.ci.high, 1.0);
+  EXPECT_LE(summary.ci.low, summary.success_rate);
+  EXPECT_GE(summary.ci.high, summary.success_rate);
+  EXPECT_GT(summary.ci.high - summary.ci.low, 0.5);
+}
+
+TEST(Campaign, LongLabelSurvivesFormattingIntact) {
+  // Regression: append_fmt used to truncate anything past its 256-byte
+  // stack buffer, silently corrupting JSON emitted for long cell labels.
+  CampaignConfig cfg;
+  cfg.label = std::string(300, 'L') + " END-OF-LABEL";
+  cfg.trials = 2;
+  cfg.jobs = 1;
+  const auto summary = run_campaign(cfg, rng_trial);
+  const std::string json = summary.to_json();
+  EXPECT_NE(json.find(cfg.label), std::string::npos);
+  EXPECT_NE(json.find("END-OF-LABEL"), std::string::npos);
+  EXPECT_NE(summary.timing_report().find("END-OF-LABEL"), std::string::npos);
+}
+
+// rng_trial plus a per-trial metrics snapshot, as campaign_sweep --metrics
+// attaches one: a counter keyed by success and a virtual-time histogram.
+TrialResult metric_trial(const TrialSpec& spec) {
+  TrialResult r = rng_trial(spec);
+  obs::MetricsRegistry reg;
+  reg.add("trial.runs");
+  reg.add(r.success ? "trial.successes" : "trial.failures");
+  reg.gauge_max("trial.virtual_end_max", r.virtual_end);
+  reg.observe("trial.virtual_end_us", r.virtual_end);
+  r.metrics = std::make_shared<const obs::MetricsSnapshot>(reg.snapshot());
+  return r;
+}
+
+TEST(Campaign, MetricsBlockIsIdenticalForAnyWorkerCount) {
+  CampaignConfig cfg;
+  cfg.label = "metrics determinism";
+  cfg.trials = 40;
+  cfg.root_seed = 21;
+
+  cfg.jobs = 1;
+  const auto seq = run_campaign(cfg, metric_trial);
+  ASSERT_TRUE(seq.has_metrics);
+  EXPECT_EQ(seq.metrics.counters.at("trial.runs"), 40u);
+  EXPECT_EQ(seq.metrics.counters.at("trial.successes") +
+                seq.metrics.counters.at("trial.failures"),
+            40u);
+  EXPECT_EQ(seq.metrics.histograms.at("trial.virtual_end_us").count, 40u);
+  const std::string reference = seq.to_json(true);
+  EXPECT_NE(reference.find("\"metrics\""), std::string::npos);
+
+  for (unsigned jobs : {2u, 8u}) {
+    cfg.jobs = jobs;
+    EXPECT_EQ(run_campaign(cfg, metric_trial).to_json(true), reference)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(Campaign, TrialsWithoutMetricsEmitNoMetricsBlock) {
+  CampaignConfig cfg;
+  cfg.trials = 4;
+  cfg.jobs = 2;
+  const auto summary = run_campaign(cfg, rng_trial);
+  EXPECT_FALSE(summary.has_metrics);
+  EXPECT_EQ(summary.to_json(true).find("\"metrics\""), std::string::npos);
 }
 
 TEST(Campaign, SuccessRateAndCiMatchResults) {

@@ -1,0 +1,283 @@
+// Tests for the observability layer: trace recorder ring/span semantics,
+// deterministic Chrome-JSON and text emits, log2 histogram math, snapshot
+// merging (the property campaign aggregation relies on), and the run-time-off
+// contract (a disabled Observer must be a no-op at every entry point).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+#include "obs/obs.hpp"
+
+namespace blap::obs {
+namespace {
+
+TEST(TraceRecorder, InternIsStableAndOrdered) {
+  TraceRecorder rec(16);
+  const auto a = rec.intern_device("attacker-A");
+  const auto m = rec.intern_device("victim-M");
+  EXPECT_NE(a, m);
+  EXPECT_EQ(rec.intern_device("attacker-A"), a);
+  EXPECT_EQ(rec.intern_device("victim-M"), m);
+  ASSERT_EQ(rec.devices().size(), 2u);
+  EXPECT_EQ(rec.devices()[a], "attacker-A");
+  EXPECT_EQ(rec.devices()[m], "victim-M");
+}
+
+TEST(TraceRecorder, RingDropsOldestAndCounts) {
+  TraceRecorder rec(4);
+  const auto d = rec.intern_device("dev");
+  for (int i = 0; i < 10; ++i) rec.instant(static_cast<SimTime>(i), d, Layer::kHci, "e");
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  // The survivors are the most recent window.
+  EXPECT_EQ(rec.events().front().ts, 6);
+  EXPECT_EQ(rec.events().back().ts, 9);
+  // The drop count reaches the export, so a truncated trace says so.
+  EXPECT_NE(rec.to_chrome_json().find("\"dropped_events\""), std::string::npos);
+}
+
+TEST(TraceRecorder, SpanIdsPairBeginAndEnd) {
+  TraceRecorder rec(16);
+  const auto d = rec.intern_device("dev");
+  const auto id = rec.begin_span(100, d, Layer::kLmp, "pairing", "ssp");
+  EXPECT_NE(id, 0u);
+  rec.end_span(500, id, "link key derived");
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.events()[0].phase, 'b');
+  EXPECT_EQ(rec.events()[1].phase, 'e');
+  EXPECT_EQ(rec.events()[0].span_id, rec.events()[1].span_id);
+  // A paired span exports as one complete ("X") slice with its duration.
+  const std::string json = rec.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 400"), std::string::npos);
+}
+
+TEST(TraceRecorder, UnknownAndRepeatedEndsAreIgnored) {
+  TraceRecorder rec(16);
+  const auto d = rec.intern_device("dev");
+  rec.end_span(10, 999, "never opened");
+  const auto id = rec.begin_span(0, d, Layer::kHci, "s");
+  rec.end_span(5, id);
+  rec.end_span(6, id);  // already closed
+  EXPECT_EQ(rec.size(), 2u);
+}
+
+TEST(TraceRecorder, FutureEndTimestampSortsInExport) {
+  // The paging race records candidate spans whose end lies in the virtual
+  // future of later begin events; exports must still be time-ordered.
+  TraceRecorder rec(16);
+  const auto d = rec.intern_device("victim");
+  const auto race = rec.begin_span(100, d, Layer::kRadio, "page_scan_race");
+  rec.end_span(5000, race, "WINS");
+  rec.instant(200, d, Layer::kRadio, "page_start");
+  const std::string text = rec.to_text();
+  // Text timeline is time-sorted: the instant at 200 precedes the end at 5000.
+  const auto at200 = text.find("page_start");
+  const auto at5000 = text.find("WINS");
+  ASSERT_NE(at200, std::string::npos);
+  ASSERT_NE(at5000, std::string::npos);
+  EXPECT_LT(at200, at5000);
+}
+
+TEST(TraceRecorder, EmitsAreByteIdenticalAcrossRuns) {
+  auto build = [] {
+    TraceRecorder rec(32);
+    const auto a = rec.intern_device("attacker");
+    const auto m = rec.intern_device("victim");
+    rec.instant(10, a, Layer::kAttack, "spoof_identity", "aa -> bb");
+    const auto s = rec.begin_span(20, m, Layer::kLmp, "pairing", "ssp responder");
+    rec.instant(30, a, Layer::kHci, "lmp_tx:au_rand");
+    rec.end_span(900, s, "link key derived");
+    return rec;
+  };
+  const auto r1 = build();
+  const auto r2 = build();
+  EXPECT_EQ(r1.to_chrome_json(), r2.to_chrome_json());
+  EXPECT_EQ(r1.to_text(), r2.to_text());
+  // Both lanes appear as metadata rows.
+  const std::string json = r1.to_chrome_json();
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("attacker"), std::string::npos);
+  EXPECT_NE(json.find("victim"), std::string::npos);
+}
+
+TEST(JsonEscape, HandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(HistDataTest, BucketsAreLog2) {
+  HistData h;
+  h.observe(0);  // bit_width(0) == 0 -> bucket 0
+  h.observe(1);  // [1, 2)        -> bucket 1
+  h.observe(7);  // [4, 8)        -> bucket 3
+  h.observe(8);  // [8, 16)       -> bucket 4
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 16u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 8u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[3], 1u);
+  EXPECT_EQ(h.buckets[4], 1u);
+}
+
+TEST(HistDataTest, MergeEqualsCombinedObserves) {
+  HistData a;
+  HistData b;
+  HistData whole;
+  for (std::uint64_t v : {3u, 900u, 17u}) {
+    a.observe(v);
+    whole.observe(v);
+  }
+  for (std::uint64_t v : {1u, 250000u}) {
+    b.observe(v);
+    whole.observe(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count, whole.count);
+  EXPECT_EQ(a.sum, whole.sum);
+  EXPECT_EQ(a.min, whole.min);
+  EXPECT_EQ(a.max, whole.max);
+  EXPECT_EQ(a.buckets, whole.buckets);
+}
+
+TEST(MetricsSnapshotTest, MergeIsOrderIndependent) {
+  // The campaign aggregates per-trial snapshots in index order, but the
+  // result must not depend on grouping — that is what makes the metrics
+  // block identical for any BLAP_JOBS value.
+  MetricsRegistry r1;
+  r1.add("lmp.rx", 3);
+  r1.gauge_max("scheduler.max_queue_depth", 9);
+  r1.observe("radio.page_latency_us", 1200);
+  MetricsRegistry r2;
+  r2.add("lmp.rx", 5);
+  r2.add("radio.pages");
+  r2.gauge_max("scheduler.max_queue_depth", 4);
+  r2.observe("radio.page_latency_us", 90000);
+
+  MetricsSnapshot ab = r1.snapshot();
+  ab.merge_from(r2.snapshot());
+  MetricsSnapshot ba = r2.snapshot();
+  ba.merge_from(r1.snapshot());
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+  EXPECT_EQ(ab.counters.at("lmp.rx"), 8u);
+  EXPECT_EQ(ab.gauges.at("scheduler.max_queue_depth"), 9u);
+  EXPECT_EQ(ab.histograms.at("radio.page_latency_us").count, 2u);
+}
+
+TEST(MetricsSnapshotTest, JsonKeysAreSortedAndIndented) {
+  MetricsRegistry reg;
+  reg.add("zz.last");
+  reg.add("aa.first");
+  reg.add("mm.middle");
+  const std::string json = reg.snapshot().to_json("  ");
+  const auto a = json.find("aa.first");
+  const auto m = json.find("mm.middle");
+  const auto z = json.find("zz.last");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+  // Indent applies to every line but the opening brace.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\n  "), std::string::npos);
+}
+
+TEST(ObserverTest, DisabledObserverIsInertEverywhere) {
+  Observer obs;  // default config: everything off
+  EXPECT_FALSE(obs.tracing());
+  EXPECT_FALSE(obs.metrics_on());
+  obs.count("lmp.rx");
+  obs.gauge_max("depth", 10);
+  obs.observe("lat", 5);
+  obs.instant(1, 0, Layer::kHci, "e");
+  EXPECT_EQ(obs.begin_span(1, 0, Layer::kHci, "s"), 0u);
+  obs.end_span(2, 0);
+  obs.span(1, 2, 0, Layer::kHci, "s2");
+  EXPECT_EQ(obs.recorder().size(), 0u);
+  // Only the scheduler tallies survive into the snapshot...
+  EXPECT_TRUE(obs.snapshot().counters.empty());
+  // ...and device_tid still works so wiring can cache ids unconditionally.
+  EXPECT_EQ(obs.device_tid("a"), obs.device_tid("a"));
+}
+
+TEST(ObserverTest, SnapshotFoldsSchedulerHookTallies) {
+  ObsConfig cfg;
+  cfg.metrics = true;
+  Observer obs(cfg);
+  Scheduler sched;
+  sched.set_hook(&obs);
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) sched.schedule_at(static_cast<SimTime>(i), [&] { ++fired; });
+  sched.run_all();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(obs.events_dispatched(), 5u);
+  const auto snap = obs.snapshot();
+  EXPECT_EQ(snap.counters.at("scheduler.events_dispatched"), 5u);
+  EXPECT_GE(snap.gauges.at("scheduler.max_queue_depth"), 1u);
+}
+
+TEST(ObserverTest, MetricsOnlyModeRecordsNoTraceEvents) {
+  ObsConfig cfg;
+  cfg.metrics = true;
+  Observer obs(cfg);
+  obs.count("lmp.rx", 2);
+  obs.instant(1, 0, Layer::kLmp, "lmp_rx");
+  EXPECT_EQ(obs.begin_span(1, 0, Layer::kLmp, "pairing"), 0u);
+  EXPECT_EQ(obs.recorder().size(), 0u);
+  EXPECT_EQ(obs.snapshot().counters.at("lmp.rx"), 2u);
+}
+
+// Regression for a data race: set_sink used to swap a raw std::function
+// while worker threads were mid-log. Run under TSan this test fails on the
+// old code; on any build it asserts no call is lost to a torn sink.
+TEST(LoggerTest, SetSinkIsSafeWhileOtherThreadsLog) {
+  auto& logger = Logger::instance();
+  const LogLevel old_level = logger.level();
+  logger.set_level(LogLevel::Info);
+
+  std::atomic<std::uint64_t> delivered{0};
+  auto counting_sink = [&delivered](LogLevel, const std::string&, const std::string&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  constexpr int kLogsPerThread = 500;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> loggers;
+  loggers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    loggers.emplace_back([&go, t] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kLogsPerThread; ++i)
+        BLAP_INFO("race", "thread %d message %d", t, i);
+    });
+  }
+  std::thread swapper([&] {
+    while (!go.load(std::memory_order_acquire)) {}
+    for (int i = 0; i < 200; ++i) {
+      logger.set_sink(counting_sink);
+      logger.set_sink(counting_sink);
+    }
+  });
+  logger.set_sink(counting_sink);
+  go.store(true, std::memory_order_release);
+  for (auto& th : loggers) th.join();
+  swapper.join();
+
+  // Every log call saw *a* valid sink (possibly the stderr default before
+  // the first install); with the sink installed before `go`, all arrive.
+  EXPECT_EQ(delivered.load(), 4u * kLogsPerThread);
+  logger.set_sink({});
+  logger.set_level(old_level);
+}
+
+}  // namespace
+}  // namespace blap::obs
