@@ -91,7 +91,8 @@ std::string hexdump(BytesView data) {
 bool ct_equal(BytesView a, BytesView b) {
   if (a.size() != b.size()) return false;
   std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
   return acc == 0;
 }
 

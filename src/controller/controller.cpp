@@ -1214,6 +1214,8 @@ void Controller::verify_peer_dhkey_check(Link& link, const crypto::LinkKey& chec
 crypto::LinkKeyType Controller::derived_key_type(const Link& link) const {
   const auto& ssp = *link.ssp;
   const bool p256 = ssp.curve == &crypto::EcCurve::p256();
+  // blap-lint: spec-ok — key-TYPE derivation (Core v5.3 Vol 2 Part H §7.4)
+  // is controller business; ui_model owns only the host-side UI decisions.
   const bool just_works =
       ssp.local_iocap.io_capability ==
           static_cast<std::uint8_t>(hci::IoCapability::kNoInputNoOutput) ||

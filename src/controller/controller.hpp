@@ -19,9 +19,9 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "common/bdaddr.hpp"
 #include "common/log.hpp"
@@ -266,7 +266,9 @@ class Controller final : public radio::RadioEndpoint {
   bool simple_pairing_mode_ = true;
   bool inquiring_ = false;
 
-  std::unordered_map<hci::ConnectionHandle, Link> links_;
+  // Ordered map: link_by_peer/link_by_radio scan in handle order so lookup
+  // results (and every event they trigger) never depend on hash layout.
+  std::map<hci::ConnectionHandle, Link> links_;
   hci::ConnectionHandle next_handle_ = 0x0001;
 };
 

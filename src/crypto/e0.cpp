@@ -3,7 +3,7 @@
 namespace blap::crypto {
 
 namespace {
-constexpr int kLengths[4] = {25, 31, 33, 39};
+constexpr unsigned kLengths[4] = {25, 31, 33, 39};
 // Feedback tap masks for x^25+x^20+x^12+x^8+1, x^31+x^24+x^16+x^12+1,
 // x^33+x^28+x^24+x^4+1, x^39+x^36+x^28+x^4+1 (bit i = stage i, Fibonacci
 // configuration; feedback = parity of masked stages).
@@ -51,7 +51,7 @@ void E0Cipher::clock() {
   std::uint8_t x[4];
   for (int r = 0; r < 4; ++r) {
     x[r] = static_cast<std::uint8_t>((lfsr_[r] >> kOutputTap[r]) & 1);
-    const std::uint64_t fb = __builtin_parityll(lfsr_[r] & kTaps[r]);
+    const auto fb = static_cast<std::uint64_t>(__builtin_parityll(lfsr_[r] & kTaps[r]));
     lfsr_[r] = ((lfsr_[r] << 1) | fb) & ((1ULL << kLengths[r]) - 1);
   }
   const std::uint8_t y = static_cast<std::uint8_t>(x[0] + x[1] + x[2] + x[3]);  // 0..4

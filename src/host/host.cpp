@@ -142,12 +142,12 @@ void HostStack::discover_services(const BdAddr& peer, std::uint16_t uuid16,
   }
   // SDP needs no authentication, only an ACL: connect first.
   connect_only(peer, [this, peer, uuid16, callback = std::move(callback)](hci::Status status) {
-    Acl* acl = acl_by_peer(peer);
-    if (status != hci::Status::kSuccess || acl == nullptr) {
+    Acl* connected = acl_by_peer(peer);
+    if (status != hci::Status::kSuccess || connected == nullptr) {
       if (callback) callback(std::nullopt);
       return;
     }
-    sdp_client_.search(acl->handle, uuid16, callback);
+    sdp_client_.search(connected->handle, uuid16, callback);
   });
 }
 
@@ -506,16 +506,16 @@ void HostStack::arm_idle_timer(Acl& acl) {
   acl.idle_timer.cancel();
   const hci::ConnectionHandle handle = acl.handle;
   acl.idle_timer = scheduler_.schedule_in(config_.acl_idle_timeout, [this, handle] {
-    Acl* acl = acl_by_handle(handle);
-    if (acl == nullptr) return;
+    Acl* live = acl_by_handle(handle);
+    if (live == nullptr) return;
     const bool busy = l2cap_.channel_count(handle) > 0 ||
-                      (pair_op_ && pair_op_->peer == acl->peer);
+                      (pair_op_ && pair_op_->peer == live->peer);
     if (busy) {
-      arm_idle_timer(*acl);
+      arm_idle_timer(*live);
       return;
     }
     BLAP_DEBUG("host", "%s: dropping idle ACL to %s", config_.device_name.c_str(),
-               acl->peer.to_string().c_str());
+               live->peer.to_string().c_str());
     hci::DisconnectCmd cmd;
     cmd.handle = handle;
     cmd.reason = hci::Status::kRemoteUserTerminatedConnection;
@@ -792,6 +792,8 @@ void HostStack::on_io_capability_response(const hci::IoCapabilityResponseEvt& ev
   // §VII-B detector: we initiated the pairing, the peer initiated the
   // *connection*, and that connection initiator is NoInputNoOutput — the
   // page blocking + SSP downgrade signature. Drop the pairing.
+  // blap-lint: spec-ok — this IS the §VII-B detector; it inspects the raw IO
+  // capability by design rather than routing through the association model.
   if (config_.detect_page_blocking && acl->is_pairing_initiator && !acl->initiator &&
       evt.io_capability == hci::IoCapability::kNoInputNoOutput) {
     ++detected_page_blocking_count_;

@@ -26,7 +26,6 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/log.hpp"
@@ -336,7 +335,9 @@ class HostStack {
   UserAgent default_user_;
   UserAgent* user_agent_ = &default_user_;
 
-  std::unordered_map<hci::ConnectionHandle, Acl> acls_;
+  // Ordered map: iteration order (acls(), has_acl scans) is part of the
+  // determinism contract — it must not depend on hash-table layout.
+  std::map<hci::ConnectionHandle, Acl> acls_;
   std::optional<PairOp> pair_op_;
   std::optional<std::pair<BdAddr, StatusCallback>> connect_op_;
   std::optional<std::function<void(std::vector<Discovered>)>> discovery_callback_;

@@ -128,6 +128,9 @@ class TraceRecorder {
   std::uint64_t next_span_ = 1;
   std::uint64_t dropped_ = 0;
   std::vector<std::string> devices_;
+  // Lookup-only (find/erase by span id, never iterated), so hash order can't
+  // reach the exports — events_ is serialized in recorded order. blap-lint D2
+  // flags iteration, not lookups; keep unordered for O(1) span close.
   std::unordered_map<std::uint64_t, OpenSpan> open_;
 };
 

@@ -89,7 +89,9 @@ void RadioMedium::page(RadioEndpoint* initiator, const BdAddr& target, SimTime t
 
   if (winner == nullptr || best_latency > timeout) {
     if (obs_ != nullptr) obs_->count("radio.page_timeouts");
-    scheduler_.schedule_in(winner == nullptr ? timeout : timeout, [on_result] {
+    // The initiator gives up at the full page timeout whether nobody scans
+    // or the only scan window falls past the deadline.
+    scheduler_.schedule_in(timeout, [on_result] {
       if (on_result) on_result(std::nullopt);
     });
     return;
@@ -98,7 +100,14 @@ void RadioMedium::page(RadioEndpoint* initiator, const BdAddr& target, SimTime t
 
   const LinkId id = next_link_id_++;
   RadioEndpoint* responder = winner;
+  // blap-lint: handle-ok — both endpoints re-verified attached at fire time
   scheduler_.schedule_in(best_latency, [this, id, initiator, responder, on_result] {
+    // Either side may have detached while the page train was running; a
+    // link must never come up holding a dangling endpoint.
+    if (!attached(initiator) || !attached(responder)) {
+      if (on_result) on_result(std::nullopt);
+      return;
+    }
     links_[id] = Link{initiator, responder};
     if (obs_ != nullptr) {
       obs_->count("radio.links_up");
@@ -133,6 +142,7 @@ void RadioMedium::send_frame(LinkId link, RadioEndpoint* sender, Bytes frame) {
     sniffed.frame = frame;
     for (const auto& sniffer : sniffers_) sniffer(sniffed);
   }
+  // blap-lint: handle-ok — link liveness + membership re-checked at fire time
   scheduler_.schedule_in(frame_latency_, [this, link, receiver, frame = std::move(frame)] {
     // The link may have died while the frame was in flight.
     auto it2 = links_.find(link);
@@ -157,7 +167,9 @@ void RadioMedium::close_link(LinkId link, RadioEndpoint* closer, std::uint8_t re
   BLAP_DEBUG("radio", "link %llu closed (reason 0x%02x)", static_cast<unsigned long long>(link),
              reason);
   // The peer learns of the teardown after one frame flight time.
-  scheduler_.schedule_in(frame_latency_, [peer, link, reason] {
+  // blap-lint: handle-ok — peer attachment re-verified at fire time
+  scheduler_.schedule_in(frame_latency_, [this, peer, link, reason] {
+    if (!attached(peer)) return;  // peer detached while the frame flew
     peer->on_link_closed(link, reason);
   });
 }

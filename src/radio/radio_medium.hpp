@@ -21,11 +21,12 @@
 // ACL over them); the medium adds per-frame propagation/TDD latency.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bdaddr.hpp"
@@ -133,12 +134,20 @@ class RadioMedium {
     RadioEndpoint* b = nullptr;  // responder
   };
 
+  /// True while `endpoint` is attached. Delayed callbacks that captured a
+  /// raw endpoint must re-verify before dereferencing it.
+  [[nodiscard]] bool attached(const RadioEndpoint* endpoint) const {
+    return std::find(endpoints_.begin(), endpoints_.end(), endpoint) != endpoints_.end();
+  }
+
   Scheduler& scheduler_;
   Rng rng_;
   obs::Observer* obs_ = nullptr;
   std::vector<RadioEndpoint*> endpoints_;
   std::vector<std::function<void(const SniffedFrame&)>> sniffers_;
-  std::unordered_map<LinkId, Link> links_;
+  // Ordered map: detach() iterates to find doomed links; teardown order is
+  // observable (close_link events) and must be hash-independent.
+  std::map<LinkId, Link> links_;
   LinkId next_link_id_ = 1;
   SimTime frame_latency_ = 2 * kSlot;  // ~1.25 ms: one TDD round trip
 };

@@ -1,0 +1,32 @@
+// Fixture for rule D1 (wall-clock/PRNG ban). Never compiled — consumed by
+// test_lint.cpp, which asserts a finding on every marked line and nowhere
+// else.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+unsigned long long bad_wallclock() {
+  auto t0 = std::chrono::steady_clock::now();            // EXPECT-D1
+  auto t1 = std::chrono::system_clock::now();            // EXPECT-D1
+  int jitter = std::rand();                              // EXPECT-D1
+  long stamp = time(nullptr);                            // EXPECT-D1
+  (void)t0;
+  (void)t1;
+  return static_cast<unsigned long long>(jitter + stamp);
+}
+
+unsigned long long justified_wallclock() {
+  // blap-lint: wallclock-ok — host-side throughput stamp, never serialized
+  auto t = std::chrono::steady_clock::now();
+  return static_cast<unsigned long long>(t.time_since_epoch().count());
+}
+
+// Prose and literals must never trip the rule: "steady_clock, time(), rand()".
+const char* kDescription = "calls time() and std::rand() at steady_clock pace";
+
+struct Lfsr {
+  void clock();  // project-defined name shadowing libc clock() is fine
+  void warm_up() {
+    for (int i = 0; i < 200; ++i) clock();
+  }
+};

@@ -1,0 +1,34 @@
+// Fixture for rule D2 (no unordered-container iteration). Never compiled.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Registry {
+  std::unordered_map<std::string, int> counters_;
+  std::map<std::string, int> sorted_;
+
+  std::string to_json() const {
+    std::string out = "{";
+    for (const auto& [name, value] : counters_) {  // EXPECT-D2
+      out += name;
+    }
+    return out + "}";
+  }
+
+  int total() const {
+    int sum = 0;
+    // blap-lint: ordered-ok — commutative fold, order cannot reach output
+    for (const auto& [name, value] : counters_) sum += value;
+    return sum;
+  }
+
+  std::string sorted_json() const {
+    std::string out;
+    for (const auto& [name, value] : sorted_) out += name;  // ordered: fine
+    return out;
+  }
+
+  auto first() const {
+    return counters_.begin();  // EXPECT-D2
+  }
+};

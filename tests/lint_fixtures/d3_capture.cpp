@@ -1,0 +1,26 @@
+// Fixture for rule D3 (no raw device pointers in scheduler callbacks).
+// Never compiled.
+struct RadioEndpoint;
+struct Scheduler {
+  template <typename F>
+  void schedule_in(unsigned long long delay, F fn);
+};
+
+void bad_capture(Scheduler& scheduler, RadioEndpoint* responder) {
+  scheduler.schedule_in(625, [responder] {  // EXPECT-D3
+    (void)responder;
+  });
+}
+
+void justified_capture(Scheduler& scheduler, RadioEndpoint* responder) {
+  // blap-lint: handle-ok — liveness re-verified at fire time
+  scheduler.schedule_in(625, [responder] {
+    (void)responder;
+  });
+}
+
+void fine_captures(Scheduler& scheduler, RadioEndpoint* responder) {
+  unsigned long long id = 7;
+  scheduler.schedule_in(625, [id] { (void)id; });  // value capture of an id: fine
+  (void)responder;
+}

@@ -1,0 +1,47 @@
+// Fixture for rule D4 (observer dereferences must be null-guarded).
+// Never compiled.
+struct Observer {
+  void count(const char* name);
+  unsigned long long begin_span(const char* name);
+};
+
+struct Component {
+  Observer* obs_ = nullptr;
+
+  void unguarded() {
+    obs_->count("x");  // EXPECT-D4
+  }
+
+  void guarded_block() {
+    if (obs_ != nullptr) {
+      obs_->count("x");
+      obs_->begin_span("y");
+    }
+  }
+
+  void guarded_single_statement() {
+    if (obs_ != nullptr) obs_->count("x");
+  }
+
+  void guarded_early_return() {
+    if (obs_ == nullptr) return;
+    obs_->count("x");
+    obs_->begin_span("y");
+  }
+
+  void guarded_expression() {
+    if (true && obs_ != nullptr && true) obs_->count("x");
+  }
+
+  void justified() {
+    // blap-lint: obs-ok — constructor-injected, never null here
+    obs_->count("x");
+  }
+
+  void unguarded_after_guarded_block() {
+    if (obs_ != nullptr) {
+      obs_->count("x");
+    }
+    obs_->count("y");  // EXPECT-D4
+  }
+};

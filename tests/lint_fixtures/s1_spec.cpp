@@ -1,0 +1,33 @@
+// Fixture for rule S1 (spec invariants: no key bytes in logs, centralized
+// association-model decisions). Never compiled.
+#define BLAP_DEBUG(component, ...)
+#define BLAP_INFO(component, ...)
+enum IoCapability { kDisplayYesNo, kNoInputNoOutput };
+
+struct Bond {
+  unsigned char link_key[16];
+  const char* name;
+};
+
+void bad_key_log(const Bond& bond, const char* hex(const unsigned char*)) {
+  BLAP_DEBUG("host", "stored key %s", hex(bond.link_key));  // EXPECT-S1
+}
+
+void fine_key_event_log(const Bond& bond) {
+  // Logging the *event* (and prose mentioning Link_Key_Request) is fine.
+  BLAP_INFO("host", "link key stored for %s", bond.name);
+}
+
+bool bad_iocap_check(IoCapability peer) {
+  return peer == kNoInputNoOutput;  // EXPECT-S1
+}
+
+bool justified_iocap_check(IoCapability peer) {
+  // blap-lint: spec-ok — this is the detector itself
+  return peer == kNoInputNoOutput;
+}
+
+IoCapability fine_default(const IoCapability* maybe) {
+  // A ternary *default* selects a value, it does not compare against one.
+  return maybe != nullptr ? *maybe : kDisplayYesNo;
+}

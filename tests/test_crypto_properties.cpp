@@ -31,7 +31,7 @@ TEST_P(CryptoAgreement, E1VerifierClaimantAgreeOnRandomInputs) {
     ASSERT_EQ(verifier_side.aco, claimant_side.aco);
     // A single key-bit flip breaks the response.
     LinkKey flipped = key;
-    flipped[i % 16] ^= static_cast<std::uint8_t>(1u << (i % 8));
+    flipped[static_cast<std::size_t>(i % 16)] ^= static_cast<std::uint8_t>(1u << (i % 8));
     ASSERT_NE(e1(flipped, challenge, claimant).sres, verifier_side.sres);
   }
 }

@@ -191,6 +191,36 @@ TEST(MetricsSnapshotTest, JsonKeysAreSortedAndIndented) {
   EXPECT_NE(json.find("\n  "), std::string::npos);
 }
 
+TEST(MetricsSnapshotTest, JsonIsByteStableUnderInsertionOrderAndRehash) {
+  // Regression for the determinism contract (lint rule D2): serialized
+  // metrics must not depend on container internals. Fill two registries with
+  // the same final contents via wildly different insertion orders and enough
+  // churn to force any hash-based container through several rehashes; the
+  // JSON must come out byte-identical.
+  MetricsRegistry forward;
+  MetricsRegistry scrambled;
+  std::vector<std::string> names;
+  names.reserve(300);
+  for (int i = 0; i < 300; ++i) names.push_back("metric." + std::to_string(i));
+
+  for (const auto& name : names) {
+    forward.add(name, 1);
+    forward.observe(name + ".hist", static_cast<std::uint64_t>(name.size()));
+  }
+  // Reverse order, with interleaved churn keys that grow the table past
+  // several load-factor boundaries before the real keys land.
+  for (int i = 299; i >= 0; --i) {
+    scrambled.add("churn." + std::to_string(i), 1);
+    scrambled.add(names[static_cast<std::size_t>(i)], 1);
+    scrambled.observe(names[static_cast<std::size_t>(i)] + ".hist",
+                      static_cast<std::uint64_t>(names[static_cast<std::size_t>(i)].size()));
+  }
+  MetricsSnapshot lhs = forward.snapshot();
+  MetricsSnapshot rhs = scrambled.snapshot();
+  for (int i = 0; i < 300; ++i) rhs.counters.erase("churn." + std::to_string(i));
+  EXPECT_EQ(lhs.to_json("  "), rhs.to_json("  "));
+}
+
 TEST(ObserverTest, DisabledObserverIsInertEverywhere) {
   Observer obs;  // default config: everything off
   EXPECT_FALSE(obs.tracing());

@@ -1,0 +1,621 @@
+// lint.cpp — tokenizer and rule passes for blap-lint (see lint.hpp).
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace blap::lint {
+namespace {
+
+// --------------------------------------------------------------------------
+// Tokenizer. Comments and string/char literals are stripped (their text can
+// never trip a rule); comments are mined for suppression tags first.
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  // line -> suppression tags ("wallclock-ok", ...) found in comments there.
+  std::map<int, std::set<std::string>> suppressions;
+  // Lines carrying at least one token — a suppression comment "bubbles down"
+  // through comment-only lines until it hits code.
+  std::set<int> code_lines;
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Pull `blap-lint: <tag>[, <tag>...]` tags out of one comment's text.
+void mine_suppressions(std::string_view comment, int line, Lexed& out) {
+  const std::string_view marker = "blap-lint:";
+  std::size_t at = comment.find(marker);
+  if (at == std::string_view::npos) return;
+  std::size_t i = at + marker.size();
+  while (i < comment.size()) {
+    while (i < comment.size() && (comment[i] == ' ' || comment[i] == ',')) ++i;
+    std::size_t start = i;
+    while (i < comment.size() && (ident_char(comment[i]) || comment[i] == '-')) ++i;
+    if (i == start) break;
+    out.suppressions[line].insert(std::string(comment.substr(start, i - start)));
+  }
+}
+
+Lexed lex(std::string_view src) {
+  Lexed out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto peek = [&](std::size_t k) { return i + k < n ? src[i + k] : '\0'; };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {  // line comment
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      mine_suppressions(src.substr(i, end - i), line, out);
+      i = end;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {  // block comment
+      const int start_line = line;
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) end = n;
+      mine_suppressions(src.substr(i, end - i), start_line, out);
+      for (std::size_t k = i; k < end && k < n; ++k)
+        if (src[k] == '\n') ++line;
+      i = std::min(end + 2, n);
+      continue;
+    }
+    if (c == '"') {  // string literal (raw strings handled below at 'R')
+      ++i;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\') ++i;
+        if (i < n && src[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    if (c == '\'') {  // char literal (digit separators are consumed by the
+      ++i;            // number scanner, so a bare ' here is a real literal)
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\') ++i;
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    if (c == 'R' && peek(1) == '"') {  // raw string literal
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      const std::string closer = ")" + std::string(src.substr(i + 2, d - i - 2)) + "\"";
+      std::size_t end = src.find(closer, d);
+      if (end == std::string_view::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k)
+        if (src[k] == '\n') ++line;
+      i = std::min(end + closer.size(), n);
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.tokens.push_back({std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Numbers swallow digit separators (1'000'000) and suffixes.
+      std::size_t start = i;
+      while (i < n && (ident_char(src[i]) || src[i] == '\'' || src[i] == '.')) ++i;
+      out.tokens.push_back({std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    // Punctuation: keep the few two-char operators the rules care about.
+    static const char* kTwoChar[] = {"->", "::", "==", "!=", "<=", ">=", "&&", "||"};
+    std::string two{c, peek(1)};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (two == op) {
+        out.tokens.push_back({two, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({std::string(1, c), line});
+    ++i;
+  }
+  for (const Token& tok : out.tokens) out.code_lines.insert(tok.line);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Shared helpers.
+
+std::string normalize(std::string_view path) {
+  std::string p(path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool path_has(const std::string& path, std::string_view needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool has_tag(const Lexed& lx, int line, const char* tag) {
+  auto it = lx.suppressions.find(line);
+  return it != lx.suppressions.end() && it->second.count(tag) != 0;
+}
+
+/// A finding on `line` is suppressed by a tag on the line itself, on a
+/// trailing comment of the previous code line, or anywhere in an unbroken
+/// run of comment/blank lines directly above.
+bool suppressed(const Lexed& lx, int line, const char* tag) {
+  if (has_tag(lx, line, tag)) return true;
+  for (int l = line - 1; l >= 1 && l >= line - 32; --l) {
+    if (has_tag(lx, l, tag)) return true;
+    if (lx.code_lines.count(l) != 0) break;  // hit code: stop bubbling
+  }
+  return false;
+}
+
+/// Suppression for a finding on `to` inside a multi-line statement starting
+/// at `from`: any tag within the statement, or above its first line.
+bool suppressed_range(const Lexed& lx, int from, int to, const char* tag) {
+  if (suppressed(lx, from, tag)) return true;
+  for (int l = from + 1; l <= to; ++l)
+    if (has_tag(lx, l, tag)) return true;
+  return false;
+}
+
+void report(std::vector<Finding>& findings, const Lexed& lx, Rule rule, std::string_view path,
+            int line, std::string message) {
+  if (suppressed(lx, line, rule_tag(rule))) return;
+  findings.push_back(Finding{rule, std::string(path), line, std::move(message)});
+}
+
+/// Index of the token matching the `(` at `open` (which must be "(", "[",
+/// or "<"); returns tokens.size() when unbalanced.
+std::size_t match_close(const std::vector<Token>& tokens, std::size_t open) {
+  const std::string& o = tokens[open].text;
+  const std::string c = o == "(" ? ")" : o == "[" ? "]" : ">";
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == o) ++depth;
+    else if (tokens[i].text == c && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+// --------------------------------------------------------------------------
+// D1 — wall-clock / PRNG ban.
+
+void rule_d1(const std::string& path, const Lexed& lx, const Options& options,
+             std::vector<Finding>& findings) {
+  if (!options.all_rules_everywhere) {
+    // Host-side timing shells are allowed to read the wall clock: the
+    // campaign engine's throughput report, benchmarks, and examples.
+    if (path_has(path, "src/campaign/campaign.cpp") || path_has(path, "bench/") ||
+        path_has(path, "examples/"))
+      return;
+  }
+  static const std::set<std::string> kBannedIdent = {
+      "system_clock",   "steady_clock", "high_resolution_clock", "srand",
+      "gettimeofday",   "clock_gettime", "localtime",            "gmtime",
+      "random_device",  "rand_r",
+  };
+  static const std::set<std::string> kBannedCall = {"rand", "time", "clock"};
+  const auto& t = lx.tokens;
+  // A file may define its own function shadowing a libc name (E0's LFSR
+  // `clock()` is cipher terminology): a definition `Type::name(` or a
+  // declaration `void name(` exempts bare calls to that name in this file.
+  // Explicitly qualified `std::name(` is always flagged.
+  std::set<std::string> locally_defined;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (kBannedCall.count(t[i].text) == 0 || t[i + 1].text != "(") continue;
+    static const std::set<std::string> kNotTypes = {
+        "return", "throw",     "case",     "else",     "do",      "goto",  "new",
+        "delete", "sizeof",    "typeid",   "co_await", "co_yield", "co_return",
+        "not",    "and",       "or"};
+    const std::string& prev = t[i - 1].text;
+    const bool member_def = prev == "::" && (i < 2 || t[i - 2].text != "std");
+    const bool declaration =
+        ident_start(prev.empty() ? '\0' : prev[0]) && kNotTypes.count(prev) == 0;
+    if (member_def || declaration) locally_defined.insert(t[i].text);
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (kBannedIdent.count(t[i].text) != 0) {
+      report(findings, lx, Rule::kD1Wallclock, path, t[i].line,
+             "wall-clock/PRNG source '" + t[i].text +
+                 "' in simulation code; derive time from Scheduler::now() and "
+                 "randomness from a seeded Rng");
+      continue;
+    }
+    if (kBannedCall.count(t[i].text) != 0 && i + 1 < t.size() && t[i + 1].text == "(") {
+      const bool member = i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+      const bool std_qualified =
+          i >= 2 && t[i - 1].text == "::" && t[i - 2].text == "std";
+      if (member) continue;
+      if (!std_qualified && locally_defined.count(t[i].text) != 0) continue;
+      report(findings, lx, Rule::kD1Wallclock, path, t[i].line,
+             "call to '" + t[i].text + "(...)' in simulation code; virtual time only");
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// D2 — unordered-container iteration.
+
+/// Names declared with an unordered container type in this token stream.
+std::set<std::string> unordered_names(const std::vector<Token>& t) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text != "unordered_map" && t[i].text != "unordered_set" &&
+        t[i].text != "unordered_multimap" && t[i].text != "unordered_multiset")
+      continue;
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].text == "<") {
+      j = match_close(t, j);
+      if (j == t.size()) continue;
+      ++j;
+    }
+    // `unordered_map<...>::iterator` etc. is a type use, not a declaration.
+    if (j < t.size() && t[j].text == "::") continue;
+    while (j < t.size() && (t[j].text == "*" || t[j].text == "&")) ++j;
+    if (j < t.size() && ident_start(t[j].text[0])) names.insert(t[j].text);
+  }
+  return names;
+}
+
+void rule_d2(const std::string& path, const Lexed& lx, const Options& options,
+             std::vector<Finding>& findings) {
+  if (!options.all_rules_everywhere && !path_has(path, "src/")) return;
+  std::set<std::string> names = unordered_names(lx.tokens);
+  names.insert(options.known_unordered.begin(), options.known_unordered.end());
+  if (names.empty()) return;
+  const auto& t = lx.tokens;
+  auto flag = [&](std::size_t at, const std::string& name) {
+    report(findings, lx, Rule::kD2Ordered, path, t[at].line,
+           "iteration over unordered container '" + name +
+               "': order is rehash-dependent and may reach serialized output; use an "
+               "ordered container or sort first");
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for whose range expression mentions an unordered name.
+    if (t[i].text == "for" && i + 1 < t.size() && t[i + 1].text == "(") {
+      const std::size_t close = match_close(t, i + 1);
+      std::size_t colon = t.size();
+      for (std::size_t k = i + 2; k < close; ++k) {
+        if (t[k].text == ":" && (k == 0 || t[k - 1].text != ":") &&
+            (k + 1 >= t.size() || t[k + 1].text != ":")) {
+          colon = k;
+          break;
+        }
+      }
+      if (colon != t.size()) {
+        for (std::size_t k = colon + 1; k < close; ++k) {
+          if (names.count(t[k].text) != 0) {
+            flag(k, t[k].text);
+            break;
+          }
+        }
+      }
+    }
+    // Iterator-style walk: name.begin() / name.cbegin().
+    if (names.count(t[i].text) != 0 && i + 3 < t.size() &&
+        (t[i + 1].text == "." || t[i + 1].text == "->") &&
+        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin") && t[i + 3].text == "(")
+      flag(i, t[i].text);
+  }
+}
+
+// --------------------------------------------------------------------------
+// D3 — raw device pointers captured into scheduler callbacks.
+
+void rule_d3(const std::string& path, const Lexed& lx, const Options& options,
+             std::vector<Finding>& findings) {
+  if (!options.all_rules_everywhere && !path_has(path, "src/")) return;
+  static const std::set<std::string> kDeviceTypes = {"Device", "Controller", "HostStack",
+                                                     "RadioEndpoint", "Simulation"};
+  const auto& t = lx.tokens;
+  // Names declared anywhere in this file as a raw pointer to a device-layer
+  // type (parameters and locals both match `Type * name`).
+  std::set<std::string> pointer_names;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (kDeviceTypes.count(t[i].text) != 0 && t[i + 1].text == "*" &&
+        ident_start(t[i + 2].text[0]))
+      pointer_names.insert(t[i + 2].text);
+  }
+  if (pointer_names.empty()) return;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "schedule_in" && t[i].text != "schedule_at") continue;
+    if (t[i + 1].text != "(") continue;
+    const std::size_t close = match_close(t, i + 1);
+    // First lambda introducer inside the call's argument list.
+    for (std::size_t k = i + 2; k < close; ++k) {
+      if (t[k].text != "[") continue;
+      const std::size_t cap_end = match_close(t, k);
+      for (std::size_t c = k + 1; c < cap_end; ++c) {
+        if (pointer_names.count(t[c].text) != 0) {
+          if (!suppressed_range(lx, t[i].line, t[k].line, rule_tag(Rule::kD3Handle)))
+            findings.push_back(Finding{
+                Rule::kD3Handle, path, t[k].line,
+                "scheduler callback captures raw device pointer '" + t[c].text +
+                    "'; capture a generation-counted id/handle instead, or re-verify "
+                    "liveness at fire time and suppress with a justification"});
+          break;
+        }
+      }
+      break;  // only the callback lambda itself, not nested lambdas
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// D4 — observer dereferences must be null-guarded.
+
+bool obs_ident(const std::string& s) {
+  return s == "obs" || s == "obs_" || s == "observer" || s == "observer_";
+}
+
+void rule_d4(const std::string& path, const Lexed& lx, const Options& options,
+             std::vector<Finding>& findings) {
+  (void)options;
+  const auto& t = lx.tokens;
+  std::vector<bool> guarded{false};  // scope stack; [0] is file scope
+  bool pending_cond_guard = false;   // an if/while/for condition mentioned obs
+  bool stmt_guard = false;           // single-statement if-guard active
+  int stmt_obs_mentions = 0;         // obs idents earlier in this statement
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "if" || s == "while" || s == "for") {
+      if (i + 1 < t.size() && t[i + 1].text == "(") {
+        const std::size_t close = match_close(t, i + 1);
+        bool mentions = false;
+        for (std::size_t k = i + 2; k < close; ++k)
+          if (obs_ident(t[k].text)) mentions = true;
+        if (mentions) {
+          if (close + 1 < t.size() && t[close + 1].text == "return") {
+            // `if (obs_ == nullptr) return ...;` — rest of scope is guarded.
+            guarded.back() = true;
+          } else if (close + 1 < t.size() && t[close + 1].text == "{") {
+            pending_cond_guard = true;
+          } else {
+            stmt_guard = true;  // single-statement body
+          }
+        }
+        i = close;  // skip the condition itself
+        continue;
+      }
+    }
+    if (s == "{") {
+      guarded.push_back(guarded.back() || pending_cond_guard);
+      pending_cond_guard = false;
+      stmt_obs_mentions = 0;
+      continue;
+    }
+    if (s == "}") {
+      if (guarded.size() > 1) guarded.pop_back();
+      stmt_guard = false;
+      stmt_obs_mentions = 0;
+      continue;
+    }
+    if (s == ";") {
+      stmt_guard = false;
+      stmt_obs_mentions = 0;
+      continue;
+    }
+    if (obs_ident(s)) {
+      const bool deref = i + 1 < t.size() && t[i + 1].text == "->";
+      if (deref && !guarded.back() && !stmt_guard && stmt_obs_mentions == 0) {
+        report(findings, lx, Rule::kD4ObsGuard, path, t[i].line,
+               "unguarded observer dereference '" + s +
+                   "->'; wrap in `if (" + s + " != nullptr)` so disabled runs pay one "
+                   "branch and zero allocations");
+      }
+      ++stmt_obs_mentions;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// S1 — spec invariants.
+
+void rule_s1(const std::string& path, const Lexed& lx, const Options& options,
+             std::vector<Finding>& findings) {
+  const auto& t = lx.tokens;
+  // (a) Secret key material must never reach a log call. String literals are
+  // already stripped, so prose like "Link_Key_Request" cannot trip this —
+  // only actual identifiers holding key bytes do.
+  static const char* kSecretNeedles[] = {"link_key", "pin_code", "linkkey"};
+  static const std::set<std::string> kLogMacros = {"BLAP_LOG",  "BLAP_TRACE", "BLAP_DEBUG",
+                                                   "BLAP_INFO", "BLAP_WARN",  "BLAP_ERROR"};
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (kLogMacros.count(t[i].text) == 0 || t[i + 1].text != "(") continue;
+    const std::size_t close = match_close(t, i + 1);
+    for (std::size_t k = i + 2; k < close; ++k) {
+      std::string lower = t[k].text;
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+      for (const char* needle : kSecretNeedles) {
+        if (lower.find(needle) != std::string::npos) {
+          report(findings, lx, Rule::kS1Spec, path, t[k].line,
+                 "secret material '" + t[k].text + "' flows into a log call; log key "
+                 "*events*, never key bytes");
+          k = close;  // one finding per call site
+          break;
+        }
+      }
+    }
+  }
+  // (b) IO-capability / association-model comparisons are the business of
+  // ui_model and security_manager; scattered copies are how Happy-MitM-style
+  // spec violations creep in.
+  if (!options.all_rules_everywhere) {
+    if (!path_has(path, "src/")) return;
+    if (path_has(path, "src/host/ui_model") || path_has(path, "src/host/security_manager") ||
+        path_has(path, "src/hci/"))
+      return;
+  }
+  static const std::set<std::string> kIoCapConsts = {"kNoInputNoOutput", "kDisplayOnly",
+                                                     "kDisplayYesNo", "kKeyboardOnly"};
+  // Statement-granular scan: flag a statement containing both an IO-cap
+  // constant and a comparison operator.
+  std::size_t stmt_start = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == ";" || s == "{" || s == "}") {
+      stmt_start = i + 1;
+      continue;
+    }
+    if (kIoCapConsts.count(s) == 0) continue;
+    // The constant is *compared* when the nearest interesting token walking
+    // back from it is ==/!=, not a ternary `?` (a `cond ? a : kDefault`
+    // fallback merely selects a value and is fine). Forward, `kX == y` puts
+    // the operator right after the constant.
+    bool compared = false;
+    for (std::size_t k = i; k > stmt_start; --k) {
+      const std::string& w = t[k - 1].text;
+      if (w == "==" || w == "!=") {
+        compared = true;
+        break;
+      }
+      if (w == "?") break;
+    }
+    if (!compared && i + 1 < t.size() && (t[i + 1].text == "==" || t[i + 1].text == "!="))
+      compared = true;
+    if (!compared) continue;
+    const int stmt_line = stmt_start < t.size() ? t[stmt_start].line : t[i].line;
+    if (suppressed_range(lx, stmt_line, t[i].line, rule_tag(Rule::kS1Spec))) continue;
+    findings.push_back(Finding{Rule::kS1Spec, path, t[i].line,
+                               "association-model comparison against '" + s +
+                                   "' outside ui_model/security_manager; route the decision "
+                                   "through select_association_model/confirmation_behavior"});
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Public API.
+
+const char* rule_id(Rule rule) {
+  switch (rule) {
+    case Rule::kD1Wallclock: return "D1";
+    case Rule::kD2Ordered: return "D2";
+    case Rule::kD3Handle: return "D3";
+    case Rule::kD4ObsGuard: return "D4";
+    case Rule::kS1Spec: return "S1";
+  }
+  return "?";
+}
+
+const char* rule_tag(Rule rule) {
+  switch (rule) {
+    case Rule::kD1Wallclock: return "wallclock-ok";
+    case Rule::kD2Ordered: return "ordered-ok";
+    case Rule::kD3Handle: return "handle-ok";
+    case Rule::kD4ObsGuard: return "obs-ok";
+    case Rule::kS1Spec: return "spec-ok";
+  }
+  return "?";
+}
+
+const char* rule_summary(Rule rule) {
+  switch (rule) {
+    case Rule::kD1Wallclock:
+      return "no wall-clock/PRNG sources in simulation code";
+    case Rule::kD2Ordered:
+      return "no iteration over unordered containers in simulation code";
+    case Rule::kD3Handle:
+      return "no raw device pointers captured into scheduler callbacks";
+    case Rule::kD4ObsGuard:
+      return "observer dereferences must be null-guarded";
+    case Rule::kS1Spec:
+      return "spec invariants: no key bytes in logs, association-model "
+             "decisions centralized";
+  }
+  return "?";
+}
+
+std::string Finding::format() const {
+  std::ostringstream out;
+  out << file << ":" << line << ": [" << rule_id(rule) << "] " << message;
+  return out.str();
+}
+
+std::vector<Finding> lint_file(std::string_view path, std::string_view content,
+                               const Options& options) {
+  const std::string norm = normalize(path);
+  const Lexed lx = lex(content);
+  std::vector<Finding> findings;
+  rule_d1(norm, lx, options, findings);
+  rule_d2(norm, lx, options, findings);
+  rule_d3(norm, lx, options, findings);
+  rule_d4(norm, lx, options, findings);
+  rule_s1(norm, lx, options, findings);
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::string& root, const Options& options) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const char* dir : {"src", "examples", "bench", "tests", "tools"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string p = normalize(entry.path().string());
+      if (path_has(p, "lint_fixtures") || path_has(p, "/build")) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  auto read = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+
+  // Pre-pass: names declared unordered anywhere (a member declared in a
+  // header is usually iterated in the matching .cpp).
+  Options opts = options;
+  for (const std::string& f : files) {
+    const Lexed lx = lex(read(f));
+    for (const std::string& name : unordered_names(lx.tokens))
+      opts.known_unordered.push_back(name);
+  }
+
+  std::vector<Finding> findings;
+  for (const std::string& f : files) {
+    auto file_findings = lint_file(f, read(f), opts);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+  });
+  return findings;
+}
+
+}  // namespace blap::lint

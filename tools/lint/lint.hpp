@@ -1,0 +1,90 @@
+// lint.hpp — blap-lint: the project's determinism & spec-invariant analyzer.
+//
+// BLAP's headline claim — byte-identical campaign JSON for any worker count —
+// rests on coding rules no compiler checks: simulation code must never read
+// the wall clock, hash-table iteration order must never reach a serializer,
+// and scheduler callbacks must not capture raw device pointers that can
+// dangle across virtual time. blap-lint tokenizes the tree (comments and
+// string literals stripped, so prose never trips a rule) and enforces those
+// rules as named, individually suppressible findings:
+//
+//   D1 wallclock    no wall-clock/PRNG calls (`system_clock`, `steady_clock`,
+//                   `std::rand`, `time(...)`, ...) outside the campaign
+//                   timing shell, bench/ and examples/ (host-side timing).
+//   D2 ordered      no iteration over a container declared `unordered_map`/
+//                   `unordered_set` in simulation code — iteration order is
+//                   rehash-dependent and one hop from serialized output.
+//   D3 handle       scheduler callbacks must not capture raw device-layer
+//                   pointers (`Device*`, `Controller*`, `RadioEndpoint*`,
+//                   `HostStack*`); use generation-counted ids/handles or
+//                   re-verify liveness at fire time (then suppress).
+//   D4 obs-guard    every observer dereference (`obs_->...`) must sit under
+//                   a null guard so an uninstrumented run pays one branch
+//                   and zero allocations per site.
+//   S1 spec         spec invariants: secret key material (link keys, PIN
+//                   codes) must never reach a log call, and IO-capability /
+//                   association-model comparisons live in ui_model /
+//                   security_manager, nowhere else.
+//
+// Suppression: `// blap-lint: <tag>-ok [justification]` on the offending
+// line or the line directly above. Tags: wallclock-ok, ordered-ok,
+// handle-ok, obs-ok, spec-ok. A justification is free text; write one.
+//
+// The analyzer is deliberately token-based, not AST-based: it has zero
+// dependencies, runs on the whole tree in milliseconds, and its rules are
+// conservative patterns with an explicit escape hatch rather than proofs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blap::lint {
+
+/// Rule identifiers, stable for reports and suppression mapping.
+enum class Rule {
+  kD1Wallclock,
+  kD2Ordered,
+  kD3Handle,
+  kD4ObsGuard,
+  kS1Spec,
+};
+
+[[nodiscard]] const char* rule_id(Rule rule);        // "D1"
+[[nodiscard]] const char* rule_tag(Rule rule);       // "wallclock-ok"
+[[nodiscard]] const char* rule_summary(Rule rule);   // one-line description
+
+struct Finding {
+  Rule rule = Rule::kD1Wallclock;
+  std::string file;   // path as given to the analyzer
+  int line = 0;       // 1-based
+  std::string message;
+
+  /// "file:line: [D1] message" — the stable report line format.
+  [[nodiscard]] std::string format() const;
+};
+
+struct Options {
+  /// When true, every rule applies to every file regardless of the
+  /// path-based scoping below (used by the fixture tests, where a single
+  /// snippet must exercise a rule that is normally scoped to src/).
+  bool all_rules_everywhere = false;
+
+  /// Extra names known to be declared as unordered containers elsewhere
+  /// (rule D2). lint_tree() fills this from a tree-wide pre-pass so a member
+  /// declared in a header is caught when iterated in the matching .cpp.
+  std::vector<std::string> known_unordered;
+};
+
+/// Lint one in-memory file. `path` drives the per-rule path scoping
+/// (allowlists use substring match on a '/'-normalized path).
+[[nodiscard]] std::vector<Finding> lint_file(std::string_view path, std::string_view content,
+                                             const Options& options = {});
+
+/// Lint every .cpp/.hpp under `root`'s src/, examples/, bench/, tests/ and
+/// tools/ directories (skipping build dirs and the intentionally-bad
+/// tests/lint_fixtures). Findings are sorted by (file, line, rule).
+[[nodiscard]] std::vector<Finding> lint_tree(const std::string& root,
+                                             const Options& options = {});
+
+}  // namespace blap::lint
