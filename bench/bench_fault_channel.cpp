@@ -1,0 +1,94 @@
+// Microbenchmark for the radio medium's frame hot path under the fault
+// layer. The determinism contract says a disabled FaultPlan must cost
+// nothing observable; this bench pins the wall-clock side of that promise:
+// BM_SendFrameDisabledPlan must sit within noise of BM_SendFrameNoPlan
+// (the disabled path is one null-pointer test on the link's channel), while
+// BM_SendFrameFaulted shows what an active channel model adds per frame
+// (one or two Rng draws plus the verdict branch).
+#include <benchmark/benchmark.h>
+
+#include "faults/fault_plan.hpp"
+#include "radio/radio_medium.hpp"
+
+namespace {
+
+using namespace blap;
+using namespace blap::radio;
+
+/// Minimal always-scanning endpoint: counts received frames and nothing else.
+class SinkEndpoint : public RadioEndpoint {
+ public:
+  explicit SinkEndpoint(BdAddr addr) : addr_(addr) {}
+
+  BdAddr radio_address() const override { return addr_; }
+  ClassOfDevice radio_class_of_device() const override { return ClassOfDevice(0x240404); }
+  std::string radio_name() const override { return "sink"; }
+  bool inquiry_scan_enabled() const override { return true; }
+  bool page_scan_enabled() const override { return true; }
+  SimTime sample_page_response_latency(Rng&) override { return kSlot; }
+  void on_link_established(LinkId, const BdAddr&, bool) override {}
+  void on_link_closed(LinkId, std::uint8_t) override {}
+  void on_air_frame(LinkId, const Bytes&) override { ++received; }
+
+  std::uint64_t received = 0;
+
+ private:
+  BdAddr addr_;
+};
+
+/// One medium, two endpoints, one established link.
+struct Bench {
+  Bench()
+      : medium(sched, Rng(7)),
+        a(*BdAddr::parse("00:00:00:00:00:01")),
+        b(*BdAddr::parse("00:00:00:00:00:02")) {
+    medium.attach(&a);
+    medium.attach(&b);
+    medium.page(&a, b.radio_address(), kSecond,
+                [this](std::optional<LinkId> id) { link = id.value_or(0); });
+    sched.run_all();
+  }
+
+  Scheduler sched;
+  RadioMedium medium;
+  SinkEndpoint a;
+  SinkEndpoint b;
+  LinkId link = 0;
+};
+
+void pump_frames(benchmark::State& state, const faults::FaultPlan* plan) {
+  Bench bench;
+  if (plan != nullptr) bench.medium.set_fault_plan(*plan);
+  const Bytes frame{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  for (auto _ : state) {
+    bench.medium.send_frame(bench.link, &bench.a, frame);
+    bench.sched.run_all();
+  }
+  benchmark::DoNotOptimize(bench.b.received);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// Baseline: the medium has never heard of a FaultPlan.
+void BM_SendFrameNoPlan(benchmark::State& state) { pump_frames(state, nullptr); }
+BENCHMARK(BM_SendFrameNoPlan);
+
+// A default-constructed (disabled) plan installed: must match the baseline.
+void BM_SendFrameDisabledPlan(benchmark::State& state) {
+  const faults::FaultPlan plan;
+  pump_frames(state, &plan);
+}
+BENCHMARK(BM_SendFrameDisabledPlan);
+
+// Active channel model: iid loss + corruption draws on every frame.
+void BM_SendFrameFaulted(benchmark::State& state) {
+  faults::FaultPlan plan;
+  plan.seed = 11;
+  plan.loss = 0.15;
+  plan.corruption = 0.05;
+  pump_frames(state, &plan);
+}
+BENCHMARK(BM_SendFrameFaulted);
+
+}  // namespace
+
+BENCHMARK_MAIN();

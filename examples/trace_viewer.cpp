@@ -10,15 +10,21 @@
 //   * the compact text timeline on stdout;
 //   * the metrics snapshot JSON on stdout.
 //
-//   trace_viewer [--seed N] [--victim INDEX] [--out FILE] [--quiet]
+//   trace_viewer [--seed N] [--victim INDEX] [--loss P] [--out FILE] [--quiet]
 //
-// Everything is a pure function of (seed, victim index): re-runs produce
-// byte-identical trace and metrics output.
+// --loss P (0 < P <= 1) runs the trial over a lossy channel through the
+// fault layer: the trace then shows the baseband ARQ at work — `arq_retx`
+// instants clustering into retransmission storms on the controller lane,
+// `arq_exhausted` where a frame ran out of retries, and (at high enough
+// loss) the supervision teardown. Everything is a pure function of
+// (seed, victim index, loss): re-runs produce byte-identical trace and
+// metrics output.
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "bench/bench_util.hpp"
+#include "faults/fault_plan.hpp"
 
 int main(int argc, char** argv) {
   using namespace blap;
@@ -27,6 +33,7 @@ int main(int argc, char** argv) {
 
   std::uint64_t seed = 42;
   std::size_t victim_index = 0;
+  double loss = 0.0;
   const char* out_path = "page_blocking.trace.json";
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -34,12 +41,15 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 0);
     else if (std::strcmp(argv[i], "--victim") == 0 && i + 1 < argc)
       victim_index = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 0));
+    else if (std::strcmp(argv[i], "--loss") == 0 && i + 1 < argc)
+      loss = std::strtod(argv[++i], nullptr);
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
     else if (std::strcmp(argv[i], "--quiet") == 0)
       quiet = true;
     else {
-      std::fprintf(stderr, "usage: %s [--seed N] [--victim INDEX] [--out FILE] [--quiet]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--victim INDEX] [--loss P] [--out FILE] [--quiet]\n",
                    argv[0]);
       return 2;
     }
@@ -59,9 +69,15 @@ int main(int argc, char** argv) {
   obs_cfg.tracing = true;
   obs_cfg.metrics = true;
   auto& observer = s.sim->enable_observability(obs_cfg);
+  if (loss > 0.0) {
+    faults::FaultPlan plan;
+    plan.seed = seed;
+    plan.loss = loss;
+    s.sim->set_fault_plan(plan);
+  }
 
   banner("TRACE VIEWER — page blocking vs " + profile.model + " (" + profile.os + "), seed " +
-         std::to_string(seed));
+         std::to_string(seed) + (loss > 0.0 ? ", loss " + std::to_string(loss) : ""));
   const auto report = PageBlockingAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, {});
   std::printf("ploc_established=%d pairing_completed=%d mitm_established=%d\n",
               report.ploc_established ? 1 : 0, report.pairing_completed ? 1 : 0,

@@ -88,7 +88,7 @@ void Controller::on_command(const hci::HciPacket& packet) {
       crypto::E0Cipher cipher(link->enc_key, master, link->tx_counter++);
       cipher.crypt(payload);
     }
-    medium_.send_frame(link->radio_link, this, acl_air_frame(payload));
+    send_baseband(*link, acl_air_frame(payload));
     return;
   }
   if (packet.type != hci::PacketType::kCommand) return;
@@ -285,7 +285,10 @@ void Controller::on_link_established(radio::LinkId link_id, const BdAddr& peer, 
   link.initiator = initiator;
   link.state =
       initiator ? LinkState::kConnecting : LinkState::kAwaitingHostConnectionReq;
-  links_.emplace(link.handle, std::move(link));
+  Link& placed = links_.emplace(link.handle, std::move(link)).first->second;
+  // Under a fault plan the link is supervised from its first slot: a link
+  // that never carries a single frame must still die by timeout, not hang.
+  arm_supervision_timer(placed);
 }
 
 void Controller::on_lmp_host_connection_req(Link& link) {
@@ -359,15 +362,20 @@ void Controller::on_link_closed(radio::LinkId link_id, std::uint8_t reason) {
   const BdAddr peer = link->peer;
   link->lmp_timer.cancel();
   link->accept_timer.cancel();
+  link->supervision_timer.cancel();
   links_.erase(handle);
 
   if (state == LinkState::kConnecting) {
     // The baseband died before the host-level connection completed (e.g.
     // the responder rejected and tore the link down): the host is still
-    // waiting on its Create_Connection, so report THAT as failed.
+    // waiting on its Create_Connection, so report THAT as failed. Close
+    // reasons are HCI error codes end-to-end (radio::close_reason); a bare
+    // 0 carries no cause, so map it to the generic dead-baseband verdict —
+    // Connection Timeout — instead of fabricating a Page Timeout (the page
+    // demonstrably succeeded: this link existed).
     hci::ConnectionCompleteEvt evt;
-    evt.status =
-        reason == 0 ? hci::Status::kPageTimeout : static_cast<hci::Status>(reason);
+    evt.status = reason == 0 ? hci::Status::kConnectionTimeout
+                             : static_cast<hci::Status>(reason);
     evt.bdaddr = peer;
     send_event(evt.encode());
     return;
@@ -499,6 +507,9 @@ void Controller::handle_remote_name_request(const hci::RemoteNameRequestCmd& cmd
 void Controller::on_air_frame(radio::LinkId link_id, const Bytes& frame) {
   Link* link = link_by_radio(link_id);
   if (link == nullptr) return;
+  // Any received frame — even one that parses to garbage — proves the peer
+  // is still transmitting; push the supervision deadline out.
+  arm_supervision_timer(*link);
 
   if (auto acl = parse_acl_air_frame(frame)) {
     Bytes payload = std::move(*acl);
@@ -1437,7 +1448,129 @@ void Controller::send_lmp(Link& link, LmpOpcode opcode, Bytes payload) {
                     strfmt("lmp_tx:%s", to_string(opcode)));
   }
   BLAP_TRACE("lmp", "%s tx %s", config_.address.to_string().c_str(), to_string(opcode));
-  medium_.send_frame(link.radio_link, this, pdu.to_air_frame());
+  send_baseband(link, pdu.to_air_frame());
+}
+
+void Controller::send_baseband(Link& link, Bytes air_frame) {
+  // Clean channel: the frame always arrives, so asking for a delivery
+  // report would only burn scheduler events — skip ARQ entirely.
+  if (!medium_.faults_enabled()) {
+    medium_.send_frame(link.radio_link, this, std::move(air_frame));
+    return;
+  }
+  // Stop-and-wait ARQ: LMP and encrypted ACL both depend on in-order
+  // delivery, so frame N+1 must not fly until frame N is ACKed or
+  // abandoned — a retransmission overtaken by a newer frame would desync
+  // the peer's LMP state machine.
+  link.tx_queue.push_back(std::move(air_frame));
+  if (!link.tx_busy) arq_start_next(link);
+}
+
+void Controller::arq_start_next(Link& link) {
+  if (link.tx_queue.empty()) {
+    link.tx_busy = false;
+    return;
+  }
+  link.tx_busy = true;
+  arq_transmit(link.handle, 0);
+}
+
+void Controller::arq_transmit(hci::ConnectionHandle handle, unsigned attempt) {
+  Link* link = link_by_handle(handle);
+  if (link == nullptr || link->tx_queue.empty()) return;
+  medium_.send_frame(link->radio_link, this, link->tx_queue.front(),
+                     [this, handle, attempt](bool delivered) {
+                       arq_on_report(handle, attempt, delivered);
+                     });
+}
+
+void Controller::arq_on_report(hci::ConnectionHandle handle, unsigned attempt, bool delivered) {
+  Link* link = link_by_handle(handle);
+  if (link == nullptr) return;          // torn down while the frame flew
+  if (link->tx_queue.empty()) return;   // queue flushed (fault plan cleared)
+  if (delivered) {
+    if (obs_ != nullptr && attempt > 0) obs_->count("arq.recovered");
+    link->tx_queue.pop_front();
+    arq_start_next(*link);
+    return;
+  }
+  if (attempt >= config_.arq_max_retransmissions) {
+    // Out of retries: abandon this frame and move on to the next. Do NOT
+    // tear the link down here — a retry burst losing one frame is not link
+    // death. The supervision timer owns that verdict.
+    if (obs_ != nullptr) {
+      obs_->count("arq.exhausted");
+      if (obs_->tracing())
+        obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kController, "arq_exhausted",
+                      strfmt("frame dropped after %u retransmissions", attempt));
+    }
+    BLAP_DEBUG("arq", "%s: frame on handle 0x%04x lost after %u retransmissions",
+               config_.address.to_string().c_str(), handle, attempt);
+    link->tx_queue.pop_front();
+    arq_start_next(*link);
+    return;
+  }
+  if (obs_ != nullptr) {
+    obs_->count("arq.retransmissions");
+    if (obs_->tracing())
+      obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kController, "arq_retx",
+                    strfmt("handle 0x%04x attempt %u", handle, attempt + 1));
+  }
+  // Exponential backoff: 1x, 2x, 4x... the base delay. Deterministic (no
+  // jitter draw) so a trial's retransmission timeline is a pure function of
+  // the fault plan.
+  const SimTime backoff = config_.arq_backoff_base << attempt;
+  scheduler_.schedule_in(backoff, [this, handle, attempt] {
+    Link* live = link_by_handle(handle);
+    if (live == nullptr || live->tx_queue.empty()) return;  // died during backoff
+    arq_transmit(handle, attempt + 1);
+  });
+}
+
+void Controller::arm_supervision_timer(Link& link) {
+  if (!medium_.faults_enabled()) return;
+  link.supervision_timer.cancel();
+  const hci::ConnectionHandle handle = link.handle;
+  link.supervision_timer = scheduler_.schedule_in(config_.supervision_timeout,
+                                                  [this, handle] { supervision_timeout(handle); });
+}
+
+void Controller::supervision_timeout(hci::ConnectionHandle handle) {
+  Link* link = link_by_handle(handle);
+  if (link == nullptr) return;
+  BLAP_INFO("controller", "%s: supervision timeout on handle 0x%04x — link presumed dead",
+            config_.address.to_string().c_str(), handle);
+  if (obs_ != nullptr) {
+    obs_->count("controller.supervision_timeouts");
+    if (obs_->tracing())
+      obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kController,
+                    "supervision_timeout",
+                    strfmt("no frame received for %llu us",
+                           static_cast<unsigned long long>(config_.supervision_timeout)));
+  }
+  // Genuine supervision teardown: Disconnection_Complete with the spec's
+  // Connection Timeout reason. The radio-level close also informs the peer
+  // (a detach indication in our model); its own supervision timer would
+  // reach the same verdict moments later anyway.
+  teardown_link(*link, hci::Status::kConnectionTimeout, true);
+}
+
+void Controller::refresh_fault_state() {
+  for (auto& [handle, link] : links_) {
+    if (medium_.faults_enabled()) {
+      arm_supervision_timer(link);
+    } else {
+      link.supervision_timer.cancel();
+      // The channel is clean again: flush anything still waiting on an ACK
+      // straight onto the medium, in order. In-flight report callbacks see
+      // the empty queue and stand down.
+      while (!link.tx_queue.empty()) {
+        medium_.send_frame(link.radio_link, this, std::move(link.tx_queue.front()));
+        link.tx_queue.pop_front();
+      }
+      link.tx_busy = false;
+    }
+  }
 }
 
 void Controller::arm_lmp_timer(Link& link) {
@@ -1477,13 +1610,25 @@ void Controller::lmp_timeout(hci::ConnectionHandle handle) {
 void Controller::teardown_link(Link& link, hci::Status reason, bool notify_peer) {
   const hci::ConnectionHandle handle = link.handle;
   const radio::LinkId radio_link = link.radio_link;
-  const bool was_connected =
-      link.state == LinkState::kConnected || link.state == LinkState::kConnecting;
+  const BdAddr peer = link.peer;
+  const LinkState state = link.state;
   link.lmp_timer.cancel();
   link.accept_timer.cancel();
+  link.supervision_timer.cancel();
   links_.erase(handle);
   if (notify_peer) medium_.close_link(radio_link, this, static_cast<std::uint8_t>(reason));
-  if (was_connected) {
+  if (state == LinkState::kConnecting) {
+    // The link died (e.g. LMP response timeout under total loss) before the
+    // host-level connection completed: the host never learned this handle,
+    // so a Disconnection_Complete would be silently dropped and the host's
+    // operation would hang forever. Its Create_Connection failed — say so.
+    hci::ConnectionCompleteEvt evt;
+    evt.status = reason;
+    evt.bdaddr = peer;
+    send_event(evt.encode());
+    return;
+  }
+  if (state == LinkState::kConnected) {
     hci::DisconnectionCompleteEvt evt;
     evt.handle = handle;
     evt.reason = reason;

@@ -52,6 +52,20 @@ struct ControllerConfig {
   /// LMP transactions may span user interaction (pairing popups), so real
   /// controllers allow tens of seconds before giving up on a peer.
   SimTime lmp_response_timeout = 30 * kSecond;
+
+  // ——— Degraded-channel behaviour. These three knobs only ever act while
+  // the radio medium carries an enabled FaultPlan; on a clean channel no
+  // ARQ report or supervision timer is scheduled at all, keeping fault-free
+  // runs byte-identical to a build without the fault layer. ———
+  /// Baseband ARQ: how many retransmissions an unacknowledged frame gets
+  /// before the sender gives up (and the supervision timer decides).
+  unsigned arq_max_retransmissions = 4;
+  /// Delay before the first retransmission; doubles per attempt.
+  SimTime arq_backoff_base = 2 * kSlot;
+  /// Link supervision timeout (spec default 0x7D00 slots = 20 s): if no
+  /// frame is received for this long the link is declared dead and torn
+  /// down with HCI_Disconnection_Complete reason kConnectionTimeout.
+  SimTime supervision_timeout = 20 * kSecond;
 };
 
 class Controller final : public radio::RadioEndpoint {
@@ -85,6 +99,12 @@ class Controller final : public radio::RadioEndpoint {
     obs_ = observer;
     obs_tid_ = observer != nullptr ? observer->device_tid(config_.name) : 0;
   }
+
+  /// Re-sync per-link fault machinery with the medium's current FaultPlan:
+  /// arms supervision timers on live links when faults just came on,
+  /// cancels them when the plan was cleared. Simulation::set_fault_plan
+  /// calls this so a plan installed mid-scenario guards existing links.
+  void refresh_fault_state();
 
  private:
   enum class LinkState : std::uint8_t {
@@ -162,9 +182,16 @@ class Controller final : public radio::RadioEndpoint {
     crypto::Rand128 pending_en_rand{};
     std::uint32_t tx_counter = 0;
     std::uint32_t rx_counter = 0;
+    // In-order ARQ state (used only while faults are enabled). LMP and
+    // encrypted ACL both depend on ordered delivery, so the baseband runs
+    // stop-and-wait: a frame waits here until every frame ahead of it has
+    // been ACKed or abandoned.
+    std::deque<Bytes> tx_queue;
+    bool tx_busy = false;
     // Timers.
     EventHandle lmp_timer;
     EventHandle accept_timer;
+    EventHandle supervision_timer;  // armed only while faults are enabled
     // Open observability spans (0 = none).
     std::uint64_t obs_auth_span = 0;
     std::uint64_t obs_pair_span = 0;
@@ -243,6 +270,15 @@ class Controller final : public radio::RadioEndpoint {
   void arm_lmp_timer(Link& link);
   void disarm_lmp_timer(Link& link);
   void lmp_timeout(hci::ConnectionHandle handle);
+
+  // Baseband ARQ + link supervision (active only under an enabled FaultPlan).
+  void send_baseband(Link& link, Bytes air_frame);
+  void arq_start_next(Link& link);
+  void arq_transmit(hci::ConnectionHandle handle, unsigned attempt);
+  void arq_on_report(hci::ConnectionHandle handle, unsigned attempt,
+                     bool delivered);
+  void arm_supervision_timer(Link& link);
+  void supervision_timeout(hci::ConnectionHandle handle);
 
   // Link management.
   Link* link_by_handle(hci::ConnectionHandle handle);

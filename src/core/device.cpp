@@ -23,6 +23,9 @@ Device::Device(Scheduler& scheduler, radio::RadioMedium& medium, DeviceSpec spec
 
   host::HostConfig host_config = spec_.host;
   host_config.device_name = spec_.name;
+  // A device born into a faulty medium starts with recovery switched on
+  // (matching what Simulation::set_fault_plan does for existing devices).
+  if (medium.faults_enabled()) host_config.fault_recovery = true;
   host_ = std::make_unique<host::HostStack>(scheduler, *transport_, host_config);
   if (observer != nullptr) set_observer(observer);
   host_->power_on();
@@ -56,6 +59,15 @@ Device& Simulation::add_device(DeviceSpec spec) {
   // Let power-on traffic (Reset, Read_BD_ADDR, ...) drain.
   scheduler_.run_for(10 * kMillisecond);
   return *devices_.back();
+}
+
+void Simulation::set_fault_plan(faults::FaultPlan plan) {
+  medium_.set_fault_plan(std::move(plan));
+  const bool enabled = medium_.faults_enabled();
+  for (const auto& device : devices_) {
+    device->controller().refresh_fault_state();
+    device->host().config().fault_recovery = enabled;
+  }
 }
 
 obs::Observer& Simulation::enable_observability(obs::ObsConfig config) {

@@ -91,6 +91,15 @@ class Simulation {
   void run_until_idle() { scheduler_.run_all(); }
   [[nodiscard]] SimTime now() const { return scheduler_.now(); }
 
+  /// Install (or clear, with a default-constructed plan) the fault plan on
+  /// the shared medium and switch every device's recovery machinery
+  /// accordingly: supervision timers are (re)armed on live links and host
+  /// fault recovery (watchdog + pairing retry) follows plan.enabled().
+  /// Devices added later pick the state up at construction. With a disabled
+  /// plan the whole layer is inert and outputs stay byte-identical.
+  void set_fault_plan(faults::FaultPlan plan);
+  [[nodiscard]] const faults::FaultPlan& fault_plan() const { return medium_.fault_plan(); }
+
   /// Turn on tracing and/or metrics for this simulation. Devices added
   /// before and after the call are both wired. Off by default: without
   /// this call every instrumentation site in the stack is a single

@@ -183,7 +183,7 @@ void HostStack::pair(const BdAddr& peer, StatusCallback callback) {
       op.obs_span = obs_->begin_span(scheduler_.now(), obs_tid_, obs::Layer::kHost, "pair_op",
                                      strfmt("target %s", peer.to_string().c_str()));
   }
-  pair_op_ = std::move(op);
+  adopt_pair_op(std::move(op));
 
   // THE CRITICAL GAP BEHAVIOUR (paper §V-B): if an ACL to this BD_ADDR
   // already exists, skip connection establishment and send the pairing
@@ -228,13 +228,13 @@ void HostStack::connect_pan(const BdAddr& peer, BoolCallback callback) {
   Acl* acl = acl_by_peer(peer);
   if (acl != nullptr && (acl->authenticated || acl->encrypted)) {
     op.stage = OpStage::kChannel;
-    pair_op_ = std::move(op);
+    adopt_pair_op(std::move(op));
     start_profile_channel(peer);
     return;
   }
   // Authenticate first (the profile's GAP security requirement).
   op.stage = OpStage::kConnecting;
-  pair_op_ = std::move(op);
+  adopt_pair_op(std::move(op));
   if (acl != nullptr) {
     continue_pair_after_connect(*acl);
   } else {
@@ -256,12 +256,12 @@ void HostStack::pull_phonebook(const BdAddr& peer, PbapProfile::PullCallback cal
   Acl* acl = acl_by_peer(peer);
   if (acl != nullptr && (acl->authenticated || acl->encrypted)) {
     op.stage = OpStage::kChannel;
-    pair_op_ = std::move(op);
+    adopt_pair_op(std::move(op));
     start_profile_channel(peer);
     return;
   }
   op.stage = OpStage::kConnecting;
-  pair_op_ = std::move(op);
+  adopt_pair_op(std::move(op));
   if (acl != nullptr) {
     continue_pair_after_connect(*acl);
   } else {
@@ -284,12 +284,12 @@ void HostStack::read_messages(
   Acl* acl = acl_by_peer(peer);
   if (acl != nullptr && (acl->authenticated || acl->encrypted)) {
     op.stage = OpStage::kChannel;
-    pair_op_ = std::move(op);
+    adopt_pair_op(std::move(op));
     start_profile_channel(peer);
     return;
   }
   op.stage = OpStage::kConnecting;
-  pair_op_ = std::move(op);
+  adopt_pair_op(std::move(op));
   if (acl != nullptr) {
     continue_pair_after_connect(*acl);
   } else {
@@ -331,12 +331,12 @@ void HostStack::connect_hfp(const BdAddr& peer, BoolCallback callback) {
   Acl* acl = acl_by_peer(peer);
   if (acl != nullptr && (acl->authenticated || acl->encrypted)) {
     op.stage = OpStage::kChannel;
-    pair_op_ = std::move(op);
+    adopt_pair_op(std::move(op));
     start_profile_channel(peer);
     return;
   }
   op.stage = OpStage::kConnecting;
-  pair_op_ = std::move(op);
+  adopt_pair_op(std::move(op));
   if (acl != nullptr) {
     continue_pair_after_connect(*acl);
   } else {
@@ -482,7 +482,8 @@ bool HostStack::has_acl(const BdAddr& peer) const {
 std::vector<HostStack::AclInfo> HostStack::acls() const {
   std::vector<AclInfo> out;
   for (const auto& [handle, acl] : acls_)
-    out.push_back(AclInfo{acl.handle, acl.peer, acl.initiator, acl.authenticated, acl.encrypted});
+    out.push_back(AclInfo{acl.handle, acl.peer, acl.initiator, acl.authenticated, acl.encrypted,
+                          acl.degraded});
   return out;
 }
 
@@ -521,6 +522,76 @@ void HostStack::arm_idle_timer(Acl& acl) {
     cmd.reason = hci::Status::kRemoteUserTerminatedConnection;
     send_command(cmd.encode());
   });
+}
+
+// ---------------------------------------------------------------------------
+// Fault recovery
+// ---------------------------------------------------------------------------
+
+void HostStack::adopt_pair_op(PairOp op) {
+  pair_op_ = std::move(op);
+  arm_pair_watchdog();
+}
+
+void HostStack::arm_pair_watchdog() {
+  if (!config_.fault_recovery || !pair_op_) return;
+  pair_op_->watchdog.cancel();
+  const BdAddr peer = pair_op_->peer;
+  pair_op_->watchdog = scheduler_.schedule_in(config_.pair_op_watchdog, [this, peer] {
+    // The op may have completed (or been replaced) since the timer was set.
+    if (!pair_op_ || !(pair_op_->peer == peer)) return;
+    if (obs_ != nullptr) {
+      obs_->count("host.watchdogs_fired");
+      if (obs_->tracing())
+        obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kHost, "pair_watchdog",
+                      strfmt("operation to %s hung, failing with Connection Timeout",
+                             peer.to_string().c_str()));
+    }
+    BLAP_WARN("host", "%s: pair operation to %s hung for %llu us — watchdog teardown",
+              config_.device_name.c_str(), peer.to_string().c_str(),
+              static_cast<unsigned long long>(config_.pair_op_watchdog));
+    mark_degraded(peer, "pair operation hung");
+    finish_pair_op(peer, hci::Status::kConnectionTimeout);
+    // Drop the wedged ACL so a retry (scheduled by finish_pair_op) starts
+    // from a clean page instead of reusing a dead link.
+    if (acl_by_peer(peer) != nullptr) disconnect(peer);
+  });
+}
+
+void HostStack::mark_degraded(const BdAddr& peer, const char* why) {
+  Acl* acl = acl_by_peer(peer);
+  if (acl == nullptr || acl->degraded) return;
+  acl->degraded = true;
+  if (obs_ != nullptr) {
+    obs_->count("host.acls_degraded");
+    if (obs_->tracing())
+      obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kHost, "acl_degraded",
+                    strfmt("%s: %s", peer.to_string().c_str(), why));
+  }
+  BLAP_INFO("host", "%s: ACL to %s degraded (%s)", config_.device_name.c_str(),
+            peer.to_string().c_str(), why);
+}
+
+void HostStack::retry_pair_op(PairOp op) {
+  if (pair_op_) {
+    // Another operation claimed the slot during the backoff; surface the
+    // original failure instead of queueing behind it.
+    dispatch_pair_result(std::move(op), hci::Status::kConnectionTimeout);
+    return;
+  }
+  if (op.profile == ProfileTarget::kMap) map_read_.reset();  // stale read state
+  const BdAddr peer = op.peer;
+  op.stage = OpStage::kConnecting;
+  adopt_pair_op(std::move(op));
+  BLAP_INFO("host", "%s: retrying pair operation to %s", config_.device_name.c_str(),
+            peer.to_string().c_str());
+  if (Acl* acl = acl_by_peer(peer)) {
+    continue_pair_after_connect(*acl);
+  } else {
+    hci::CreateConnectionCmd cmd;
+    cmd.bdaddr = peer;
+    send_command(cmd.encode());
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -658,6 +729,14 @@ void HostStack::on_command_complete(const hci::CommandCompleteEvt& evt) {
 }
 
 void HostStack::on_connection_request(const hci::ConnectionRequestEvt& evt) {
+  if (hooks_.ignore_connection_request) {
+    // Wedged host: neither accept nor reject. The controller's
+    // connection-accept timer owns the half-open link from here.
+    if (obs_ != nullptr) obs_->count("host.connection_requests_ignored");
+    BLAP_INFO("host", "%s: IGNORING HCI_Connection_Request from %s (fault hook)",
+              config_.device_name.c_str(), evt.bdaddr.to_string().c_str());
+    return;
+  }
   if (!config_.auto_accept_connections) {
     hci::RejectConnectionRequestCmd cmd;
     cmd.bdaddr = evt.bdaddr;
@@ -916,6 +995,34 @@ void HostStack::finish_pair_op(const BdAddr& peer, hci::Status status) {
   if (!pair_op_ || !(pair_op_->peer == peer)) return;
   PairOp op = std::move(*pair_op_);
   pair_op_.reset();
+  op.watchdog.cancel();
+  if (status == hci::Status::kSuccess) {
+    security_.note_pairing_success(peer);
+  } else if (config_.fault_recovery) {
+    if (auto backoff = security_.note_pairing_failure(peer, status)) {
+      // Transient channel failure with retry budget left: re-run the whole
+      // operation after an exponential backoff instead of surfacing the
+      // error. The caller's callback fires once, with the final outcome.
+      if (obs_ != nullptr) {
+        obs_->count("host.pairing_retries");
+        if (obs_->tracing())
+          obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kHost, "pair_retry",
+                        strfmt("%s after %s, backoff %llu us", peer.to_string().c_str(),
+                               to_string(status), static_cast<unsigned long long>(*backoff)));
+      }
+      mark_degraded(peer, to_string(status));
+      // The op travels by value; retry_pair_op re-validates the pair_op_
+      // slot when the backoff fires.
+      scheduler_.schedule_in(*backoff, [this, op = std::move(op)]() mutable {
+        retry_pair_op(std::move(op));
+      });
+      return;
+    }
+  }
+  dispatch_pair_result(std::move(op), status);
+}
+
+void HostStack::dispatch_pair_result(PairOp op, hci::Status status) {
   if (obs_ != nullptr && op.obs_span != 0)
     obs_->end_span(scheduler_.now(), op.obs_span, to_string(status));
   switch (op.profile) {

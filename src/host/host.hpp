@@ -70,12 +70,25 @@ struct HostConfig {
   /// falls back to the legacy PIN procedure (either side lacking SSP
   /// downgrades the pair of them).
   bool simple_pairing = true;
+  /// Fault-recovery master switch (set by Simulation::set_fault_plan). While
+  /// off — the default — the host schedules no watchdog events and never
+  /// retries, so a fault-free run is byte-identical to a pre-fault-layer one.
+  bool fault_recovery = false;
+  /// Watchdog over an in-flight pair/profile operation: if it neither
+  /// completes nor fails within this window the host fails it with
+  /// Connection Timeout and drops the wedged ACL, instead of hanging forever
+  /// on an HCI exchange whose reply was lost.
+  SimTime pair_op_watchdog = 90 * kSecond;
 };
 
 /// Host-stack manipulation points used by the attacks (paper Figs. 9 & 13).
 struct AttackHooks {
   bool ignore_link_key_request = false;
   SimTime ploc_delay = 0;
+  /// Wedged-host model: neither accept nor reject inbound connection
+  /// requests, leaving the half-open baseband link to the controller's
+  /// connection-accept timer. Exercises the timeout/recovery path.
+  bool ignore_connection_request = false;
 };
 
 /// Simulated human in front of the device. The default accepts every popup —
@@ -126,6 +139,9 @@ class HostStack {
     bool initiator = false;
     bool authenticated = false;
     bool encrypted = false;
+    /// The link survived but an operation over it failed or hung (fault
+    /// recovery kicked in). Callers can treat it as best-effort.
+    bool degraded = false;
   };
 
   HostStack(Scheduler& scheduler, transport::HciTransport& transport, HostConfig config);
@@ -256,6 +272,7 @@ class HostStack {
     PbapProfile::PullCallback pbap_callback;
     BoolCallback hfp_callback;
     std::function<void(std::optional<std::vector<std::string>>)> map_callback;
+    EventHandle watchdog;  // armed only when fault_recovery is on
   };
 
   struct Acl {
@@ -266,6 +283,7 @@ class HostStack {
     bool encrypted = false;
     hci::IoCapability peer_io = hci::IoCapability::kDisplayYesNo;
     bool is_pairing_initiator = false;  // we sent Authentication_Requested
+    bool degraded = false;              // see AclInfo::degraded
     SimTime last_activity = 0;
     EventHandle idle_timer;
   };
@@ -301,6 +319,14 @@ class HostStack {
   void start_profile_channel(const BdAddr& peer);
   void touch(Acl& acl);
   void arm_idle_timer(Acl& acl);
+
+  // Fault-recovery helpers. While config_.fault_recovery is off the watchdog
+  // is never armed and no retry is ever scheduled.
+  void adopt_pair_op(PairOp op);
+  void arm_pair_watchdog();
+  void retry_pair_op(PairOp op);
+  void dispatch_pair_result(PairOp op, hci::Status status);
+  void mark_degraded(const BdAddr& peer, const char* why);
 
   Acl* acl_by_peer(const BdAddr& peer);
   Acl* acl_by_handle(hci::ConnectionHandle handle);

@@ -40,6 +40,42 @@ bool SecurityManager::on_authentication_result(const BdAddr& address, hci::Statu
   return false;
 }
 
+bool SecurityManager::is_transient_failure(hci::Status status) {
+  // The timeout family: the channel (or the peer's channel) failed us, not
+  // the cryptography. Everything else is treated as permanent.
+  return status == hci::Status::kPageTimeout ||
+         status == hci::Status::kConnectionTimeout ||
+         status == hci::Status::kConnectionAcceptTimeout ||
+         status == hci::Status::kLmpResponseTimeout;
+}
+
+std::optional<SimTime> SecurityManager::note_pairing_failure(const BdAddr& address,
+                                                             hci::Status status) {
+  if (!is_transient_failure(status)) {
+    failed_attempts_.erase(address);
+    return std::nullopt;
+  }
+  unsigned& attempts = failed_attempts_[address];
+  ++attempts;
+  if (attempts >= retry_policy_.max_attempts) {
+    // Budget spent: surface the error and reset, so a later user-initiated
+    // operation gets a fresh budget instead of failing instantly forever.
+    failed_attempts_.erase(address);
+    return std::nullopt;
+  }
+  // Exponential backoff: 1x, 2x, 4x ... of the initial backoff.
+  return retry_policy_.initial_backoff << (attempts - 1);
+}
+
+void SecurityManager::note_pairing_success(const BdAddr& address) {
+  failed_attempts_.erase(address);
+}
+
+unsigned SecurityManager::pairing_attempts(const BdAddr& address) const {
+  auto it = failed_attempts_.find(address);
+  return it == failed_attempts_.end() ? 0 : it->second;
+}
+
 std::string SecurityManager::to_bt_config() const {
   // Sequential append (rather than operator+ chains) sidesteps GCC 12's
   // -Wrestrict false positive on temporary-string concatenation (PR 105329).

@@ -19,11 +19,20 @@
 #include <vector>
 
 #include "common/bdaddr.hpp"
+#include "common/scheduler.hpp"
 #include "common/uuid.hpp"
 #include "crypto/keys.hpp"
 #include "hci/constants.hpp"
 
 namespace blap::host {
+
+/// How the host retries a pairing that failed for *channel* reasons (the
+/// fault-injection layer's timeouts), as opposed to cryptographic ones.
+/// Backoff doubles per attempt: initial_backoff, 2x, 4x, ...
+struct RetryPolicy {
+  unsigned max_attempts = 3;          // total tries, including the first
+  SimTime initial_backoff = kSecond;  // wait before the first retry
+};
 
 struct BondRecord {
   BdAddr address;
@@ -51,6 +60,28 @@ class SecurityManager {
   /// Returns true if the bond was purged.
   bool on_authentication_result(const BdAddr& address, hci::Status status);
 
+  // --- pairing retry policy (fault-recovery path) ---------------------------
+
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// True when `status` is transient channel trouble (a timeout family code)
+  /// rather than a cryptographic or policy failure. Only transient failures
+  /// are worth retrying — retrying kAuthenticationFailure would hammer a peer
+  /// that rejected us on purpose.
+  [[nodiscard]] static bool is_transient_failure(hci::Status status);
+
+  /// Record a failed pairing attempt toward a peer. Returns the backoff to
+  /// wait before the next attempt, or nullopt when the failure is permanent
+  /// or the attempt budget is spent (the caller should surface the error).
+  [[nodiscard]] std::optional<SimTime> note_pairing_failure(const BdAddr& address,
+                                                            hci::Status status);
+
+  /// A successful pairing resets the peer's failure counter.
+  void note_pairing_success(const BdAddr& address);
+
+  [[nodiscard]] unsigned pairing_attempts(const BdAddr& address) const;
+
   /// Serialize in bt_config.conf format (paper Fig. 10):
   ///   [aa:bb:cc:dd:ee:ff]
   ///   Name = VELVET
@@ -65,6 +96,10 @@ class SecurityManager {
 
  private:
   std::map<BdAddr, BondRecord> bonds_;
+  RetryPolicy retry_policy_;
+  // Consecutive transient pairing failures per peer (ordered for the same
+  // determinism reason as bonds_).
+  std::map<BdAddr, unsigned> failed_attempts_;
 };
 
 }  // namespace blap::host

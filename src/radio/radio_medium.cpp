@@ -17,7 +17,7 @@ void RadioMedium::detach(RadioEndpoint* endpoint) {
   std::vector<LinkId> doomed;
   for (const auto& [id, link] : links_)
     if (link.a == endpoint || link.b == endpoint) doomed.push_back(id);
-  for (LinkId id : doomed) close_link(id, endpoint, 0x08 /* connection timeout */);
+  for (LinkId id : doomed) close_link(id, endpoint, close_reason::kConnectionTimeout);
 }
 
 void RadioMedium::start_inquiry(RadioEndpoint* requester, SimTime duration,
@@ -108,7 +108,12 @@ void RadioMedium::page(RadioEndpoint* initiator, const BdAddr& target, SimTime t
       if (on_result) on_result(std::nullopt);
       return;
     }
-    links_[id] = Link{initiator, responder};
+    Link link;
+    link.a = initiator;
+    link.b = responder;
+    if (fault_plan_.enabled())
+      link.channel = std::make_unique<faults::ChannelModel>(fault_plan_, id);
+    links_[id] = std::move(link);
     if (obs_ != nullptr) {
       obs_->count("radio.links_up");
       obs_->instant(scheduler_.now(), obs_->device_tid(responder->radio_name()),
@@ -125,7 +130,8 @@ void RadioMedium::page(RadioEndpoint* initiator, const BdAddr& target, SimTime t
   });
 }
 
-void RadioMedium::send_frame(LinkId link, RadioEndpoint* sender, Bytes frame) {
+void RadioMedium::send_frame(LinkId link, RadioEndpoint* sender, Bytes frame,
+                             TxReport on_report) {
   auto it = links_.find(link);
   if (it == links_.end()) return;
   RadioEndpoint* receiver = (it->second.a == sender) ? it->second.b : it->second.a;
@@ -133,6 +139,10 @@ void RadioMedium::send_frame(LinkId link, RadioEndpoint* sender, Bytes frame) {
     obs_->count("radio.frames");
     obs_->observe("radio.frame_bytes", frame.size());
   }
+  // The sniffer sees the frame as transmitted. Modelling an *ideal* capture
+  // device (it hears what the sender put on the air, before channel damage)
+  // keeps retroactive-decryption experiments meaningful under loss — and
+  // keeps capture bytes identical to a fault-free run for the same traffic.
   if (!sniffers_.empty()) {
     SniffedFrame sniffed;
     sniffed.timestamp_us = scheduler_.now();
@@ -142,14 +152,40 @@ void RadioMedium::send_frame(LinkId link, RadioEndpoint* sender, Bytes frame) {
     sniffed.frame = frame;
     for (const auto& sniffer : sniffers_) sniffer(sniffed);
   }
-  // blap-lint: handle-ok — link liveness + membership re-checked at fire time
-  scheduler_.schedule_in(frame_latency_, [this, link, receiver, frame = std::move(frame)] {
-    // The link may have died while the frame was in flight.
-    auto it2 = links_.find(link);
-    if (it2 == links_.end()) return;
-    if (it2->second.a != receiver && it2->second.b != receiver) return;
-    receiver->on_air_frame(link, frame);
-  });
+
+  // Channel verdict. Without a fault plan there is no ChannelModel: no Rng
+  // draw, no branch below taken — the frame behaves exactly as it always has.
+  auto verdict = faults::FaultVerdict::kDeliver;
+  if (it->second.channel != nullptr) {
+    verdict = it->second.channel->judge(scheduler_.now());
+    if (verdict == faults::FaultVerdict::kCorrupt) it->second.channel->corrupt(frame);
+    if (obs_ != nullptr && verdict != faults::FaultVerdict::kDeliver)
+      obs_->count(strfmt("radio.faults.%s", faults::to_string(verdict)));
+  }
+  // Residual corruption escapes the CRC: the damaged frame is delivered and
+  // the baseband ACKs it. Only outright drops count as undelivered.
+  const bool delivered = verdict == faults::FaultVerdict::kDeliver ||
+                         verdict == faults::FaultVerdict::kCorrupt;
+
+  if (delivered) {
+    // blap-lint: handle-ok — link liveness + membership re-checked at fire time
+    scheduler_.schedule_in(frame_latency_, [this, link, receiver, frame = std::move(frame)] {
+      // The link may have died while the frame was in flight.
+      auto it2 = links_.find(link);
+      if (it2 == links_.end()) return;
+      if (it2->second.a != receiver && it2->second.b != receiver) return;
+      receiver->on_air_frame(link, frame);
+    });
+  }
+  if (on_report) {
+    // ACK/NAK lands after one TDD round trip (frame slot + return slot).
+    // blap-lint: handle-ok — sender attachment re-verified at fire time
+    scheduler_.schedule_in(2 * frame_latency_,
+                           [this, sender, delivered, on_report = std::move(on_report)] {
+                             if (!attached(sender)) return;
+                             on_report(delivered);
+                           });
+  }
 }
 
 void RadioMedium::close_link(LinkId link, RadioEndpoint* closer, std::uint8_t reason) {
@@ -180,6 +216,27 @@ RadioEndpoint* RadioMedium::peer_of(LinkId link, const RadioEndpoint* self) cons
   if (it->second.a == self) return it->second.b;
   if (it->second.b == self) return it->second.a;
   return nullptr;
+}
+
+std::optional<LinkId> RadioMedium::link_between(const BdAddr& x, const BdAddr& y) const {
+  // links_ is ordered, so the lowest link id wins deterministically when a
+  // spoofing scenario creates several links over the same address pair.
+  for (const auto& [id, link] : links_) {
+    const BdAddr a = link.a->radio_address();
+    const BdAddr b = link.b->radio_address();
+    if ((a == x && b == y) || (a == y && b == x)) return id;
+  }
+  return std::nullopt;
+}
+
+void RadioMedium::set_fault_plan(faults::FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+  // Rebuild per-link channel state so a plan installed mid-scenario (e.g.
+  // "the jammer arrives after pairing") applies to live links too.
+  for (auto& [id, link] : links_)
+    link.channel = fault_plan_.enabled()
+                       ? std::make_unique<faults::ChannelModel>(fault_plan_, id)
+                       : nullptr;
 }
 
 }  // namespace blap::radio

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,11 +33,23 @@
 #include "common/bdaddr.hpp"
 #include "common/rng.hpp"
 #include "common/scheduler.hpp"
+#include "faults/fault_plan.hpp"
 #include "obs/obs.hpp"
 
 namespace blap::radio {
 
 using LinkId = std::uint64_t;
+
+/// On-air link-detach reason codes. The baseband carries the same numeric
+/// space as the HCI error codes (the LMP_detach PDU literally transports an
+/// HCI error code), so these are aliases for the values every layer agrees
+/// on — never pass a bare 0 (kSuccess), which carries no teardown cause.
+namespace close_reason {
+/// Supervision timeout / endpoint vanished mid-link (powered off, jammed).
+inline constexpr std::uint8_t kConnectionTimeout = 0x08;
+/// The remote user (or host policy) terminated the connection.
+inline constexpr std::uint8_t kRemoteUserTerminated = 0x13;
+}  // namespace close_reason
 
 struct InquiryResponse {
   BdAddr address;
@@ -100,10 +113,23 @@ class RadioMedium {
   void page(RadioEndpoint* initiator, const BdAddr& target, SimTime timeout,
             std::function<void(std::optional<LinkId>)> on_result);
 
-  /// Send an opaque frame to the peer of `link`. No-op if the link is gone.
-  void send_frame(LinkId link, RadioEndpoint* sender, Bytes frame);
+  /// Baseband delivery report: fired once per send_frame() that requested
+  /// it, after one TDD round trip, with whether the frame survived the
+  /// channel. Models the baseband ACK/NAK the controller's ARQ rides on.
+  /// The report itself is reliable (ACK loss is not modelled).
+  using TxReport = std::function<void(bool delivered)>;
 
-  /// Tear a link down; the peer gets on_link_closed(reason).
+  /// Send an opaque frame to the peer of `link`. No-op if the link is gone.
+  /// When a FaultPlan is active, the link's ChannelModel may drop or corrupt
+  /// the frame; pass `on_report` to learn the outcome (only delivered/lost —
+  /// residual corruption passes CRC and reports as delivered). With no
+  /// fault plan every frame is delivered and no report event is scheduled
+  /// unless one was requested.
+  void send_frame(LinkId link, RadioEndpoint* sender, Bytes frame,
+                  TxReport on_report = nullptr);
+
+  /// Tear a link down; the peer gets on_link_closed(reason). `reason` is an
+  /// HCI error code (see close_reason:: for the common values) — never 0.
   void close_link(LinkId link, RadioEndpoint* closer, std::uint8_t reason);
 
   [[nodiscard]] bool link_alive(LinkId link) const { return links_.contains(link); }
@@ -111,8 +137,22 @@ class RadioMedium {
   /// Peer endpoint of `link` from `self`'s perspective (nullptr if gone).
   [[nodiscard]] RadioEndpoint* peer_of(LinkId link, const RadioEndpoint* self) const;
 
+  /// The live link between the endpoints owning these two addresses, if any
+  /// (lowest link id wins when duplicates exist). Lets tests and tools find
+  /// a connection without assuming "the first link in a fresh simulation
+  /// has id 1".
+  [[nodiscard]] std::optional<LinkId> link_between(const BdAddr& x, const BdAddr& y) const;
+
   /// Air latency applied to each frame (one-way).
   void set_frame_latency(SimTime latency) { frame_latency_ = latency; }
+
+  /// Install (or clear, with a default-constructed plan) the fault plan.
+  /// Takes effect immediately: channel models are (re)built for every live
+  /// link. With a disabled plan the medium never consults a ChannelModel or
+  /// its Rng, so outputs are byte-identical to a plan-free run.
+  void set_fault_plan(faults::FaultPlan plan);
+  [[nodiscard]] bool faults_enabled() const { return fault_plan_.enabled(); }
+  [[nodiscard]] const faults::FaultPlan& fault_plan() const { return fault_plan_; }
 
   /// Attach (or clear) the simulation's observer. The medium records
   /// inquiry windows, the per-candidate paging-race spans that decide the
@@ -132,6 +172,8 @@ class RadioMedium {
   struct Link {
     RadioEndpoint* a = nullptr;  // initiator
     RadioEndpoint* b = nullptr;  // responder
+    /// Per-link fault state; null whenever the fault plan is disabled.
+    std::unique_ptr<faults::ChannelModel> channel;
   };
 
   /// True while `endpoint` is attached. Delayed callbacks that captured a
@@ -150,6 +192,7 @@ class RadioMedium {
   std::map<LinkId, Link> links_;
   LinkId next_link_id_ = 1;
   SimTime frame_latency_ = 2 * kSlot;  // ~1.25 ms: one TDD round trip
+  faults::FaultPlan fault_plan_;       // default: disabled
 };
 
 }  // namespace blap::radio

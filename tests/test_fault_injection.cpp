@@ -1,0 +1,271 @@
+// Fault-injection layer: lossy/bursty/jammed channels, baseband ARQ,
+// supervision teardown and host-side recovery. The overarching contracts:
+//
+//   * a default (disabled) FaultPlan leaves every output byte-identical to a
+//     build that never heard of the fault layer;
+//   * every timeout tears the stack down *cleanly* — explicit reason codes,
+//     no dangling ops — and both stacks stay reusable afterwards.
+#include <gtest/gtest.h>
+
+#include "core/device.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace blap::core {
+namespace {
+
+DeviceSpec phone_spec(const std::string& name, const std::string& addr) {
+  DeviceSpec spec;
+  spec.name = name;
+  spec.address = *BdAddr::parse(addr);
+  spec.class_of_device = ClassOfDevice(ClassOfDevice::kMobilePhone);
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// ChannelModel unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, DefaultPlanIsDisabled) {
+  faults::FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.loss = 0.1;
+  EXPECT_TRUE(plan.enabled());
+  plan = {};
+  plan.jam_windows.push_back({kSecond, 2 * kSecond});
+  EXPECT_TRUE(plan.enabled());
+  plan = {};
+  plan.burst_enabled = true;
+  EXPECT_TRUE(plan.enabled());
+  plan = {};
+  plan.corruption = 0.01;
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(ChannelModel, VerdictSequenceIsDeterministicPerSeedAndLink) {
+  faults::FaultPlan plan;
+  plan.seed = 7;
+  plan.loss = 0.3;
+  plan.corruption = 0.1;
+  faults::ChannelModel x(plan, 1);
+  faults::ChannelModel y(plan, 1);
+  faults::ChannelModel other_link(plan, 2);
+  bool any_difference = false;
+  for (int i = 0; i < 256; ++i) {
+    const auto vx = x.judge(static_cast<SimTime>(i) * kSlot);
+    const auto vy = y.judge(static_cast<SimTime>(i) * kSlot);
+    EXPECT_EQ(vx, vy) << "same plan + link id must replay identically";
+    if (other_link.judge(static_cast<SimTime>(i) * kSlot) != vx) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference) << "distinct links must draw from distinct streams";
+}
+
+TEST(ChannelModel, JamWindowDropsEverythingInsideAndNothingOutside) {
+  faults::FaultPlan plan;
+  plan.seed = 3;
+  plan.jam_windows.push_back({10 * kSecond, 20 * kSecond});
+  faults::ChannelModel channel(plan, 1);
+  EXPECT_EQ(channel.judge(9 * kSecond), faults::FaultVerdict::kDeliver);
+  EXPECT_EQ(channel.judge(10 * kSecond), faults::FaultVerdict::kDropJam);
+  EXPECT_EQ(channel.judge(19 * kSecond), faults::FaultVerdict::kDropJam);
+  EXPECT_EQ(channel.judge(20 * kSecond), faults::FaultVerdict::kDeliver);  // [begin, end)
+}
+
+TEST(ChannelModel, CorruptionFlipsBytesButKeepsLength) {
+  faults::FaultPlan plan;
+  plan.seed = 11;
+  plan.corruption = 1.0;
+  faults::ChannelModel channel(plan, 1);
+  Bytes frame(16, 0xAA);
+  const Bytes original = frame;
+  ASSERT_EQ(channel.judge(0), faults::FaultVerdict::kCorrupt);
+  channel.corrupt(frame);
+  EXPECT_EQ(frame.size(), original.size());
+  EXPECT_NE(frame, original);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end recovery scenarios
+// ---------------------------------------------------------------------------
+
+class FaultRecovery : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim = std::make_unique<Simulation>(42);
+    a = &sim->add_device(phone_spec("phone-A", "48:90:00:00:00:01"));
+    b = &sim->add_device(phone_spec("phone-B", "00:1b:00:00:00:02"));
+  }
+
+  hci::Status pair(Device& initiator, Device& responder, int max_steps = 3000) {
+    hci::Status result = hci::Status::kPageTimeout;
+    bool done = false;
+    initiator.host().pair(responder.address(), [&](hci::Status status) {
+      result = status;
+      done = true;
+    });
+    for (int i = 0; i < max_steps && !done; ++i) sim->run_for(100 * kMillisecond);
+    EXPECT_TRUE(done) << "pairing never completed";
+    return result;
+  }
+
+  std::unique_ptr<Simulation> sim;
+  Device* a = nullptr;
+  Device* b = nullptr;
+};
+
+TEST_F(FaultRecovery, PairingSurvivesModerateLossThroughArq) {
+  auto& obs = sim->enable_observability({.tracing = false, .metrics = true});
+  faults::FaultPlan plan;
+  plan.seed = 5;
+  plan.loss = 0.25;
+  sim->set_fault_plan(plan);
+
+  EXPECT_EQ(pair(*a, *b), hci::Status::kSuccess);
+  EXPECT_TRUE(a->host().security().is_bonded(b->address()));
+  EXPECT_TRUE(b->host().security().is_bonded(a->address()));
+  // The channel really did bite, and the ARQ really did repair it.
+  const auto snapshot = obs.snapshot();
+  EXPECT_GE(snapshot.counters.at("radio.faults.loss"), 1u);
+  EXPECT_GE(snapshot.counters.at("arq.retransmissions"), 1u);
+}
+
+TEST_F(FaultRecovery, LmpResponseTimeoutMidPairingTearsDownCleanly) {
+  // Raise supervision above the 30 s LMP response timeout so the LMP timer
+  // is what fires, push the host's idle-ACL reaper out of the way, and
+  // disable host retries so the raw reason surfaces. (Devices were already
+  // built, so rebuild the simulation with tweaked specs.)
+  sim = std::make_unique<Simulation>(43);
+  DeviceSpec sa = phone_spec("phone-A", "48:90:00:00:00:01");
+  DeviceSpec sb = phone_spec("phone-B", "00:1b:00:00:00:02");
+  sa.controller.supervision_timeout = 60 * kSecond;
+  sb.controller.supervision_timeout = 60 * kSecond;
+  sa.host.acl_idle_timeout = 600 * kSecond;
+  sb.host.acl_idle_timeout = 600 * kSecond;
+  a = &sim->add_device(sa);
+  b = &sim->add_device(sb);
+  a->host().security().set_retry_policy({.max_attempts = 1, .initial_backoff = kSecond});
+
+  hci::Status result = hci::Status::kSuccess;
+  bool done = false;
+  a->host().pair(b->address(), [&](hci::Status status) {
+    result = status;
+    done = true;
+  });
+  // Let the ACL come up and the LMP authentication get in flight, then kill
+  // the channel mid-pairing so the 30 s LMP response timer is what trips.
+  for (int i = 0; i < 500 && !a->host().has_acl(b->address()); ++i)
+    sim->run_for(10 * kMillisecond);
+  ASSERT_TRUE(a->host().has_acl(b->address()));
+  ASSERT_FALSE(done) << "pairing finished before the fault landed";
+  faults::FaultPlan blackout;
+  blackout.seed = 9;
+  blackout.loss = 1.0;
+  sim->set_fault_plan(blackout);
+
+  for (int i = 0; i < 1200 && !done; ++i) sim->run_for(100 * kMillisecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result, hci::Status::kLmpResponseTimeout);
+  // Clean teardown: no half-open op, no surviving ACL on either side.
+  sim->run_for(5 * kSecond);
+  EXPECT_FALSE(a->host().has_acl(b->address()));
+  EXPECT_FALSE(b->host().has_acl(a->address()));
+
+  // Heal the channel: both stacks are reusable and the pairing now lands.
+  sim->set_fault_plan({});
+  EXPECT_EQ(pair(*a, *b), hci::Status::kSuccess);
+}
+
+TEST_F(FaultRecovery, ConnectionAcceptTimeoutWhenHostIgnoresRequest) {
+  b->host().hooks().ignore_connection_request = true;
+
+  hci::Status result = hci::Status::kSuccess;
+  bool done = false;
+  a->host().connect_only(b->address(), [&](hci::Status status) {
+    result = status;
+    done = true;
+  });
+  for (int i = 0; i < 200 && !done; ++i) sim->run_for(100 * kMillisecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result, hci::Status::kConnectionAcceptTimeout);
+  EXPECT_FALSE(a->host().has_acl(b->address()));
+  EXPECT_FALSE(b->host().has_acl(a->address()));
+
+  // Un-wedge the host: the same pair of stacks connects fine.
+  b->host().hooks().ignore_connection_request = false;
+  EXPECT_EQ(pair(*a, *b), hci::Status::kSuccess);
+}
+
+TEST_F(FaultRecovery, SupervisionTimeoutTearsDownUnderTotalLoss) {
+  // The host reaps idle ACLs after 15 s, which would beat the 20 s
+  // supervision timer to the kill — push it out so the baseband verdict
+  // is the one under test.
+  sim = std::make_unique<Simulation>(42);
+  DeviceSpec sa = phone_spec("phone-A", "48:90:00:00:00:01");
+  DeviceSpec sb = phone_spec("phone-B", "00:1b:00:00:00:02");
+  sa.host.acl_idle_timeout = 600 * kSecond;
+  sb.host.acl_idle_timeout = 600 * kSecond;
+  auto& obs = sim->enable_observability({.tracing = false, .metrics = true});
+  a = &sim->add_device(sa);
+  b = &sim->add_device(sb);
+  ASSERT_EQ(pair(*a, *b), hci::Status::kSuccess);
+  ASSERT_TRUE(a->host().has_acl(b->address()));
+
+  // The jammer arrives after pairing: 100 % loss on the live link. Nothing
+  // gets through, so both supervision timers expire and each side reports
+  // HCI_Disconnection_Complete with Connection Timeout — not a failure code
+  // that would purge the bond.
+  faults::FaultPlan blackout;
+  blackout.seed = 17;
+  blackout.loss = 1.0;
+  sim->set_fault_plan(blackout);
+  sim->run_for(30 * kSecond);
+
+  EXPECT_FALSE(a->host().has_acl(b->address()));
+  EXPECT_FALSE(b->host().has_acl(a->address()));
+  EXPECT_TRUE(a->host().security().is_bonded(b->address()));
+  EXPECT_TRUE(b->host().security().is_bonded(a->address()));
+  EXPECT_GE(obs.snapshot().counters.at("controller.supervision_timeouts"), 1u);
+
+  // Heal and re-pair over the stored bond: both stacks stayed reusable.
+  sim->set_fault_plan({});
+  EXPECT_EQ(pair(*a, *b), hci::Status::kSuccess);
+}
+
+TEST_F(FaultRecovery, HostRetriesPairingAfterJamWindowHeals) {
+  auto& obs = sim->enable_observability({.tracing = false, .metrics = true});
+  // Jam the first ~25 s of air time. The first pairing attempt dies on a
+  // timeout; the host's retry-with-backoff lands once the jam lifts.
+  faults::FaultPlan plan;
+  plan.seed = 23;
+  plan.jam_windows.push_back({0, 25 * kSecond});
+  sim->set_fault_plan(plan);
+
+  EXPECT_EQ(pair(*a, *b), hci::Status::kSuccess);
+  EXPECT_GE(obs.snapshot().counters.at("host.pairing_retries"), 1u);
+  EXPECT_TRUE(a->host().security().is_bonded(b->address()));
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity of the disabled plan
+// ---------------------------------------------------------------------------
+
+TEST(FaultFreeIdentity, DisabledPlanLeavesMetricsByteIdentical) {
+  // Same scenario twice: once never touching the fault API, once installing
+  // a default-constructed FaultPlan. Metrics fold in event counts and queue
+  // depths, so any stray scheduled event would show up here.
+  auto run = [](bool install_empty_plan) {
+    Simulation sim(77);
+    auto& obs = sim.enable_observability({.tracing = false, .metrics = true});
+    if (install_empty_plan) sim.set_fault_plan(faults::FaultPlan{});
+    Device& a = sim.add_device(phone_spec("phone-A", "48:90:00:00:00:01"));
+    Device& b = sim.add_device(phone_spec("phone-B", "00:1b:00:00:00:02"));
+    bool done = false;
+    a.host().pair(b.address(), [&](hci::Status) { done = true; });
+    for (int i = 0; i < 400 && !done; ++i) sim.run_for(100 * kMillisecond);
+    EXPECT_TRUE(done);
+    return obs.snapshot().to_json();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace blap::core

@@ -33,12 +33,14 @@ TEST_P(RobustnessFuzz, RandomAirFramesDoNotCrashConnectedStacks) {
   sim.run_for(5 * kSecond);
   ASSERT_TRUE(connected);
 
-  // Inject garbage frames on the live link from both sides. The radio link
-  // id of the first connection in a fresh simulation is 1.
+  // Inject garbage frames on the live link from both sides, looked up by
+  // address pair rather than assuming anything about link-id assignment.
+  const auto link = sim.medium().link_between(a.address(), b.address());
+  ASSERT_TRUE(link.has_value());
   for (int i = 0; i < 50; ++i) {
     Bytes garbage = fuzz.buffer(fuzz.uniform(40));
-    sim.medium().send_frame(1, &a.controller(), garbage);
-    sim.medium().send_frame(1, &b.controller(), fuzz.buffer(1 + fuzz.uniform(3)));
+    sim.medium().send_frame(*link, &a.controller(), garbage);
+    sim.medium().send_frame(*link, &b.controller(), fuzz.buffer(1 + fuzz.uniform(3)));
     sim.run_for(10 * kMillisecond);
   }
   sim.run_for(kSecond);
