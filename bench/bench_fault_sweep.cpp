@@ -10,12 +10,14 @@
 //
 // Env: BLAP_TRIALS (default 100/cell), BLAP_JOBS (worker count; aggregates
 // are bit-identical for any value), BLAP_JSON=<path> (dump per-cell JSON,
-// per-trial rows included).
+// per-trial rows included), BLAP_SNAPSHOT_FORK=1 (fork each trial from a
+// warm snapshot instead of rebuilding; byte-identical output, CI-diffed).
 #include "bench_util.hpp"
 
 #include <fstream>
 
 #include "faults/fault_plan.hpp"
+#include "snapshot/fork_campaign.hpp"
 
 int main() {
   using namespace blap;
@@ -25,7 +27,18 @@ int main() {
   const double loss_grid[] = {0.0, 0.05, 0.15, 0.35};
   // Same victim the extraction scenarios use; the sweep is about the
   // channel, not the victim profile.
-  const auto& profile = core::table2_profiles()[5];
+  constexpr std::size_t kProfileIndex = 5;
+  const auto& profile = core::table2_profiles()[kProfileIndex];
+  const bool fork_mode = snapshot::fork_mode_enabled();
+  if (fork_mode) std::fprintf(stderr, "[campaign] snapshot-fork mode\n");
+
+  snapshot::ScenarioParams params;
+  params.kind = snapshot::ScenarioParams::Kind::kAbc;
+  params.table = snapshot::ProfileTable::kTable2;
+  params.profile_index = kProfileIndex;
+  params.accessory_transport = core::TransportKind::kUart;
+  params.accessory_has_dump = true;
+  params.baseline_bias = profile.baseline_mitm_success;
 
   banner("FAULT SWEEP — page-blocking MITM success vs channel loss");
   std::printf("%-8s | %-9s | %-10s | %-12s | %-12s | %-12s\n", "loss", "success",
@@ -50,9 +63,7 @@ int main() {
     cfg.root_seed = root;
     root += 1'000'000;
 
-    const auto summary = campaign::run_campaign(cfg, [&](const campaign::TrialSpec& spec) {
-      Scenario s = make_scenario(spec.seed, profile, core::TransportKind::kUart, true,
-                                 profile.baseline_mitm_success);
+    const auto trial_body = [&](const campaign::TrialSpec& spec, Scenario& s) {
       auto& obs = s.sim->enable_observability({.tracing = false, .metrics = true});
       if (loss > 0.0) {
         faults::FaultPlan plan;
@@ -67,7 +78,13 @@ int main() {
       r.virtual_end = s.sim->now();
       r.metrics = std::make_shared<obs::MetricsSnapshot>(obs.snapshot());
       return r;
-    });
+    };
+    const auto summary =
+        fork_mode ? snapshot::run_fork_campaign(cfg, params, trial_body)
+                  : campaign::run_campaign(cfg, [&](const campaign::TrialSpec& spec) {
+                      Scenario s = snapshot::build_scenario(spec.seed, params);
+                      return trial_body(spec, s);
+                    });
 
     std::printf("%6.0f%%  | %7.1f%%  | %4.1f-%4.1f%% | %12llu | %12llu | %12llu\n",
                 100.0 * loss, 100.0 * summary.success_rate, 100.0 * summary.ci.low,

@@ -12,6 +12,7 @@
 #include "core/link_key_extraction.hpp"
 #include "core/page_blocking.hpp"
 #include "core/profiles.hpp"
+#include "snapshot/scenarios.hpp"
 
 namespace blap::bench {
 
@@ -37,12 +38,11 @@ inline std::uint64_t sequential_seed(std::uint64_t root, std::size_t index) {
   return root + index;
 }
 
-struct Scenario {
-  std::unique_ptr<core::Simulation> sim;
-  core::Device* attacker = nullptr;
-  core::Device* accessory = nullptr;
-  core::Device* target = nullptr;
-};
+/// The scenario triple and its builders live in the shared registry
+/// (src/snapshot/scenarios.hpp) so the benches, the snapshot-fork campaign
+/// runner and blap-replay all construct byte-identical topologies. These
+/// aliases keep the historical bench-side names.
+using Scenario = snapshot::Scenario;
 
 /// Standard A/C/M triple: Nexus 5x attacker, hands-free accessory, victim
 /// from `victim_profile`. `baseline_bias` calibrates the accessory's page
@@ -50,47 +50,15 @@ struct Scenario {
 inline Scenario make_scenario(std::uint64_t seed, const core::DeviceProfile& victim_profile,
                               core::TransportKind accessory_transport,
                               bool accessory_has_dump, double baseline_bias = 0.5) {
-  Scenario s;
-  s.sim = std::make_unique<core::Simulation>(seed);
-
-  core::DeviceSpec a =
-      core::attacker_profile().to_spec("attacker-A", *BdAddr::parse("aa:aa:aa:00:00:01"));
-  a.controller.page_scan_interval = static_cast<SimTime>(1.28 * kSecond);
-
-  core::DeviceSpec c = core::accessory_profile().to_spec(
-      "accessory-C", *BdAddr::parse("00:1b:7d:da:71:0a"),
-      ClassOfDevice(ClassOfDevice::kHandsFree));
-  c.transport = accessory_transport;
-  c.host.hci_dump_available = accessory_has_dump;
-  c.host.io_capability = hci::IoCapability::kNoInputNoOutput;
-  c.controller.page_scan_interval =
-      core::accessory_interval_for_bias(baseline_bias, a.controller.page_scan_interval);
-
-  core::DeviceSpec m = victim_profile.to_spec("victim-M", *BdAddr::parse("48:90:12:34:56:78"));
-
-  s.attacker = &s.sim->add_device(a);
-  s.accessory = &s.sim->add_device(c);
-  s.target = &s.sim->add_device(m);
-  return s;
+  return snapshot::build_abc_scenario(seed, victim_profile, accessory_transport,
+                                      accessory_has_dump, baseline_bias);
 }
 
 /// Accessory variant with a confirm-capable UI (for extraction scenarios,
 /// where C must pass Numeric Comparison pairing with M).
 inline Scenario make_extraction_scenario(std::uint64_t seed,
                                          const core::DeviceProfile& accessory_profile_row) {
-  Scenario s;
-  s.sim = std::make_unique<core::Simulation>(seed);
-  core::DeviceSpec a =
-      core::attacker_profile().to_spec("attacker-A", *BdAddr::parse("aa:aa:aa:00:00:01"));
-  core::DeviceSpec c = accessory_profile_row.to_spec(
-      "accessory-C", *BdAddr::parse("00:1b:7d:da:71:0a"),
-      ClassOfDevice(ClassOfDevice::kHandsFree));
-  core::DeviceSpec m =
-      core::table2_profiles()[5].to_spec("victim-M", *BdAddr::parse("48:90:12:34:56:78"));
-  s.attacker = &s.sim->add_device(a);
-  s.accessory = &s.sim->add_device(c);
-  s.target = &s.sim->add_device(m);
-  return s;
+  return snapshot::build_extraction_scenario(seed, accessory_profile_row);
 }
 
 /// Trial count: paper uses 100; override with BLAP_TRIALS for quick runs.

@@ -9,6 +9,7 @@
 //   BLAP_SEED    campaign root seed         (default 1)
 //
 //   campaign_sweep [--json FILE] [--csv FILE] [--metrics] [--trace-out FILE]
+//                  [--record-failures DIR]
 //
 // --metrics runs every trial's Simulation with the metrics half of the
 // observability layer on and folds the per-trial snapshots into each cell's
@@ -16,6 +17,13 @@
 // page blocking trial (first Table II victim, trial seed 0) and writes its
 // Chrome trace-event JSON — load it in Perfetto to see the attacker and
 // victim lanes race.
+//
+// --record-failures DIR writes a self-contained replay bundle (see
+// src/snapshot/replay.hpp) for every failing trial — up to 8 per cell, into
+// DIR/<cell>/trial-NNNNNN.blapreplay — reproducible standalone with
+// blap-replay. Recording runs the cells through the snapshot-fork engine;
+// so does BLAP_SNAPSHOT_FORK=1 without recording. Either way the output is
+// byte-identical to the rebuild path (the CI diffs it).
 //
 // Results are bit-identical for any BLAP_JOBS value and any re-run with the
 // same BLAP_TRIALS/BLAP_SEED: per-trial seeds are SplitMix64-derived from
@@ -26,6 +34,7 @@
 #include <string>
 
 #include "bench/bench_util.hpp"
+#include "snapshot/fork_campaign.hpp"
 
 int main(int argc, char** argv) {
   using namespace blap;
@@ -35,19 +44,26 @@ int main(int argc, char** argv) {
   const char* json_path = nullptr;
   const char* csv_path = nullptr;
   const char* trace_path = nullptr;
+  const char* record_dir = nullptr;
   bool with_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
     else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) csv_path = argv[++i];
     else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) trace_path = argv[++i];
+    else if (std::strcmp(argv[i], "--record-failures") == 0 && i + 1 < argc)
+      record_dir = argv[++i];
     else if (std::strcmp(argv[i], "--metrics") == 0) with_metrics = true;
     else {
       std::fprintf(stderr,
-                   "usage: %s [--json FILE] [--csv FILE] [--metrics] [--trace-out FILE]\n",
+                   "usage: %s [--json FILE] [--csv FILE] [--metrics] [--trace-out FILE] "
+                   "[--record-failures DIR]\n",
                    argv[0]);
       return 2;
     }
   }
+  // Recording needs the fork engine's warm snapshot; BLAP_SNAPSHOT_FORK=1
+  // opts into it without recording.
+  const bool use_fork = record_dir != nullptr || snapshot::fork_mode_enabled();
 
   const std::size_t trials = static_cast<std::size_t>(trial_count(100));
   std::uint64_t root = 1;
@@ -66,7 +82,10 @@ int main(int argc, char** argv) {
   double wall_s = 0.0;
   std::size_t cell = 0;
   unsigned jobs_used = 1;
-  for (const auto& profile : table2_profiles()) {
+  std::size_t bundles_written = 0;
+  const auto& profiles = table2_profiles();
+  for (std::size_t profile_index = 0; profile_index < profiles.size(); ++profile_index) {
+    const auto& profile = profiles[profile_index];
     auto run_cell = [&](const std::string& kind, bool with_blocking) {
       campaign::CampaignConfig cfg;
       cfg.label = profile.model + " " + kind;
@@ -74,30 +93,60 @@ int main(int argc, char** argv) {
       // Distinct root per cell, derived from the sweep root: cells never
       // share trial seeds, and any cell can be re-run in isolation.
       cfg.root_seed = campaign::trial_seed(root, cell++);
-      const auto summary =
-          campaign::run_campaign(cfg, [&](const campaign::TrialSpec& spec) {
-            Scenario s = make_scenario(spec.seed, profile, TransportKind::kUart, true,
-                                       profile.baseline_mitm_success);
-            if (with_metrics) {
-              obs::ObsConfig obs_cfg;
-              obs_cfg.metrics = true;
-              s.sim->enable_observability(obs_cfg);
-            }
-            campaign::TrialResult r;
-            if (with_blocking) {
-              const auto report = PageBlockingAttack::run(*s.sim, *s.attacker,
-                                                          *s.accessory, *s.target, {});
-              r.success = report.mitm_established;
-            } else {
-              r.success = PageBlockingAttack::baseline_trial(*s.sim, *s.attacker,
-                                                             *s.accessory, *s.target);
-            }
-            r.virtual_end = s.sim->now();
-            if (with_metrics)
-              r.metrics = std::make_shared<const obs::MetricsSnapshot>(
-                  s.sim->observer()->snapshot());
-            return r;
-          });
+
+      snapshot::ScenarioParams params;
+      params.kind = snapshot::ScenarioParams::Kind::kAbc;
+      params.table = snapshot::ProfileTable::kTable2;
+      params.profile_index = profile_index;
+      params.accessory_transport = TransportKind::kUart;
+      params.accessory_has_dump = true;
+      params.baseline_bias = profile.baseline_mitm_success;
+
+      const auto trial_body = [&](const campaign::TrialSpec&, Scenario& s) {
+        if (with_metrics) {
+          obs::ObsConfig obs_cfg;
+          obs_cfg.metrics = true;
+          s.sim->enable_observability(obs_cfg);
+        }
+        campaign::TrialResult r;
+        if (with_blocking) {
+          const auto report =
+              PageBlockingAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, {});
+          r.success = report.mitm_established;
+        } else {
+          r.success = PageBlockingAttack::baseline_trial(*s.sim, *s.attacker, *s.accessory,
+                                                         *s.target);
+        }
+        r.virtual_end = s.sim->now();
+        if (with_metrics)
+          r.metrics =
+              std::make_shared<const obs::MetricsSnapshot>(s.sim->observer()->snapshot());
+        return r;
+      };
+
+      campaign::CampaignSummary summary;
+      if (use_fork) {
+        snapshot::RecordOptions rec;
+        snapshot::ForkStats stats;
+        if (record_dir != nullptr) {
+          // Per-cell subdirectory: bundle names are per-campaign indices.
+          std::string cell_dir = cfg.label;
+          for (char& c : cell_dir)
+            if (c == ' ' || c == '/') c = '-';
+          rec.dir = std::string(record_dir) + "/" + cell_dir;
+          rec.trial_kind = !with_blocking    ? "page_blocking_baseline"
+                           : with_metrics    ? "page_blocking_attack_metrics"
+                                             : "page_blocking_attack";
+        }
+        summary = snapshot::run_fork_campaign(
+            cfg, params, trial_body, rec.dir.empty() ? nullptr : &rec, &stats);
+        bundles_written += stats.bundle_paths.size();
+      } else {
+        summary = campaign::run_campaign(cfg, [&](const campaign::TrialSpec& spec) {
+          Scenario s = snapshot::build_scenario(spec.seed, params);
+          return trial_body(spec, s);
+        });
+      }
       wall_s += static_cast<double>(summary.wall_total_ns) * 1e-9;
       jobs_used = summary.jobs_used;  // engine clamps jobs to the trial count
       json_all += summary.to_json();
@@ -120,6 +169,9 @@ int main(int argc, char** argv) {
   const std::size_t total = trials * cell;
   std::printf("\n%zu trials total on %u worker(s): %.3f s wall (%.1f trials/s)\n", total,
               jobs_used, wall_s, wall_s > 0 ? static_cast<double>(total) / wall_s : 0.0);
+  if (record_dir != nullptr)
+    std::printf("%zu replay bundle(s) recorded under %s (re-run with blap-replay)\n",
+                bundles_written, record_dir);
 
   bool emit_ok = true;
   auto emit = [&emit_ok](const char* path, const std::string& data, const char* what) {

@@ -50,6 +50,11 @@ class Rng {
   /// master seed, so adding a device never perturbs another device's stream).
   Rng fork();
 
+  /// Snapshot support: the full xoshiro256** state. Restoring it with
+  /// set_state() resumes the stream exactly where it was captured.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   void fill(std::uint8_t* dst, std::size_t n);
   std::array<std::uint64_t, 4> state_{};

@@ -105,6 +105,42 @@ std::size_t Scheduler::run_until(SimTime deadline) {
   return executed;
 }
 
+bool Scheduler::step() {
+  while (!heap_.empty()) {
+    Event ev = pop_event();
+    // The clock advances for cancelled entries too, exactly as run_until()
+    // and run_all() do — a k-step prefix must leave the simulation in the
+    // same state as any other way of executing those k events.
+    now_ = ev.when;
+    if (slot_live(ev.slot, ev.generation)) {
+      retire_slot(ev.slot);
+      ev.fn();
+      if (hook_ != nullptr) hook_->on_dispatch(now_, heap_.size());
+      return true;
+    }
+    free_slots_.push_back(ev.slot);  // cancelled; generation already bumped
+  }
+  return false;
+}
+
+void Scheduler::rewind(SimTime now, std::uint64_t next_seq) {
+  for (const Event& ev : heap_) {
+    // Live events are detached exactly as cancel() would: bump the slot
+    // generation so outstanding handles go stale. Cancelled entries had
+    // their generation bumped already.
+    if (slot_live(ev.slot, ev.generation)) ++generations_[ev.slot];
+  }
+  heap_.clear();
+  // Rebuild the free list from scratch: with the queue empty, every slot is
+  // free (duplicates from the pre-rewind list would hand the same slot to
+  // two events, so the list must be reconstructed, not appended to).
+  free_slots_.clear();
+  for (std::uint32_t slot = 0; slot < generations_.size(); ++slot)
+    free_slots_.push_back(slot);
+  now_ = now;
+  next_seq_ = next_seq;
+}
+
 std::size_t Scheduler::run_all() {
   std::size_t executed = 0;
   while (!heap_.empty()) {

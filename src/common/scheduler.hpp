@@ -103,6 +103,27 @@ class Scheduler {
   /// quiesces; periodic self-rescheduling events would never finish).
   std::size_t run_all();
 
+  /// Run exactly one live event (retiring any cancelled entries ahead of
+  /// it, advancing the clock past them exactly as run_until() would, so a
+  /// k-step prefix is indistinguishable from any other way of executing
+  /// those k events). Returns false when the queue holds no live event.
+  /// The snapshot round-trip tests use this to stop the world at arbitrary
+  /// event boundaries.
+  bool step();
+
+  /// Snapshot support: drop every queued event (live or cancelled) and
+  /// reset the clock/sequence counter to a captured state. Every slot is
+  /// retired, so any EventHandle issued before the rewind is guaranteed
+  /// stale afterwards: pending() returns false and cancel() is a safe
+  /// no-op, even if the slot has since been reused for a new event.
+  void rewind(SimTime now, std::uint64_t next_seq);
+
+  /// The sequence number the next scheduled event will get. Together with
+  /// now(), this is the scheduler's serializable state at a quiescent
+  /// point (an idle scheduler has no other state that can influence the
+  /// future).
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
   /// Pre-size queue and slot storage for about `events` in-flight events.
   void reserve(std::size_t events);
 

@@ -1,0 +1,207 @@
+// state_io.hpp — versioned byte serialization for simulation snapshots.
+//
+// StateWriter/StateReader are the primitives every component's
+// save_state()/load_state() pair is written against. The format is explicit
+// and boring on purpose: fixed little-endian integers, length-prefixed byte
+// strings, and tagged sections with a byte count, so that
+//   * a snapshot is a pure function of the logical simulation state (no
+//     pointers, no padding, no hash-order),
+//   * a reader can verify it is looking at the section it expects and
+//     reject truncated or mismatched input without UB, and
+//   * the top-level version field gates any future layout change.
+//
+// Error model: no exceptions. A reader that runs out of bytes or hits a tag
+// mismatch sets a sticky failure flag and every subsequent read returns a
+// zero value; callers check ok() once at the end of a load. Writers cannot
+// fail.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace blap::state {
+
+/// How a component should apply a loaded state.
+///
+///  * kRewind  — the fork path: the scheduler queue has been cleared, and
+///    the component must reset itself *entirely* to the serialized state,
+///    clearing any callback-holding residue (pending operations, attached
+///    taps beyond the captured count, user-agent pointers). Only valid for
+///    snapshots captured at a strict/quiescent point.
+///  * kInPlace — the round-trip-test path: the snapshot is being restored
+///    onto the very state it was captured from, with the scheduler queue
+///    (and its closures) intact. The component overwrites every serialized
+///    field and leaves non-serializable members (EventHandles, callbacks)
+///    untouched.
+enum class RestoreMode : std::uint8_t { kRewind, kInPlace };
+
+/// Four-character section tag packed into a u32 ("SCHD", "CTRL", ...).
+constexpr std::uint32_t tag(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24);
+}
+
+class StateWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v & 0xFF));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v & 0xFFFF));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFULL));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  /// Length-prefixed byte string.
+  void bytes(BytesView v) {
+    u64(v.size());
+    out_.insert(out_.end(), v.begin(), v.end());
+  }
+  void str(const std::string& v) {
+    bytes(BytesView(reinterpret_cast<const std::uint8_t*>(v.data()), v.size()));
+  }
+  template <std::size_t N>
+  void fixed(const std::array<std::uint8_t, N>& v) {
+    out_.insert(out_.end(), v.begin(), v.end());
+  }
+
+  /// Open a tagged section; returns a token to pass to end_section. Sections
+  /// may nest. The byte count is patched in when the section closes, so a
+  /// reader can skip sections it does not understand.
+  std::size_t begin_section(std::uint32_t section_tag) {
+    u32(section_tag);
+    const std::size_t at = out_.size();
+    u64(0);  // placeholder for the payload length
+    return at;
+  }
+  void end_section(std::size_t token) {
+    const std::uint64_t payload = out_.size() - token - 8;
+    for (int i = 0; i < 8; ++i)
+      out_[token + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((payload >> (8 * i)) & 0xFF);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return out_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class StateReader {
+ public:
+  explicit StateReader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  /// Force the reader into the failed state (semantic validation errors).
+  void fail(const std::string& why) {
+    if (!failed_) error_ = why;
+    failed_ = true;
+  }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    const auto lo = u8();
+    return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8()) << 8));
+  }
+  std::uint32_t u32() {
+    const auto lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+  std::uint64_t u64() {
+    const auto lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+  bool boolean() { return u8() != 0; }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Bytes bytes() {
+    const std::uint64_t n = u64();
+    if (!need(n)) return {};
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += static_cast<std::size_t>(n);
+    return out;
+  }
+  std::string str() {
+    const Bytes raw = bytes();
+    return {raw.begin(), raw.end()};
+  }
+  template <std::size_t N>
+  std::array<std::uint8_t, N> fixed() {
+    std::array<std::uint8_t, N> out{};
+    if (!need(N)) return out;
+    std::memcpy(out.data(), data_.data() + pos_, N);
+    pos_ += N;
+    return out;
+  }
+
+  /// Skip `n` raw bytes (structural validation walks that hop over section
+  /// payloads without parsing them).
+  void skip(std::uint64_t n) {
+    if (!need(n)) return;
+    pos_ += static_cast<std::size_t>(n);
+  }
+
+  /// Read a section header and verify the tag. Returns the payload length
+  /// (0 on failure). On tag mismatch the reader fails sticky.
+  std::uint64_t expect_section(std::uint32_t section_tag) {
+    const std::uint32_t got = u32();
+    const std::uint64_t len = u64();
+    if (failed_) return 0;
+    if (got != section_tag) {
+      fail("section tag mismatch");
+      return 0;
+    }
+    if (!check(len)) {
+      fail("section length exceeds input");
+      return 0;
+    }
+    return len;
+  }
+
+ private:
+  [[nodiscard]] bool check(std::uint64_t n) const { return n <= data_.size() - pos_; }
+  bool need(std::uint64_t n) {
+    if (failed_ || !check(n)) {
+      fail("input truncated");
+      return false;
+    }
+    return true;
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace blap::state

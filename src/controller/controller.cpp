@@ -1653,4 +1653,254 @@ Controller::Link* Controller::link_by_radio(radio::LinkId id) {
   return nullptr;
 }
 
+namespace {
+
+void save_u256(state::StateWriter& w, const crypto::U256& v) {
+  for (const std::uint64_t limb : v.limbs()) w.u64(limb);
+}
+
+crypto::U256 load_u256(state::StateReader& r) {
+  std::array<std::uint64_t, crypto::U256::kLimbs> limbs{};
+  for (std::uint64_t& limb : limbs) limb = r.u64();
+  return crypto::U256(limbs);
+}
+
+void save_point(state::StateWriter& w, const crypto::EcPoint& point) {
+  save_u256(w, point.x);
+  save_u256(w, point.y);
+  w.boolean(point.infinity);
+}
+
+crypto::EcPoint load_point(state::StateReader& r) {
+  crypto::EcPoint point;
+  point.x = load_u256(r);
+  point.y = load_u256(r);
+  point.infinity = r.boolean();
+  return point;
+}
+
+void save_iocap(state::StateWriter& w, const crypto::IoCapTriplet& triplet) {
+  w.u8(triplet.io_capability);
+  w.u8(triplet.oob_data_present);
+  w.u8(triplet.auth_req);
+}
+
+crypto::IoCapTriplet load_iocap(state::StateReader& r) {
+  crypto::IoCapTriplet triplet;
+  triplet.io_capability = r.u8();
+  triplet.oob_data_present = r.u8();
+  triplet.auth_req = r.u8();
+  return triplet;
+}
+
+}  // namespace
+
+bool Controller::quiescent() const {
+  if (inquiring_) return false;
+  for (const auto& [handle, link] : links_) {
+    if (link.state != LinkState::kConnected) return false;
+    if (link.auth != AuthState::kIdle) return false;
+    if (link.ssp != nullptr || link.legacy != nullptr) return false;
+    if (!link.tx_queue.empty() || link.tx_busy) return false;
+  }
+  return true;
+}
+
+void Controller::save_state(state::StateWriter& w) const {
+  w.fixed(config_.address.bytes());
+  w.u32(config_.class_of_device.raw());
+  w.str(config_.name);
+  w.boolean(config_.secure_connections);
+  w.u64(config_.page_scan_interval);
+  w.u64(config_.page_timeout);
+  w.u64(config_.connection_accept_timeout);
+  w.u64(config_.lmp_response_timeout);
+  w.u32(config_.arq_max_retransmissions);
+  w.u64(config_.arq_backoff_base);
+  w.u64(config_.supervision_timeout);
+
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+  w.u8(static_cast<std::uint8_t>(scan_enable_));
+  w.boolean(simple_pairing_mode_);
+  w.boolean(inquiring_);
+  w.u16(next_handle_);
+
+  w.u64(links_.size());
+  for (const auto& [handle, link] : links_) {
+    w.u64(link.radio_link);
+    w.u16(link.handle);
+    w.fixed(link.peer.bytes());
+    w.boolean(link.initiator);
+    w.u8(static_cast<std::uint8_t>(link.state));
+    w.u8(static_cast<std::uint8_t>(link.auth));
+    w.boolean(link.auth_requested_by_host);
+    w.fixed(link.key);
+    w.boolean(link.have_key);
+    w.fixed(link.challenge);
+    w.fixed(link.pending_au_rand);
+    w.boolean(link.have_pending_au_rand);
+    w.boolean(link.pending_au_rand_is_sc);
+    w.fixed(link.sc_expected_sres);
+    w.boolean(link.sc_in_use);
+    w.fixed(link.aco);
+    w.boolean(link.have_aco);
+
+    w.boolean(link.ssp != nullptr);
+    if (link.ssp != nullptr) {
+      const SspContext& ssp = *link.ssp;
+      w.boolean(ssp.initiator);
+      w.u8(ssp.curve != nullptr
+               ? static_cast<std::uint8_t>(ssp.curve->coordinate_size())
+               : 0);
+      save_u256(w, ssp.local_keypair.private_key);
+      save_point(w, ssp.local_keypair.public_key);
+      save_point(w, ssp.peer_public);
+      w.boolean(ssp.have_peer_key);
+      w.fixed(ssp.local_nonce);
+      w.fixed(ssp.peer_nonce);
+      w.boolean(ssp.have_peer_nonce);
+      w.fixed(ssp.peer_commitment);
+      w.boolean(ssp.have_commitment);
+      save_iocap(w, ssp.local_iocap);
+      save_iocap(w, ssp.peer_iocap);
+      save_u256(w, ssp.dhkey);
+      w.boolean(ssp.have_dhkey);
+      w.boolean(ssp.local_confirmed);
+      w.bytes(ssp.held_dhkey_check);
+    }
+
+    w.boolean(link.legacy != nullptr);
+    if (link.legacy != nullptr) {
+      const LegacyContext& legacy = *link.legacy;
+      w.boolean(legacy.initiator);
+      w.fixed(legacy.in_rand);
+      w.boolean(legacy.have_in_rand);
+      w.fixed(legacy.kinit);
+      w.boolean(legacy.have_kinit);
+      w.fixed(legacy.local_lk_rand);
+      w.boolean(legacy.sent_comb);
+    }
+
+    w.boolean(link.encrypted);
+    w.fixed(link.enc_key);
+    w.fixed(link.pending_en_rand);
+    w.u32(link.tx_counter);
+    w.u32(link.rx_counter);
+    w.u64(link.tx_queue.size());
+    for (const Bytes& frame : link.tx_queue) w.bytes(frame);
+    w.boolean(link.tx_busy);
+    w.u64(link.obs_auth_span);
+    w.u64(link.obs_pair_span);
+    w.u64(link.obs_enc_span);
+  }
+}
+
+void Controller::load_state(state::StateReader& r, state::RestoreMode mode) {
+  config_.address = BdAddr(r.fixed<BdAddr::kSize>());
+  config_.class_of_device = ClassOfDevice(r.u32());
+  config_.name = r.str();
+  config_.secure_connections = r.boolean();
+  config_.page_scan_interval = r.u64();
+  config_.page_timeout = r.u64();
+  config_.connection_accept_timeout = r.u64();
+  config_.lmp_response_timeout = r.u64();
+  config_.arq_max_retransmissions = r.u32();
+  config_.arq_backoff_base = r.u64();
+  config_.supervision_timeout = r.u64();
+
+  std::array<std::uint64_t, 4> words{};
+  for (std::uint64_t& word : words) word = r.u64();
+  rng_.set_state(words);
+  scan_enable_ = static_cast<hci::ScanEnable>(r.u8());
+  simple_pairing_mode_ = r.boolean();
+  inquiring_ = r.boolean();
+  next_handle_ = r.u16();
+
+  std::map<hci::ConnectionHandle, Link> restored;
+  const std::uint64_t link_count = r.u64();
+  for (std::uint64_t i = 0; i < link_count && r.ok(); ++i) {
+    Link link;
+    link.radio_link = r.u64();
+    link.handle = r.u16();
+    link.peer = BdAddr(r.fixed<BdAddr::kSize>());
+    link.initiator = r.boolean();
+    link.state = static_cast<LinkState>(r.u8());
+    link.auth = static_cast<AuthState>(r.u8());
+    link.auth_requested_by_host = r.boolean();
+    link.key = r.fixed<std::tuple_size_v<crypto::LinkKey>>();
+    link.have_key = r.boolean();
+    link.challenge = r.fixed<std::tuple_size_v<crypto::Rand128>>();
+    link.pending_au_rand = r.fixed<std::tuple_size_v<crypto::Rand128>>();
+    link.have_pending_au_rand = r.boolean();
+    link.pending_au_rand_is_sc = r.boolean();
+    link.sc_expected_sres = r.fixed<std::tuple_size_v<crypto::Sres>>();
+    link.sc_in_use = r.boolean();
+    link.aco = r.fixed<std::tuple_size_v<crypto::Aco>>();
+    link.have_aco = r.boolean();
+
+    if (r.boolean()) {
+      auto ssp = std::make_unique<SspContext>();
+      ssp->initiator = r.boolean();
+      const std::uint8_t coord_size = r.u8();
+      if (coord_size == 24) ssp->curve = &crypto::EcCurve::p192();
+      else if (coord_size == 32) ssp->curve = &crypto::EcCurve::p256();
+      else ssp->curve = nullptr;
+      ssp->local_keypair.private_key = load_u256(r);
+      ssp->local_keypair.public_key = load_point(r);
+      ssp->peer_public = load_point(r);
+      ssp->have_peer_key = r.boolean();
+      ssp->local_nonce = r.fixed<std::tuple_size_v<crypto::Rand128>>();
+      ssp->peer_nonce = r.fixed<std::tuple_size_v<crypto::Rand128>>();
+      ssp->have_peer_nonce = r.boolean();
+      ssp->peer_commitment = r.fixed<std::tuple_size_v<crypto::LinkKey>>();
+      ssp->have_commitment = r.boolean();
+      ssp->local_iocap = load_iocap(r);
+      ssp->peer_iocap = load_iocap(r);
+      ssp->dhkey = load_u256(r);
+      ssp->have_dhkey = r.boolean();
+      ssp->local_confirmed = r.boolean();
+      ssp->held_dhkey_check = r.bytes();
+      link.ssp = std::move(ssp);
+    }
+
+    if (r.boolean()) {
+      auto legacy = std::make_unique<LegacyContext>();
+      legacy->initiator = r.boolean();
+      legacy->in_rand = r.fixed<std::tuple_size_v<crypto::Rand128>>();
+      legacy->have_in_rand = r.boolean();
+      legacy->kinit = r.fixed<std::tuple_size_v<crypto::LinkKey>>();
+      legacy->have_kinit = r.boolean();
+      legacy->local_lk_rand = r.fixed<std::tuple_size_v<crypto::Rand128>>();
+      legacy->sent_comb = r.boolean();
+      link.legacy = std::move(legacy);
+    }
+
+    link.encrypted = r.boolean();
+    link.enc_key = r.fixed<std::tuple_size_v<crypto::EncryptionKey>>();
+    link.pending_en_rand = r.fixed<std::tuple_size_v<crypto::Rand128>>();
+    link.tx_counter = r.u32();
+    link.rx_counter = r.u32();
+    const std::uint64_t queued = r.u64();
+    for (std::uint64_t f = 0; f < queued && r.ok(); ++f)
+      link.tx_queue.push_back(r.bytes());
+    link.tx_busy = r.boolean();
+    link.obs_auth_span = r.u64();
+    link.obs_pair_span = r.u64();
+    link.obs_enc_span = r.u64();
+
+    // Timers are EventHandles: in kInPlace mode the live handles on the
+    // existing link entry stay armed; after a rewind every handle is stale
+    // by construction and a default handle is the correct restored value.
+    if (mode == state::RestoreMode::kInPlace) {
+      if (const auto it = links_.find(link.handle); it != links_.end()) {
+        link.lmp_timer = it->second.lmp_timer;
+        link.accept_timer = it->second.accept_timer;
+        link.supervision_timer = it->second.supervision_timer;
+      }
+    }
+    restored.emplace(link.handle, std::move(link));
+  }
+  if (r.ok()) links_ = std::move(restored);
+}
+
 }  // namespace blap::controller

@@ -106,6 +106,18 @@ class Controller final : public radio::RadioEndpoint {
   /// calls this so a plan installed mid-scenario guards existing links.
   void refresh_fault_state();
 
+  /// Snapshot support (see src/snapshot/). quiescent() is the strict-capture
+  /// precondition: no inquiry in flight and every link fully connected with
+  /// no pairing/authentication exchange or ARQ transmission open. The SSP
+  /// curve is serialized by coordinate width (24 → P-192, 32 → P-256) since
+  /// EcCurve instances are process-global singletons.
+  [[nodiscard]] bool quiescent() const;
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r, state::RestoreMode mode);
+
+  /// Replace the controller's random stream (the per-trial reseed path).
+  void set_rng(Rng rng) { rng_ = rng; }
+
  private:
   enum class LinkState : std::uint8_t {
     kAwaitingHostConnectionReq,  // responder: baseband up, LMP host conn pending

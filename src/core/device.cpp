@@ -50,6 +50,24 @@ void Device::spoof_identity(const BdAddr& address, ClassOfDevice class_of_device
   controller_->set_class_of_device(class_of_device);
 }
 
+void Device::save_state(state::StateWriter& w) const {
+  w.boolean(radio_enabled_);
+  w.fixed(spec_.address.bytes());
+  w.u32(spec_.class_of_device.raw());
+  transport_->save_state(w);
+  controller_->save_state(w);
+  host_->save_state(w);
+}
+
+void Device::load_state(state::StateReader& r, state::RestoreMode mode) {
+  radio_enabled_ = r.boolean();
+  spec_.address = BdAddr(r.fixed<BdAddr::kSize>());
+  spec_.class_of_device = ClassOfDevice(r.u32());
+  transport_->load_state(r, mode);
+  controller_->load_state(r, mode);
+  host_->load_state(r, mode);
+}
+
 Simulation::Simulation(std::uint64_t seed)
     : rng_(seed), medium_(scheduler_, Rng(seed ^ 0x9E3779B97F4A7C15ULL)) {}
 
@@ -68,6 +86,25 @@ void Simulation::set_fault_plan(faults::FaultPlan plan) {
     device->controller().refresh_fault_state();
     device->host().config().fault_recovery = enabled;
   }
+}
+
+void Simulation::reseed(std::uint64_t seed) {
+  // Mirrors construction exactly: Simulation(seed) seeds rng_ and the
+  // medium's jitter stream, then each add_device() forks a device stream
+  // whose own fork feeds the controller (the host draws no randomness).
+  rng_ = Rng(seed);
+  medium_.set_rng(Rng(seed ^ 0x9E3779B97F4A7C15ULL));
+  for (const auto& device : devices_) {
+    Rng device_rng = rng_.fork();
+    device->controller().set_rng(device_rng.fork());
+  }
+}
+
+std::vector<radio::RadioEndpoint*> Simulation::endpoint_roster() {
+  std::vector<radio::RadioEndpoint*> roster;
+  roster.reserve(devices_.size());
+  for (const auto& device : devices_) roster.push_back(&device->controller());
+  return roster;
 }
 
 obs::Observer& Simulation::enable_observability(obs::ObsConfig config) {

@@ -64,6 +64,15 @@ class Device {
   /// controller and host of this device.
   void set_observer(obs::Observer* observer);
 
+  /// Snapshot support: the device flags plus transport, controller and host
+  /// state in fixed order. The medium's attachment list is serialized by
+  /// the medium itself, so load_state only restores the local flag.
+  [[nodiscard]] bool quiescent() const {
+    return controller_->quiescent() && host_->quiescent();
+  }
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r, state::RestoreMode mode);
+
  private:
   radio::RadioMedium& medium_;
   DeviceSpec spec_;
@@ -107,6 +116,16 @@ class Simulation {
   obs::Observer& enable_observability(obs::ObsConfig config);
   /// Null unless enable_observability() was called.
   [[nodiscard]] obs::Observer* observer() { return obs_.get(); }
+
+  /// Per-trial reseed: re-derive every Rng stream exactly as construction
+  /// would for `seed`. Scenario setup consumes no random draws, so a
+  /// restored warm snapshot plus reseed(trial_seed) is byte-identical to a
+  /// fresh build with that seed.
+  void reseed(std::uint64_t seed);
+
+  /// The canonical endpoint roster — every device's controller in device
+  /// order. Snapshots identify endpoints by index into this list.
+  [[nodiscard]] std::vector<radio::RadioEndpoint*> endpoint_roster();
 
  private:
   Scheduler scheduler_;

@@ -23,6 +23,7 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/scheduler.hpp"
+#include "common/state_io.hpp"
 
 namespace blap::faults {
 
@@ -74,6 +75,11 @@ struct FaultPlan {
 
   /// Short human-readable summary for bench banners and campaign labels.
   [[nodiscard]] std::string describe() const;
+
+  /// Snapshot/bundle serialization: a plan is plain data, round-tripped
+  /// field by field.
+  void save_state(state::StateWriter& w) const;
+  [[nodiscard]] static FaultPlan load_state(state::StateReader& r);
 };
 
 /// Why (or whether) a frame survived the channel.
@@ -104,6 +110,12 @@ class ChannelModel {
 
   /// Currently inside a Gilbert-Elliott bad state?
   [[nodiscard]] bool in_burst() const { return in_burst_; }
+
+  /// Snapshot support: the mutable per-link channel state (Rng stream +
+  /// burst flag). The plan itself is serialized by the owning medium;
+  /// load_state is called on a model freshly built from that plan.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r);
 
  private:
   FaultPlan plan_;  // by value: the model must not dangle if the medium's plan is swapped

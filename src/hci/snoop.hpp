@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/scheduler.hpp"
+#include "common/state_io.hpp"
 #include "hci/packets.hpp"
 
 namespace blap::hci {
@@ -79,6 +80,15 @@ class SnoopLog {
   /// Render as the frame table of the paper's Fig. 12 (Fra/Type/Opcode/
   /// Command/Event/Status columns).
   [[nodiscard]] std::string format_table() const;
+
+  /// Snapshot support. Records round-trip field by field — serialize()/
+  /// parse() would lose original_length==0 distinctions — and load_state
+  /// bypasses the filter (the records were already filtered when first
+  /// appended). A kRewind restore also clears a filter installed after a
+  /// filter-free capture; a capture-time filter cannot be reconstructed and
+  /// is left in place.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r, state::RestoreMode mode);
 
  private:
   std::vector<SnoopRecord> records_;

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "common/bytes.hpp"
+#include "common/state_io.hpp"
 #include "hci/constants.hpp"
 
 namespace blap::host {
@@ -90,6 +91,17 @@ class L2cap {
 
   /// Open channel count on a link — the host's idle policy keys off this.
   [[nodiscard]] std::size_t channel_count(hci::ConnectionHandle handle) const;
+
+  /// No in-flight signaling exchanges holding completion callbacks — the
+  /// precondition for a strict (forkable) snapshot of this layer.
+  [[nodiscard]] bool quiescent() const { return pending_.empty() && pending_echo_.empty(); }
+
+  /// Snapshot support: established channels and the CID/signaling-id
+  /// allocators. Pending connects/echoes hold callbacks and are not
+  /// serialized: kRewind clears them (a strict capture point has none),
+  /// kInPlace leaves them running.
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r, state::RestoreMode mode);
 
  private:
   struct PendingConnect {

@@ -59,6 +59,30 @@ class MapProfile {
   void set_list_callback(ListCallback callback) { list_callback_ = std::move(callback); }
   void set_get_callback(GetCallback callback) { get_callback_ = std::move(callback); }
 
+  /// Snapshot support (callback handling as in PanProfile).
+  [[nodiscard]] bool quiescent() const { return !list_callback_ && !get_callback_; }
+  void reset_pending() {
+    list_callback_ = nullptr;
+    get_callback_ = nullptr;
+  }
+  void save_state(state::StateWriter& w) const {
+    w.u64(messages_.size());
+    for (const auto& [handle, body] : messages_) {
+      w.u16(handle);
+      w.str(body);
+    }
+    w.u32(static_cast<std::uint32_t>(serves_));
+  }
+  void load_state(state::StateReader& r) {
+    messages_.clear();
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+      const std::uint16_t handle = r.u16();
+      messages_[handle] = r.str();
+    }
+    serves_ = static_cast<int>(r.u32());
+  }
+
  private:
   std::map<std::uint16_t, std::string> messages_;
   ListCallback list_callback_;

@@ -39,6 +39,18 @@ class PanProfile {
 
   [[nodiscard]] bool server_session_active() const { return server_sessions_ > 0; }
 
+  /// Snapshot support. The client callback is not serializable: quiescent()
+  /// is the strict-capture precondition, reset_pending() the kRewind
+  /// residue cleanup.
+  [[nodiscard]] bool quiescent() const { return !client_callback_; }
+  void reset_pending() { client_callback_ = nullptr; }
+  void save_state(state::StateWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(server_sessions_));
+  }
+  void load_state(state::StateReader& r) {
+    server_sessions_ = static_cast<int>(r.u32());
+  }
+
  private:
   Callback client_callback_;
   L2cap* server_l2cap_ = nullptr;

@@ -33,6 +33,17 @@ class SdpServer {
   void clear_services() { services_.clear(); }
   [[nodiscard]] const std::vector<std::uint16_t>& services() const { return services_; }
 
+  /// Snapshot support: the registered service records.
+  void save_state(state::StateWriter& w) const {
+    w.u64(services_.size());
+    for (const std::uint16_t uuid16 : services_) w.u16(uuid16);
+  }
+  void load_state(state::StateReader& r) {
+    services_.clear();
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i) services_.push_back(r.u16());
+  }
+
  private:
   std::vector<std::uint16_t> services_;
   L2cap* l2cap_ = nullptr;
@@ -53,6 +64,11 @@ class SdpClient {
 
   /// Feed a response arriving on an SDP channel we initiated.
   void on_response(BytesView payload);
+
+  /// No outstanding search (strict-snapshot precondition); kRewind restores
+  /// drop a search started after the capture.
+  [[nodiscard]] bool quiescent() const { return !pending_; }
+  void reset_pending() { pending_ = nullptr; }
 
  private:
   L2cap& l2cap_;

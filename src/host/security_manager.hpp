@@ -20,6 +20,7 @@
 
 #include "common/bdaddr.hpp"
 #include "common/scheduler.hpp"
+#include "common/state_io.hpp"
 #include "common/uuid.hpp"
 #include "crypto/keys.hpp"
 #include "hci/constants.hpp"
@@ -93,6 +94,12 @@ class SecurityManager {
   /// Parse a bt_config.conf document. Unknown keys are ignored; malformed
   /// sections are skipped (a hand-edited config must not brick the stack).
   [[nodiscard]] static SecurityManager from_bt_config(const std::string& text);
+
+  /// Snapshot support: binary round-trip of bonds, per-peer failure
+  /// counters and the retry policy (bt_config text would lose the
+  /// counters and policy).
+  void save_state(state::StateWriter& w) const;
+  void load_state(state::StateReader& r);
 
  private:
   std::map<BdAddr, BondRecord> bonds_;

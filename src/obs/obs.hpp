@@ -113,6 +113,19 @@ class TraceRecorder {
   /// Compact human-readable timeline, one event per line, time-ordered.
   [[nodiscard]] std::string to_text() const;
 
+  /// Snapshot-fork support: drop all recorded events and reset the
+  /// seq/span/dropped counters to a just-constructed state. Interned
+  /// devices are kept — they were interned in wiring order, which a
+  /// rebuilt simulation reproduces identically, and cached tids in the
+  /// stack stay valid.
+  void reset() {
+    events_.clear();
+    open_.clear();
+    next_seq_ = 0;
+    next_span_ = 1;
+    dropped_ = 0;
+  }
+
  private:
   struct OpenSpan {
     Layer layer = Layer::kHost;
@@ -177,6 +190,9 @@ class MetricsRegistry {
   [[nodiscard]] const MetricsSnapshot& data() const { return data_; }
   [[nodiscard]] MetricsSnapshot snapshot() const { return data_; }
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  /// Snapshot-fork support: zero every counter, gauge and histogram.
+  void reset() { data_ = MetricsSnapshot{}; }
 
  private:
   MetricsSnapshot data_;
@@ -253,6 +269,17 @@ class Observer final : public SchedulerHook {
 
   /// Metrics snapshot with the scheduler-side tallies folded in.
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Snapshot-fork support: return to the state of a freshly constructed
+  /// Observer (same config, same interned devices, nothing recorded). The
+  /// fork path resets instead of reallocating so every set_observer wiring
+  /// and cached tid in the stack stays valid.
+  void reset() {
+    trace_.reset();
+    metrics_.reset();
+    dispatched_ = 0;
+    max_queue_depth_ = 0;
+  }
 
  private:
   ObsConfig config_;

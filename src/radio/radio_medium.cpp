@@ -239,4 +239,85 @@ void RadioMedium::set_fault_plan(faults::FaultPlan plan) {
                        : nullptr;
 }
 
+bool RadioMedium::save_state(state::StateWriter& w,
+                             std::span<RadioEndpoint* const> roster) const {
+  const auto index_of = [&roster](const RadioEndpoint* endpoint) -> std::int64_t {
+    for (std::size_t i = 0; i < roster.size(); ++i)
+      if (roster[i] == endpoint) return static_cast<std::int64_t>(i);
+    return -1;
+  };
+
+  w.u64(frame_latency_);
+  w.u64(next_link_id_);
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+  fault_plan_.save_state(w);
+  w.u64(sniffers_.size());
+
+  // Attachment set, in attach order (the paging race iterates endpoints_,
+  // so the order is behaviourally significant).
+  w.u64(endpoints_.size());
+  for (const RadioEndpoint* endpoint : endpoints_) {
+    const std::int64_t index = index_of(endpoint);
+    if (index < 0) return false;
+    w.u64(static_cast<std::uint64_t>(index));
+  }
+
+  w.u64(links_.size());
+  for (const auto& [id, link] : links_) {
+    const std::int64_t a = index_of(link.a);
+    const std::int64_t b = index_of(link.b);
+    if (a < 0 || b < 0) return false;
+    w.u64(id);
+    w.u64(static_cast<std::uint64_t>(a));
+    w.u64(static_cast<std::uint64_t>(b));
+    w.boolean(link.channel != nullptr);
+    if (link.channel != nullptr) link.channel->save_state(w);
+  }
+  return true;
+}
+
+void RadioMedium::load_state(state::StateReader& r,
+                             std::span<RadioEndpoint* const> roster,
+                             state::RestoreMode mode) {
+  frame_latency_ = r.u64();
+  next_link_id_ = r.u64();
+  std::array<std::uint64_t, 4> words{};
+  for (std::uint64_t& word : words) word = r.u64();
+  rng_.set_state(words);
+  fault_plan_ = faults::FaultPlan::load_state(r);
+
+  const std::uint64_t sniffer_count = r.u64();
+  if (mode == state::RestoreMode::kRewind && sniffers_.size() > sniffer_count)
+    sniffers_.resize(static_cast<std::size_t>(sniffer_count));
+
+  const auto endpoint_at = [&](std::uint64_t index) -> RadioEndpoint* {
+    if (index >= roster.size()) {
+      r.fail("endpoint index out of range");
+      return nullptr;
+    }
+    return roster[static_cast<std::size_t>(index)];
+  };
+
+  endpoints_.clear();
+  const std::uint64_t attached = r.u64();
+  for (std::uint64_t i = 0; i < attached && r.ok(); ++i) {
+    RadioEndpoint* endpoint = endpoint_at(r.u64());
+    if (endpoint != nullptr) endpoints_.push_back(endpoint);
+  }
+
+  links_.clear();
+  const std::uint64_t link_count = r.u64();
+  for (std::uint64_t i = 0; i < link_count && r.ok(); ++i) {
+    const LinkId id = r.u64();
+    Link link;
+    link.a = endpoint_at(r.u64());
+    link.b = endpoint_at(r.u64());
+    if (r.boolean()) {
+      link.channel = std::make_unique<faults::ChannelModel>(fault_plan_, id);
+      link.channel->load_state(r);
+    }
+    if (r.ok()) links_.emplace(id, std::move(link));
+  }
+}
+
 }  // namespace blap::radio

@@ -1,0 +1,144 @@
+#include "snapshot/fork_campaign.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "snapshot/replay.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace blap::snapshot {
+namespace {
+
+/// Distinguishes campaigns so a pooled worker thread (or the calling thread
+/// under jobs=1) never reuses a warm scenario across run_fork_campaign()
+/// calls with different parameters.
+std::atomic<std::uint64_t> g_campaign_epoch{0};
+
+struct WorkerState {
+  std::uint64_t epoch = 0;
+  Scenario scenario;
+};
+
+/// Deterministic post-pass: walk the index-ordered results and write a
+/// bundle for the first `limit` matches. Identical output for any worker
+/// count, because nothing here depends on execution order.
+void record_bundles(const campaign::CampaignConfig& config,
+                    const ScenarioParams& scenario_params, const Snapshot& warm,
+                    const campaign::CampaignSummary& summary, const RecordOptions& record,
+                    ForkStats* stats) {
+  std::error_code ec;
+  std::filesystem::create_directories(record.dir, ec);
+  if (ec) return;
+
+  std::size_t recorded = 0;
+  for (const campaign::TrialResult& r : summary.results) {
+    if (recorded >= record.limit) break;
+    const bool matches = record.predicate ? record.predicate(r) : !r.success;
+    if (!matches) continue;
+
+    ReplayBundle bundle;
+    bundle.scenario = scenario_params;
+    bundle.build_seed = config.root_seed;
+    bundle.trial_index = r.index;
+    bundle.trial_seed = r.seed;
+    bundle.trial_kind = record.trial_kind;
+    if (record.fault_plan)
+      bundle.fault_plan = record.fault_plan(campaign::TrialSpec{r.index, r.seed});
+    bundle.expected_success = r.success;
+    bundle.expected_value = r.value;
+    bundle.expected_virtual_end = r.virtual_end;
+    if (r.metrics != nullptr && !r.metrics->empty())
+      bundle.expected_metrics_json = r.metrics->to_json();
+    bundle.snapshot = warm.bytes();
+
+    char name[64];
+    std::snprintf(name, sizeof name, "trial-%06zu.blapreplay", r.index);
+    const std::string path = record.dir + "/" + name;
+    if (bundle.save_file(path)) {
+      if (stats != nullptr) stats->bundle_paths.push_back(path);
+      ++recorded;
+    }
+  }
+}
+
+}  // namespace
+
+bool fork_mode_enabled() {
+  const char* env = std::getenv("BLAP_SNAPSHOT_FORK");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
+         std::strcmp(env, "on") == 0;
+}
+
+campaign::CampaignSummary run_fork_campaign(const campaign::CampaignConfig& config,
+                                            const ScenarioParams& scenario,
+                                            const ForkTrialFn& trial,
+                                            const RecordOptions* record,
+                                            ForkStats* stats,
+                                            const WarmSetupFn& warm_setup) {
+  // The rebuild path a forked trial must be byte-equivalent to. Without a
+  // warm-up, build_scenario(spec.seed) directly (setup draws no randomness,
+  // so build(seed) == build(root) + reseed(seed)); with one, the warm-up's
+  // draws must be erased the same way the fork path erases them.
+  const auto rebuild_trial = [&](const campaign::TrialSpec& spec) {
+    if (!warm_setup) {
+      Scenario s = build_scenario(spec.seed, scenario);
+      return trial(spec, s);
+    }
+    Scenario s = build_scenario(config.root_seed, scenario);
+    warm_setup(s);
+    s.sim->reseed(spec.seed);
+    return trial(spec, s);
+  };
+
+  // Canonical warm snapshot, captured once on the calling thread. It is
+  // what every worker forks from AND what recorded bundles embed — so the
+  // bundles are identical for any worker count.
+  Scenario probe = build_scenario(config.root_seed, scenario);
+  if (warm_setup) warm_setup(probe);
+  std::string why;
+  const auto warm = Snapshot::capture(*probe.sim, &why);
+
+  campaign::CampaignSummary summary;
+  if (!warm.has_value()) {
+    // The warm point is not quiescent for this scenario: fall back to the
+    // rebuild path. Same trials, same seeds, same aggregates — no speedup.
+    if (stats != nullptr) {
+      stats->fork_used = false;
+      stats->fallback_reason = why;
+    }
+    summary = campaign::run_campaign(config, rebuild_trial);
+    return summary;
+  }
+
+  if (stats != nullptr) stats->fork_used = true;
+  const std::uint64_t epoch = g_campaign_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  summary = campaign::run_campaign(config, [&](const campaign::TrialSpec& spec) {
+    thread_local std::unique_ptr<WorkerState> tls;
+    if (tls == nullptr || tls->epoch != epoch) {
+      tls = std::make_unique<WorkerState>();
+      tls->epoch = epoch;
+      // A virgin topology build is enough even under a warm-up: restore()
+      // applies the complete post-warm-up serialized state onto it.
+      tls->scenario = build_scenario(config.root_seed, scenario);
+    }
+    Scenario& s = tls->scenario;
+    std::string restore_why;
+    if (!warm->restore(*s.sim, &restore_why)) {
+      // Cannot happen for a scenario the probe just captured; stay correct
+      // anyway by giving this trial a fresh rebuild-path run.
+      return rebuild_trial(spec);
+    }
+    s.sim->reseed(spec.seed);
+    return trial(spec, s);
+  });
+
+  if (record != nullptr && !record->dir.empty())
+    record_bundles(config, scenario, *warm, summary, *record, stats);
+  return summary;
+}
+
+}  // namespace blap::snapshot

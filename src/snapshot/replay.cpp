@@ -1,0 +1,268 @@
+#include "snapshot/replay.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/base64.hpp"
+#include "common/state_io.hpp"
+#include "core/page_blocking.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace blap::snapshot {
+namespace {
+
+constexpr const char* kHeader = "blap-replay-bundle v1";
+
+void set_why(std::string* why, std::string text) {
+  if (why != nullptr) *why = std::move(text);
+}
+
+std::string encode_fault_plan(const faults::FaultPlan& plan) {
+  state::StateWriter w;
+  plan.save_state(w);
+  return base64_encode(w.data());
+}
+
+std::optional<faults::FaultPlan> decode_fault_plan(const std::string& text) {
+  const auto raw = base64_decode(text);
+  if (!raw) return std::nullopt;
+  state::StateReader r(*raw);
+  faults::FaultPlan plan = faults::FaultPlan::load_state(r);
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return plan;
+}
+
+/// `%a` (hex-float) formatting: exact round trip for the verdict value.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  char* rest = nullptr;
+  out = std::strtoull(text.c_str(), &rest, 10);
+  return rest != text.c_str() && *rest == '\0';
+}
+
+bool parse_double(const std::string& text, double& out) {
+  char* rest = nullptr;
+  out = std::strtod(text.c_str(), &rest);
+  return rest != text.c_str() && *rest == '\0';
+}
+
+}  // namespace
+
+std::string ReplayBundle::to_text() const {
+  std::string out;
+  out += kHeader;
+  out += "\nscenario: " + encode_scenario(scenario);
+  out += "\nbuild_seed: " + std::to_string(build_seed);
+  out += "\ntrial_index: " + std::to_string(trial_index);
+  out += "\ntrial_seed: " + std::to_string(trial_seed);
+  out += "\ntrial_kind: " + trial_kind;
+  if (fault_plan.has_value()) out += "\nfault_plan: " + encode_fault_plan(*fault_plan);
+  out += "\nsuccess: ";
+  out += expected_success ? "1" : "0";
+  out += "\nvalue: " + format_double(expected_value);
+  out += "\nvirtual_end_us: " + std::to_string(expected_virtual_end);
+  if (!expected_metrics_json.empty()) {
+    out += "\nmetrics: ";
+    out += base64_encode(BytesView(
+        reinterpret_cast<const std::uint8_t*>(expected_metrics_json.data()),
+        expected_metrics_json.size()));
+  }
+  out += "\nsnapshot:\n";
+  out += base64_encode(snapshot, /*line_width=*/76);
+  out += "\n";
+  return out;
+}
+
+std::optional<ReplayBundle> ReplayBundle::from_text(const std::string& text,
+                                                    std::string* why) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    set_why(why, "missing bundle header line");
+    return std::nullopt;
+  }
+
+  ReplayBundle bundle;
+  bool have_scenario = false, have_trial_seed = false, have_kind = false;
+  bool have_verdict = false, have_snapshot = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "snapshot:") {
+      std::string b64;
+      while (std::getline(in, line)) b64 += line;
+      const auto raw = base64_decode(b64);
+      if (!raw) {
+        set_why(why, "snapshot base64 is malformed");
+        return std::nullopt;
+      }
+      bundle.snapshot = *raw;
+      have_snapshot = true;
+      break;  // the snapshot block is defined to be last
+    }
+    const std::size_t colon = line.find(": ");
+    if (colon == std::string::npos) {
+      set_why(why, "malformed line: " + line);
+      return std::nullopt;
+    }
+    const std::string key = line.substr(0, colon);
+    const std::string value = line.substr(colon + 2);
+    bool ok = true;
+    if (key == "scenario") {
+      const auto params = decode_scenario(value);
+      ok = params.has_value();
+      if (ok) bundle.scenario = *params;
+      have_scenario = ok;
+    } else if (key == "build_seed") {
+      ok = parse_u64(value, bundle.build_seed);
+    } else if (key == "trial_index") {
+      std::uint64_t v = 0;
+      ok = parse_u64(value, v);
+      bundle.trial_index = static_cast<std::size_t>(v);
+    } else if (key == "trial_seed") {
+      ok = parse_u64(value, bundle.trial_seed);
+      have_trial_seed = ok;
+    } else if (key == "trial_kind") {
+      bundle.trial_kind = value;
+      have_kind = !value.empty();
+    } else if (key == "fault_plan") {
+      bundle.fault_plan = decode_fault_plan(value);
+      ok = bundle.fault_plan.has_value();
+    } else if (key == "success") {
+      ok = value == "1" || value == "0";
+      bundle.expected_success = value == "1";
+      have_verdict = ok;
+    } else if (key == "value") {
+      ok = parse_double(value, bundle.expected_value);
+    } else if (key == "virtual_end_us") {
+      ok = parse_u64(value, bundle.expected_virtual_end);
+    } else if (key == "metrics") {
+      const auto raw = base64_decode(value);
+      ok = raw.has_value();
+      if (ok) bundle.expected_metrics_json.assign(raw->begin(), raw->end());
+    } else {
+      ok = false;  // unknown key: refuse to half-understand a bundle
+    }
+    if (!ok) {
+      set_why(why, "bad value for '" + key + "'");
+      return std::nullopt;
+    }
+  }
+
+  if (!have_scenario || !have_trial_seed || !have_kind || !have_verdict || !have_snapshot) {
+    set_why(why, "bundle is missing a required field");
+    return std::nullopt;
+  }
+  return bundle;
+}
+
+bool ReplayBundle::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << to_text();
+  return static_cast<bool>(out);
+}
+
+std::optional<ReplayBundle> ReplayBundle::load_file(const std::string& path,
+                                                    std::string* why) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    set_why(why, "cannot open '" + path + "'");
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_text(buf.str(), why);
+}
+
+bool known_trial_kind(const std::string& kind) {
+  return kind == "page_blocking_baseline" || kind == "page_blocking_attack" ||
+         kind == "page_blocking_attack_metrics";
+}
+
+std::optional<ReplayOutcome> execute_trial(const std::string& kind, Scenario& s,
+                                           const std::optional<faults::FaultPlan>& plan,
+                                           bool want_trace) {
+  if (!known_trial_kind(kind)) return std::nullopt;
+  const bool want_metrics = kind == "page_blocking_attack_metrics";
+
+  // Mirror the recording campaign's trial body order exactly: observability
+  // first (so its dispatch counters cover the same window), then the fault
+  // plan, then the attack. Tracing is observation-only, so turning it on
+  // for --trace-out cannot perturb the verdict or the metrics.
+  obs::Observer* obs = nullptr;
+  if (want_metrics || want_trace)
+    obs = &s.sim->enable_observability({.tracing = want_trace, .metrics = want_metrics});
+  if (plan.has_value()) s.sim->set_fault_plan(*plan);
+
+  ReplayOutcome out;
+  out.executed = true;
+  if (kind == "page_blocking_baseline") {
+    out.result.success =
+        core::PageBlockingAttack::baseline_trial(*s.sim, *s.attacker, *s.accessory,
+                                                 *s.target);
+  } else {
+    const auto report =
+        core::PageBlockingAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, {});
+    out.result.success = report.mitm_established;
+  }
+  out.result.virtual_end = s.sim->now();
+  if (obs != nullptr) {
+    if (want_metrics) {
+      auto metrics = std::make_shared<obs::MetricsSnapshot>(obs->snapshot());
+      out.metrics_json = metrics->to_json();
+      out.result.metrics = std::move(metrics);
+    }
+    if (want_trace) out.trace_json = obs->recorder().to_chrome_json();
+  }
+  return out;
+}
+
+ReplayOutcome replay_bundle(const ReplayBundle& bundle, bool want_trace) {
+  ReplayOutcome out;
+  if (resolve_profile(bundle.scenario) == nullptr) {
+    out.error = "scenario references a profile row that does not exist";
+    return out;
+  }
+
+  Scenario s = build_scenario(bundle.build_seed, bundle.scenario);
+
+  // Drift check: does today's code still produce the recorded warm bytes?
+  std::string why;
+  bool snapshot_matches = false;
+  if (const auto rebuilt = Snapshot::capture(*s.sim, &why))
+    snapshot_matches = rebuilt->bytes() == bundle.snapshot;
+
+  const auto snap = Snapshot::from_bytes(bundle.snapshot, &why);
+  if (!snap) {
+    out.error = "recorded snapshot rejected: " + why;
+    return out;
+  }
+  if (!snap->restore(*s.sim, &why)) {
+    out.error = "recorded snapshot restore failed: " + why;
+    return out;
+  }
+  s.sim->reseed(bundle.trial_seed);
+
+  auto exec = execute_trial(bundle.trial_kind, s, bundle.fault_plan, want_trace);
+  if (!exec) {
+    out.error = "unknown trial kind '" + bundle.trial_kind + "'";
+    return out;
+  }
+  out = std::move(*exec);
+  out.snapshot_matches = snapshot_matches;
+  out.verdict_matches = out.result.success == bundle.expected_success &&
+                        out.result.value == bundle.expected_value &&
+                        out.result.virtual_end == bundle.expected_virtual_end;
+  out.metrics_match = bundle.expected_metrics_json.empty() ||
+                      out.metrics_json == bundle.expected_metrics_json;
+  return out;
+}
+
+}  // namespace blap::snapshot

@@ -1,0 +1,114 @@
+// replay.hpp — self-contained failure-reproduction bundles.
+//
+// A Monte-Carlo campaign that reports "3 of 400 trials failed" is only
+// useful if those three trials can be put under a microscope. A
+// ReplayBundle is everything needed to do that, in one text file:
+//
+//   * the scenario (a ScenarioParams manifest line — which topology),
+//   * the warm snapshot the trial was forked from (base64 BLAPSNAP bytes),
+//   * the trial identity (index, seed) and the fault plan it ran under,
+//   * what the trial did (a trial-kind key into execute_trial()'s registry),
+//   * and the recorded verdict: success flag, value, final virtual clock,
+//     and the deterministic metrics JSON when the trial recorded metrics.
+//
+// replay_bundle() re-executes the bundle from scratch — rebuild topology,
+// restore snapshot, reseed, re-install the fault plan, run the trial kind —
+// and diffs every recorded field against the re-run. Because the whole
+// stack is deterministic, any mismatch means the code under test changed,
+// not the weather. The blap-replay tool wraps this with --trace-out to emit
+// a Perfetto-loadable Chrome trace of the reproduced trial.
+//
+// The format is text-first on purpose: bundles live in the repo as test
+// fixtures (tests/replay_corpus/) and must diff readably.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "common/bytes.hpp"
+#include "faults/fault_plan.hpp"
+#include "snapshot/scenarios.hpp"
+
+namespace blap::snapshot {
+
+struct ReplayBundle {
+  ScenarioParams scenario;
+  /// Seed the warm scenario was built with (the campaign's root seed). The
+  /// warm state is seed-independent, but replay rebuilds with the same one
+  /// so the rebuilt snapshot can be byte-compared against the recorded one.
+  std::uint64_t build_seed = 0;
+  std::size_t trial_index = 0;
+  std::uint64_t trial_seed = 0;
+  /// Key into execute_trial()'s registry (e.g. "page_blocking_attack").
+  std::string trial_kind;
+  /// Fault plan the trial installed, if any.
+  std::optional<faults::FaultPlan> fault_plan;
+
+  // Recorded verdict.
+  bool expected_success = false;
+  double expected_value = 0.0;
+  SimTime expected_virtual_end = 0;
+  /// MetricsSnapshot::to_json() of the trial's metrics; empty when the
+  /// trial recorded none.
+  std::string expected_metrics_json;
+
+  /// Serialized warm Snapshot (strict) the trial forked from.
+  Bytes snapshot;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static std::optional<ReplayBundle> from_text(const std::string& text,
+                                                             std::string* why = nullptr);
+  [[nodiscard]] bool save_file(const std::string& path) const;
+  [[nodiscard]] static std::optional<ReplayBundle> load_file(const std::string& path,
+                                                             std::string* why = nullptr);
+};
+
+/// Result of re-executing a bundle.
+struct ReplayOutcome {
+  /// Set (with `error`) when the bundle could not be executed at all —
+  /// unknown trial kind, snapshot restore failure. The match flags below
+  /// are meaningless in that case.
+  bool executed = false;
+  std::string error;
+
+  campaign::TrialResult result;
+  std::string metrics_json;  // empty when the trial kind records no metrics
+  std::string trace_json;    // Chrome trace JSON; filled when want_trace
+
+  /// Recorded {success, value, virtual_end} all equal the re-run's.
+  bool verdict_matches = false;
+  /// Recorded metrics JSON equals the re-run's (true when none recorded).
+  bool metrics_match = false;
+  /// Rebuilding the scenario from the manifest reproduces the recorded
+  /// warm snapshot byte-for-byte. A mismatch flags serialization or setup
+  /// drift since the bundle was recorded — replay still proceeds from the
+  /// recorded bytes.
+  bool snapshot_matches = false;
+
+  [[nodiscard]] bool reproduced() const {
+    return executed && verdict_matches && metrics_match;
+  }
+};
+
+/// Re-execute `bundle` and diff it against its recorded verdict.
+/// `want_trace` additionally runs the trial with tracing on and fills
+/// ReplayOutcome::trace_json (tracing is pure observation — it cannot
+/// change the verdict or the metrics).
+[[nodiscard]] ReplayOutcome replay_bundle(const ReplayBundle& bundle, bool want_trace);
+
+/// True for trial kinds execute_trial() knows how to run:
+/// "page_blocking_baseline", "page_blocking_attack",
+/// "page_blocking_attack_metrics".
+[[nodiscard]] bool known_trial_kind(const std::string& kind);
+
+/// Run one trial of `kind` on a scenario already restored+reseeded.
+/// Installs `plan` (when present) exactly as the recording campaign's trial
+/// body did, enables observability as the kind demands (metrics for
+/// *_metrics kinds, tracing when want_trace), and returns the trial result
+/// plus the deterministic emits. Returns nullopt for unknown kinds.
+[[nodiscard]] std::optional<ReplayOutcome> execute_trial(
+    const std::string& kind, Scenario& s, const std::optional<faults::FaultPlan>& plan,
+    bool want_trace);
+
+}  // namespace blap::snapshot

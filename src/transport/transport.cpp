@@ -38,6 +38,27 @@ hci::HciPacket HciTransport::wire_view(hci::Direction direction, const hci::HciP
   return protected_packet;
 }
 
+void HciTransport::save_state(state::StateWriter& w) const {
+  w.boolean(protection_key_.has_value());
+  if (protection_key_.has_value()) w.fixed(*protection_key_);
+  w.u64(protection_counter_[0]);
+  w.u64(protection_counter_[1]);
+  w.u64(taps_.size());
+}
+
+void HciTransport::load_state(state::StateReader& r, state::RestoreMode mode) {
+  if (r.boolean()) {
+    protection_key_ = r.fixed<crypto::Aes128::kKeySize>();
+  } else {
+    protection_key_.reset();
+  }
+  protection_counter_[0] = r.u64();
+  protection_counter_[1] = r.u64();
+  const std::uint64_t tap_count = r.u64();
+  if (mode == state::RestoreMode::kRewind && taps_.size() > tap_count)
+    taps_.resize(static_cast<std::size_t>(tap_count));
+}
+
 void HciTransport::send(hci::Direction direction, const hci::HciPacket& packet) {
   const hci::HciPacket observed = wire_view(direction, packet);
   for (const auto& tap : taps_) tap(direction, observed);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/scheduler.hpp"
+#include "common/state_io.hpp"
 #include "crypto/aes128.hpp"
 #include "hci/packets.hpp"
 
@@ -57,6 +58,15 @@ class HciTransport {
   [[nodiscard]] bool link_key_payload_protected() const { return protection_key_.has_value(); }
 
   [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+
+  /// Snapshot support: wire-protection state plus the attached-tap count.
+  /// Taps themselves are callbacks and cannot be serialized; a kRewind
+  /// restore truncates the tap list back to the captured count, dropping
+  /// exactly the observers a trial attached after the capture point.
+  /// Subclasses with extra observable state (UsbTransport's frame-observer
+  /// list) extend both methods.
+  virtual void save_state(state::StateWriter& w) const;
+  virtual void load_state(state::StateReader& r, state::RestoreMode mode);
 
  protected:
   /// Transit delay for a packet of the given wire size.

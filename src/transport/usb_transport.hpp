@@ -46,6 +46,11 @@ class UsbTransport final : public HciTransport {
   /// Endpoint assignment for a packet type and direction.
   [[nodiscard]] static std::uint8_t endpoint_for(hci::PacketType type, hci::Direction direction);
 
+  /// Snapshot support: base-transport state plus the frame-observer count
+  /// (a kRewind restore drops analyzers clipped on after the capture).
+  void save_state(state::StateWriter& w) const override;
+  void load_state(state::StateReader& r, state::RestoreMode mode) override;
+
  protected:
   [[nodiscard]] SimTime transit_delay(std::size_t wire_bytes) const override {
     return overhead_us_ + static_cast<SimTime>(wire_bytes) / 12;  // ~12 MB/s

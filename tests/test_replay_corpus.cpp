@@ -1,0 +1,77 @@
+// Replays the checked-in failure corpus (tests/replay_corpus/) and requires
+// every bundle to reproduce its recorded verdict, metrics and warm snapshot
+// exactly. This is the regression net for the whole record–replay chain:
+// scenario builders, snapshot serialization, the fork engine's reseed
+// contract, the fault layer's per-seed streams, and the trial-kind registry.
+// If any of those drift, the corpus catches it here — regenerate with
+// tools/replay/make_corpus only for DELIBERATE format or behavior changes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "snapshot/replay.hpp"
+
+namespace blap::snapshot {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  const std::filesystem::path root = BLAP_REPLAY_CORPUS_DIR;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".blapreplay")
+      files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ReplayCorpus, HasTheExpectedBundles) {
+  const auto files = corpus_files();
+  ASSERT_GE(files.size(), 3u) << "corpus went missing — regenerate with make_corpus";
+}
+
+TEST(ReplayCorpus, EveryBundleReproducesExactly) {
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    std::string why;
+    const auto bundle = ReplayBundle::load_file(path, &why);
+    ASSERT_TRUE(bundle.has_value()) << why;
+    ASSERT_TRUE(known_trial_kind(bundle->trial_kind)) << bundle->trial_kind;
+
+    const ReplayOutcome outcome = replay_bundle(*bundle, /*want_trace=*/false);
+    ASSERT_TRUE(outcome.executed) << outcome.error;
+    EXPECT_TRUE(outcome.verdict_matches)
+        << "recorded success=" << bundle->expected_success
+        << " virtual_end=" << bundle->expected_virtual_end
+        << " | re-run success=" << outcome.result.success
+        << " virtual_end=" << outcome.result.virtual_end;
+    EXPECT_TRUE(outcome.metrics_match);
+    EXPECT_TRUE(outcome.snapshot_matches)
+        << "scenario builders or snapshot format drifted since recording";
+    EXPECT_TRUE(outcome.reproduced());
+  }
+}
+
+// The corpus deliberately includes a lossy-channel supervision-timeout
+// trial; its replay must reproduce the recorded fault metrics too.
+TEST(ReplayCorpus, LossyBundleCarriesItsFaultPlan) {
+  bool found = false;
+  for (const std::string& path : corpus_files()) {
+    if (path.find("lossy-supervision") == std::string::npos) continue;
+    found = true;
+    std::string why;
+    const auto bundle = ReplayBundle::load_file(path, &why);
+    ASSERT_TRUE(bundle.has_value()) << why;
+    ASSERT_TRUE(bundle->fault_plan.has_value());
+    EXPECT_GT(bundle->fault_plan->loss, 0.0);
+    EXPECT_FALSE(bundle->expected_metrics_json.empty());
+    EXPECT_NE(bundle->expected_metrics_json.find("controller.supervision_timeouts"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(found) << "lossy-supervision bundle missing from the corpus";
+}
+
+}  // namespace
+}  // namespace blap::snapshot

@@ -204,5 +204,92 @@ TEST(Scheduler, TimeConstants) {
   EXPECT_EQ(kSlot, 625u);  // one Bluetooth baseband slot
 }
 
+// --- rewind (snapshot restore) staleness audit -------------------------------
+// A snapshot restore rewinds the scheduler; every EventHandle issued before
+// the rewind must come out stale — pending() false, cancel() a harmless
+// no-op — no matter what happens to its slot afterwards.
+
+// Live handles captured before a rewind are stale after it.
+TEST(Scheduler, RewindStalesLiveHandles) {
+  Scheduler sched;
+  bool fired = false;
+  auto h = sched.schedule_at(50, [&] { fired = true; });
+  ASSERT_TRUE(h.pending());
+
+  sched.rewind(0, sched.next_seq());
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(sched.idle());
+  h.cancel();  // must not throw, must not affect anything scheduled later
+
+  bool after = false;
+  sched.schedule_at(10, [&] { after = true; });
+  sched.run_all();
+  EXPECT_TRUE(after);
+  EXPECT_FALSE(fired);  // the pre-rewind event is gone for good
+}
+
+// A pre-rewind handle whose slot is recycled by a post-rewind event must not
+// alias it: pending() stays false and cancel() must not kill the newcomer.
+TEST(Scheduler, PreRewindHandleCannotTouchSlotReuse) {
+  Scheduler sched;
+  auto stale = sched.schedule_at(50, [] {});
+  sched.rewind(0, sched.next_seq());
+
+  // Refill until some new event plausibly lands in the stale handle's slot.
+  int fired = 0;
+  std::vector<EventHandle> fresh;
+  for (int i = 0; i < 8; ++i)
+    fresh.push_back(sched.schedule_at(static_cast<SimTime>(10 + i), [&] { ++fired; }));
+
+  EXPECT_FALSE(stale.pending());
+  stale.cancel();  // must be a no-op even if a fresh event reused its slot
+  for (const auto& h : fresh) EXPECT_TRUE(h.pending());
+  sched.run_all();
+  EXPECT_EQ(fired, 8);
+}
+
+// Cancelled-before-rewind handles stay safely stale too, and a rewind to a
+// later (now, seq) point — what a snapshot of a long-running sim restores —
+// resumes the clock exactly there.
+TEST(Scheduler, RewindRestoresClockAndSequence) {
+  Scheduler sched;
+  auto cancelled = sched.schedule_at(10, [] {});
+  cancelled.cancel();
+  auto live = sched.schedule_at(20, [] {});
+  ASSERT_TRUE(live.pending());
+
+  sched.rewind(1'234'567, 99);
+  EXPECT_EQ(sched.now(), 1'234'567u);
+  EXPECT_EQ(sched.next_seq(), 99u);
+  EXPECT_TRUE(sched.idle());
+  EXPECT_FALSE(cancelled.pending());
+  EXPECT_FALSE(live.pending());
+  cancelled.cancel();
+  live.cancel();
+
+  // Post-rewind events schedule relative to the restored clock.
+  SimTime seen = 0;
+  sched.schedule_in(10, [&] { seen = sched.now(); });
+  sched.run_all();
+  EXPECT_EQ(seen, 1'234'577u);
+}
+
+// Handles that survive in DIFFERENT schedulers are independent: rewinding
+// one scheduler must not stale another's handles (generation state is
+// per-scheduler, not global).
+TEST(Scheduler, RewindIsPerScheduler) {
+  Scheduler a;
+  Scheduler b;
+  auto ha = a.schedule_at(10, [] {});
+  bool b_fired = false;
+  auto hb = b.schedule_at(10, [&] { b_fired = true; });
+
+  a.rewind(0, a.next_seq());
+  EXPECT_FALSE(ha.pending());
+  EXPECT_TRUE(hb.pending());
+  b.run_all();
+  EXPECT_TRUE(b_fired);
+}
+
 }  // namespace
 }  // namespace blap

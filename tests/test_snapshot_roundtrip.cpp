@@ -1,0 +1,154 @@
+// Property test for snapshot serialization at arbitrary stop points.
+//
+// The serializer is only trustworthy if a capture→restore round-trip is
+// invisible: a simulation that is serialized and deserialized mid-flight —
+// mid-pairing, mid-ARQ-retransmission — must continue to EXACTLY the same
+// future as a twin that was never touched. The test runs two identically
+// built, identically seeded simulations:
+//
+//   * sim A runs the workload uninterrupted;
+//   * sim B runs k scheduler events, takes a relaxed snapshot, immediately
+//     restores it in place (a full serialize→parse→apply round-trip over
+//     every component), then continues;
+//
+// and requires byte-identical outcomes for a sweep of k values: final
+// virtual clock, pairing verdicts, the accessory's btsnoop bytes, metrics
+// JSON, and a full relaxed re-capture of both end states.
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+#include "snapshot/scenarios.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace blap::snapshot {
+namespace {
+
+constexpr SimTime kWindow = 30 * kSecond;
+
+struct Workload {
+  double loss = 0.0;  // > 0 puts the baseband ARQ mid-retransmission
+};
+
+struct Outcome {
+  bool paired = false;
+  hci::Status status = hci::Status::kSuccess;
+  SimTime end = 0;
+  Bytes accessory_snoop;
+  std::string metrics_json;
+  Bytes final_state;
+};
+
+Scenario start(const Workload& w) {
+  ScenarioParams params;
+  params.kind = ScenarioParams::Kind::kExtraction;
+  params.profile_index = 5;
+  Scenario s = build_scenario(1234, params);
+  s.sim->enable_observability({.tracing = false, .metrics = true});
+  if (w.loss > 0.0) {
+    faults::FaultPlan plan;
+    plan.seed = 42;
+    plan.loss = w.loss;
+    s.sim->set_fault_plan(plan);
+  }
+  return s;
+}
+
+// `paired`/`status` are written by the pair() completion callback while the
+// simulation runs inside this function, so they must come in by reference.
+Outcome finish(Scenario& s, const bool& paired, const hci::Status& status) {
+  s.sim->scheduler().run_until(kWindow);
+  s.sim->run_until_idle();
+  Outcome o;
+  o.paired = paired;
+  o.status = status;
+  o.end = s.sim->now();
+  o.accessory_snoop = s.accessory->host().snoop().serialize();
+  o.metrics_json = s.sim->observer()->snapshot().to_json();
+  o.final_state = Snapshot::capture_relaxed(*s.sim).bytes();
+  return o;
+}
+
+/// Uninterrupted reference run.
+Outcome run_straight(const Workload& w) {
+  Scenario s = start(w);
+  bool paired = false;
+  hci::Status status = hci::Status::kSuccess;
+  s.accessory->host().pair(s.target->address(), [&](hci::Status st) {
+    paired = true;
+    status = st;
+  });
+  return finish(s, paired, status);
+}
+
+/// Same run, but serialized and restored in place after k events.
+Outcome run_with_roundtrip(const Workload& w, int k) {
+  Scenario s = start(w);
+  bool paired = false;
+  hci::Status status = hci::Status::kSuccess;
+  s.accessory->host().pair(s.target->address(), [&](hci::Status st) {
+    paired = true;
+    status = st;
+  });
+  for (int i = 0; i < k && !s.sim->scheduler().idle(); ++i)
+    (void)s.sim->scheduler().step();
+
+  const Snapshot mid = Snapshot::capture_relaxed(*s.sim);
+  EXPECT_FALSE(mid.strict());
+  std::string why;
+  // Round-trip through the parser too: bytes -> Snapshot -> apply.
+  const auto reparsed = Snapshot::from_bytes(mid.bytes(), &why);
+  EXPECT_TRUE(reparsed.has_value()) << why;
+  if (!reparsed.has_value()) return Outcome{};
+  EXPECT_TRUE(reparsed->restore_in_place(*s.sim, &why)) << "k=" << k << ": " << why;
+
+  return finish(s, paired, status);
+}
+
+void expect_same(const Outcome& a, const Outcome& b, int k) {
+  EXPECT_EQ(a.paired, b.paired) << "k=" << k;
+  EXPECT_EQ(a.status, b.status) << "k=" << k;
+  EXPECT_EQ(a.end, b.end) << "k=" << k;
+  EXPECT_EQ(a.accessory_snoop, b.accessory_snoop) << "k=" << k;
+  EXPECT_EQ(a.metrics_json, b.metrics_json) << "k=" << k;
+  EXPECT_EQ(a.final_state, b.final_state) << "k=" << k;
+}
+
+// Capture points sweep the whole pairing: HCI bring-up tail, paging, the
+// SSP public-key exchange, authentication, encryption start, idle-out.
+constexpr int kStops[] = {1, 2, 3, 5, 8, 13, 21, 40, 75, 150, 300, 600, 1200};
+
+TEST(SnapshotRoundTrip, MidPairingCapturePointsAreInvisible) {
+  const Workload clean{};
+  const Outcome reference = run_straight(clean);
+  ASSERT_TRUE(reference.paired);
+  EXPECT_EQ(reference.status, hci::Status::kSuccess);
+  for (const int k : kStops) {
+    const Outcome rt = run_with_roundtrip(clean, k);
+    expect_same(reference, rt, k);
+  }
+}
+
+TEST(SnapshotRoundTrip, MidArqCapturePointsAreInvisible) {
+  // 35 % iid loss: ARQ retransmissions and supervision timers are live at
+  // most capture points.
+  const Workload lossy{.loss = 0.35};
+  const Outcome reference = run_straight(lossy);
+  for (const int k : kStops) {
+    const Outcome rt = run_with_roundtrip(lossy, k);
+    expect_same(reference, rt, k);
+  }
+}
+
+// The relaxed end-state capture used above must itself be deterministic:
+// two identical runs serialize to identical bytes (no pointer values, no
+// hash order, no wall clock anywhere in the format).
+TEST(SnapshotRoundTrip, SerializationIsCanonical) {
+  const Workload clean{};
+  const Outcome a = run_straight(clean);
+  const Outcome b = run_straight(clean);
+  EXPECT_EQ(a.final_state, b.final_state);
+  EXPECT_EQ(a.accessory_snoop, b.accessory_snoop);
+}
+
+}  // namespace
+}  // namespace blap::snapshot

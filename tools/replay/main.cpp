@@ -1,0 +1,125 @@
+// blap-replay — re-execute a recorded trial bundle and diff it against the
+// recorded verdict.
+//
+//   blap-replay <bundle.blapreplay> [--trace-out <path>] [--strict] [--quiet]
+//
+// Loads the bundle, rebuilds its scenario, restores the recorded warm
+// snapshot, reseeds with the recorded trial seed, re-runs the trial kind
+// (re-installing the recorded fault plan) and compares success / value /
+// final virtual clock / metrics JSON against what the campaign recorded.
+// The stack is deterministic, so any mismatch means the code under test
+// changed since the bundle was written.
+//
+// --trace-out additionally runs the trial with tracing enabled and writes a
+// Chrome-trace JSON loadable in Perfetto (ui.perfetto.dev) — tracing is
+// pure observation and cannot perturb the verdict. --strict also fails when
+// rebuilding the scenario no longer reproduces the recorded snapshot
+// byte-for-byte (setup/serialization drift); by default that is a warning,
+// since replay proceeds from the recorded bytes either way.
+//
+// Exit codes: 0 reproduced, 1 not reproduced (or snapshot drift under
+// --strict), 2 usage/load errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "snapshot/replay.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <bundle.blapreplay> [--trace-out <path>] [--strict] [--quiet]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blap::snapshot;
+
+  std::string bundle_path;
+  std::string trace_out;
+  bool strict = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 2;
+      }
+      trace_out = argv[++i];
+    } else if (std::strcmp(arg, "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "blap-replay: unknown option '%s'\n", arg);
+      usage(argv[0]);
+      return 2;
+    } else if (bundle_path.empty()) {
+      bundle_path = arg;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (bundle_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::string why;
+  const auto bundle = ReplayBundle::load_file(bundle_path, &why);
+  if (!bundle.has_value()) {
+    std::fprintf(stderr, "blap-replay: cannot load %s: %s\n", bundle_path.c_str(),
+                 why.c_str());
+    return 2;
+  }
+
+  const ReplayOutcome outcome = replay_bundle(*bundle, !trace_out.empty());
+  if (!outcome.executed) {
+    std::fprintf(stderr, "blap-replay: %s\n", outcome.error.c_str());
+    return 2;
+  }
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "blap-replay: cannot write %s\n", trace_out.c_str());
+      return 2;
+    }
+    out << outcome.trace_json;
+    if (!quiet)
+      std::printf("trace written to %s (load in ui.perfetto.dev)\n", trace_out.c_str());
+  }
+
+  if (!quiet) {
+    std::printf("bundle:   %s\n", bundle_path.c_str());
+    std::printf("scenario: %s\n", encode_scenario(bundle->scenario).c_str());
+    std::printf("trial:    kind=%s index=%zu seed=%llu%s\n", bundle->trial_kind.c_str(),
+                bundle->trial_index, static_cast<unsigned long long>(bundle->trial_seed),
+                bundle->fault_plan.has_value() ? " (fault plan installed)" : "");
+    std::printf("verdict:  recorded success=%d value=%g virtual_end=%llu\n",
+                bundle->expected_success ? 1 : 0, bundle->expected_value,
+                static_cast<unsigned long long>(bundle->expected_virtual_end));
+    std::printf("re-run:   success=%d value=%g virtual_end=%llu\n",
+                outcome.result.success ? 1 : 0, outcome.result.value,
+                static_cast<unsigned long long>(outcome.result.virtual_end));
+    std::printf("match:    verdict=%s metrics=%s snapshot=%s\n",
+                outcome.verdict_matches ? "yes" : "NO",
+                outcome.metrics_match ? "yes" : "NO",
+                outcome.snapshot_matches ? "yes" : "DRIFTED");
+  }
+  if (!outcome.snapshot_matches && !quiet)
+    std::fprintf(stderr,
+                 "blap-replay: warning: rebuilt scenario no longer matches the recorded "
+                 "snapshot (replayed from recorded bytes)%s\n",
+                 strict ? " [--strict: failing]" : "");
+
+  const bool ok = outcome.reproduced() && (!strict || outcome.snapshot_matches);
+  if (!quiet) std::printf("%s\n", ok ? "REPRODUCED" : "NOT REPRODUCED");
+  return ok ? 0 : 1;
+}

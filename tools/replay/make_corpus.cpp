@@ -1,0 +1,163 @@
+// make_corpus — regenerate the checked-in replay corpus (tests/replay_corpus/).
+//
+//   make_corpus <output-dir>
+//
+// Records three bundles that pin the record–replay contract in CI
+// (tests/test_replay_corpus.cpp replays each and requires an exact
+// reproduction):
+//
+//   * baseline-miss    — a clean-channel Table II baseline trial the
+//                        attacker LOST (the page race went to C). Profile
+//                        row 5, the extraction victim.
+//   * attack-clean     — a clean-channel page blocking attack trial
+//                        (deterministic success), with metrics recorded.
+//   * lossy-supervision — a 35 %-loss attack trial whose metrics show the
+//                        ARQ giving up (supervision timeout), from the
+//                        bench_fault_sweep heavy cell (root seed
+//                        77'000 + 3 * 1'000'000).
+//
+// The output is deterministic: same binaries -> same bundle bytes. The
+// corpus only needs regenerating when the snapshot format, the scenario
+// builders, or the trial bodies deliberately change.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "core/page_blocking.hpp"
+#include "obs/obs.hpp"
+#include "snapshot/fork_campaign.hpp"
+
+namespace {
+
+using namespace blap;
+
+campaign::TrialResult attack_metrics_body(const campaign::TrialSpec& spec,
+                                          snapshot::Scenario& s, double loss) {
+  auto& obs = s.sim->enable_observability({.tracing = false, .metrics = true});
+  if (loss > 0.0) {
+    faults::FaultPlan plan;
+    plan.seed = spec.seed;
+    plan.loss = loss;
+    s.sim->set_fault_plan(plan);
+  }
+  const auto report =
+      core::PageBlockingAttack::run(*s.sim, *s.attacker, *s.accessory, *s.target, {});
+  campaign::TrialResult r;
+  r.success = report.mitm_established;
+  r.virtual_end = s.sim->now();
+  r.metrics = std::make_shared<obs::MetricsSnapshot>(obs.snapshot());
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blap;
+
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string out_dir = argv[1];
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+
+  snapshot::ScenarioParams params;
+  params.kind = snapshot::ScenarioParams::Kind::kAbc;
+  params.table = snapshot::ProfileTable::kTable2;
+  params.profile_index = 5;
+  params.accessory_transport = core::TransportKind::kUart;
+  params.accessory_has_dump = true;
+  params.baseline_bias = core::table2_profiles()[5].baseline_mitm_success;
+
+  int written = 0;
+  const auto report = [&written](const char* what, const snapshot::ForkStats& stats) {
+    for (const auto& path : stats.bundle_paths) {
+      std::printf("%-17s -> %s\n", what, path.c_str());
+      ++written;
+    }
+  };
+
+  // baseline-miss: first clean-channel baseline failure (attacker lost the
+  // page race). Sequential seeds from the bench_table2 root.
+  {
+    campaign::CampaignConfig cfg;
+    cfg.label = "corpus baseline";
+    cfg.trials = 50;
+    cfg.root_seed = 10'000;
+    cfg.seed_fn = [](std::uint64_t root, std::size_t index) { return root + index; };
+    snapshot::RecordOptions rec;
+    rec.dir = out_dir + "/baseline-miss";
+    rec.trial_kind = "page_blocking_baseline";
+    rec.limit = 1;
+    snapshot::ForkStats stats;
+    (void)snapshot::run_fork_campaign(
+        cfg, params,
+        [](const campaign::TrialSpec&, snapshot::Scenario& s) {
+          campaign::TrialResult r;
+          r.success = core::PageBlockingAttack::baseline_trial(*s.sim, *s.attacker,
+                                                               *s.accessory, *s.target);
+          r.virtual_end = s.sim->now();
+          return r;
+        },
+        &rec, &stats);
+    report("baseline-miss", stats);
+  }
+
+  // attack-clean: one deterministic page blocking success, metrics on.
+  {
+    campaign::CampaignConfig cfg;
+    cfg.label = "corpus attack";
+    cfg.trials = 1;
+    cfg.root_seed = 20'000;
+    cfg.seed_fn = [](std::uint64_t root, std::size_t index) { return root + index; };
+    snapshot::RecordOptions rec;
+    rec.dir = out_dir + "/attack-clean";
+    rec.trial_kind = "page_blocking_attack_metrics";
+    rec.predicate = [](const campaign::TrialResult& r) { return r.success; };
+    rec.limit = 1;
+    snapshot::ForkStats stats;
+    (void)snapshot::run_fork_campaign(
+        cfg, params,
+        [](const campaign::TrialSpec& spec, snapshot::Scenario& s) {
+          return attack_metrics_body(spec, s, 0.0);
+        },
+        &rec, &stats);
+    report("attack-clean", stats);
+  }
+
+  // lossy-supervision: bench_fault_sweep's 35 % cell; record the first trial
+  // whose ARQ hit a supervision timeout.
+  {
+    campaign::CampaignConfig cfg;
+    cfg.label = "corpus lossy";
+    cfg.trials = 50;
+    cfg.root_seed = 77'000 + 3 * 1'000'000;
+    snapshot::RecordOptions rec;
+    rec.dir = out_dir + "/lossy-supervision";
+    rec.trial_kind = "page_blocking_attack_metrics";
+    rec.predicate = [](const campaign::TrialResult& r) {
+      if (r.metrics == nullptr) return false;
+      const auto it = r.metrics->counters.find("controller.supervision_timeouts");
+      return it != r.metrics->counters.end() && it->second > 0;
+    };
+    rec.fault_plan = [](const campaign::TrialSpec& spec) {
+      faults::FaultPlan plan;
+      plan.seed = spec.seed;
+      plan.loss = 0.35;
+      return std::optional<faults::FaultPlan>(plan);
+    };
+    rec.limit = 1;
+    snapshot::ForkStats stats;
+    (void)snapshot::run_fork_campaign(
+        cfg, params,
+        [](const campaign::TrialSpec& spec, snapshot::Scenario& s) {
+          return attack_metrics_body(spec, s, 0.35);
+        },
+        &rec, &stats);
+    report("lossy-supervision", stats);
+  }
+
+  std::printf("%d bundle(s) written under %s\n", written, out_dir.c_str());
+  return written == 3 ? 0 : 1;
+}
