@@ -77,6 +77,22 @@ EventHandle Scheduler::schedule_in(SimTime delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+EventHandle Scheduler::schedule_at_seq(SimTime when, std::uint64_t seq,
+                                       std::function<void()> fn) {
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(generations_.size());
+    generations_.push_back(0);
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  const std::uint32_t generation = generations_[slot];
+  heap_.push_back(Event{when < now_ ? now_ : when, seq, slot, generation, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle(this, slot, generation);
+}
+
 Scheduler::Event Scheduler::pop_event() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Event ev = std::move(heap_.back());

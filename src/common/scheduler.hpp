@@ -92,6 +92,22 @@ class Scheduler {
   /// Schedule fn to run `delay` microseconds from now.
   EventHandle schedule_in(SimTime delay, std::function<void()> fn);
 
+  /// Reserve `count` consecutive sequence numbers and return the first.
+  /// Batched event sources (the radio medium's inquiry-response fan-out)
+  /// draw their tie-break sequence numbers up front so that one cursor
+  /// event delivering k callbacks is ordered exactly as k individually
+  /// scheduled events would have been.
+  [[nodiscard]] std::uint64_t reserve_seqs(std::size_t count) {
+    const std::uint64_t base = next_seq_;
+    next_seq_ += count;
+    return base;
+  }
+
+  /// schedule_at() with an explicit tie-break sequence number previously
+  /// obtained from reserve_seqs(). The caller owns the contract that `seq`
+  /// was reserved and is used at most once per queue residency.
+  EventHandle schedule_at_seq(SimTime when, std::uint64_t seq, std::function<void()> fn);
+
   /// Run events until the queue is empty or `deadline` is passed; the clock
   /// ends at min(deadline, last event time). Returns events executed.
   std::size_t run_until(SimTime deadline);

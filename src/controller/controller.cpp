@@ -24,6 +24,11 @@ Controller::Controller(Scheduler& scheduler, radio::RadioMedium& medium,
 
 Controller::~Controller() { medium_.detach(this); }
 
+void Controller::set_address(const BdAddr& address) {
+  config_.address = address;
+  medium_.notify_endpoint_changed(this);
+}
+
 bool Controller::inquiry_scan_enabled() const {
   return scan_enable_ == hci::ScanEnable::kInquiryOnly ||
          scan_enable_ == hci::ScanEnable::kInquiryAndPage;
@@ -111,6 +116,7 @@ void Controller::on_command(const hci::HciPacket& packet) {
     case hci::op::kReset:
       links_.clear();
       scan_enable_ = hci::ScanEnable::kInquiryAndPage;
+      medium_.notify_endpoint_changed(this);
       command_complete(*opcode, hci::Status::kSuccess);
       break;
     case hci::op::kReadBdAddr: {
@@ -123,6 +129,7 @@ void Controller::on_command(const hci::HciPacket& packet) {
     case hci::op::kWriteScanEnable:
       if (auto cmd = hci::WriteScanEnableCmd::decode(*params)) {
         scan_enable_ = cmd->scan_enable;
+        medium_.notify_endpoint_changed(this);
         command_complete(*opcode, hci::Status::kSuccess);
       }
       break;
@@ -1901,6 +1908,9 @@ void Controller::load_state(state::StateReader& r, state::RestoreMode mode) {
     restored.emplace(link.handle, std::move(link));
   }
   if (r.ok()) links_ = std::move(restored);
+  // The medium's section restored before this one and indexed our
+  // *pre-restore* address and scan bits; re-sync now that they are final.
+  medium_.notify_endpoint_changed(this);
 }
 
 }  // namespace blap::controller

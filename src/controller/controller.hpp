@@ -89,7 +89,8 @@ class Controller final : public radio::RadioEndpoint {
 
   /// Reconfigure identity (models rewriting /persist/bdaddr.txt and
   /// bt_target.h before the stack restarts — the paper's spoofing step).
-  void set_address(const BdAddr& address) { config_.address = address; }
+  /// Out of line: the medium's BD_ADDR index must hear about the change.
+  void set_address(const BdAddr& address);
   void set_class_of_device(ClassOfDevice cod) { config_.class_of_device = cod; }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
 

@@ -1,0 +1,99 @@
+#include "radio/crowd.hpp"
+
+#include <algorithm>
+
+namespace blap::radio {
+
+BdAddr Crowd::member_address(std::uint32_t index) {
+  return BdAddr({0xC0, 0x5D, static_cast<std::uint8_t>(index >> 24),
+                 static_cast<std::uint8_t>(index >> 16),
+                 static_cast<std::uint8_t>(index >> 8),
+                 static_cast<std::uint8_t>(index)});
+}
+
+Crowd::Crowd(Scheduler& scheduler, RadioMedium& medium, CrowdConfig config)
+    : scheduler_(scheduler), medium_(medium), config_(config), rng_(config.seed) {}
+
+Crowd::~Crowd() { detach_all(); }
+
+void Crowd::populate() {
+  const std::size_t n = config_.population;
+  const std::size_t discoverable =
+      static_cast<std::size_t>(static_cast<double>(n) * config_.discoverable_fraction);
+  endpoints_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // The first `discoverable` members answer inquiries; membership must be
+    // a pure function of the index so a (seed, config) pair names one crowd.
+    endpoints_.push_back(std::make_unique<CrowdEndpoint>(
+        member_address(static_cast<std::uint32_t>(i)), config_.page_scan_interval,
+        i < discoverable, &stats_));
+    medium_.attach(endpoints_.back().get());
+  }
+  attached_ = true;
+
+  // Pair up the front of the crowd: 2k pages 2k+1. The page timeout covers
+  // the worst page-scan draw, so every pair connects once the caller runs
+  // the scheduler past the longest latency.
+  const std::size_t pairs =
+      static_cast<std::size_t>(static_cast<double>(n) * config_.paired_fraction) / 2;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const std::size_t a = 2 * p;
+    medium_.page(endpoints_[a].get(), member_address(static_cast<std::uint32_t>(a + 1)),
+                 2 * config_.page_scan_interval, [this](std::optional<LinkId> id) {
+                   if (!id.has_value()) ++stats_.pages_failed;
+                 });
+  }
+}
+
+void Crowd::start(SimTime horizon) {
+  const SimTime now = scheduler_.now();
+  const std::size_t stormers = std::min(config_.storm_count, endpoints_.size());
+  for (std::size_t i = 0; i < stormers; ++i) {
+    // Random phase staggers the storms across the interval.
+    const SimTime phase = rng_.uniform(config_.inquiry_interval > 0
+                                           ? config_.inquiry_interval
+                                           : 1);
+    schedule_storm(i, now + phase, horizon);
+  }
+  if (config_.chatter_interval > 0) {
+    const std::size_t pairs = static_cast<std::size_t>(
+        static_cast<double>(endpoints_.size()) * config_.paired_fraction) / 2;
+    const std::size_t chatterers =
+        static_cast<std::size_t>(static_cast<double>(pairs) * config_.chatter_fraction);
+    for (std::size_t p = 0; p < chatterers; ++p) {
+      const SimTime phase = rng_.uniform(config_.chatter_interval);
+      schedule_chatter(2 * p, now + phase, horizon);
+    }
+  }
+}
+
+void Crowd::schedule_storm(std::size_t index, SimTime when, SimTime horizon) {
+  if (when >= horizon) return;
+  scheduler_.schedule_at(when, [this, index, when, horizon] {
+    if (!attached_) return;
+    ++stats_.inquiries_started;
+    medium_.start_inquiry(
+        endpoints_[index].get(), config_.inquiry_duration,
+        [this](const InquiryResponse&) { ++stats_.inquiry_responses_heard; }, nullptr);
+    schedule_storm(index, when + config_.inquiry_interval, horizon);
+  });
+}
+
+void Crowd::schedule_chatter(std::size_t index, SimTime when, SimTime horizon) {
+  if (when >= horizon) return;
+  scheduler_.schedule_at(when, [this, index, when, horizon] {
+    if (!attached_) return;
+    const LinkId link = endpoints_[index]->initiated_link();
+    if (link != 0)
+      medium_.send_frame(link, endpoints_[index].get(), Bytes{0x5A, 0x00});
+    schedule_chatter(index, when + config_.chatter_interval, horizon);
+  });
+}
+
+void Crowd::detach_all() {
+  if (!attached_) return;
+  attached_ = false;
+  for (const auto& endpoint : endpoints_) medium_.detach(endpoint.get());
+}
+
+}  // namespace blap::radio

@@ -1,0 +1,152 @@
+// crowd.hpp — deterministic population-scale radio crowds.
+//
+// The ROADMAP's north star is attack behaviour inside *dense* radio
+// environments — train-station crowds of phones, earbuds and car kits, not
+// the paper's laboratory three-device cell. A Crowd fills a RadioMedium
+// with up to hundreds of thousands of lightweight endpoints that exercise
+// exactly the medium surfaces the BLAP attacker competes on:
+//
+//   * piconet pairs — a configurable fraction of the crowd pages its
+//     partner and holds a baseband link (scatternet mesh density);
+//   * inquiry-scan storms — a fraction of the crowd runs periodic
+//     inquiries; every inquiry-scanning endpoint answers, driving the
+//     medium's batched response fan-out;
+//   * chatter — paired endpoints exchange keepalive frames, loading the
+//     scheduler with cross-piconet traffic.
+//
+// CrowdEndpoint implements RadioEndpoint directly rather than carrying a
+// full Device (host + controller + transport): a 100k-device crowd with
+// full stacks would burn gigabytes and minutes of power-on HCI traffic for
+// background extras whose only role is to occupy the air. The BLAP roles
+// (A, C, M) stay full Devices; the crowd is the environment around them.
+//
+// Determinism: every draw (scan intervals, storm phases, chatter offsets)
+// comes from one Rng seeded by CrowdConfig::seed, consumed in index order
+// at build time; page-latency draws ride the medium's own stream like any
+// other endpoint. A (seed, config) pair names one exact crowd.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "radio/radio_medium.hpp"
+
+namespace blap::radio {
+
+struct CrowdConfig {
+  std::size_t population = 1000;
+  /// Fraction of the crowd joined into two-endpoint piconets (rounded down
+  /// to whole pairs).
+  double paired_fraction = 0.5;
+  /// Fraction of the crowd answering inquiries (inquiry scan on). The rest
+  /// is connectable but not discoverable — like most real phones.
+  double discoverable_fraction = 0.25;
+  /// Number of endpoints running periodic inquiries. A count, not a
+  /// fraction: each inquiry collects a response from every discoverable
+  /// endpoint, so the event volume is storm_count * discoverable *
+  /// (horizon / inquiry_interval) — callers size it to their budget.
+  std::size_t storm_count = 2;
+  SimTime inquiry_interval = 5 * kSecond;
+  SimTime inquiry_duration = 2 * kSecond;
+  /// Keepalive period for chattering pairs; 0 disables chatter.
+  SimTime chatter_interval = 0;
+  /// Fraction of pairs that chatter (when chatter_interval > 0).
+  double chatter_fraction = 0.1;
+  /// Crowd page-scan interval (R1, 1.28 s). Pair-forming pages use a
+  /// timeout of twice this, so every pair connects.
+  SimTime page_scan_interval = 2048 * kSlot;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregate counters the crowd's callbacks feed; what the scale bench and
+/// the crowd scenario report.
+struct CrowdStats {
+  std::size_t links_established = 0;
+  std::size_t pages_failed = 0;
+  std::size_t inquiries_started = 0;
+  std::size_t inquiry_responses_heard = 0;
+  std::size_t frames_delivered = 0;
+};
+
+/// Minimal endpoint: a BD_ADDR, scan bits, a page-scan latency model, and
+/// counters. No host, no controller, no HCI.
+class CrowdEndpoint final : public RadioEndpoint {
+ public:
+  CrowdEndpoint(BdAddr address, SimTime page_scan_interval, bool discoverable,
+                CrowdStats* stats)
+      : address_(address), page_scan_interval_(page_scan_interval),
+        discoverable_(discoverable), stats_(stats) {}
+
+  [[nodiscard]] BdAddr radio_address() const override { return address_; }
+  [[nodiscard]] ClassOfDevice radio_class_of_device() const override {
+    return ClassOfDevice(ClassOfDevice::kMobilePhone);
+  }
+  [[nodiscard]] std::string radio_name() const override { return "crowd"; }
+  [[nodiscard]] bool inquiry_scan_enabled() const override { return discoverable_; }
+  [[nodiscard]] bool page_scan_enabled() const override { return true; }
+  [[nodiscard]] SimTime sample_page_response_latency(Rng& rng) override {
+    return 1 + rng.uniform(page_scan_interval_);
+  }
+  void on_link_established(LinkId link, const BdAddr&, bool initiator) override {
+    if (initiator) link_ = link;
+    ++stats_->links_established;
+  }
+  void on_link_closed(LinkId link, std::uint8_t) override {
+    if (link_ == link) link_ = 0;
+  }
+  void on_air_frame(LinkId, const Bytes&) override { ++stats_->frames_delivered; }
+
+  /// The link this endpoint initiated (0 if none / closed) — the chatter
+  /// loop sends on it.
+  [[nodiscard]] LinkId initiated_link() const { return link_; }
+
+ private:
+  BdAddr address_;
+  SimTime page_scan_interval_;
+  bool discoverable_;
+  CrowdStats* stats_;
+  LinkId link_ = 0;
+};
+
+class Crowd {
+ public:
+  Crowd(Scheduler& scheduler, RadioMedium& medium, CrowdConfig config);
+  ~Crowd();
+  Crowd(const Crowd&) = delete;
+  Crowd& operator=(const Crowd&) = delete;
+
+  /// Build and attach the population, then issue the pair-forming pages.
+  /// Pages resolve through the scheduler: run the simulation (for at least
+  /// 2 * page_scan_interval) to bring the piconet links up.
+  void populate();
+
+  /// Schedule inquiry storms and chatter from now until `horizon`
+  /// (absolute). Every event lands strictly before the horizon, so a
+  /// run_all() terminates.
+  void start(SimTime horizon);
+
+  /// Detach every crowd endpoint from the medium (idempotent; the
+  /// destructor calls it too). Closes all crowd piconet links.
+  void detach_all();
+
+  [[nodiscard]] const CrowdStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t population() const { return endpoints_.size(); }
+
+  /// Deterministic crowd member address: c0:5d:<index, big-endian>.
+  [[nodiscard]] static BdAddr member_address(std::uint32_t index);
+
+ private:
+  void schedule_storm(std::size_t index, SimTime when, SimTime horizon);
+  void schedule_chatter(std::size_t index, SimTime when, SimTime horizon);
+
+  Scheduler& scheduler_;
+  RadioMedium& medium_;
+  CrowdConfig config_;
+  Rng rng_;
+  CrowdStats stats_;
+  std::vector<std::unique_ptr<CrowdEndpoint>> endpoints_;
+  bool attached_ = false;
+};
+
+}  // namespace blap::radio

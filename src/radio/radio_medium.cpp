@@ -7,17 +7,52 @@
 namespace blap::radio {
 
 void RadioMedium::attach(RadioEndpoint* endpoint) {
-  if (std::find(endpoints_.begin(), endpoints_.end(), endpoint) == endpoints_.end())
-    endpoints_.push_back(endpoint);
+  const EndpointHandle h = registry_.attach(endpoint);
+  if (links_of_slot_.size() <= h.slot) links_of_slot_.resize(h.slot + 1);
 }
 
 void RadioMedium::detach(RadioEndpoint* endpoint) {
-  std::erase(endpoints_, endpoint);
-  // Close any links the endpoint participates in.
-  std::vector<LinkId> doomed;
-  for (const auto& [id, link] : links_)
-    if (link.a == endpoint || link.b == endpoint) doomed.push_back(id);
+  const EndpointHandle h = registry_.handle_of(endpoint);
+  if (!h.valid()) return;
+  // Copy: close_link() edits the per-slot list it is iterating from. The
+  // list is ascending by construction, so teardown order matches the old
+  // links_-walk order.
+  const std::vector<LinkId> doomed = links_of_slot_[h.slot];
+  registry_.detach(endpoint);
   for (LinkId id : doomed) close_link(id, endpoint, close_reason::kConnectionTimeout);
+}
+
+void RadioMedium::notify_endpoint_changed(RadioEndpoint* endpoint) {
+  const EndpointHandle h = registry_.handle_of(endpoint);
+  if (!h.valid()) return;
+  const BdAddr before = registry_.address_of(endpoint);
+  registry_.refresh(endpoint);
+  if (before == endpoint->radio_address()) return;
+  // The endpoint was spoofed while holding live links: re-key the
+  // address-pair index so link_between() keeps resolving.
+  for (LinkId id : links_of_slot_[h.slot]) {
+    auto it = links_.find(id);
+    if (it == links_.end()) continue;
+    Link& link = it->second;
+    link_index_.erase(link_key(link.addr_a, link.addr_b, id));
+    link.addr_a = link.a->radio_address();
+    link.addr_b = link.b->radio_address();
+    link_index_.insert(link_key(link.addr_a, link.addr_b, id));
+  }
+}
+
+void RadioMedium::index_link(LinkId id, Link& link) {
+  link.addr_a = link.a->radio_address();
+  link.addr_b = link.b->radio_address();
+  link_index_.insert(link_key(link.addr_a, link.addr_b, id));
+  links_of_slot_[link.a_handle.slot].push_back(id);
+  links_of_slot_[link.b_handle.slot].push_back(id);
+}
+
+void RadioMedium::unindex_link(LinkId id, const Link& link) {
+  link_index_.erase(link_key(link.addr_a, link.addr_b, id));
+  std::erase(links_of_slot_[link.a_handle.slot], id);
+  std::erase(links_of_slot_[link.b_handle.slot], id);
 }
 
 void RadioMedium::start_inquiry(RadioEndpoint* requester, SimTime duration,
@@ -28,44 +63,98 @@ void RadioMedium::start_inquiry(RadioEndpoint* requester, SimTime duration,
     obs_->span(scheduler_.now(), scheduler_.now() + duration,
                obs_->device_tid(requester->radio_name()), obs::Layer::kRadio, "inquiry");
   }
-  for (RadioEndpoint* ep : endpoints_) {
-    if (ep == requester || !ep->inquiry_scan_enabled()) continue;
-    if (obs_ != nullptr) obs_->count("radio.inquiry_responses");
-    // Responders answer somewhere inside the inquiry window; inquiry scan
-    // windows are dense enough that every scanning device is found.
-    const SimTime latency = 1 + rng_.uniform(duration > 1 ? duration - 1 : 1);
-    InquiryResponse response{ep->radio_address(), ep->radio_class_of_device(), ep->radio_name()};
-    scheduler_.schedule_in(latency, [on_response, response] {
-      if (on_response) on_response(response);
+  const SimTime jitter_span = duration > 1 ? duration - 1 : 1;
+  if (registry_.inquiry_scanner_count() < inquiry_batch_threshold_) {
+    // Small scanner sets take the literal historical path: one scheduler
+    // event per response, so dispatch counts (and Observer event metrics)
+    // are unchanged for every existing scenario.
+    registry_.for_each_inquiry_scanner([&](RadioEndpoint* ep) {
+      if (ep == requester || !ep->inquiry_scan_enabled()) return;
+      if (obs_ != nullptr) obs_->count("radio.inquiry_responses");
+      // Responders answer somewhere inside the inquiry window; inquiry scan
+      // windows are dense enough that every scanning device is found.
+      const SimTime latency = 1 + rng_.uniform(jitter_span);
+      InquiryResponse response{ep->radio_address(), ep->radio_class_of_device(),
+                               ep->radio_name()};
+      scheduler_.schedule_in(latency, [on_response, response] {
+        if (on_response) on_response(response);
+      });
     });
+  } else {
+    // Inquiry-response storm: collect every response up front and deliver
+    // through one walking cursor event instead of k queue entries. The
+    // sequence numbers the individual events would have drawn are reserved
+    // as one contiguous block and assigned in draw order, so after sorting
+    // by (when, seq) the cursor replays the exact global order the heap
+    // would have produced — no event from outside the batch can carry a
+    // sequence number inside the reserved range.
+    auto batch = std::make_shared<InquiryBatch>();
+    batch->on_response = on_response;
+    const SimTime now = scheduler_.now();
+    registry_.for_each_inquiry_scanner([&](RadioEndpoint* ep) {
+      if (ep == requester || !ep->inquiry_scan_enabled()) return;
+      if (obs_ != nullptr) obs_->count("radio.inquiry_responses");
+      const SimTime latency = 1 + rng_.uniform(jitter_span);
+      batch->entries.push_back(InquiryBatch::Entry{
+          now + latency, 0,
+          InquiryResponse{ep->radio_address(), ep->radio_class_of_device(),
+                          ep->radio_name()}});
+    });
+    if (!batch->entries.empty()) {
+      const std::uint64_t base = scheduler_.reserve_seqs(batch->entries.size());
+      for (std::size_t i = 0; i < batch->entries.size(); ++i)
+        batch->entries[i].seq = base + i;
+      std::sort(batch->entries.begin(), batch->entries.end(),
+                [](const InquiryBatch::Entry& x, const InquiryBatch::Entry& y) {
+                  return x.when != y.when ? x.when < y.when : x.seq < y.seq;
+                });
+      schedule_batch_delivery(std::move(batch));
+    }
   }
   scheduler_.schedule_in(duration, [on_complete] {
     if (on_complete) on_complete();
   });
 }
 
+void RadioMedium::schedule_batch_delivery(std::shared_ptr<InquiryBatch> batch) {
+  const InquiryBatch::Entry& head = batch->entries[batch->next];
+  scheduler_.schedule_at_seq(head.when, head.seq, [this, batch] {
+    const SimTime when = batch->entries[batch->next].when;
+    do {
+      const InquiryBatch::Entry& entry = batch->entries[batch->next++];
+      if (batch->on_response) batch->on_response(entry.response);
+    } while (batch->next < batch->entries.size() && batch->entries[batch->next].when == when);
+    if (batch->next < batch->entries.size()) schedule_batch_delivery(batch);
+  });
+}
+
 void RadioMedium::page(RadioEndpoint* initiator, const BdAddr& target, SimTime timeout,
                        std::function<void(std::optional<LinkId>)> on_result) {
-  // Candidates: every page-scanning endpoint owning the target address.
-  // More than one candidate is the BD_ADDR-spoofing situation; the earliest
-  // sampled scan window wins the race.
+  // Candidates: every page-scanning endpoint owning the target address,
+  // straight from the BD_ADDR index. More than one candidate is the
+  // BD_ADDR-spoofing situation; the earliest sampled scan window wins the
+  // race. The index enumerates candidates in attach order — the order the
+  // old linear scan drew latencies from the shared Rng stream in — and the
+  // page-scan bit is re-read from the live virtual, so an endpoint that
+  // missed a scan-state notify still answers correctly.
   RadioEndpoint* winner = nullptr;
+  EndpointHandle winner_handle;
   SimTime best_latency = 0;
   struct Candidate {
     RadioEndpoint* ep;
     SimTime latency;
   };
   std::vector<Candidate> candidates;
-  for (RadioEndpoint* ep : endpoints_) {
-    if (ep == initiator || !ep->page_scan_enabled()) continue;
-    if (!(ep->radio_address() == target)) continue;
+  registry_.for_each_candidate(target, [&](RadioEndpoint* ep, EndpointHandle handle) {
+    if (ep == initiator || !ep->page_scan_enabled()) return;
     const SimTime latency = ep->sample_page_response_latency(rng_);
     candidates.push_back(Candidate{ep, latency});
     if (winner == nullptr || latency < best_latency) {
       winner = ep;
+      winner_handle = handle;
       best_latency = latency;
     }
-  }
+  });
 
   if (obs_ != nullptr) {
     obs_->count("radio.pages");
@@ -99,21 +188,29 @@ void RadioMedium::page(RadioEndpoint* initiator, const BdAddr& target, SimTime t
   if (obs_ != nullptr) obs_->observe("radio.page_latency_us", best_latency);
 
   const LinkId id = next_link_id_++;
-  RadioEndpoint* responder = winner;
-  // blap-lint: handle-ok — both endpoints re-verified attached at fire time
-  scheduler_.schedule_in(best_latency, [this, id, initiator, responder, on_result] {
+  const EndpointHandle initiator_handle = registry_.handle_of(initiator);
+  scheduler_.schedule_in(best_latency, [this, id, initiator_handle, winner_handle,
+                                        on_result] {
     // Either side may have detached while the page train was running; a
-    // link must never come up holding a dangling endpoint.
-    if (!attached(initiator) || !attached(responder)) {
+    // link must never come up holding a dangling endpoint. The handles go
+    // stale on detach, so this is O(1) — and, unlike the pointer scan it
+    // replaces, immune to an endpoint detaching and re-attaching in the
+    // window (a new attachment is a new generation).
+    RadioEndpoint* initiator = registry_.resolve(initiator_handle);
+    RadioEndpoint* responder = registry_.resolve(winner_handle);
+    if (initiator == nullptr || responder == nullptr) {
       if (on_result) on_result(std::nullopt);
       return;
     }
     Link link;
     link.a = initiator;
     link.b = responder;
+    link.a_handle = initiator_handle;
+    link.b_handle = winner_handle;
     if (fault_plan_.enabled())
       link.channel = std::make_unique<faults::ChannelModel>(fault_plan_, id);
-    links_[id] = std::move(link);
+    Link& stored = links_[id] = std::move(link);
+    index_link(id, stored);
     if (obs_ != nullptr) {
       obs_->count("radio.links_up");
       obs_->instant(scheduler_.now(), obs_->device_tid(responder->radio_name()),
@@ -134,7 +231,10 @@ void RadioMedium::send_frame(LinkId link, RadioEndpoint* sender, Bytes frame,
                              TxReport on_report) {
   auto it = links_.find(link);
   if (it == links_.end()) return;
-  RadioEndpoint* receiver = (it->second.a == sender) ? it->second.b : it->second.a;
+  const bool sender_is_a = it->second.a == sender;
+  RadioEndpoint* receiver = sender_is_a ? it->second.b : it->second.a;
+  const EndpointHandle receiver_handle =
+      sender_is_a ? it->second.b_handle : it->second.a_handle;
   if (obs_ != nullptr) {
     obs_->count("radio.frames");
     obs_->observe("radio.frame_bytes", frame.size());
@@ -168,21 +268,24 @@ void RadioMedium::send_frame(LinkId link, RadioEndpoint* sender, Bytes frame,
                          verdict == faults::FaultVerdict::kCorrupt;
 
   if (delivered) {
-    // blap-lint: handle-ok — link liveness + membership re-checked at fire time
-    scheduler_.schedule_in(frame_latency_, [this, link, receiver, frame = std::move(frame)] {
-      // The link may have died while the frame was in flight.
-      auto it2 = links_.find(link);
-      if (it2 == links_.end()) return;
-      if (it2->second.a != receiver && it2->second.b != receiver) return;
+    scheduler_.schedule_in(frame_latency_,
+                           [this, link, receiver_handle, frame = std::move(frame)] {
+      // The link may have died while the frame was in flight (link ids are
+      // never reused, so presence in links_ is conclusive); the receiver
+      // handle going stale with the link still up cannot happen, but the
+      // resolve keeps the dereference provably safe.
+      if (!links_.contains(link)) return;
+      RadioEndpoint* receiver = registry_.resolve(receiver_handle);
+      if (receiver == nullptr) return;
       receiver->on_air_frame(link, frame);
     });
   }
   if (on_report) {
     // ACK/NAK lands after one TDD round trip (frame slot + return slot).
-    // blap-lint: handle-ok — sender attachment re-verified at fire time
+    const EndpointHandle sender_handle = registry_.handle_of(sender);
     scheduler_.schedule_in(2 * frame_latency_,
-                           [this, sender, delivered, on_report = std::move(on_report)] {
-                             if (!attached(sender)) return;
+                           [this, sender_handle, delivered, on_report = std::move(on_report)] {
+                             if (registry_.resolve(sender_handle) == nullptr) return;
                              on_report(delivered);
                            });
   }
@@ -191,7 +294,9 @@ void RadioMedium::send_frame(LinkId link, RadioEndpoint* sender, Bytes frame,
 void RadioMedium::close_link(LinkId link, RadioEndpoint* closer, std::uint8_t reason) {
   auto it = links_.find(link);
   if (it == links_.end()) return;
-  RadioEndpoint* peer = (it->second.a == closer) ? it->second.b : it->second.a;
+  const EndpointHandle peer_handle =
+      it->second.a == closer ? it->second.b_handle : it->second.a_handle;
+  unindex_link(link, it->second);
   links_.erase(it);
   if (obs_ != nullptr) {
     obs_->count("radio.links_closed");
@@ -202,10 +307,11 @@ void RadioMedium::close_link(LinkId link, RadioEndpoint* closer, std::uint8_t re
   }
   BLAP_DEBUG("radio", "link %llu closed (reason 0x%02x)", static_cast<unsigned long long>(link),
              reason);
-  // The peer learns of the teardown after one frame flight time.
-  // blap-lint: handle-ok — peer attachment re-verified at fire time
-  scheduler_.schedule_in(frame_latency_, [this, peer, link, reason] {
-    if (!attached(peer)) return;  // peer detached while the frame flew
+  // The peer learns of the teardown after one frame flight time — unless it
+  // detached while the frame flew, which stales the handle.
+  scheduler_.schedule_in(frame_latency_, [this, peer_handle, link, reason] {
+    RadioEndpoint* peer = registry_.resolve(peer_handle);
+    if (peer == nullptr) return;
     peer->on_link_closed(link, reason);
   });
 }
@@ -219,14 +325,15 @@ RadioEndpoint* RadioMedium::peer_of(LinkId link, const RadioEndpoint* self) cons
 }
 
 std::optional<LinkId> RadioMedium::link_between(const BdAddr& x, const BdAddr& y) const {
-  // links_ is ordered, so the lowest link id wins deterministically when a
-  // spoofing scenario creates several links over the same address pair.
-  for (const auto& [id, link] : links_) {
-    const BdAddr a = link.a->radio_address();
-    const BdAddr b = link.b->radio_address();
-    if ((a == x && b == y) || (a == y && b == x)) return id;
-  }
-  return std::nullopt;
+  // The pair index is keyed (lo, hi, id), so the first entry at or past
+  // (lo, hi, 0) is the lowest live link id over this address pair — the
+  // deterministic winner when a spoofing scenario creates several.
+  const auto probe = link_key(x, y, 0);
+  const auto it = link_index_.lower_bound(probe);
+  if (it == link_index_.end()) return std::nullopt;
+  if (std::get<0>(*it) != std::get<0>(probe) || std::get<1>(*it) != std::get<1>(probe))
+    return std::nullopt;
+  return std::get<2>(*it);
 }
 
 void RadioMedium::set_fault_plan(faults::FaultPlan plan) {
@@ -241,10 +348,12 @@ void RadioMedium::set_fault_plan(faults::FaultPlan plan) {
 
 bool RadioMedium::save_state(state::StateWriter& w,
                              std::span<RadioEndpoint* const> roster) const {
-  const auto index_of = [&roster](const RadioEndpoint* endpoint) -> std::int64_t {
-    for (std::size_t i = 0; i < roster.size(); ++i)
-      if (roster[i] == endpoint) return static_cast<std::int64_t>(i);
-    return -1;
+  std::map<const RadioEndpoint*, std::uint64_t> roster_index;
+  for (std::size_t i = 0; i < roster.size(); ++i)
+    roster_index.emplace(roster[i], static_cast<std::uint64_t>(i));
+  const auto index_of = [&roster_index](const RadioEndpoint* endpoint) -> std::int64_t {
+    const auto it = roster_index.find(endpoint);
+    return it == roster_index.end() ? -1 : static_cast<std::int64_t>(it->second);
   };
 
   w.u64(frame_latency_);
@@ -253,14 +362,19 @@ bool RadioMedium::save_state(state::StateWriter& w,
   fault_plan_.save_state(w);
   w.u64(sniffers_.size());
 
-  // Attachment set, in attach order (the paging race iterates endpoints_,
-  // so the order is behaviourally significant).
-  w.u64(endpoints_.size());
-  for (const RadioEndpoint* endpoint : endpoints_) {
+  // Attachment set, in attach order (the paging race draws candidate
+  // latencies in attach order, so the order is behaviourally significant).
+  w.u64(registry_.size());
+  bool all_resolved = true;
+  registry_.for_each_attached([&](const RadioEndpoint* endpoint) {
     const std::int64_t index = index_of(endpoint);
-    if (index < 0) return false;
+    if (index < 0) {
+      all_resolved = false;
+      return;
+    }
     w.u64(static_cast<std::uint64_t>(index));
-  }
+  });
+  if (!all_resolved) return false;
 
   w.u64(links_.size());
   for (const auto& [id, link] : links_) {
@@ -298,12 +412,23 @@ void RadioMedium::load_state(state::StateReader& r,
     return roster[static_cast<std::size_t>(index)];
   };
 
-  endpoints_.clear();
   const std::uint64_t attached = r.u64();
+  std::vector<RadioEndpoint*> in_order;
+  in_order.reserve(static_cast<std::size_t>(attached));
   for (std::uint64_t i = 0; i < attached && r.ok(); ++i) {
     RadioEndpoint* endpoint = endpoint_at(r.u64());
-    if (endpoint != nullptr) endpoints_.push_back(endpoint);
+    if (endpoint != nullptr) in_order.push_back(endpoint);
   }
+  // The registry indexes each endpoint's *current* virtuals here; device
+  // sections restore after the medium's, and Controller::load_state ends
+  // with notify_endpoint_changed(), which re-syncs address and scan bits.
+  registry_.load(in_order);
+  std::size_t max_slot = 0;
+  for (RadioEndpoint* endpoint : in_order)
+    max_slot = std::max<std::size_t>(max_slot, registry_.handle_of(endpoint).slot + 1);
+  if (links_of_slot_.size() < max_slot) links_of_slot_.resize(max_slot);
+  for (auto& slot_links : links_of_slot_) slot_links.clear();
+  link_index_.clear();
 
   links_.clear();
   const std::uint64_t link_count = r.u64();
@@ -312,11 +437,16 @@ void RadioMedium::load_state(state::StateReader& r,
     Link link;
     link.a = endpoint_at(r.u64());
     link.b = endpoint_at(r.u64());
+    link.a_handle = registry_.handle_of(link.a);
+    link.b_handle = registry_.handle_of(link.b);
     if (r.boolean()) {
       link.channel = std::make_unique<faults::ChannelModel>(fault_plan_, id);
       link.channel->load_state(r);
     }
-    if (r.ok()) links_.emplace(id, std::move(link));
+    if (r.ok() && link.a_handle.valid() && link.b_handle.valid()) {
+      Link& stored = links_[id] = std::move(link);
+      index_link(id, stored);
+    }
   }
 }
 

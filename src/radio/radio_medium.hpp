@@ -19,16 +19,26 @@
 //
 // Established links carry opaque air frames (the controllers speak LMP and
 // ACL over them); the medium adds per-frame propagation/TDD latency.
+//
+// Scale: endpoint state lives in an EndpointRegistry (see
+// endpoint_registry.hpp) — page() resolves candidates from a BD_ADDR index
+// in O(log n + candidates), start_inquiry() touches only the endpoints
+// whose inquiry-scan bit is set, and delayed callbacks re-validate
+// endpoints through O(1) generation-checked handles instead of scanning an
+// attachment vector. Endpoints whose address or scan state changes while
+// attached must route the change through notify_endpoint_changed();
+// Controller does this from its HCI write paths.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <span>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/bdaddr.hpp"
@@ -36,6 +46,7 @@
 #include "common/scheduler.hpp"
 #include "faults/fault_plan.hpp"
 #include "obs/obs.hpp"
+#include "radio/endpoint_registry.hpp"
 
 namespace blap::radio {
 
@@ -103,6 +114,15 @@ class RadioMedium {
   void attach(RadioEndpoint* endpoint);
   void detach(RadioEndpoint* endpoint);
 
+  /// An attached endpoint's identity or scan state changed (address spoof,
+  /// HCI Write_Scan_Enable, reset, snapshot restore). Re-indexes the
+  /// endpoint and re-keys the address-pair index of its live links. No-op
+  /// for detached endpoints. Required for correctness: page/inquiry/
+  /// link_between resolve against the *indexed* address and scan bits.
+  void notify_endpoint_changed(RadioEndpoint* endpoint);
+
+  [[nodiscard]] std::size_t endpoint_count() const { return registry_.size(); }
+
   /// Broadcast inquiry. Responses arrive individually; on_complete fires at
   /// the end of the inquiry window.
   void start_inquiry(RadioEndpoint* requester, SimTime duration,
@@ -147,6 +167,17 @@ class RadioMedium {
   /// Air latency applied to each frame (one-way).
   void set_frame_latency(SimTime latency) { frame_latency_ = latency; }
 
+  /// Minimum inquiry-scanner count before an inquiry switches from one
+  /// scheduler event per response to one cursor event fanning out each
+  /// same-instant response group. Delivery order and timestamps are
+  /// identical either way (the batch pre-reserves the tie-break sequence
+  /// numbers the individual events would have drawn); only the scheduler
+  /// dispatch count — visible to an installed Observer's event metrics —
+  /// differs, which is why small-N scenarios keep the literal old path.
+  void set_inquiry_batch_threshold(std::size_t threshold) {
+    inquiry_batch_threshold_ = threshold;
+  }
+
   /// Install (or clear, with a default-constructed plan) the fault plan.
   /// Takes effect immediately: channel models are (re)built for every live
   /// link. With a disabled plan the medium never consults a ChannelModel or
@@ -190,27 +221,59 @@ class RadioMedium {
   struct Link {
     RadioEndpoint* a = nullptr;  // initiator
     RadioEndpoint* b = nullptr;  // responder
+    /// Generation-checked handles for the two ends; what delayed callbacks
+    /// capture and re-validate instead of the raw pointers above.
+    EndpointHandle a_handle;
+    EndpointHandle b_handle;
+    /// Addresses as currently keyed into link_index_ (re-keyed by
+    /// notify_endpoint_changed when an end is spoofed mid-link).
+    BdAddr addr_a;
+    BdAddr addr_b;
     /// Per-link fault state; null whenever the fault plan is disabled.
     std::unique_ptr<faults::ChannelModel> channel;
   };
 
-  /// True while `endpoint` is attached. Delayed callbacks that captured a
-  /// raw endpoint must re-verify before dereferencing it.
-  [[nodiscard]] bool attached(const RadioEndpoint* endpoint) const {
-    return std::find(endpoints_.begin(), endpoints_.end(), endpoint) != endpoints_.end();
+  /// One in-flight inquiry's batched response schedule: entries sorted by
+  /// (when, seq), delivered one same-instant group per cursor event.
+  struct InquiryBatch {
+    struct Entry {
+      SimTime when;
+      std::uint64_t seq;
+      InquiryResponse response;
+    };
+    std::vector<Entry> entries;
+    std::size_t next = 0;
+    std::function<void(const InquiryResponse&)> on_response;
+  };
+
+  static std::tuple<BdAddr, BdAddr, LinkId> link_key(const BdAddr& x, const BdAddr& y,
+                                                     LinkId id) {
+    return x < y ? std::tuple{x, y, id} : std::tuple{y, x, id};
   }
+  void index_link(LinkId id, Link& link);
+  void unindex_link(LinkId id, const Link& link);
+  void schedule_batch_delivery(std::shared_ptr<InquiryBatch> batch);
 
   Scheduler& scheduler_;
   Rng rng_;
   obs::Observer* obs_ = nullptr;
-  std::vector<RadioEndpoint*> endpoints_;
+  EndpointRegistry registry_;
   std::vector<std::function<void(const SniffedFrame&)>> sniffers_;
-  // Ordered map: detach() iterates to find doomed links; teardown order is
-  // observable (close_link events) and must be hash-independent.
+  // Ordered map: teardown order is observable (close_link events) and must
+  // be hash-independent.
   std::map<LinkId, Link> links_;
+  // Live link ids per registry slot, ascending (link ids are monotonic and
+  // appended in creation order) — detach() finds its doomed links here
+  // without walking links_.
+  std::vector<std::vector<LinkId>> links_of_slot_;
+  // (lo addr, hi addr, id): link_between() answers in O(log L), and the id
+  // in the key makes "lowest link id wins" fall out of map order when a
+  // spoofing scenario creates several links over one address pair.
+  std::set<std::tuple<BdAddr, BdAddr, LinkId>> link_index_;
   LinkId next_link_id_ = 1;
   SimTime frame_latency_ = 2 * kSlot;  // ~1.25 ms: one TDD round trip
   faults::FaultPlan fault_plan_;       // default: disabled
+  std::size_t inquiry_batch_threshold_ = 16;
 };
 
 }  // namespace blap::radio

@@ -1,0 +1,36 @@
+// Fixture for rule D5 (population-scale discipline in src/radio/: no
+// unordered containers, no std:: linear scans). Never compiled.
+#include <algorithm>
+#include <map>
+#include <unordered_map>  // EXPECT-D5
+#include <unordered_set>  // EXPECT-D5
+#include <vector>
+
+struct Endpoint;
+
+struct Medium {
+  std::unordered_map<int, Endpoint*> by_id_;  // EXPECT-D5
+  std::unordered_set<int> scanners_;          // EXPECT-D5
+  std::map<int, Endpoint*> ordered_;          // ordered: fine
+  std::vector<Endpoint*> endpoints_;
+
+  bool attached(Endpoint* ep) const {
+    return std::find(endpoints_.begin(), endpoints_.end(), ep) !=  // EXPECT-D5
+           endpoints_.end();
+  }
+
+  bool has_match(Endpoint* ep) const {
+    return std::find_if(endpoints_.begin(), endpoints_.end(),  // EXPECT-D5
+                        [ep](Endpoint* e) { return e == ep; }) != endpoints_.end();
+  }
+
+  bool attached_suppressed(Endpoint* ep) const {
+    // blap-lint: radio-scan-ok — equivalence-test replica of the pre-index scan
+    return std::find(endpoints_.begin(), endpoints_.end(), ep) != endpoints_.end();
+  }
+
+  Endpoint* lookup(int id) {
+    auto it = ordered_.find(id);  // member find on an ordered map: fine
+    return it == ordered_.end() ? nullptr : it->second;
+  }
+};

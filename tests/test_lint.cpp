@@ -73,6 +73,7 @@ TEST(LintFixtures, D1WallclockFiresAndHonorsSuppression) { check_fixture("d1_wal
 TEST(LintFixtures, D2UnorderedFiresAndHonorsSuppression) { check_fixture("d2_unordered.cpp"); }
 TEST(LintFixtures, D3CaptureFiresAndHonorsSuppression) { check_fixture("d3_capture.cpp"); }
 TEST(LintFixtures, D4ObsGuardFiresAndHonorsSuppression) { check_fixture("d4_obs.cpp"); }
+TEST(LintFixtures, D5RadioScanFiresAndHonorsSuppression) { check_fixture("d5_radio.cpp"); }
 TEST(LintFixtures, S1SpecFiresAndHonorsSuppression) { check_fixture("s1_spec.cpp"); }
 
 TEST(Lint, StringLiteralsAndCommentsNeverTrip) {
@@ -106,7 +107,7 @@ TEST(Lint, FindingFormatIsStable) {
 
 TEST(Lint, RuleMetadataIsConsistent) {
   for (Rule rule : {Rule::kD1Wallclock, Rule::kD2Ordered, Rule::kD3Handle, Rule::kD4ObsGuard,
-                    Rule::kS1Spec}) {
+                    Rule::kD5RadioScan, Rule::kS1Spec}) {
     EXPECT_STRNE(blap::lint::rule_id(rule), "?");
     EXPECT_STRNE(blap::lint::rule_tag(rule), "?");
     EXPECT_STRNE(blap::lint::rule_summary(rule), "?");

@@ -435,6 +435,41 @@ void rule_d4(const std::string& path, const Lexed& lx, const Options& options,
 }
 
 // --------------------------------------------------------------------------
+// D5 — population-scale discipline for src/radio/.
+
+void rule_d5(const std::string& path, const Lexed& lx, const Options& options,
+             std::vector<Finding>& findings) {
+  // The medium is sized for 100k+ endpoints, so the rule is stricter than
+  // D2: unordered containers are banned at *declaration* (not just at
+  // iteration), and std:: linear-search algorithms are banned outright —
+  // per-endpoint resolution belongs in the EndpointRegistry's ordered
+  // indexes, where it is O(log n). Under the fixture harness ("all rules
+  // everywhere") the scope widens from src/radio/ to any path mentioning
+  // radio, so the d5 fixture exercises the rule without dragging the other
+  // fixtures into it.
+  if (!path_has(path, options.all_rules_everywhere ? "radio" : "src/radio/")) return;
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  static const std::set<std::string> kLinearScan = {"find", "find_if", "count_if"};
+  const auto& t = lx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (kUnordered.count(t[i].text) != 0) {
+      report(findings, lx, Rule::kD5RadioScan, path, t[i].line,
+             "'" + t[i].text + "' in src/radio/: hash order is rehash-dependent and one "
+             "hop from serialized output; use the registry's ordered indexes");
+      continue;
+    }
+    const bool std_qualified = i >= 2 && t[i - 1].text == "::" && t[i - 2].text == "std";
+    if (std_qualified && kLinearScan.count(t[i].text) != 0 && i + 1 < t.size() &&
+        t[i + 1].text == "(") {
+      report(findings, lx, Rule::kD5RadioScan, path, t[i].line,
+             "'std::" + t[i].text + "' linear scan in src/radio/: O(n) per operation at "
+             "crowd scale; resolve endpoints through the EndpointRegistry index");
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
 // S1 — spec invariants.
 
 void rule_s1(const std::string& path, const Lexed& lx, const Options& options,
@@ -521,6 +556,7 @@ const char* rule_id(Rule rule) {
     case Rule::kD2Ordered: return "D2";
     case Rule::kD3Handle: return "D3";
     case Rule::kD4ObsGuard: return "D4";
+    case Rule::kD5RadioScan: return "D5";
     case Rule::kS1Spec: return "S1";
   }
   return "?";
@@ -532,6 +568,7 @@ const char* rule_tag(Rule rule) {
     case Rule::kD2Ordered: return "ordered-ok";
     case Rule::kD3Handle: return "handle-ok";
     case Rule::kD4ObsGuard: return "obs-ok";
+    case Rule::kD5RadioScan: return "radio-scan-ok";
     case Rule::kS1Spec: return "spec-ok";
   }
   return "?";
@@ -547,6 +584,8 @@ const char* rule_summary(Rule rule) {
       return "no raw device pointers captured into scheduler callbacks";
     case Rule::kD4ObsGuard:
       return "observer dereferences must be null-guarded";
+    case Rule::kD5RadioScan:
+      return "no unordered containers or std:: linear scans in src/radio/";
     case Rule::kS1Spec:
       return "spec invariants: no key bytes in logs, association-model "
              "decisions centralized";
@@ -569,6 +608,7 @@ std::vector<Finding> lint_file(std::string_view path, std::string_view content,
   rule_d2(norm, lx, options, findings);
   rule_d3(norm, lx, options, findings);
   rule_d4(norm, lx, options, findings);
+  rule_d5(norm, lx, options, findings);
   rule_s1(norm, lx, options, findings);
   return findings;
 }

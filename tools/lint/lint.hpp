@@ -21,6 +21,11 @@
 //   D4 obs-guard    every observer dereference (`obs_->...`) must sit under
 //                   a null guard so an uninstrumented run pays one branch
 //                   and zero allocations per site.
+//   D5 radio-scan   src/radio/ is the population-scale hot path: no
+//                   unordered containers at all (declaration included —
+//                   their order is one hop from serialized output), and no
+//                   `std::find`/`std::find_if` linear scans over endpoints;
+//                   resolution goes through the EndpointRegistry indexes.
 //   S1 spec         spec invariants: secret key material (link keys, PIN
 //                   codes) must never reach a log call, and IO-capability /
 //                   association-model comparisons live in ui_model /
@@ -28,7 +33,8 @@
 //
 // Suppression: `// blap-lint: <tag>-ok [justification]` on the offending
 // line or the line directly above. Tags: wallclock-ok, ordered-ok,
-// handle-ok, obs-ok, spec-ok. A justification is free text; write one.
+// handle-ok, obs-ok, radio-scan-ok, spec-ok. A justification is free text;
+// write one.
 //
 // The analyzer is deliberately token-based, not AST-based: it has zero
 // dependencies, runs on the whole tree in milliseconds, and its rules are
@@ -47,6 +53,7 @@ enum class Rule {
   kD2Ordered,
   kD3Handle,
   kD4ObsGuard,
+  kD5RadioScan,
   kS1Spec,
 };
 
