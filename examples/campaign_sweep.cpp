@@ -10,6 +10,13 @@
 //
 //   campaign_sweep [--json FILE] [--csv FILE] [--metrics] [--trace-out FILE]
 //                  [--record-failures DIR]
+//   campaign_sweep --snoop-dir DIR [--snoop-files N]
+//
+// --snoop-dir switches the binary into corpus mode: instead of the Table II
+// sweep it runs one campaign per snoop-corpus scenario class (see
+// src/analytics/corpus.hpp) and writes N labelled .btsnoop captures per
+// class plus labels.jsonl into DIR — the ground-truth input for blap-snoopd
+// precision/recall scoring. BLAP_SEED/BLAP_JOBS apply as in sweep mode.
 //
 // --metrics runs every trial's Simulation with the metrics half of the
 // observability layer on and folds the per-trial snapshots into each cell's
@@ -33,6 +40,7 @@
 #include <fstream>
 #include <string>
 
+#include "analytics/corpus.hpp"
 #include "bench/bench_util.hpp"
 #include "snapshot/fork_campaign.hpp"
 
@@ -45,6 +53,8 @@ int main(int argc, char** argv) {
   const char* csv_path = nullptr;
   const char* trace_path = nullptr;
   const char* record_dir = nullptr;
+  const char* snoop_dir = nullptr;
+  std::size_t snoop_files = 8;
   bool with_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
@@ -52,14 +62,44 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) trace_path = argv[++i];
     else if (std::strcmp(argv[i], "--record-failures") == 0 && i + 1 < argc)
       record_dir = argv[++i];
+    else if (std::strcmp(argv[i], "--snoop-dir") == 0 && i + 1 < argc) snoop_dir = argv[++i];
+    else if (std::strcmp(argv[i], "--snoop-files") == 0 && i + 1 < argc)
+      snoop_files = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--metrics") == 0) with_metrics = true;
     else {
       std::fprintf(stderr,
                    "usage: %s [--json FILE] [--csv FILE] [--metrics] [--trace-out FILE] "
-                   "[--record-failures DIR]\n",
-                   argv[0]);
+                   "[--record-failures DIR]\n"
+                   "       %s --snoop-dir DIR [--snoop-files N]\n",
+                   argv[0], argv[0]);
       return 2;
     }
+  }
+
+  if (snoop_dir != nullptr) {
+    analytics::CorpusOptions opts;
+    opts.dir = snoop_dir;
+    opts.files_per_class = snoop_files;
+    if (const char* env = std::getenv("BLAP_SEED"))
+      opts.root_seed = std::strtoull(env, nullptr, 0);
+    banner("CAMPAIGN — labelled snoop corpus (" + std::to_string(snoop_files) +
+           " files/class)");
+    const auto summary = analytics::generate_corpus(opts);
+    if (!summary) {
+      std::fprintf(stderr, "error: corpus generation failed under %s\n", snoop_dir);
+      return 1;
+    }
+    std::printf("%-18s | %s\n", "class", "files");
+    std::printf("%s\n", std::string(28, '-').c_str());
+    for (const auto& [name, count] : summary->files_per_class)
+      std::printf("%-18s | %zu\n", name.c_str(), count);
+    std::printf("\n%-18s | %s\n", "label", "files");
+    std::printf("%s\n", std::string(28, '-').c_str());
+    for (const auto& [name, count] : summary->files_per_label)
+      std::printf("%-18s | %zu\n", name.c_str(), count);
+    std::printf("\n%zu capture(s) + labels.jsonl -> %s (%zu voided trial(s))\n",
+                summary->files_written, snoop_dir, summary->trials_failed);
+    return 0;
   }
   // Recording needs the fork engine's warm snapshot; BLAP_SNAPSHOT_FORK=1
   // opts into it without recording.

@@ -4,6 +4,8 @@
 //   $ ./snoop_inspector --demo <out.btsnoop> # generate a dump, then analyze
 //   $ ./snoop_inspector <file.btsnoop> --trace-out <file.trace.json>
 //                                            # ...and convert to Chrome trace
+//   $ ./snoop_inspector <file.btsnoop> --jsonl
+//                                            # one JSON object per record
 //
 // Parses an RFC 1761 btsnoop file, prints the frame table, flags every
 // key-bearing packet, and extracts the link keys — the exact workflow of
@@ -11,10 +13,16 @@
 // re-emits the dump as the same Chrome trace-event JSON the simulator's
 // observability layer produces (one lane per direction, key-bearing frames
 // as attack-layer instants), so a captured log and a simulated trial can be
-// compared side by side in Perfetto.
+// compared side by side in Perfetto. --jsonl streams the capture through
+// hci::SnoopCursor (the same zero-copy iterator the fleet analytics engine
+// drives) and prints one JSON object per record with the field names the
+// FleetReport timelines use ("frame" 1-based, "ts_us"), so a single capture
+// can be grepped/jq'd the same way as a blap-snoopd fleet report. Malformed
+// input is reported as the typed fault with its byte offset.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "core/device.hpp"
@@ -22,6 +30,59 @@
 #include "obs/obs.hpp"
 
 namespace {
+
+std::optional<blap::Bytes> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return blap::Bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+const char* h4_type_name(blap::BytesView wire) {
+  using blap::hci::PacketType;
+  if (wire.empty()) return "empty";
+  switch (static_cast<PacketType>(wire[0])) {
+    case PacketType::kCommand: return "cmd";
+    case PacketType::kAclData: return "acl";
+    case PacketType::kScoData: return "sco";
+    case PacketType::kEvent: return "evt";
+    default: return "unknown";
+  }
+}
+
+// One record per line via the streaming cursor: no per-record allocation
+// beyond the describe() string, faults reported with their byte offset.
+int emit_jsonl(const std::string& path) {
+  using namespace blap;
+  const auto data = read_file(path);
+  if (!data) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+    return 1;
+  }
+  hci::SnoopFault fault;
+  auto cursor = hci::SnoopCursor::open(*data, &fault);
+  if (!cursor) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), fault.describe().c_str());
+    return 1;
+  }
+  while (const auto record = cursor->next()) {
+    std::string desc = "unparsed";
+    if (const auto packet = hci::HciPacket::from_wire(record->wire))
+      desc = packet->describe();
+    std::printf("{\"frame\": %zu, \"ts_us\": %llu, \"dir\": \"%s\", \"type\": \"%s\", "
+                "\"orig_len\": %u, \"incl_len\": %zu, \"truncated\": %s, \"desc\": \"%s\"}\n",
+                record->index + 1, static_cast<unsigned long long>(record->timestamp_us),
+                record->direction == hci::Direction::kControllerToHost ? "c2h" : "h2c",
+                h4_type_name(record->wire), record->orig_len, record->wire.size(),
+                record->payload_truncated() ? "true" : "false",
+                obs::json_escape(desc).c_str());
+  }
+  if (!cursor->fault().ok()) {
+    std::fprintf(stderr, "error: %s: %s (after %zu record(s))\n", path.c_str(),
+                 cursor->fault().describe().c_str(), cursor->records_read());
+    return 1;
+  }
+  return 0;
+}
 
 int export_trace(const blap::hci::SnoopLog& log, const std::string& out_path) {
   using namespace blap;
@@ -56,11 +117,20 @@ int export_trace(const blap::hci::SnoopLog& log, const std::string& out_path) {
 
 int analyze(const std::string& path, const std::string& trace_out = {}) {
   using namespace blap;
-  auto log = hci::SnoopLog::load(path);
-  if (!log) {
-    std::fprintf(stderr, "error: cannot parse '%s' as a btsnoop file\n", path.c_str());
+  const auto data = read_file(path);
+  if (!data) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
     return 1;
   }
+  auto result = hci::SnoopLog::parse_checked(*data);
+  if (!result.log) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), result.fault.describe().c_str());
+    return 1;
+  }
+  if (!result.fault.ok())
+    std::fprintf(stderr, "warning: %s: %s — keeping the %zu record(s) before it\n",
+                 path.c_str(), result.fault.describe().c_str(), result.log->size());
+  const auto& log = result.log;
   std::printf("%s: %zu records\n\n", path.c_str(), log->size());
   std::printf("%s\n", log->format_table().c_str());
   if (!trace_out.empty()) {
@@ -116,11 +186,13 @@ int demo(const std::string& path) {
 
 int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--demo") == 0) return demo(argv[2]);
+  if (argc == 3 && std::strcmp(argv[2], "--jsonl") == 0) return emit_jsonl(argv[1]);
+  if (argc == 3 && std::strcmp(argv[1], "--jsonl") == 0) return emit_jsonl(argv[2]);
   if (argc == 4 && std::strcmp(argv[2], "--trace-out") == 0)
     return analyze(argv[1], argv[3]);
   if (argc == 2) return analyze(argv[1]);
   std::fprintf(stderr,
-               "usage: %s <file.btsnoop> [--trace-out <out.trace.json>]\n"
+               "usage: %s <file.btsnoop> [--trace-out <out.trace.json>] [--jsonl]\n"
                "       %s --demo <out.btsnoop>\n",
                argv[0], argv[0]);
   return 2;

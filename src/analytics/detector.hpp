@@ -1,0 +1,106 @@
+// detector.hpp — the pluggable BLAP-signature rule engine.
+//
+// A Detector is a small streaming state machine fed one snoop record at a
+// time (zero-copy SnoopRecordView straight off the mmap) and asked for its
+// findings when the file ends. Detectors are owned per worker thread and
+// reset between files, so a fleet run allocates a handful of detector sets
+// no matter how many thousand captures it scans.
+//
+// The four built-ins cover the paper's attack surface from the defender's
+// side (ROADMAP item 4, modelled on floss hcidoc's rule set):
+//
+//   plaintext_link_key  — §IV-A: a link key crossed the HCI in plaintext
+//                         (Link_Key_Notification / Link_Key_Request_Reply
+//                         with the 16 key bytes present, Return_Link_Keys,
+//                         or a Read_Stored_Link_Key sweep). Dumps filtered
+//                         by the §VII-A mitigation do NOT fire: the filter
+//                         strips the key bytes and the detector checks for
+//                         the bytes, not the opcode.
+//   page_blocking       — §V: the victim is pairing-initiator on an ACL it
+//                         did not initiate (Connection_Request + Accept
+//                         then Authentication_Requested) with a
+//                         NoInputNoOutput peer or a PLOC-shaped idle gap;
+//                         or repeated failed pages / accept timeouts
+//                         against one address.
+//   ssp_downgrade       — SSP-MITM line of work: a peer whose advertised IO
+//                         capability collapses to NoInputNoOutput between
+//                         pairings in one log, or an SSP-capable peer that
+//                         falls back to legacy PIN pairing.
+//   pairing_retry_storm — fault-layer signature: repeated pairing attempts
+//                         with repeated failures against one peer.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bdaddr.hpp"
+#include "hci/snoop.hpp"
+
+namespace blap::analytics {
+
+/// Stable detector identifiers — these are the JSON/label vocabulary shared
+/// by findings, corpus label manifests and the precision/recall table.
+inline constexpr std::string_view kPlaintextLinkKey = "plaintext_link_key";
+inline constexpr std::string_view kPageBlocking = "page_blocking";
+inline constexpr std::string_view kSspDowngrade = "ssp_downgrade";
+inline constexpr std::string_view kPairingRetryStorm = "pairing_retry_storm";
+
+/// One detection. `frame` is the 1-based frame number of the triggering
+/// record — the same numbering snoop_inspector's table and --jsonl use.
+struct Finding {
+  std::string detector;
+  std::size_t frame = 0;
+  SimTime ts_us = 0;
+  BdAddr peer;  // implicated peer; all-zeros when not attributable
+  std::string detail;
+};
+
+/// A snoop record plus the lazily shared header decode every rule needs.
+/// `params` views the command/event parameter bytes actually present in the
+/// capture (a §VII-A-filtered record has them truncated; check sizes).
+struct RecordCtx {
+  const hci::SnoopRecordView& view;
+  std::optional<hci::PacketType> type;       // nullopt: unknown H4 type byte
+  std::optional<std::uint16_t> opcode;       // commands only
+  std::optional<std::uint8_t> event;         // events only
+  BytesView params;
+
+  /// Decode the shared header fields from a raw record view.
+  [[nodiscard]] static RecordCtx from_view(const hci::SnoopRecordView& view);
+};
+
+struct DetectorConfig {
+  /// page_blocking: minimum failed pages / accept timeouts against one
+  /// address before the repeated-failure rule fires.
+  std::size_t page_failure_threshold = 3;
+  /// page_blocking: idle gap between an inbound Connection_Complete and the
+  /// victim's own Authentication_Requested that marks a PLOC (the paper's
+  /// PoC holds the stall for seconds; legit inbound pairings auth at once).
+  SimTime ploc_idle_threshold = kSecond;
+  /// pairing_retry_storm: attempts and failures against one peer.
+  std::size_t storm_attempt_threshold = 3;
+  std::size_t storm_failure_threshold = 2;
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Feed one record. Called in file order.
+  virtual void on_record(const RecordCtx& ctx) = 0;
+  /// Flush end-of-file state into `out` and return to the reset state.
+  virtual void finish(std::vector<Finding>& out) = 0;
+};
+
+/// The built-in rule set, in a fixed deterministic order.
+[[nodiscard]] std::vector<std::unique_ptr<Detector>> make_default_detectors(
+    const DetectorConfig& config = {});
+
+/// The detector id vocabulary in report order (the order make_default_
+/// detectors uses), for zero-filled per-detector tables.
+[[nodiscard]] const std::vector<std::string>& default_detector_names();
+
+}  // namespace blap::analytics

@@ -1,0 +1,70 @@
+#include "analytics/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <utility>
+
+namespace blap::analytics {
+
+std::optional<MappedFile> MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  MappedFile file;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ == 0) {
+    ::close(fd);
+    return file;  // empty view; mmap of length 0 is EINVAL
+  }
+  void* base = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (base != MAP_FAILED) {
+    file.data_ = base;
+    file.mapped_ = true;
+    ::close(fd);
+    return file;
+  }
+  ::close(fd);
+  // Fallback: buffered read (keeps the engine working where mmap isn't).
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  file.fallback_.resize(file.size_);
+  in.read(reinterpret_cast<char*>(file.fallback_.data()),
+          static_cast<std::streamsize>(file.size_));
+  if (!in) return std::nullopt;
+  file.data_ = file.fallback_.data();
+  return file;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      fallback_(std::move(other.fallback_)) {
+  if (!mapped_ && !fallback_.empty()) data_ = fallback_.data();
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (mapped_ && data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    fallback_ = std::move(other.fallback_);
+    if (!mapped_ && !fallback_.empty()) data_ = fallback_.data();
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (mapped_ && data_ != nullptr) ::munmap(data_, size_);
+}
+
+}  // namespace blap::analytics

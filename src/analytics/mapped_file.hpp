@@ -1,0 +1,44 @@
+// mapped_file.hpp — read-only memory mapping for the fleet snoop reader.
+//
+// The analytics engine walks thousands of capture files per run; reading
+// each into a std::vector would double the memory traffic before the parser
+// even starts. MappedFile mmaps the file read-only and hands out a BytesView
+// over the mapping, so SnoopCursor iterates records straight out of the page
+// cache with zero copies. Falls back to a plain read when mmap is
+// unavailable (empty files, exotic filesystems), so callers never care.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace blap::analytics {
+
+class MappedFile {
+ public:
+  /// Map `path` read-only. nullopt when the file cannot be opened or
+  /// stat'd; an empty file maps successfully to an empty view.
+  [[nodiscard]] static std::optional<MappedFile> open(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] BytesView view() const {
+    return {static_cast<const std::uint8_t*>(data_), size_};
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  MappedFile() = default;
+
+  void* data_ = nullptr;   // mmap base, nullptr when fallback_ holds the bytes
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  Bytes fallback_;
+};
+
+}  // namespace blap::analytics

@@ -22,6 +22,7 @@ const char* opcode_name(std::uint16_t op_value) {
     case op::kUserConfirmationRequestNegativeReply:
       return "HCI_User_Confirmation_Request_Negative_Reply";
     case op::kReset: return "HCI_Reset";
+    case op::kReadStoredLinkKey: return "HCI_Read_Stored_Link_Key";
     case op::kWriteLocalName: return "HCI_Write_Local_Name";
     case op::kWriteScanEnable: return "HCI_Write_Scan_Enable";
     case op::kWriteClassOfDevice: return "HCI_Write_Class_of_Device";

@@ -61,6 +61,9 @@ inline constexpr std::uint16_t kUserConfirmationRequestNegativeReply = opcode(0x
 
 // OGF 0x03 — Controller & Baseband commands.
 inline constexpr std::uint16_t kReset = opcode(0x03, 0x0003);
+/// Dumps every stored bond key over the HCI in Return_Link_Keys events —
+/// the other §IV-A exposure path the fleet analytics detector watches for.
+inline constexpr std::uint16_t kReadStoredLinkKey = opcode(0x03, 0x000D);
 inline constexpr std::uint16_t kWriteLocalName = opcode(0x03, 0x0013);
 inline constexpr std::uint16_t kWriteScanEnable = opcode(0x03, 0x001A);
 inline constexpr std::uint16_t kWriteClassOfDevice = opcode(0x03, 0x0024);
@@ -83,6 +86,9 @@ inline constexpr std::uint8_t kRemoteNameRequestComplete = 0x07;
 inline constexpr std::uint8_t kEncryptionChange = 0x08;
 inline constexpr std::uint8_t kCommandComplete = 0x0E;
 inline constexpr std::uint8_t kCommandStatus = 0x0F;
+/// Carries stored bond keys in plaintext (response to Read_Stored_Link_Key):
+/// Num_Keys, then Num_Keys × (BD_ADDR, 16-byte link key).
+inline constexpr std::uint8_t kReturnLinkKeys = 0x15;
 inline constexpr std::uint8_t kPinCodeRequest = 0x16;
 inline constexpr std::uint8_t kLinkKeyRequest = 0x17;
 inline constexpr std::uint8_t kLinkKeyNotification = 0x18;

@@ -14,6 +14,7 @@ const char* event_name(std::uint8_t code) {
     case ev::kEncryptionChange: return "HCI_Encryption_Change";
     case ev::kCommandComplete: return "HCI_Command_Complete";
     case ev::kCommandStatus: return "HCI_Command_Status";
+    case ev::kReturnLinkKeys: return "HCI_Return_Link_Keys";
     case ev::kPinCodeRequest: return "HCI_PIN_Code_Request";
     case ev::kLinkKeyRequest: return "HCI_Link_Key_Request";
     case ev::kLinkKeyNotification: return "HCI_Link_Key_Notification";

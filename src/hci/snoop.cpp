@@ -1,5 +1,6 @@
 #include "hci/snoop.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -9,7 +10,89 @@
 namespace blap::hci {
 
 namespace {
+
 constexpr std::array<std::uint8_t, 8> kMagic = {'b', 't', 's', 'n', 'o', 'o', 'p', '\0'};
+
+std::uint32_t read_u32be(BytesView data, std::size_t at) {
+  return (static_cast<std::uint32_t>(data[at]) << 24) |
+         (static_cast<std::uint32_t>(data[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(data[at + 2]) << 8) |
+         static_cast<std::uint32_t>(data[at + 3]);
+}
+
+std::uint64_t read_u64be(BytesView data, std::size_t at) {
+  return (static_cast<std::uint64_t>(read_u32be(data, at)) << 32) |
+         read_u32be(data, at + 4);
+}
+
+}  // namespace
+
+const char* to_string(SnoopError error) {
+  switch (error) {
+    case SnoopError::kNone: return "ok";
+    case SnoopError::kTruncatedFileHeader: return "truncated file header";
+    case SnoopError::kBadMagic: return "bad magic";
+    case SnoopError::kBadVersion: return "unsupported version";
+    case SnoopError::kBadDatalink: return "unsupported datalink";
+    case SnoopError::kLengthMismatch: return "incl_len exceeds orig_len";
+    case SnoopError::kOversizedRecord: return "implausible record length";
+    case SnoopError::kTruncatedRecord: return "truncated record";
+  }
+  return "?";
+}
+
+std::string SnoopFault::describe() const {
+  return strfmt("%s at byte %zu", to_string(error), byte_offset);
+}
+
+std::optional<SnoopCursor> SnoopCursor::open(BytesView data, SnoopFault* fault) {
+  auto fail = [&](SnoopError error, std::size_t offset) -> std::optional<SnoopCursor> {
+    if (fault != nullptr) *fault = SnoopFault{error, offset};
+    return std::nullopt;
+  };
+  if (data.size() < 16) return fail(SnoopError::kTruncatedFileHeader, data.size());
+  if (!std::equal(kMagic.begin(), kMagic.end(), data.begin()))
+    return fail(SnoopError::kBadMagic, 0);
+  if (read_u32be(data, 8) != 1) return fail(SnoopError::kBadVersion, 8);
+  if (read_u32be(data, 12) != kDatalinkHciUart) return fail(SnoopError::kBadDatalink, 12);
+  if (fault != nullptr) *fault = SnoopFault{};
+  return SnoopCursor(data);
+}
+
+std::optional<SnoopRecordView> SnoopCursor::next() {
+  if (!fault_.ok()) return std::nullopt;  // faults are sticky
+  if (pos_ == data_.size()) return std::nullopt;
+  const std::size_t at = pos_;
+  if (data_.size() - at < 24) {
+    fault_ = SnoopFault{SnoopError::kTruncatedRecord, at};
+    return std::nullopt;
+  }
+  const std::uint32_t orig_len = read_u32be(data_, at);
+  const std::uint32_t incl_len = read_u32be(data_, at + 4);
+  if (incl_len > orig_len) {
+    fault_ = SnoopFault{SnoopError::kLengthMismatch, at};
+    return std::nullopt;
+  }
+  if (incl_len > kMaxSnoopRecordBytes) {
+    fault_ = SnoopFault{SnoopError::kOversizedRecord, at};
+    return std::nullopt;
+  }
+  if (incl_len > data_.size() - at - 24) {
+    fault_ = SnoopFault{SnoopError::kTruncatedRecord, at};
+    return std::nullopt;
+  }
+  SnoopRecordView view;
+  view.index = index_++;
+  view.byte_offset = at;
+  view.orig_len = orig_len;
+  view.flags = read_u32be(data_, at + 8);
+  const std::uint64_t raw_ts = read_u64be(data_, at + 16);
+  view.timestamp_us = raw_ts >= kSnoopEpochOffsetUs ? raw_ts - kSnoopEpochOffsetUs : 0;
+  view.direction =
+      (view.flags & 1) ? Direction::kControllerToHost : Direction::kHostToController;
+  view.wire = data_.subspan(at + 24, incl_len);
+  pos_ = at + 24 + incl_len;
+  return view;
 }
 
 void SnoopLog::append(SnoopRecord record) {
@@ -41,36 +124,28 @@ Bytes SnoopLog::serialize() const {
   return std::move(w).take();
 }
 
-std::optional<SnoopLog> SnoopLog::parse(BytesView data) {
-  ByteReader r(data);
-  auto magic = r.array<8>();
-  auto version = r.u32be();
-  auto datalink = r.u32be();
-  if (!magic || *magic != kMagic || !version || *version != 1 || !datalink) return std::nullopt;
-
+SnoopLog::ParseResult SnoopLog::parse_checked(BytesView data) {
+  ParseResult result;
+  auto cursor = SnoopCursor::open(data, &result.fault);
+  if (!cursor) return result;
   SnoopLog log;
-  for (;;) {
-    if (r.remaining() < 24) break;  // no complete record header left
-    auto orig_len = r.u32be();
-    auto incl_len = r.u32be();
-    auto flags = r.u32be();
-    auto drops = r.u32be();
-    auto timestamp = r.u64be();
-    if (!orig_len || !incl_len || !flags || !drops || !timestamp) break;
-    auto wire = r.bytes(*incl_len);
-    if (!wire) break;  // truncated final record — drop it
-    auto packet = HciPacket::from_wire(*wire);
+  while (auto view = cursor->next()) {
+    auto packet = HciPacket::from_wire(view->wire);
     if (!packet) continue;  // unknown packet type byte — skip record
     SnoopRecord rec;
-    rec.timestamp_us =
-        (*timestamp >= kSnoopEpochOffsetUs) ? *timestamp - kSnoopEpochOffsetUs : 0;
-    rec.direction =
-        (*flags & 1) ? Direction::kControllerToHost : Direction::kHostToController;
+    rec.timestamp_us = view->timestamp_us;
+    rec.direction = view->direction;
     rec.packet = std::move(*packet);
-    rec.original_length = *orig_len;
+    rec.original_length = view->orig_len;
     log.records_.push_back(std::move(rec));
   }
-  return log;
+  result.fault = cursor->fault();
+  result.log = std::move(log);
+  return result;
+}
+
+std::optional<SnoopLog> SnoopLog::parse(BytesView data) {
+  return parse_checked(data).log;
 }
 
 bool SnoopLog::save(const std::string& path) const {

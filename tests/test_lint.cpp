@@ -105,6 +105,28 @@ TEST(Lint, FindingFormatIsStable) {
   EXPECT_EQ(f.format(), "src/foo.cpp:42: [D2] message");
 }
 
+TEST(Lint, D1CoversAnalyticsAndSnoopdTrees) {
+  // The fleet analytics engine and its CLI promise byte-identical reports;
+  // a wall-clock read anywhere in either tree must trip the default gate.
+  const char* src = "long now() { return time(nullptr); }\n";
+  for (const char* path : {"src/analytics/fleet.cpp", "tools/snoopd/main.cpp"}) {
+    const auto findings = blap::lint::lint_file(path, src, Options{});
+    ASSERT_EQ(findings.size(), 1u) << path;
+    EXPECT_EQ(findings[0].rule, Rule::kD1Wallclock) << path;
+  }
+}
+
+TEST(Lint, D2CoversAnalyticsAndSnoopdTrees) {
+  const char* src =
+      "std::unordered_map<int, int> counts_;\n"
+      "int sum() { int n = 0; for (auto& [k, v] : counts_) n += v; return n; }\n";
+  for (const char* path : {"src/analytics/detectors.cpp", "tools/snoopd/main.cpp"}) {
+    const auto findings = blap::lint::lint_file(path, src, Options{});
+    ASSERT_EQ(findings.size(), 1u) << path;
+    EXPECT_EQ(findings[0].rule, Rule::kD2Ordered) << path;
+  }
+}
+
 TEST(Lint, RuleMetadataIsConsistent) {
   for (Rule rule : {Rule::kD1Wallclock, Rule::kD2Ordered, Rule::kD3Handle, Rule::kD4ObsGuard,
                     Rule::kD5RadioScan, Rule::kS1Spec}) {

@@ -285,7 +285,12 @@ std::set<std::string> unordered_names(const std::vector<Token>& t) {
 
 void rule_d2(const std::string& path, const Lexed& lx, const Options& options,
              std::vector<Finding>& findings) {
-  if (!options.all_rules_everywhere && !path_has(path, "src/")) return;
+  // tools/snoopd ships the determinism contract to users (CI byte-diffs its
+  // FleetReport across --jobs values), so it is held to the same ordered-
+  // container discipline as src/.
+  if (!options.all_rules_everywhere && !path_has(path, "src/") &&
+      !path_has(path, "tools/snoopd/"))
+    return;
   std::set<std::string> names = unordered_names(lx.tokens);
   names.insert(options.known_unordered.begin(), options.known_unordered.end());
   if (names.empty()) return;

@@ -12,8 +12,10 @@
 //                   `std::rand`, `time(...)`, ...) outside the campaign
 //                   timing shell, bench/ and examples/ (host-side timing).
 //   D2 ordered      no iteration over a container declared `unordered_map`/
-//                   `unordered_set` in simulation code — iteration order is
-//                   rehash-dependent and one hop from serialized output.
+//                   `unordered_set` in simulation code (src/ plus
+//                   tools/snoopd/, whose FleetReport CI byte-diffs across
+//                   worker counts) — iteration order is rehash-dependent
+//                   and one hop from serialized output.
 //   D3 handle       scheduler callbacks must not capture raw device-layer
 //                   pointers (`Device*`, `Controller*`, `RadioEndpoint*`,
 //                   `HostStack*`); use generation-counted ids/handles or

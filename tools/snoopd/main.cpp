@@ -1,0 +1,113 @@
+// blap-snoopd — fleet snoop analytics CLI.
+//
+// Scans btsnoop captures through the BLAP detector rule set and emits one
+// deterministic FleetReport. Point it at a corpus directory (labels.jsonl
+// is picked up automatically and turns on the precision/recall table) or at
+// explicit capture files:
+//
+//   blap-snoopd --dir CORPUS [--jobs N] [--json FILE] [--summary-only]
+//   blap-snoopd [--labels FILE] [--json FILE] CAPTURE.btsnoop...
+//
+// Every byte of output — stdout and --json — is a pure function of the
+// input files: no wall clock, no hash-order iteration, identical for any
+// --jobs / BLAP_JOBS value. CI diffs a --jobs 1 run against a --jobs 8 run.
+//
+// Exit code: 0 on success, 1 when any capture failed to open/parse or an
+// output file could not be written, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analytics/fleet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace blap;
+  using namespace blap::analytics;
+
+  const char* dir = nullptr;
+  const char* labels_path = nullptr;
+  const char* json_path = nullptr;
+  bool summary_only = false;
+  FleetConfig config;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) dir = argv[++i];
+    else if (std::strcmp(argv[i], "--labels") == 0 && i + 1 < argc) labels_path = argv[++i];
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      config.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    else if (std::strcmp(argv[i], "--summary-only") == 0) summary_only = true;
+    else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s --dir DIR [--jobs N] [--json FILE] [--summary-only]\n"
+                   "       %s [--labels FILE] [--jobs N] [--json FILE] FILES...\n",
+                   argv[0], argv[0]);
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if ((dir == nullptr) == files.empty()) {
+    std::fprintf(stderr, "error: give either --dir DIR or capture files, not both/neither\n");
+    return 2;
+  }
+
+  std::optional<LabelMap> labels;
+  if (dir != nullptr) {
+    files = list_snoop_files(dir);
+    labels = load_labels(std::string(dir) + "/labels.jsonl");
+  }
+  if (labels_path != nullptr) {
+    labels = load_labels(labels_path);
+    if (!labels) {
+      std::fprintf(stderr, "error: could not load labels from %s\n", labels_path);
+      return 2;
+    }
+  }
+
+  const FleetReport report = analyze_files(files, config, labels ? &*labels : nullptr);
+
+  std::printf("scanned %zu capture(s), %llu record(s), %llu byte(s); %zu failed\n",
+              report.files_scanned,
+              static_cast<unsigned long long>(report.records_total),
+              static_cast<unsigned long long>(report.bytes_total), report.files_failed);
+  std::printf("%-22s | %s\n", "detector", "findings");
+  std::printf("%s\n", std::string(34, '-').c_str());
+  for (const auto& [name, count] : report.findings_per_detector)
+    std::printf("%-22s | %zu\n", name.c_str(), count);
+  if (report.scored) {
+    std::printf("\n%-22s | %4s %4s %4s %4s | %9s %9s\n", "detector (labelled)", "tp",
+                "fp", "fn", "tn", "precision", "recall");
+    std::printf("%s\n", std::string(70, '-').c_str());
+    for (const auto& [name, score] : report.scores)
+      std::printf("%-22s | %4zu %4zu %4zu %4zu | %9.4f %9.4f\n", name.c_str(), score.tp,
+                  score.fp, score.fn, score.tn, score.precision(), score.recall());
+  }
+  if (!summary_only) {
+    for (const auto& file : report.files) {
+      for (const auto& finding : file.findings)
+        std::printf("%s: frame %zu t=%lluus [%s] %s\n", file.name.c_str(), finding.frame,
+                    static_cast<unsigned long long>(finding.ts_us),
+                    finding.detector.c_str(), finding.detail.c_str());
+      if (!file.fault.ok())
+        std::printf("%s: FAULT %s\n", file.name.c_str(), file.fault.describe().c_str());
+    }
+  }
+
+  bool ok = report.files_failed == 0;
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    out << report.to_json();
+    out.flush();
+    if (out) {
+      std::printf("fleet report JSON -> %s\n", json_path);
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", json_path);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
