@@ -94,6 +94,8 @@ class LinearPager {
     }
     const std::uint64_t id = next_link_id_++;
     radio::RadioEndpoint* responder = winner;
+    // blap-taint: lifetime-ok — bench-local replica medium: endpoints_ membership
+    // is re-checked by the linear scan below before either pointer is used
     scheduler_.schedule_in(best_latency, [this, id, initiator, responder] {
       if (std::find(endpoints_.begin(), endpoints_.end(), initiator) == endpoints_.end() ||
           std::find(endpoints_.begin(), endpoints_.end(), responder) == endpoints_.end())

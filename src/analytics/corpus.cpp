@@ -149,6 +149,8 @@ TrialOutput key_sweep_trial(std::uint64_t seed) {
       (void)i;
     }
   }
+  // blap-taint: declassified — plaintext-key snoop corpus generator: this trial
+  // exists to hand blap-snoopd a Return_Link_Keys dump to detect
   add(hci::Direction::kControllerToHost,
       hci::make_event(hci::ev::kReturnLinkKeys, dump.data()));
   TrialOutput out;

@@ -1741,6 +1741,8 @@ void Controller::save_state(state::StateWriter& w) const {
     w.u8(static_cast<std::uint8_t>(link.state));
     w.u8(static_cast<std::uint8_t>(link.auth));
     w.boolean(link.auth_requested_by_host);
+    // blap-taint: declassified — snapshot key section: link keys are part of the
+    // length-framed controller state a fork/replay trial must restore bit-exactly
     w.fixed(link.key);
     w.boolean(link.have_key);
     w.fixed(link.challenge);
@@ -1766,6 +1768,7 @@ void Controller::save_state(state::StateWriter& w) const {
       w.fixed(ssp.local_nonce);
       w.fixed(ssp.peer_nonce);
       w.boolean(ssp.have_peer_nonce);
+      // blap-taint: declassified — snapshot key section (SSP commitment)
       w.fixed(ssp.peer_commitment);
       w.boolean(ssp.have_commitment);
       save_iocap(w, ssp.local_iocap);
@@ -1782,6 +1785,7 @@ void Controller::save_state(state::StateWriter& w) const {
       w.boolean(legacy.initiator);
       w.fixed(legacy.in_rand);
       w.boolean(legacy.have_in_rand);
+      // blap-taint: declassified — snapshot key section (legacy Kinit)
       w.fixed(legacy.kinit);
       w.boolean(legacy.have_kinit);
       w.fixed(legacy.local_lk_rand);
@@ -1789,6 +1793,7 @@ void Controller::save_state(state::StateWriter& w) const {
     }
 
     w.boolean(link.encrypted);
+    // blap-taint: declassified — snapshot key section (E0 session key)
     w.fixed(link.enc_key);
     w.fixed(link.pending_en_rand);
     w.u32(link.tx_counter);

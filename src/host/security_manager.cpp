@@ -90,6 +90,8 @@ std::string SecurityManager::to_bt_config() const {
       }
       out.append("\n");
     }
+    // blap-taint: declassified — bt_config.conf bond export: the attack surface
+    // the paper's extraction pipeline scrapes (Sec. 4); keys here are the point
     out.append("LinkKey = ").append(hex(record.link_key)).append("\n");
     out.append("LinkKeyType = ")
         .append(std::to_string(static_cast<unsigned>(record.key_type)))
@@ -163,6 +165,7 @@ void SecurityManager::save_state(state::StateWriter& w) const {
   for (const auto& [address, bond] : bonds_) {
     w.fixed(address.bytes());
     w.str(bond.name);
+    // blap-taint: declassified — snapshot key section (bond store)
     w.fixed(bond.link_key);
     w.u8(static_cast<std::uint8_t>(bond.key_type));
     w.u64(bond.services.size());

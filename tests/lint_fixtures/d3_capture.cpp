@@ -24,3 +24,12 @@ void fine_captures(Scheduler& scheduler, RadioEndpoint* responder) {
   scheduler.schedule_in(625, [id] { (void)id; });  // value capture of an id: fine
   (void)responder;
 }
+
+// Regression: the suppression range is the whole schedule statement, through
+// the lambda body to the call's closing paren — a trailing tag on the last
+// line of a multi-line statement covers the capture on its first line.
+void justified_capture_trailing_tag(Scheduler& scheduler, RadioEndpoint* responder) {
+  scheduler.schedule_in(625, [responder] {
+    (void)responder;
+  });  // blap-lint: handle-ok — liveness re-verified at fire time
+}

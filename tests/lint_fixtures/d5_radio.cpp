@@ -33,4 +33,24 @@ struct Medium {
     auto it = ordered_.find(id);  // member find on an ordered map: fine
     return it == ordered_.end() ? nullptr : it->second;
   }
+
+  // Regression: a tag above a *multi-line* statement must cover a finding on
+  // a later line of that statement (the std::find_if sits two lines below
+  // the statement start, and the statement ends in a lambda body).
+  bool suppressed_multiline(Endpoint* ep) const {
+    // blap-lint: radio-scan-ok — equivalence-test replica, statement spans lines
+    auto it =
+        std::find_if(endpoints_.begin(), endpoints_.end(),
+                     [ep](Endpoint* e) { return e == ep; });
+    return it != endpoints_.end();
+  }
+
+  // Regression: a trailing tag on a later line of the same statement also
+  // covers it — the statement range, not the finding line, is what counts.
+  bool suppressed_trailing(Endpoint* ep) const {
+    auto it = std::find_if(
+        endpoints_.begin(), endpoints_.end(),
+        [ep](Endpoint* e) { return e == ep; });  // blap-lint: radio-scan-ok — replica
+    return it != endpoints_.end();
+  }
 };

@@ -1,0 +1,33 @@
+// s2_interproc — cross-function secret flow.
+//
+// Exercises the two interprocedural edges: call *returns* (current_key's
+// declared return type names key material, so every call site is tainted)
+// and call *arguments* (handoff passes tainted bytes into emit_payload,
+// which taints the callee's parameter and trips the obs sink inside a
+// function that never mentions a secret type itself). The declassified
+// marker on emit_size turns that sink into a whitelist site, not a finding.
+struct LinkKey {
+  unsigned char bytes[16];
+};
+
+struct BondStore {
+  LinkKey master;
+};
+
+LinkKey current_key(const BondStore& store) {
+  return store.master;
+}
+
+void emit_payload(Tracer& trace, const Bytes& payload) {
+  trace.instant("handoff", payload);  // EXPECT-S2
+}
+
+void handoff(Tracer& trace, const BondStore& store) {
+  LinkKey k = current_key(store);
+  emit_payload(trace, k.bytes);
+}
+
+void emit_size(Tracer& trace, const BondStore& store) {
+  // blap-taint: declassified — fixture: intentional observation point
+  trace.instant("key", current_key(store));
+}

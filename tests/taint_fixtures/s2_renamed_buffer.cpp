@@ -1,0 +1,29 @@
+// s2_renamed_buffer — the flow S1 provably cannot see.
+//
+// blap-lint's S1 is a token scan: it fires when an identifier *naming* key
+// material (link_key, pin_code, ...) appears inside a log macro. Renaming
+// the buffer through a local severs that match — `staged` names nothing —
+// while the bytes still reach the log. The S2 dataflow pass follows
+// record.link_key -> staged -> hex(staged) -> BLAP_INFO regardless of the
+// name. test_taint runs blap-lint over this file and asserts S1 stays
+// silent, then asserts S2 fires on exactly the marked line.
+struct LinkKey {
+  unsigned char bytes[16];
+};
+
+struct BondRecord {
+  LinkKey link_key;
+  int uses;
+};
+
+const char* hex(const LinkKey& key);
+
+void log_bond(const BondRecord& record) {
+  auto staged = record.link_key;
+  BLAP_INFO("sec", "bond key = %s", hex(staged));  // EXPECT-S2
+}
+
+// Negative: derived non-secret state may be logged freely.
+void log_bond_uses(const BondRecord& record) {
+  BLAP_INFO("sec", "bond uses = %d", record.uses);
+}

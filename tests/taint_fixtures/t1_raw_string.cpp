@@ -1,0 +1,24 @@
+// t1_raw_string — raw string literals are content, not code.
+//
+// The R"(...)" block below spells out a log sink and a snapshot sink
+// character-for-character; the lexer must swallow the whole literal
+// (including the embedded quotes) so neither phantom sink fires. The real
+// sink after it proves the lexer resynchronized correctly.
+struct LinkKey {
+  unsigned char bytes[16];
+};
+
+const char* hex(const LinkKey& key);
+
+const char* usage_text() {
+  return R"(
+    examples that must never be scanned as code:
+      BLAP_INFO("sec", "%s", hex(link_key));
+      w.fixed(bond.link_key);
+      scheduler.schedule_in(5, [dev] { dev->tick(); });
+  )";
+}
+
+void real_leak(const LinkKey& key) {
+  BLAP_INFO("sec", "%s", hex(key));  // EXPECT-S2
+}

@@ -1,0 +1,24 @@
+// t2_attributes — [[...]] attributes in signatures and declarations.
+//
+// Attribute brackets must not derail function-definition recognition,
+// parameter parsing (the secret seed sits behind [[maybe_unused]]), or
+// local-declaration parsing. The marked line only fires if all three
+// survived.
+struct LinkKey {
+  unsigned char bytes[16];
+};
+
+[[nodiscard]] LinkKey make_key();
+
+const char* hex(const LinkKey& key);
+
+[[nodiscard]] int answer() {
+  return 42;
+}
+
+void report([[maybe_unused]] const LinkKey& key, int verbosity) {
+  [[maybe_unused]] auto copy = key;
+  if (verbosity > 0) {
+    BLAP_INFO("sec", "%s", hex(copy));  // EXPECT-S2
+  }
+}

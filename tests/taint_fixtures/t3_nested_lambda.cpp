@@ -1,0 +1,20 @@
+// t3_nested_lambda — lambdas nested inside scheduler-callback lambdas.
+//
+// The outer lambda is the model citizen: it captures the handle and
+// re-validates before use (a proven site). The *inner* schedule_in then
+// re-captures the freshly resolved raw pointer — valid at outer fire time,
+// unvalidated at inner fire time — and D6 must still see through the
+// nesting and flag it.
+struct Device {
+  void tick();
+};
+
+void chain(Scheduler& scheduler, Registry& registry, EndpointHandle handle) {
+  scheduler.schedule_in(5, [handle, &registry, &scheduler] {
+    Device* live = registry.resolve(handle);
+    if (live == nullptr) return;
+    scheduler.schedule_in(5, [live] {  // EXPECT-D6
+      live->tick();
+    });
+  });
+}

@@ -1,0 +1,35 @@
+// t4_macro_span — backslash-continued macros and multi-line statements.
+//
+// The macro definition spells a do/while body at file scope: it must not be
+// mistaken for a function definition, and its writer calls must not be
+// scanned as sinks (they have no enclosing function). Inside real
+// functions, a sink call split across lines must still report on the sink
+// token's own line, and a declassification marker must bubble across the
+// whole multi-line statement.
+struct LinkKey {
+  unsigned char bytes[16];
+};
+
+struct Bond {
+  LinkKey link_key;
+  unsigned int handle;
+};
+
+#define WRITE_BOND_META(w, bond)  \
+  do {                            \
+    (w).u32((bond).handle);       \
+    (w).u32(0);                   \
+  } while (0)
+
+void save_meta(StateWriter& w, const Bond& bond) {
+  WRITE_BOND_META(w, bond);
+  w.fixed(bond.link_key  // EXPECT-S2
+              );
+}
+
+void save_section(StateWriter& w, const Bond& bond) {
+  WRITE_BOND_META(w, bond);
+  // blap-taint: declassified — fixture: multi-line key-section write
+  w.fixed(
+      bond.link_key);
+}

@@ -1,0 +1,72 @@
+// lex.hpp — the shared comment/string-aware C++ tokenizer behind blap-lint
+// and blap-taint.
+//
+// Both analyzers work on the same lexical ground truth: comments and
+// string/char literals are stripped (their text can never trip a rule), and
+// comments are mined first for the analyzer markers:
+//
+//   // blap-lint: <tag>[, <tag>...]     suppression tags (wallclock-ok, ...)
+//   // blap-taint: <tag> [justification] declassification / proof markers
+//
+// Tags from both markers land in the same per-line set — the namespaces are
+// disjoint (`*-ok` vs `declassified`), so neither tool can see the other's
+// tags by accident. The full comment text is kept per line so blap-taint can
+// report the justification that follows a declassification tag.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blap::lint {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  // line -> marker tags ("wallclock-ok", "declassified", ...) found in
+  // comments on that line.
+  std::map<int, std::set<std::string>> suppressions;
+  // line -> raw text of the first marker-bearing comment on that line
+  // (blap-taint reports the justification that trails its tags).
+  std::map<int, std::string> marker_comments;
+  // Lines carrying at least one token — a suppression comment "bubbles down"
+  // through comment-only lines until it hits code.
+  std::set<int> code_lines;
+};
+
+[[nodiscard]] bool ident_start(char c);
+[[nodiscard]] bool ident_char(char c);
+
+/// Tokenize `src`. Comments/string literals are stripped; raw strings,
+/// char literals and digit separators are handled so a stray quote never
+/// swallows the rest of the file.
+[[nodiscard]] Lexed lex(std::string_view src);
+
+/// Index of the token matching the opener at `open` (which must be "(",
+/// "[", "{" or "<"); returns tokens.size() when unbalanced.
+[[nodiscard]] std::size_t match_close(const std::vector<Token>& tokens, std::size_t open);
+
+/// True when `line` carries `tag` in a marker comment.
+[[nodiscard]] bool has_tag(const Lexed& lx, int line, const char* tag);
+
+/// A finding on `line` is suppressed by a tag on the line itself, on a
+/// trailing comment of the previous code line, or anywhere in an unbroken
+/// run of comment/blank lines directly above.
+[[nodiscard]] bool suppressed(const Lexed& lx, int line, const char* tag);
+
+/// Suppression for a finding inside a multi-line statement spanning lines
+/// [from, to]: any tag within the statement, or above its first line.
+[[nodiscard]] bool suppressed_range(const Lexed& lx, int from, int to, const char* tag);
+
+/// The line whose marker comment suppresses the range (same search order as
+/// suppressed_range), or 0 when none does — used to recover the
+/// justification text from Lexed::marker_comments.
+[[nodiscard]] int tag_line(const Lexed& lx, int from, int to, const char* tag);
+
+}  // namespace blap::lint

@@ -1,4 +1,5 @@
-// lint.cpp — tokenizer and rule passes for blap-lint (see lint.hpp).
+// lint.cpp — rule passes for blap-lint (see lint.hpp). The tokenizer lives
+// in lex.{hpp,cpp}, shared with blap-taint.
 #include "lint.hpp"
 
 #include <algorithm>
@@ -9,141 +10,10 @@
 #include <set>
 #include <sstream>
 
+#include "lex.hpp"
+
 namespace blap::lint {
 namespace {
-
-// --------------------------------------------------------------------------
-// Tokenizer. Comments and string/char literals are stripped (their text can
-// never trip a rule); comments are mined for suppression tags first.
-
-struct Token {
-  std::string text;
-  int line = 0;
-};
-
-struct Lexed {
-  std::vector<Token> tokens;
-  // line -> suppression tags ("wallclock-ok", ...) found in comments there.
-  std::map<int, std::set<std::string>> suppressions;
-  // Lines carrying at least one token — a suppression comment "bubbles down"
-  // through comment-only lines until it hits code.
-  std::set<int> code_lines;
-};
-
-bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-/// Pull `blap-lint: <tag>[, <tag>...]` tags out of one comment's text.
-void mine_suppressions(std::string_view comment, int line, Lexed& out) {
-  const std::string_view marker = "blap-lint:";
-  std::size_t at = comment.find(marker);
-  if (at == std::string_view::npos) return;
-  std::size_t i = at + marker.size();
-  while (i < comment.size()) {
-    while (i < comment.size() && (comment[i] == ' ' || comment[i] == ',')) ++i;
-    std::size_t start = i;
-    while (i < comment.size() && (ident_char(comment[i]) || comment[i] == '-')) ++i;
-    if (i == start) break;
-    out.suppressions[line].insert(std::string(comment.substr(start, i - start)));
-  }
-}
-
-Lexed lex(std::string_view src) {
-  Lexed out;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  auto peek = [&](std::size_t k) { return i + k < n ? src[i + k] : '\0'; };
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (c == '/' && peek(1) == '/') {  // line comment
-      std::size_t end = src.find('\n', i);
-      if (end == std::string_view::npos) end = n;
-      mine_suppressions(src.substr(i, end - i), line, out);
-      i = end;
-      continue;
-    }
-    if (c == '/' && peek(1) == '*') {  // block comment
-      const int start_line = line;
-      std::size_t end = src.find("*/", i + 2);
-      if (end == std::string_view::npos) end = n;
-      mine_suppressions(src.substr(i, end - i), start_line, out);
-      for (std::size_t k = i; k < end && k < n; ++k)
-        if (src[k] == '\n') ++line;
-      i = std::min(end + 2, n);
-      continue;
-    }
-    if (c == '"') {  // string literal (raw strings handled below at 'R')
-      ++i;
-      while (i < n && src[i] != '"') {
-        if (src[i] == '\\') ++i;
-        if (i < n && src[i] == '\n') ++line;
-        ++i;
-      }
-      ++i;
-      continue;
-    }
-    if (c == '\'') {  // char literal (digit separators are consumed by the
-      ++i;            // number scanner, so a bare ' here is a real literal)
-      while (i < n && src[i] != '\'') {
-        if (src[i] == '\\') ++i;
-        ++i;
-      }
-      ++i;
-      continue;
-    }
-    if (c == 'R' && peek(1) == '"') {  // raw string literal
-      std::size_t d = i + 2;
-      while (d < n && src[d] != '(') ++d;
-      const std::string closer = ")" + std::string(src.substr(i + 2, d - i - 2)) + "\"";
-      std::size_t end = src.find(closer, d);
-      if (end == std::string_view::npos) end = n;
-      for (std::size_t k = i; k < end && k < n; ++k)
-        if (src[k] == '\n') ++line;
-      i = std::min(end + closer.size(), n);
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t start = i;
-      while (i < n && ident_char(src[i])) ++i;
-      out.tokens.push_back({std::string(src.substr(start, i - start)), line});
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      // Numbers swallow digit separators (1'000'000) and suffixes.
-      std::size_t start = i;
-      while (i < n && (ident_char(src[i]) || src[i] == '\'' || src[i] == '.')) ++i;
-      out.tokens.push_back({std::string(src.substr(start, i - start)), line});
-      continue;
-    }
-    // Punctuation: keep the few two-char operators the rules care about.
-    static const char* kTwoChar[] = {"->", "::", "==", "!=", "<=", ">=", "&&", "||"};
-    std::string two{c, peek(1)};
-    bool matched = false;
-    for (const char* op : kTwoChar) {
-      if (two == op) {
-        out.tokens.push_back({two, line});
-        i += 2;
-        matched = true;
-        break;
-      }
-    }
-    if (matched) continue;
-    out.tokens.push_back({std::string(1, c), line});
-    ++i;
-  }
-  for (const Token& tok : out.tokens) out.code_lines.insert(tok.line);
-  return out;
-}
 
 // --------------------------------------------------------------------------
 // Shared helpers.
@@ -158,49 +28,10 @@ bool path_has(const std::string& path, std::string_view needle) {
   return path.find(needle) != std::string::npos;
 }
 
-bool has_tag(const Lexed& lx, int line, const char* tag) {
-  auto it = lx.suppressions.find(line);
-  return it != lx.suppressions.end() && it->second.count(tag) != 0;
-}
-
-/// A finding on `line` is suppressed by a tag on the line itself, on a
-/// trailing comment of the previous code line, or anywhere in an unbroken
-/// run of comment/blank lines directly above.
-bool suppressed(const Lexed& lx, int line, const char* tag) {
-  if (has_tag(lx, line, tag)) return true;
-  for (int l = line - 1; l >= 1 && l >= line - 32; --l) {
-    if (has_tag(lx, l, tag)) return true;
-    if (lx.code_lines.count(l) != 0) break;  // hit code: stop bubbling
-  }
-  return false;
-}
-
-/// Suppression for a finding on `to` inside a multi-line statement starting
-/// at `from`: any tag within the statement, or above its first line.
-bool suppressed_range(const Lexed& lx, int from, int to, const char* tag) {
-  if (suppressed(lx, from, tag)) return true;
-  for (int l = from + 1; l <= to; ++l)
-    if (has_tag(lx, l, tag)) return true;
-  return false;
-}
-
 void report(std::vector<Finding>& findings, const Lexed& lx, Rule rule, std::string_view path,
             int line, std::string message) {
   if (suppressed(lx, line, rule_tag(rule))) return;
   findings.push_back(Finding{rule, std::string(path), line, std::move(message)});
-}
-
-/// Index of the token matching the `(` at `open` (which must be "(", "[",
-/// or "<"); returns tokens.size() when unbalanced.
-std::size_t match_close(const std::vector<Token>& tokens, std::size_t open) {
-  const std::string& o = tokens[open].text;
-  const std::string c = o == "(" ? ")" : o == "[" ? "]" : ">";
-  int depth = 0;
-  for (std::size_t i = open; i < tokens.size(); ++i) {
-    if (tokens[i].text == o) ++depth;
-    else if (tokens[i].text == c && --depth == 0) return i;
-  }
-  return tokens.size();
 }
 
 // --------------------------------------------------------------------------
@@ -352,13 +183,17 @@ void rule_d3(const std::string& path, const Lexed& lx, const Options& options,
     if (t[i].text != "schedule_in" && t[i].text != "schedule_at") continue;
     if (t[i + 1].text != "(") continue;
     const std::size_t close = match_close(t, i + 1);
+    // The whole schedule statement — through the lambda body to the call's
+    // closing paren — is one suppression range, so a tag anywhere on a
+    // multi-line statement covers it (consistent with D5's statement range).
+    const int stmt_end_line = close < t.size() ? t[close].line : t[i].line;
     // First lambda introducer inside the call's argument list.
     for (std::size_t k = i + 2; k < close; ++k) {
       if (t[k].text != "[") continue;
       const std::size_t cap_end = match_close(t, k);
       for (std::size_t c = k + 1; c < cap_end; ++c) {
         if (pointer_names.count(t[c].text) != 0) {
-          if (!suppressed_range(lx, t[i].line, t[k].line, rule_tag(Rule::kD3Handle)))
+          if (!suppressed_range(lx, t[i].line, stmt_end_line, rule_tag(Rule::kD3Handle)))
             findings.push_back(Finding{
                 Rule::kD3Handle, path, t[k].line,
                 "scheduler callback captures raw device pointer '" + t[c].text +
@@ -457,19 +292,35 @@ void rule_d5(const std::string& path, const Lexed& lx, const Options& options,
       "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
   static const std::set<std::string> kLinearScan = {"find", "find_if", "count_if"};
   const auto& t = lx.tokens;
+  // Statement-granular suppression: a finding deep inside a multi-line
+  // statement (a find_if whose arguments span lines, ending in a lambda) is
+  // covered by a tag anywhere in the statement — from its first line to the
+  // delimiter that ends it — or above its first line; the same range
+  // semantics D3 applies to schedule calls.
+  auto is_delim = [](const std::string& s) { return s == ";" || s == "{" || s == "}"; };
+  auto flag = [&](std::size_t at, std::string message) {
+    std::size_t first = at;
+    while (first > 0 && !is_delim(t[first - 1].text)) --first;
+    std::size_t last = at;
+    while (last + 1 < t.size() && !is_delim(t[last].text)) ++last;
+    if (suppressed_range(lx, t[first].line, t[last].line, rule_tag(Rule::kD5RadioScan)))
+      return;
+    findings.push_back(Finding{Rule::kD5RadioScan, path, t[at].line, std::move(message)});
+  };
   for (std::size_t i = 0; i < t.size(); ++i) {
-    if (kUnordered.count(t[i].text) != 0) {
-      report(findings, lx, Rule::kD5RadioScan, path, t[i].line,
-             "'" + t[i].text + "' in src/radio/: hash order is rehash-dependent and one "
-             "hop from serialized output; use the registry's ordered indexes");
+    const std::string& s = t[i].text;
+    if (kUnordered.count(s) != 0) {
+      flag(i,
+           "'" + s + "' in src/radio/: hash order is rehash-dependent and one "
+           "hop from serialized output; use the registry's ordered indexes");
       continue;
     }
     const bool std_qualified = i >= 2 && t[i - 1].text == "::" && t[i - 2].text == "std";
-    if (std_qualified && kLinearScan.count(t[i].text) != 0 && i + 1 < t.size() &&
+    if (std_qualified && kLinearScan.count(s) != 0 && i + 1 < t.size() &&
         t[i + 1].text == "(") {
-      report(findings, lx, Rule::kD5RadioScan, path, t[i].line,
-             "'std::" + t[i].text + "' linear scan in src/radio/: O(n) per operation at "
-             "crowd scale; resolve endpoints through the EndpointRegistry index");
+      flag(i,
+           "'std::" + s + "' linear scan in src/radio/: O(n) per operation at "
+           "crowd scale; resolve endpoints through the EndpointRegistry index");
     }
   }
 }
@@ -627,7 +478,9 @@ std::vector<Finding> lint_tree(const std::string& root, const Options& options) 
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (!entry.is_regular_file()) continue;
       const std::string p = normalize(entry.path().string());
-      if (path_has(p, "lint_fixtures") || path_has(p, "/build")) continue;
+      if (path_has(p, "lint_fixtures") || path_has(p, "taint_fixtures") ||
+          path_has(p, "/build"))
+        continue;
       const std::string ext = entry.path().extension().string();
       if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") files.push_back(p);
     }

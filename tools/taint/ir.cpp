@@ -1,0 +1,291 @@
+// ir.cpp — mini-IR builder for blap-taint (see ir.hpp).
+#include "ir.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace blap::taint {
+namespace {
+
+using lint::ident_start;
+using lint::match_close;
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",  "switch",   "catch",   "return", "sizeof",
+      "typeid", "new",    "delete", "co_await", "co_yield", "co_return",
+      "throw",  "else",   "do",     "goto",     "case",    "default",
+      "static_assert", "alignas", "alignof", "decltype", "assert"};
+  return kw;
+}
+
+const std::set<std::string>& decl_qualifiers() {
+  static const std::set<std::string> kw = {"const",    "constexpr", "static", "inline",
+                                           "volatile", "mutable",   "typename", "struct",
+                                           "class",    "unsigned",  "signed",  "long",
+                                           "short",    "register",  "thread_local"};
+  return kw;
+}
+
+/// Skip a `[[...]]` attribute run starting at `i`; returns the index past it
+/// (or `i` unchanged if there is no attribute here).
+std::size_t skip_attributes(const std::vector<Token>& t, std::size_t i) {
+  while (i + 1 < t.size() && t[i].text == "[" && t[i + 1].text == "[") {
+    const std::size_t inner_close = match_close(t, i + 1);
+    if (inner_close >= t.size() || inner_close + 1 >= t.size() ||
+        t[inner_close + 1].text != "]")
+      return i;
+    i = inner_close + 2;
+  }
+  return i;
+}
+
+/// Parse one parameter chunk [first, last) into a Decl; empty name on
+/// failure (unnamed parameter, `void`, `...`).
+Decl parse_param(const std::vector<Token>& t, std::size_t first, std::size_t last) {
+  Decl decl;
+  first = skip_attributes(t, first);
+  if (first >= last) return decl;
+  // Default argument: the name is the identifier before the top-level '='.
+  std::size_t name_at = last;
+  int depth = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    const std::string& s = t[i].text;
+    if (s == "(" || s == "[" || s == "{") ++depth;
+    else if (s == ")" || s == "]" || s == "}") --depth;
+    else if (s == "=" && depth == 0) {
+      if (i > first && ident_start(t[i - 1].text[0])) name_at = i - 1;
+      last = i;
+      break;
+    }
+  }
+  if (name_at == last || name_at >= t.size()) {
+    // Function-pointer-ish parameter `ret name(args)`: name precedes the
+    // trailing paren group. Otherwise the name is the last identifier.
+    std::size_t end = last;
+    if (end > first && t[end - 1].text == ")") {
+      int d = 0;
+      for (std::size_t i = end; i > first; --i) {
+        const std::string& s = t[i - 1].text;
+        if (s == ")") ++d;
+        else if (s == "(" && --d == 0) {
+          end = i - 1;
+          break;
+        }
+      }
+    }
+    if (end <= first || !ident_start(t[end - 1].text.empty() ? '\0' : t[end - 1].text[0]))
+      return decl;
+    name_at = end - 1;
+  }
+  if (name_at <= first) return decl;  // single token: an unnamed `int` / `void`
+  const std::string& name = t[name_at].text;
+  if (name == "void" || control_keywords().count(name) != 0) return decl;
+  decl.name = name;
+  decl.line = t[name_at].line;
+  for (std::size_t i = first; i < name_at; ++i) decl.type.push_back(t[i].text);
+  if (decl.type.empty()) decl.name.clear();
+  return decl;
+}
+
+/// Try to parse a typed local declaration at statement start `i` (which must
+/// not be a keyword). Returns a Decl with empty name when this is not one.
+Decl parse_local_decl(const std::vector<Token>& t, std::size_t i, std::size_t limit) {
+  Decl decl;
+  std::size_t j = skip_attributes(t, i);
+  std::size_t type_first = j;
+  // Qualifier / type-name run: `const crypto::LinkKey` / `auto` / `Foo<T>`.
+  bool saw_type = false;
+  while (j < limit) {
+    const std::string& s = t[j].text;
+    if (decl_qualifiers().count(s) != 0) {
+      ++j;
+      continue;
+    }
+    if (ident_start(s.empty() ? '\0' : s[0]) && control_keywords().count(s) == 0) {
+      saw_type = true;
+      ++j;
+      // Qualified name / template arguments.
+      while (j < limit) {
+        if (t[j].text == "::" && j + 1 < limit && ident_start(t[j + 1].text[0])) {
+          j += 2;
+          continue;
+        }
+        if (t[j].text == "<") {
+          const std::size_t close = match_close(t, j);
+          if (close >= limit) return decl;
+          j = close + 1;
+          continue;
+        }
+        break;
+      }
+      break;
+    }
+    return decl;
+  }
+  if (!saw_type || j >= limit) return decl;
+  while (j < limit && (t[j].text == "*" || t[j].text == "&")) ++j;
+  if (j >= limit || !ident_start(t[j].text.empty() ? '\0' : t[j].text[0])) return decl;
+  if (control_keywords().count(t[j].text) != 0) return decl;
+  // A declaration's name is followed by =, ;, ,, ( or { — anything else
+  // (., ->, an operator) means this was an expression statement.
+  if (j + 1 >= limit) return decl;
+  const std::string& next = t[j + 1].text;
+  if (next != "=" && next != ";" && next != "," && next != "(" && next != "{") return decl;
+  if (j == type_first) return decl;  // a lone identifier is not a declaration
+  decl.name = t[j].text;
+  decl.line = t[j].line;
+  for (std::size_t k = type_first; k < j; ++k) decl.type.push_back(t[k].text);
+  return decl;
+}
+
+}  // namespace
+
+bool Decl::type_has(std::string_view t) const {
+  return std::find(type.begin(), type.end(), t) != type.end();
+}
+
+bool Decl::is_pointer_to(std::string_view t) const {
+  return type_has(t) && type_has("*");
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> split_args(const std::vector<Token>& tokens,
+                                                            std::size_t open) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  const std::size_t close = match_close(tokens, open);
+  if (close >= tokens.size() || close == open + 1) return out;
+  int depth = 0;
+  std::size_t first = open + 1;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const std::string& s = tokens[i].text;
+    if (s == "(" || s == "[" || s == "{" || s == "<") ++depth;
+    else if (s == ")" || s == "]" || s == "}" || s == ">") --depth;
+    else if (s == "," && depth == 0) {
+      out.emplace_back(first, i);
+      first = i + 1;
+    }
+  }
+  out.emplace_back(first, close);
+  return out;
+}
+
+SourceFile build_ir(std::string path, std::string_view content) {
+  SourceFile out;
+  out.path = std::move(path);
+  out.lex = lint::lex(content);
+  const auto& t = out.lex.tokens;
+  const std::size_t n = t.size();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!ident_start(t[i].text.empty() ? '\0' : t[i].text[0])) continue;
+    if (i + 1 >= n || t[i + 1].text != "(") continue;
+    if (control_keywords().count(t[i].text) != 0) continue;
+    const std::size_t close = match_close(t, i + 1);
+    if (close >= n) continue;
+
+    // After the parameter list: qualifiers, a constructor initializer list,
+    // or a trailing return type may precede the body's '{'. Anything else
+    // (';', an operator, a comma) means declaration or call — skip.
+    std::size_t j = close + 1;
+    bool is_def = false;
+    while (j < n) {
+      const std::string& s = t[j].text;
+      if (s == "const" || s == "noexcept" || s == "override" || s == "final" ||
+          s == "mutable" || s == "&" || s == "&&" || s == "try") {
+        ++j;
+        continue;
+      }
+      if (s == "->") {  // trailing return type: skip to '{' or give up at ';'
+        while (j < n && t[j].text != "{" && t[j].text != ";") ++j;
+        continue;
+      }
+      if (s == ":") {  // constructor initializer list
+        ++j;
+        int depth = 0;
+        while (j < n) {
+          const std::string& w = t[j].text;
+          if (w == "(") ++depth;
+          else if (w == ")") --depth;
+          else if (w == "{" && depth == 0) {
+            // `member_{x}` braces follow an identifier or '>', the body's
+            // '{' follows ')' or '}' (the last initializer's closer).
+            const std::string& prev = t[j - 1].text;
+            if (prev == ")" || prev == "}") break;
+            const std::size_t skip = match_close(t, j);
+            if (skip >= n) break;
+            j = skip;
+          } else if (w == ";") {
+            break;
+          }
+          ++j;
+        }
+        continue;
+      }
+      if (s == "{") is_def = true;
+      break;
+    }
+    if (!is_def || j >= n) continue;
+    const std::size_t body_begin = j;
+    const std::size_t body_end = match_close(t, body_begin);
+    if (body_end >= n) continue;
+
+    Function fn;
+    fn.name = t[i].text;
+    fn.qualified = fn.name;
+    fn.file = out.path;
+    fn.line = t[i].line;
+    fn.body_begin = body_begin;
+    fn.body_end = body_end;
+    // Qualified-name chain: `Class::name` (keep the innermost qualifier).
+    std::size_t name_first = i;
+    while (name_first >= 2 && t[name_first - 1].text == "::" &&
+           ident_start(t[name_first - 2].text[0]))
+      name_first -= 2;
+    if (name_first != i) fn.qualified = t[i - 2].text + "::" + fn.name;
+    // Return type: walk back from the name chain to the previous structural
+    // token (bounded — long template headers contribute nothing useful).
+    static const std::set<std::string> kStop = {";", "{",  "}", ":", ",", "(", ")",
+                                               "public", "private", "protected"};
+    std::size_t rt_first = name_first;
+    while (rt_first > 0 && name_first - rt_first < 16) {
+      const std::string& s = t[rt_first - 1].text;
+      if (kStop.count(s) != 0) break;
+      --rt_first;
+    }
+    for (std::size_t k = rt_first; k < name_first; ++k) fn.return_type.push_back(t[k].text);
+    if (fn.return_type.empty() && name_first == i && t[i].text != "TEST" &&
+        t[i].text != "TEST_F") {
+      // No return type and no `Class::` qualification: only constructors and
+      // destructors look like this, and both need a preceding '~' or a class
+      // context we cannot see. gtest TEST bodies are kept — they hand-build
+      // the captures the record-builder sink watches for.
+      const bool dtor = i > 0 && t[i - 1].text == "~";
+      if (!dtor) {
+        i = close;  // not a definition we understand; resume after the parens
+        continue;
+      }
+    }
+    for (const auto& [first, last] : split_args(t, i + 1)) {
+      Decl p = parse_param(t, first, last);
+      if (!p.name.empty()) fn.params.push_back(std::move(p));
+    }
+    // Typed locals: statement starts inside the body.
+    std::size_t stmt = body_begin + 1;
+    for (std::size_t k = body_begin + 1; k < body_end; ++k) {
+      const std::string& s = t[k].text;
+      if (s == ";" || s == "{" || s == "}") {
+        stmt = k + 1;
+        continue;
+      }
+      if (k == stmt) {
+        Decl d = parse_local_decl(t, k, body_end);
+        if (!d.name.empty()) fn.locals.push_back(std::move(d));
+      }
+    }
+    out.functions.push_back(std::move(fn));
+    i = body_end;  // no nested function definitions; skip the body
+  }
+  return out;
+}
+
+}  // namespace blap::taint
