@@ -1,0 +1,85 @@
+// Chaos sweep: exploration throughput + the robustness gate.
+//
+// Runs the full single-fault exploration of the bonded cell (baseline
+// recorder pass, then one trial per reachable (site, ordinal) instance up to
+// the ordinal cap) and reports coverage and wall throughput. Two gates, both
+// hard exits:
+//
+//   * COVERAGE — at least 150 distinct single-fault instances across at
+//     least 15 sites. The sweep is only evidence of robustness if it
+//     actually reaches the stack's failure surface; a scenario change that
+//     quietly drops passages fails here, not silently.
+//   * OUTCOMES — zero invariant violations and zero stuck trials. Every
+//     explored fault must resolve through a genuine recovery or clean-error
+//     path. A finding is a bug to fix and pin (tests/replay_corpus/), never
+//     an accepted bench result.
+//
+// Env: BLAP_JOBS (worker pool), BLAP_CHAOS_ORDINAL_CAP (default 24),
+// BLAP_CHAOS_PAIRS=1 adds the bounded two-fault sample (reported, ungated).
+#include "bench_util.hpp"
+
+#include <chrono>
+
+#include "chaos/chaos_campaign.hpp"
+
+int main() {
+  using namespace blap;
+  using namespace blap::bench;
+
+  campaign::ChaosCampaignConfig config;
+  if (const char* env = std::getenv("BLAP_CHAOS_ORDINAL_CAP")) {
+    const int cap = std::atoi(env);
+    if (cap > 0) config.ordinal_cap = static_cast<std::uint64_t>(cap);
+  }
+  if (const char* env = std::getenv("BLAP_CHAOS_PAIRS"))
+    config.pairs = std::atoi(env) != 0;
+
+  banner("CHAOS SWEEP — single-fault exploration of the bonded cell");
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = campaign::run_chaos_campaign(config);
+  const auto wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+
+  if (!report.explored) {
+    std::printf("FAIL: exploration did not run: %s\n", report.fallback_reason.c_str());
+    return 1;
+  }
+
+  const std::size_t trials = report.trials.size();
+  const double rate = wall.count() > 0.0 ? static_cast<double>(trials) / wall.count() : 0.0;
+  std::printf("sites reached      : %zu\n", report.sites);
+  std::printf("baseline passages  : %llu\n",
+              static_cast<unsigned long long>(report.baseline.total_hits));
+  std::printf("single-fault trials: %zu (ordinal cap %llu)\n", report.singles,
+              static_cast<unsigned long long>(config.ordinal_cap));
+  if (config.pairs) std::printf("pair trials        : %zu\n", report.pair_trials);
+  std::printf("outcomes           : %zu completed, %zu recovered, %zu clean-error, "
+              "%zu stuck, %zu violation\n",
+              report.completed, report.recovered, report.clean_errors, report.stuck,
+              report.violations);
+  std::printf("throughput         : %.1f trials/s (%zu trials in %.2f s)\n", rate, trials,
+              wall.count());
+
+  bool ok = true;
+  if (report.sites < 15) {
+    std::printf("FAIL: only %zu sites reached (floor 15)\n", report.sites);
+    ok = false;
+  }
+  if (report.singles < 150) {
+    std::printf("FAIL: only %zu single-fault instances explored (floor 150)\n",
+                report.singles);
+    ok = false;
+  }
+  if (report.violations != 0 || report.stuck != 0) {
+    std::printf("FAIL: %zu violations, %zu stuck — fix and pin under "
+                "tests/replay_corpus/, do not regenerate around this\n",
+                report.violations, report.stuck);
+    for (const auto& trial : report.trials)
+      if (trial.outcome == snapshot::ChaosOutcome::kViolation ||
+          trial.outcome == snapshot::ChaosOutcome::kStuck)
+        std::printf("  %s -> %s\n", chaos::encode_fault_sites(trial.faults).c_str(),
+                    snapshot::to_string(trial.outcome));
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// chaos_sweep — systematic failpoint exploration of the bonded cell.
+//
+// Runs the three-phase chaos sweep (src/chaos/chaos_campaign.hpp): recorder
+// baseline over the bonded-cell scenario, enumeration of every reachable
+// (site, ordinal) failpoint instance, then one exploration trial per
+// instance asserting the cross-layer invariants hold and the cell either
+// completes or tears down clean. Exit code 1 when any trial ended in
+// violation or stuck — the CI smoke job runs this twice (BLAP_JOBS=1 and 8)
+// and additionally diffs the --json reports byte-for-byte.
+//
+// Usage:
+//   chaos_sweep [--json] [--pairs] [--cap N] [--seed N] [--record-dir DIR]
+//
+//   --json        print the deterministic report JSON instead of the table
+//   --pairs       add the bounded two-fault pair sample
+//   --cap N       per-site ordinal cap (default 24)
+//   --seed N      build/trial seed (default 10000)
+//   --record-dir  write violation/stuck .blapreplay bundles here
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/chaos/chaos_campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace blap;
+
+  campaign::ChaosCampaignConfig config;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--pairs") == 0) {
+      config.pairs = true;
+    } else if (std::strcmp(arg, "--cap") == 0 && i + 1 < argc) {
+      config.ordinal_cap = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--record-dir") == 0 && i + 1 < argc) {
+      config.record_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
+  }
+
+  const auto report = campaign::run_chaos_campaign(config);
+  if (!report.explored) {
+    std::fprintf(stderr, "chaos sweep could not capture the bonded warm point: %s\n",
+                 report.fallback_reason.c_str());
+    return 2;
+  }
+
+  if (json) {
+    std::fputs(report.to_json().c_str(), stdout);
+  } else {
+    std::printf("chaos sweep: %zu sites, %zu single-fault instances, %zu pairs\n",
+                report.sites, report.singles, report.pair_trials);
+    std::printf("baseline: %s (%llu failpoint passages)\n",
+                snapshot::to_string(report.baseline.outcome),
+                static_cast<unsigned long long>(report.baseline.total_hits));
+    std::printf("outcomes: %zu completed, %zu recovered, %zu clean-error, "
+                "%zu stuck, %zu violation\n",
+                report.completed, report.recovered, report.clean_errors, report.stuck,
+                report.violations);
+    for (const auto& rec : report.trials) {
+      if (rec.outcome != snapshot::ChaosOutcome::kViolation &&
+          rec.outcome != snapshot::ChaosOutcome::kStuck)
+        continue;
+      std::printf("  FINDING %s: %s\n", chaos::encode_fault_sites(rec.faults).c_str(),
+                  snapshot::to_string(rec.outcome));
+      for (const auto& v : rec.violations)
+        std::printf("    %s: %s\n", v.invariant.c_str(), v.detail.c_str());
+    }
+    for (const auto& path : report.bundle_paths)
+      std::printf("  pinned %s\n", path.c_str());
+  }
+
+  const bool clean = report.violations == 0 && report.stuck == 0 &&
+                     report.baseline.outcome == snapshot::ChaosOutcome::kCompleted;
+  return clean ? 0 : 1;
+}

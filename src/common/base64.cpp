@@ -76,7 +76,13 @@ std::optional<Bytes> base64_decode(const std::string& text) {
       out.push_back(static_cast<std::uint8_t>(accumulator >> bits));
     }
   }
-  if (padding > 2) return std::nullopt;
+  // The final quantum must be complete: a 1-byte tail encodes as two symbols
+  // plus "==", a 2-byte tail as three symbols plus "=". Anything else —
+  // notably a stream cut mid-group — is truncation, not a short encoding,
+  // and silently dropping the dangling bits would hide the damage.
+  const bool complete = (bits == 0 && padding == 0) || (bits == 4 && padding == 2) ||
+                        (bits == 2 && padding == 1);
+  if (!complete) return std::nullopt;
   return out;
 }
 

@@ -16,7 +16,9 @@ namespace blap {
 /// newline every that many output characters (MIME style).
 [[nodiscard]] std::string base64_encode(BytesView data, std::size_t line_width = 0);
 
-/// Decode base64; whitespace is skipped. Returns nullopt on malformed input.
+/// Decode base64; whitespace is skipped. Returns nullopt on malformed input,
+/// including a truncated final group (the canonical '='-padded form is
+/// required, so a stream cut mid-quantum never decodes to a silent prefix).
 [[nodiscard]] std::optional<Bytes> base64_decode(const std::string& text);
 
 }  // namespace blap

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "chaos/failpoint.hpp"
+
 namespace blap::controller {
 
 namespace {
@@ -265,6 +267,17 @@ void Controller::handle_create_connection(const hci::CreateConnectionCmd& cmd) {
   if (obs_ != nullptr && obs_->tracing())
     obs_->instant(scheduler_.now(), obs_tid_, obs::Layer::kController,
                   "create_connection", strfmt("page %s", target.to_string().c_str()));
+  // The paging hardware wedges before the first train. The host still gets
+  // its Page Timeout — after the full configured window, like a real one.
+  if (BLAP_FAILPOINT("controller.page.abort")) {
+    scheduler_.schedule_in(config_.page_timeout, [this, target] {
+      hci::ConnectionCompleteEvt evt;
+      evt.status = hci::Status::kPageTimeout;
+      evt.bdaddr = target;
+      send_event(evt.encode());
+    });
+    return;
+  }
   medium_.page(this, target, config_.page_timeout,
                [this, target](std::optional<radio::LinkId> link_id) {
                  if (!link_id) {
@@ -309,7 +322,10 @@ void Controller::on_lmp_host_connection_req(Link& link) {
   evt.class_of_device = ClassOfDevice(0);
   send_event(evt.encode());
   const hci::ConnectionHandle handle = link.handle;
-  link.accept_timer = scheduler_.schedule_in(config_.connection_accept_timeout, [this, handle] {
+  SimTime accept_window = config_.connection_accept_timeout;
+  // The accept timer expires before the host had any real chance to answer.
+  if (BLAP_FAILPOINT("controller.accept.timer_early")) accept_window = 1;
+  link.accept_timer = scheduler_.schedule_in(accept_window, [this, handle] {
     Link* l = link_by_handle(handle);
     if (l == nullptr || l->state != LinkState::kHostAcceptPending) return;
     send_lmp(*l, LmpOpcode::kNotAccepted,
@@ -352,12 +368,10 @@ void Controller::handle_disconnect(const hci::DisconnectCmd& cmd) {
   command_status(hci::op::kDisconnect, hci::Status::kSuccess);
   Link* link = link_by_handle(cmd.handle);
   if (link == nullptr) return;
-  hci::DisconnectionCompleteEvt evt;
-  evt.handle = link->handle;
-  evt.reason = cmd.reason;
-  medium_.close_link(link->radio_link, this, static_cast<std::uint8_t>(cmd.reason));
-  links_.erase(cmd.handle);
-  send_event(evt.encode());
+  // One idempotent teardown path for every way a link dies: even a
+  // supervision timeout landing in the same slot yields exactly one
+  // Disconnection_Complete.
+  teardown_link(*link, static_cast<hci::Status>(cmd.reason), true);
 }
 
 void Controller::on_link_closed(radio::LinkId link_id, std::uint8_t reason) {
@@ -1455,6 +1469,10 @@ void Controller::send_lmp(Link& link, LmpOpcode opcode, Bytes payload) {
                     strfmt("lmp_tx:%s", to_string(opcode)));
   }
   BLAP_TRACE("lmp", "%s tx %s", config_.address.to_string().c_str(), to_string(opcode));
+  // The PDU dies between the LM and the baseband TX buffer — no ARQ entry,
+  // no report. A peer mid-transaction recovers via its LMP response
+  // timeout; otherwise supervision owns the verdict.
+  if (BLAP_FAILPOINT("controller.lmp.tx_lost")) return;
   send_baseband(link, pdu.to_air_frame());
 }
 
@@ -1492,6 +1510,13 @@ void Controller::arq_transmit(hci::ConnectionHandle handle, unsigned attempt) {
 }
 
 void Controller::arq_on_report(hci::ConnectionHandle handle, unsigned attempt, bool delivered) {
+  // The ACK bookkeeping drops the report on the floor: the ARQ engine
+  // stalls with tx_busy held, and the supervision timeout is what
+  // eventually clears the link.
+  if (BLAP_FAILPOINT("controller.arq.report_lost")) return;
+  // A phantom NAK: the frame actually arrived but the report says it did
+  // not — the retransmission must not desync the peer (duplicate delivery).
+  if (BLAP_FAILPOINT("controller.arq.phantom_nak")) delivered = false;
   Link* link = link_by_handle(handle);
   if (link == nullptr) return;          // torn down while the frame flew
   if (link->tx_queue.empty()) return;   // queue flushed (fault plan cleared)
@@ -1538,8 +1563,12 @@ void Controller::arm_supervision_timer(Link& link) {
   if (!medium_.faults_enabled()) return;
   link.supervision_timer.cancel();
   const hci::ConnectionHandle handle = link.handle;
-  link.supervision_timer = scheduler_.schedule_in(config_.supervision_timeout,
-                                                  [this, handle] { supervision_timeout(handle); });
+  SimTime timeout = config_.supervision_timeout;
+  // The supervision counter is misprogrammed: it expires almost at once and
+  // kills a healthy link. Recovery is the host's reconnect machinery.
+  if (BLAP_FAILPOINT("controller.supervision.timer_early")) timeout = 1;
+  link.supervision_timer =
+      scheduler_.schedule_in(timeout, [this, handle] { supervision_timeout(handle); });
 }
 
 void Controller::supervision_timeout(hci::ConnectionHandle handle) {
@@ -1583,8 +1612,10 @@ void Controller::refresh_fault_state() {
 void Controller::arm_lmp_timer(Link& link) {
   link.lmp_timer.cancel();
   const hci::ConnectionHandle handle = link.handle;
-  link.lmp_timer =
-      scheduler_.schedule_in(config_.lmp_response_timeout, [this, handle] { lmp_timeout(handle); });
+  SimTime timeout = config_.lmp_response_timeout;
+  // The LMP response timer fires while the peer's reply is still in flight.
+  if (BLAP_FAILPOINT("controller.lmp.timer_early")) timeout = 1;
+  link.lmp_timer = scheduler_.schedule_in(timeout, [this, handle] { lmp_timeout(handle); });
 }
 
 void Controller::disarm_lmp_timer(Link& link) { link.lmp_timer.cancel(); }
@@ -1615,6 +1646,19 @@ void Controller::lmp_timeout(hci::ConnectionHandle handle) {
 }
 
 void Controller::teardown_link(Link& link, hci::Status reason, bool notify_peer) {
+  // Detach the map node FIRST. Teardown can re-enter — a supervision
+  // timeout delivered in the same slot as a local close used to find the
+  // entry still live and notify the host twice (and leave this reference
+  // dangling after the inner erase). With the node extracted, any nested
+  // teardown for the same handle sees an empty map and returns: one
+  // Disconnection_Complete per link, ever. References into the extracted
+  // node remain valid for the rest of this frame.
+  auto node = links_.extract(link.handle);
+  if (node.empty()) return;
+  // Replays exactly that race: the supervision timer expires at teardown
+  // entry, after the node left the map.
+  if (BLAP_FAILPOINT("controller.teardown.supervision_race"))
+    supervision_timeout(link.handle);
   const hci::ConnectionHandle handle = link.handle;
   const radio::LinkId radio_link = link.radio_link;
   const BdAddr peer = link.peer;
@@ -1622,7 +1666,6 @@ void Controller::teardown_link(Link& link, hci::Status reason, bool notify_peer)
   link.lmp_timer.cancel();
   link.accept_timer.cancel();
   link.supervision_timer.cancel();
-  links_.erase(handle);
   if (notify_peer) medium_.close_link(radio_link, this, static_cast<std::uint8_t>(reason));
   if (state == LinkState::kConnecting) {
     // The link died (e.g. LMP response timeout under total loss) before the
@@ -1641,6 +1684,22 @@ void Controller::teardown_link(Link& link, hci::Status reason, bool notify_peer)
     evt.reason = reason;
     send_event(evt.encode());
   }
+}
+
+std::vector<Controller::LinkAudit> Controller::audit_links() const {
+  std::vector<LinkAudit> out;
+  out.reserve(links_.size());
+  for (const auto& [handle, link] : links_) {
+    LinkAudit audit;
+    audit.handle = handle;
+    audit.radio_link = link.radio_link;
+    audit.peer = link.peer;
+    audit.connected = link.state == LinkState::kConnected;
+    audit.tx_busy = link.tx_busy;
+    audit.tx_queue_depth = link.tx_queue.size();
+    out.push_back(audit);
+  }
+  return out;
 }
 
 Controller::Link* Controller::link_by_handle(hci::ConnectionHandle handle) {

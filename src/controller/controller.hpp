@@ -119,6 +119,18 @@ class Controller final : public radio::RadioEndpoint {
   /// Replace the controller's random stream (the per-trial reseed path).
   void set_rng(Rng rng) { rng_ = rng; }
 
+  /// One link's externally checkable state, for the cross-layer invariant
+  /// monitor (src/invariants/). Exposes no key material.
+  struct LinkAudit {
+    hci::ConnectionHandle handle = hci::kInvalidHandle;
+    radio::LinkId radio_link = 0;
+    BdAddr peer;
+    bool connected = false;  // LinkState::kConnected (host-visible)
+    bool tx_busy = false;
+    std::size_t tx_queue_depth = 0;
+  };
+  [[nodiscard]] std::vector<LinkAudit> audit_links() const;
+
  private:
   enum class LinkState : std::uint8_t {
     kAwaitingHostConnectionReq,  // responder: baseband up, LMP host conn pending

@@ -1,5 +1,7 @@
 #include "host/host.hpp"
 
+#include "chaos/failpoint.hpp"
+
 namespace blap::host {
 
 HostStack::HostStack(Scheduler& scheduler, transport::HciTransport& transport, HostConfig config)
@@ -506,7 +508,11 @@ void HostStack::touch(Acl& acl) {
 void HostStack::arm_idle_timer(Acl& acl) {
   acl.idle_timer.cancel();
   const hci::ConnectionHandle handle = acl.handle;
-  acl.idle_timer = scheduler_.schedule_in(config_.acl_idle_timeout, [this, handle] {
+  SimTime idle_window = config_.acl_idle_timeout;
+  // The idle bookkeeping mistimes the window: a link in active use is
+  // checked (and possibly dropped) almost immediately.
+  if (BLAP_FAILPOINT("host.acl.idle_early")) idle_window = 1000;
+  acl.idle_timer = scheduler_.schedule_in(idle_window, [this, handle] {
     Acl* live = acl_by_handle(handle);
     if (live == nullptr) return;
     const bool busy = l2cap_.channel_count(handle) > 0 ||
@@ -537,7 +543,11 @@ void HostStack::arm_pair_watchdog() {
   if (!config_.fault_recovery || !pair_op_) return;
   pair_op_->watchdog.cancel();
   const BdAddr peer = pair_op_->peer;
-  pair_op_->watchdog = scheduler_.schedule_in(config_.pair_op_watchdog, [this, peer] {
+  SimTime watchdog_window = config_.pair_op_watchdog;
+  // The watchdog fires while the pairing is still making healthy progress:
+  // the op fails with a timeout and (with recovery on) retries from clean.
+  if (BLAP_FAILPOINT("host.pair.watchdog_early")) watchdog_window = 1000;
+  pair_op_->watchdog = scheduler_.schedule_in(watchdog_window, [this, peer] {
     // The op may have completed (or been replaced) since the timer was set.
     if (!pair_op_ || !(pair_op_->peer == peer)) return;
     if (obs_ != nullptr) {
@@ -573,6 +583,13 @@ void HostStack::mark_degraded(const BdAddr& peer, const char* why) {
 }
 
 void HostStack::retry_pair_op(PairOp op) {
+  // The queued retry is abandoned (the stack was tearing the profile down
+  // while the backoff ran): the original operation fails with a timeout —
+  // exactly the slot-reclaimed path below, deliberately.
+  if (BLAP_FAILPOINT("host.pair.retry_abandoned")) {
+    dispatch_pair_result(std::move(op), hci::Status::kConnectionTimeout);
+    return;
+  }
   if (pair_op_) {
     // Another operation claimed the slot during the backoff; surface the
     // original failure instead of queueing behind it.
@@ -738,6 +755,14 @@ void HostStack::on_connection_request(const hci::ConnectionRequestEvt& evt) {
     return;
   }
   if (!config_.auto_accept_connections) {
+    hci::RejectConnectionRequestCmd cmd;
+    cmd.bdaddr = evt.bdaddr;
+    send_command(cmd.encode());
+    return;
+  }
+  // Policy glitch: the host rejects a connection it would normally accept;
+  // the initiator sees its Create_Connection fail and may retry.
+  if (BLAP_FAILPOINT("host.connect.reject")) {
     hci::RejectConnectionRequestCmd cmd;
     cmd.bdaddr = evt.bdaddr;
     send_command(cmd.encode());

@@ -1,0 +1,181 @@
+#include "invariants/monitor.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace blap::invariants {
+
+InvariantMonitor::InvariantMonitor(core::Simulation& sim, Config config)
+    : sim_(sim), config_(std::move(config)) {}
+
+InvariantMonitor::~InvariantMonitor() { uninstall(); }
+
+void InvariantMonitor::install() {
+  if (installed_) return;
+  prev_ = sim_.scheduler().hook();
+  sim_.scheduler().set_hook(this);
+  installed_ = true;
+}
+
+void InvariantMonitor::uninstall() {
+  if (!installed_) return;
+  // Only unhook if we are still the installed hook; someone chaining after
+  // us owns the slot now and keeps forwarding to prev_ through us — leave
+  // the chain alone rather than cutting it.
+  if (sim_.scheduler().hook() == this) sim_.scheduler().set_hook(prev_);
+  installed_ = false;
+}
+
+void InvariantMonitor::attach_sniffer() {
+  sim_.medium().add_sniffer([this](const radio::SniffedFrame& frame) {
+    on_sniffed(frame.timestamp_us, frame.sender, frame.frame);
+  });
+}
+
+void InvariantMonitor::reset() {
+  has_last_now_ = false;
+  pending_.clear();
+}
+
+void InvariantMonitor::on_dispatch(SimTime now, std::size_t queue_depth) {
+  if (prev_ != nullptr) prev_->on_dispatch(now, queue_depth);
+  if (has_last_now_ && now < last_now_)
+    record("clock-monotonic", now,
+           "dispatch at t=" + std::to_string(now) + " after t=" + std::to_string(last_now_));
+  last_now_ = now;
+  has_last_now_ = true;
+  check(now);
+}
+
+void InvariantMonitor::check_now() {
+  // Force the grace window shut: anything still pending that is older than
+  // the window becomes a violation right now, and a fresh check runs so an
+  // end-of-trial skew is seen even if no event fired since it appeared.
+  check(sim_.now());
+}
+
+void InvariantMonitor::record(const char* invariant, SimTime at, std::string detail) {
+  BLAP_WARN("invariants", "%s violated at t=%llu us: %s", invariant,
+            static_cast<unsigned long long>(at), detail.c_str());
+  violations_.push_back(Violation{invariant, std::move(detail), at});
+}
+
+bool InvariantMonitor::exempt(const BdAddr& address) const {
+  return std::find(config_.exempt.begin(), config_.exempt.end(), address) !=
+         config_.exempt.end();
+}
+
+void InvariantMonitor::check(SimTime now) {
+  ++checks_;
+  std::string why;
+  if (!sim_.medium().audit_consistency(&why)) record("radio-table-consistent", now, why);
+  if (!sim_.medium().audit_registry(&why)) record("endpoint-generation", now, why);
+
+  for (const auto& device : sim_.devices()) {
+    for (const auto& audit : device->controller().audit_links()) {
+      if (!audit.tx_busy && audit.tx_queue_depth != 0)
+        record("arq-bounded", now,
+               device->spec().name + ": idle ARQ engine with " +
+                   std::to_string(audit.tx_queue_depth) + " queued frame(s)");
+      if (audit.tx_queue_depth > config_.arq_queue_bound)
+        record("arq-bounded", now,
+               device->spec().name + ": ARQ queue depth " +
+                   std::to_string(audit.tx_queue_depth) + " exceeds bound " +
+                   std::to_string(config_.arq_queue_bound));
+    }
+  }
+
+  check_agreement(now);
+}
+
+void InvariantMonitor::check_agreement(SimTime now) {
+  // Snapshot of the three layers' link tables. Mismatches are keyed by a
+  // stable description and only become violations after they persist past
+  // the grace window — a Disconnection_Complete in flight, a close
+  // indication crossing the air, or a watchdog that has not fired yet all
+  // present as transient skew.
+  const auto radio_links = sim_.medium().audit_links();
+  std::map<std::string, std::string> mismatches;  // key -> detail
+
+  for (const auto& device : sim_.devices()) {
+    const std::string& name = device->spec().name;
+    const auto ctrl = device->controller().audit_links();
+    const radio::RadioEndpoint* endpoint = &device->controller();
+
+    for (const auto& acl : device->host().acls()) {
+      const bool backed = std::any_of(ctrl.begin(), ctrl.end(), [&](const auto& link) {
+        return link.handle == acl.handle && link.connected;
+      });
+      if (!backed)
+        mismatches.emplace(
+            name + "/acl/" + std::to_string(acl.handle),
+            name + ": host ACL handle " + std::to_string(acl.handle) + " to " +
+                acl.peer.to_string() + " has no connected controller link");
+    }
+    for (const auto& link : ctrl) {
+      const bool on_air =
+          std::any_of(radio_links.begin(), radio_links.end(), [&](const auto& rl) {
+            return rl.id == link.radio_link && (rl.a == endpoint || rl.b == endpoint);
+          });
+      if (!on_air)
+        mismatches.emplace(
+            name + "/ctrl/" + std::to_string(link.handle),
+            name + ": controller handle " + std::to_string(link.handle) +
+                " references radio link " + std::to_string(link.radio_link) +
+                " which the medium does not carry");
+    }
+  }
+  // Radio -> controller: every live radio link must be known (under any
+  // state) to both endpoint controllers.
+  for (const auto& rl : radio_links) {
+    for (const auto& device : sim_.devices()) {
+      const radio::RadioEndpoint* endpoint = &device->controller();
+      if (rl.a != endpoint && rl.b != endpoint) continue;
+      const auto ctrl = device->controller().audit_links();
+      const bool known = std::any_of(ctrl.begin(), ctrl.end(), [&](const auto& link) {
+        return link.radio_link == rl.id;
+      });
+      if (!known)
+        mismatches.emplace(
+            device->spec().name + "/radio/" + std::to_string(rl.id),
+            device->spec().name + ": radio link " + std::to_string(rl.id) +
+                " has no controller link entry");
+    }
+  }
+
+  // Heal entries that no longer mismatch.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (mismatches.find(it->first) == mismatches.end())
+      it = pending_.erase(it);
+    else
+      ++it;
+  }
+  for (const auto& [key, detail] : mismatches) {
+    const auto [it, fresh] = pending_.emplace(key, now);
+    if (fresh) continue;
+    if (now - it->second > config_.agreement_grace && !reported_[key]) {
+      reported_[key] = true;
+      record("link-table-agreement", now,
+             detail + " (skew persisted " + std::to_string(now - it->second) + " us)");
+    }
+  }
+}
+
+void InvariantMonitor::on_sniffed(SimTime now, const BdAddr& sender, const Bytes& frame) {
+  if (exempt(sender)) return;
+  if (frame.size() < std::tuple_size_v<crypto::LinkKey>) return;
+  for (const auto& device : sim_.devices()) {
+    if (exempt(device->address())) continue;
+    for (const auto& bond : device->host().security().bonds()) {
+      const auto& key = bond.link_key;
+      const auto hit = std::search(frame.begin(), frame.end(), key.begin(), key.end());
+      if (hit != frame.end())
+        record("key-plaintext-on-air", now,
+               device->spec().name + "'s bonded link key for " + bond.address.to_string() +
+                   " crossed the air in plaintext (sent by " + sender.to_string() + ")");
+    }
+  }
+}
+
+}  // namespace blap::invariants

@@ -1,0 +1,116 @@
+// monitor.hpp — the cross-layer invariant monitor.
+//
+// The chaos sweep (DESIGN §14) injects single faults all over the stack and
+// asks one question per trial: did the stack stay *coherent*? Coherent is
+// checkable — the layers keep redundant views of the same state, and the
+// redundancy is exactly what a monitor can audit after every scheduler
+// event:
+//
+//   clock-monotonic         virtual time never runs backwards between
+//                           dispatches (reset() forgives a fork restore).
+//   radio-table-consistent  the medium's link table, address-pair index and
+//                           per-slot lists agree (RadioMedium::
+//                           audit_consistency).
+//   endpoint-generation     every attached endpoint resolves through its
+//                           own generation-checked handle.
+//   link-table-agreement    host ACLs ⊆ controller links ⊆ radio links, per
+//                           device, after a grace window for in-flight
+//                           notifications (Disconnection_Complete and close
+//                           indications travel at frame latency; watchdogs
+//                           fire seconds later — a *persistent* skew is the
+//                           bug, a transient one is the protocol).
+//   arq-bounded             tx_busy implies a queued frame, an idle engine
+//                           implies an empty queue, and the queue never
+//                           grows past any plausible retransmission burst.
+//   key-plaintext-on-air    no bonded link key crosses the radio in
+//                           plaintext (sniffer-based; the masked LMP
+//                           comb-key exchange does not trip it, a raw key
+//                           would). Attack devices are exempt — leaking the
+//                           victim's key is their whole point.
+//
+// The monitor is a SchedulerHook that CHAINS: it remembers the hook already
+// installed (the Observer, when observability is on) and forwards every
+// dispatch, so metrics keep flowing underneath it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bdaddr.hpp"
+#include "common/scheduler.hpp"
+#include "core/device.hpp"
+
+namespace blap::invariants {
+
+struct Violation {
+  std::string invariant;  // one of the names above
+  std::string detail;
+  SimTime at = 0;
+};
+
+class InvariantMonitor final : public SchedulerHook {
+ public:
+  struct Config {
+    /// How long a cross-layer link-table skew may persist before it is a
+    /// violation. Must exceed every in-flight notification path (frame
+    /// latency, transport transit, supervision + watchdog timeouts).
+    SimTime agreement_grace = 120 * kSecond;
+    /// Frames sent by these addresses are exempt from key-plaintext-on-air.
+    std::vector<BdAddr> exempt;
+    /// Hard ceiling on a controller's ARQ queue depth.
+    std::size_t arq_queue_bound = 4096;
+  };
+
+  InvariantMonitor(core::Simulation& sim, Config config);
+  ~InvariantMonitor() override;
+
+  /// Chain onto the scheduler's hook slot (keeping whatever was there) and
+  /// start checking after every dispatched event.
+  void install();
+  /// Restore the previous hook. Safe to call twice; the destructor calls it.
+  void uninstall();
+
+  /// Add the key-on-air sniffer to the medium. Separate from install()
+  /// because a fork restore truncates the sniffer list back to the captured
+  /// count — re-attach after every restore.
+  void attach_sniffer();
+
+  /// Forget the clock watermark and any pending (in-grace) mismatches.
+  /// Call after a fork restore: rewinding virtual time is not a violation.
+  void reset();
+
+  void on_dispatch(SimTime now, std::size_t queue_depth) override;
+
+  /// Run every invariant once at the current instant (the end-of-trial
+  /// check; also forces pending mismatches older than the grace window to
+  /// resolve into violations).
+  void check_now();
+
+  [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_; }
+
+ private:
+  void check(SimTime now);
+  void check_agreement(SimTime now);
+  void on_sniffed(SimTime now, const BdAddr& sender, const Bytes& frame);
+  void record(const char* invariant, SimTime at, std::string detail);
+  [[nodiscard]] bool exempt(const BdAddr& address) const;
+
+  core::Simulation& sim_;
+  Config config_;
+  SchedulerHook* prev_ = nullptr;
+  bool installed_ = false;
+  SimTime last_now_ = 0;
+  bool has_last_now_ = false;
+  std::uint64_t checks_ = 0;
+  std::vector<Violation> violations_;
+  /// Cross-layer mismatches inside their grace window: description ->
+  /// first-seen instant. Ordered map so reporting order is deterministic.
+  std::map<std::string, SimTime> pending_;
+  /// Mismatches already reported as violations — report each skew once.
+  std::map<std::string, bool> reported_;
+};
+
+}  // namespace blap::invariants

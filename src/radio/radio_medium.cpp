@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chaos/failpoint.hpp"
 #include "common/log.hpp"
 
 namespace blap::radio {
@@ -70,6 +71,8 @@ void RadioMedium::start_inquiry(RadioEndpoint* requester, SimTime duration,
     // are unchanged for every existing scenario.
     registry_.for_each_inquiry_scanner([&](RadioEndpoint* ep) {
       if (ep == requester || !ep->inquiry_scan_enabled()) return;
+      // FHS response collides with another responder's and is lost.
+      if (BLAP_FAILPOINT("radio.inquiry.response_lost")) return;
       if (obs_ != nullptr) obs_->count("radio.inquiry_responses");
       // Responders answer somewhere inside the inquiry window; inquiry scan
       // windows are dense enough that every scanning device is found.
@@ -93,6 +96,7 @@ void RadioMedium::start_inquiry(RadioEndpoint* requester, SimTime duration,
     const SimTime now = scheduler_.now();
     registry_.for_each_inquiry_scanner([&](RadioEndpoint* ep) {
       if (ep == requester || !ep->inquiry_scan_enabled()) return;
+      if (BLAP_FAILPOINT("radio.inquiry.response_lost")) return;
       if (obs_ != nullptr) obs_->count("radio.inquiry_responses");
       const SimTime latency = 1 + rng_.uniform(jitter_span);
       batch->entries.push_back(InquiryBatch::Entry{
@@ -147,6 +151,9 @@ void RadioMedium::page(RadioEndpoint* initiator, const BdAddr& target, SimTime t
   std::vector<Candidate> candidates;
   registry_.for_each_candidate(target, [&](RadioEndpoint* ep, EndpointHandle handle) {
     if (ep == initiator || !ep->page_scan_enabled()) return;
+    // The candidate's every scan window misses the whole page train (deep
+    // interference): it drops out of the race before sampling a latency.
+    if (BLAP_FAILPOINT("radio.page.scan_missed")) return;
     const SimTime latency = ep->sample_page_response_latency(rng_);
     candidates.push_back(Candidate{ep, latency});
     if (winner == nullptr || latency < best_latency) {
@@ -202,6 +209,12 @@ void RadioMedium::page(RadioEndpoint* initiator, const BdAddr& target, SimTime t
       if (on_result) on_result(std::nullopt);
       return;
     }
+    // The FHS/ID exchange died at the last moment: no link comes up and the
+    // initiator sees an ordinary page timeout.
+    if (BLAP_FAILPOINT("radio.page.train_lost")) {
+      if (on_result) on_result(std::nullopt);
+      return;
+    }
     Link link;
     link.a = initiator;
     link.b = responder;
@@ -221,7 +234,11 @@ void RadioMedium::page(RadioEndpoint* initiator, const BdAddr& target, SimTime t
     BLAP_DEBUG("radio", "link %llu up: %s -> %s", static_cast<unsigned long long>(id),
                initiator->radio_address().to_string().c_str(),
                responder->radio_address().to_string().c_str());
-    responder->on_link_established(id, initiator->radio_address(), false);
+    // The responder's baseband misses the link-up (its POLL/NULL handshake
+    // was jammed): the link exists but only the initiator knows. The
+    // initiator's LMP response timeout is the genuine recovery path.
+    if (!BLAP_FAILPOINT("radio.link.responder_notify_lost"))
+      responder->on_link_established(id, initiator->radio_address(), false);
     initiator->on_link_established(id, responder->radio_address(), true);
     if (on_result) on_result(id);
   });
@@ -264,8 +281,11 @@ void RadioMedium::send_frame(LinkId link, RadioEndpoint* sender, Bytes frame,
   }
   // Residual corruption escapes the CRC: the damaged frame is delivered and
   // the baseband ACKs it. Only outright drops count as undelivered.
-  const bool delivered = verdict == faults::FaultVerdict::kDeliver ||
-                         verdict == faults::FaultVerdict::kCorrupt;
+  bool delivered = verdict == faults::FaultVerdict::kDeliver ||
+                   verdict == faults::FaultVerdict::kCorrupt;
+  // A burst of interference swallows the frame; the NAK still reaches the
+  // sender (ARQ handles it), so the loss is recoverable by retransmission.
+  if (BLAP_FAILPOINT("radio.frame.drop")) delivered = false;
 
   if (delivered) {
     scheduler_.schedule_in(frame_latency_,
@@ -281,6 +301,9 @@ void RadioMedium::send_frame(LinkId link, RadioEndpoint* sender, Bytes frame,
     });
   }
   if (on_report) {
+    // The return-slot ACK/NAK itself is lost: the sender hears nothing and
+    // must fall back on its own retransmission timer.
+    if (BLAP_FAILPOINT("radio.frame.report_lost")) return;
     // ACK/NAK lands after one TDD round trip (frame slot + return slot).
     const EndpointHandle sender_handle = registry_.handle_of(sender);
     scheduler_.schedule_in(2 * frame_latency_,
@@ -307,6 +330,9 @@ void RadioMedium::close_link(LinkId link, RadioEndpoint* closer, std::uint8_t re
   }
   BLAP_DEBUG("radio", "link %llu closed (reason 0x%02x)", static_cast<unsigned long long>(link),
              reason);
+  // The closer's LMP_detach never reaches the peer: the peer only learns of
+  // the teardown when its own supervision timeout expires.
+  if (BLAP_FAILPOINT("radio.close.notify_lost")) return;
   // The peer learns of the teardown after one frame flight time — unless it
   // detached while the frame flew, which stales the handle.
   scheduler_.schedule_in(frame_latency_, [this, peer_handle, link, reason] {
@@ -314,6 +340,70 @@ void RadioMedium::close_link(LinkId link, RadioEndpoint* closer, std::uint8_t re
     if (peer == nullptr) return;
     peer->on_link_closed(link, reason);
   });
+}
+
+std::vector<RadioMedium::LinkAuditView> RadioMedium::audit_links() const {
+  std::vector<LinkAuditView> out;
+  out.reserve(links_.size());
+  for (const auto& [id, link] : links_) out.push_back(LinkAuditView{id, link.a, link.b});
+  return out;
+}
+
+bool RadioMedium::audit_registry(std::string* why) const {
+  std::size_t attached = 0;
+  bool generations_ok = true;
+  registry_.for_each_attached([&](RadioEndpoint* endpoint) {
+    ++attached;
+    const EndpointHandle h = registry_.handle_of(endpoint);
+    if (!h.valid() || registry_.resolve(h) != endpoint) generations_ok = false;
+  });
+  if (!generations_ok) {
+    if (why != nullptr) *why = "an attached endpoint fails its own generation-checked resolve";
+    return false;
+  }
+  if (attached != registry_.size()) {
+    if (why != nullptr)
+      *why = strfmt("registry iterates %zu endpoints but reports size %zu", attached,
+                    registry_.size());
+    return false;
+  }
+  return true;
+}
+
+bool RadioMedium::audit_consistency(std::string* why) const {
+  const auto fail = [&](std::string message) {
+    if (why != nullptr) *why = std::move(message);
+    return false;
+  };
+  if (link_index_.size() != links_.size())
+    return fail(strfmt("address-pair index holds %zu entries for %zu links",
+                       link_index_.size(), links_.size()));
+  std::size_t slot_entries = 0;
+  for (const auto& slot_links : links_of_slot_) slot_entries += slot_links.size();
+  if (slot_entries != 2 * links_.size())
+    return fail(strfmt("per-slot lists hold %zu entries for %zu links", slot_entries,
+                       links_.size()));
+  for (const auto& [id, link] : links_) {
+    const auto text_id = static_cast<unsigned long long>(id);
+    if (registry_.resolve(link.a_handle) != link.a ||
+        registry_.resolve(link.b_handle) != link.b)
+      return fail(strfmt("link %llu holds a stale endpoint handle", text_id));
+    if (!link_index_.contains(link_key(link.addr_a, link.addr_b, id)))
+      return fail(strfmt("link %llu missing from the address-pair index", text_id));
+    if (link.a_handle.slot >= links_of_slot_.size() ||
+        link.b_handle.slot >= links_of_slot_.size())
+      return fail(strfmt("link %llu references a slot past the per-slot lists", text_id));
+    const auto& a_links = links_of_slot_[link.a_handle.slot];
+    const auto& b_links = links_of_slot_[link.b_handle.slot];
+    // blap-lint: radio-scan-ok — audit-only membership probe; the invariant
+    // being checked is precisely that these per-slot lists stay tiny
+    if (std::find(a_links.begin(), a_links.end(), id) == a_links.end() ||
+        std::find(b_links.begin(), b_links.end(), id) == b_links.end())
+      return fail(strfmt("link %llu missing from a per-slot list", text_id));
+    if ((link.channel != nullptr) != fault_plan_.enabled())
+      return fail(strfmt("link %llu channel state disagrees with the fault plan", text_id));
+  }
+  return true;
 }
 
 RadioEndpoint* RadioMedium::peer_of(LinkId link, const RadioEndpoint* self) const {
@@ -431,8 +521,8 @@ void RadioMedium::load_state(state::StateReader& r,
   link_index_.clear();
 
   links_.clear();
-  const std::uint64_t link_count = r.u64();
-  for (std::uint64_t i = 0; i < link_count && r.ok(); ++i) {
+  const std::uint64_t stored_links = r.u64();
+  for (std::uint64_t i = 0; i < stored_links && r.ok(); ++i) {
     const LinkId id = r.u64();
     Link link;
     link.a = endpoint_at(r.u64());

@@ -217,6 +217,30 @@ class RadioMedium {
     sniffers_.push_back(std::move(sniffer));
   }
 
+  /// One live link as seen by the medium, for the cross-layer invariant
+  /// monitor (src/invariants/): the raw endpoint pointers let the monitor
+  /// match links back to device controllers.
+  struct LinkAuditView {
+    LinkId id = 0;
+    const RadioEndpoint* a = nullptr;
+    const RadioEndpoint* b = nullptr;
+  };
+  [[nodiscard]] std::vector<LinkAuditView> audit_links() const;
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Structural self-check for the invariant monitor: every live link's
+  /// generation-checked endpoint handles must resolve to its endpoint
+  /// pointers, the address-pair index and the per-slot link lists must
+  /// agree with links_, and channel models must exist iff faults are
+  /// enabled. Returns false with `why` on the first inconsistency.
+  [[nodiscard]] bool audit_consistency(std::string* why) const;
+
+  /// Endpoint-registry generation audit, separate from audit_consistency()
+  /// so the invariant monitor can name the two failures differently: every
+  /// attached endpoint must resolve through its own handle, and iteration
+  /// must agree with size().
+  [[nodiscard]] bool audit_registry(std::string* why) const;
+
  private:
   struct Link {
     RadioEndpoint* a = nullptr;  // initiator

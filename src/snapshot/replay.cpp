@@ -5,9 +5,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "chaos/failpoint.hpp"
 #include "common/base64.hpp"
 #include "common/state_io.hpp"
 #include "core/page_blocking.hpp"
+#include "snapshot/chaos_trial.hpp"
 #include "snapshot/snapshot.hpp"
 
 namespace blap::snapshot {
@@ -15,8 +17,41 @@ namespace {
 
 constexpr const char* kHeader = "blap-replay-bundle v1";
 
-void set_why(std::string* why, std::string text) {
-  if (why != nullptr) *why = std::move(text);
+/// Line iterator that remembers where each line starts, so parse errors
+/// can be reported by line number and byte offset.
+class LineCursor {
+ public:
+  explicit LineCursor(const std::string& text) : text_(text) {}
+
+  bool next(std::string& line) {
+    if (pos_ >= text_.size()) return false;
+    line_start_ = pos_;
+    ++line_no_;
+    const std::size_t nl = text_.find('\n', pos_);
+    if (nl == std::string::npos) {
+      line = text_.substr(pos_);
+      pos_ = text_.size();
+    } else {
+      line = text_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t line_no() const { return line_no_; }
+  [[nodiscard]] std::size_t line_start() const { return line_start_; }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_no_ = 0;
+  std::size_t line_start_ = 0;
+};
+
+void set_error(BundleError& error, const LineCursor& cursor, std::string message) {
+  error.line = cursor.line_no();
+  error.offset = cursor.line_start();
+  error.message = std::move(message);
 }
 
 std::string encode_fault_plan(const faults::FaultPlan& plan) {
@@ -55,6 +90,13 @@ bool parse_double(const std::string& text, double& out) {
 
 }  // namespace
 
+std::string BundleError::to_string() const {
+  std::string out;
+  if (!file.empty()) out += file + ":";
+  out += std::to_string(line) + " (offset " + std::to_string(offset) + "): " + message;
+  return out;
+}
+
 std::string ReplayBundle::to_text() const {
   std::string out;
   out += kHeader;
@@ -64,6 +106,8 @@ std::string ReplayBundle::to_text() const {
   out += "\ntrial_seed: " + std::to_string(trial_seed);
   out += "\ntrial_kind: " + trial_kind;
   if (fault_plan.has_value()) out += "\nfault_plan: " + encode_fault_plan(*fault_plan);
+  if (!chaos_faults.empty()) out += "\nchaos: " + chaos_faults;
+  if (!warm_setup.empty()) out += "\nwarm: " + warm_setup;
   out += "\nsuccess: ";
   out += expected_success ? "1" : "0";
   out += "\nvalue: " + format_double(expected_value);
@@ -81,25 +125,45 @@ std::string ReplayBundle::to_text() const {
 }
 
 std::optional<ReplayBundle> ReplayBundle::from_text(const std::string& text,
-                                                    std::string* why) {
-  std::istringstream in(text);
+                                                    BundleError& error) {
+  LineCursor cursor(text);
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
-    set_why(why, "missing bundle header line");
+  if (!cursor.next(line) || line != kHeader) {
+    set_error(error, cursor, "missing bundle header line ('" + std::string(kHeader) + "')");
     return std::nullopt;
   }
 
   ReplayBundle bundle;
   bool have_scenario = false, have_trial_seed = false, have_kind = false;
   bool have_verdict = false, have_snapshot = false;
-  while (std::getline(in, line)) {
+  while (cursor.next(line)) {
     if (line.empty()) continue;
     if (line == "snapshot:") {
+      // Remember where the payload starts so a corrupt blob is reported at
+      // its own offset, not at the last base64 line.
+      const std::size_t block_line = cursor.line_no() + 1;
+      const std::size_t block_offset = cursor.line_start() + line.size() + 1;
       std::string b64;
-      while (std::getline(in, line)) b64 += line;
+      while (cursor.next(line)) {
+        if (b64.size() + line.size() > kMaxSnapshotBase64) {
+          set_error(error, cursor,
+                    "snapshot payload exceeds " + std::to_string(kMaxSnapshotBase64) +
+                        " base64 bytes");
+          return std::nullopt;
+        }
+        b64 += line;
+      }
+      if (b64.empty()) {
+        error.line = block_line;
+        error.offset = block_offset;
+        error.message = "snapshot block is empty";
+        return std::nullopt;
+      }
       const auto raw = base64_decode(b64);
       if (!raw) {
-        set_why(why, "snapshot base64 is malformed");
+        error.line = block_line;
+        error.offset = block_offset;
+        error.message = "snapshot payload is not valid base64 (truncated or corrupt)";
         return std::nullopt;
       }
       bundle.snapshot = *raw;
@@ -108,11 +172,17 @@ std::optional<ReplayBundle> ReplayBundle::from_text(const std::string& text,
     }
     const std::size_t colon = line.find(": ");
     if (colon == std::string::npos) {
-      set_why(why, "malformed line: " + line);
+      set_error(error, cursor, "malformed line (expected 'key: value'): " + line);
       return std::nullopt;
     }
     const std::string key = line.substr(0, colon);
     const std::string value = line.substr(colon + 2);
+    if (value.size() > kMaxFieldLength) {
+      set_error(error, cursor,
+                "field '" + key + "' is " + std::to_string(value.size()) +
+                    " bytes (limit " + std::to_string(kMaxFieldLength) + ")");
+      return std::nullopt;
+    }
     bool ok = true;
     if (key == "scenario") {
       const auto params = decode_scenario(value);
@@ -134,6 +204,13 @@ std::optional<ReplayBundle> ReplayBundle::from_text(const std::string& text,
     } else if (key == "fault_plan") {
       bundle.fault_plan = decode_fault_plan(value);
       ok = bundle.fault_plan.has_value();
+    } else if (key == "chaos") {
+      std::vector<chaos::FaultSite> faults;
+      ok = chaos::decode_fault_sites(value, faults) && !faults.empty();
+      if (ok) bundle.chaos_faults = value;
+    } else if (key == "warm") {
+      bundle.warm_setup = value;
+      ok = !value.empty();
     } else if (key == "success") {
       ok = value == "1" || value == "0";
       bundle.expected_success = value == "1";
@@ -147,18 +224,39 @@ std::optional<ReplayBundle> ReplayBundle::from_text(const std::string& text,
       ok = raw.has_value();
       if (ok) bundle.expected_metrics_json.assign(raw->begin(), raw->end());
     } else {
-      ok = false;  // unknown key: refuse to half-understand a bundle
+      // Unknown key: refuse to half-understand a bundle.
+      set_error(error, cursor, "unknown key '" + key + "'");
+      return std::nullopt;
     }
     if (!ok) {
-      set_why(why, "bad value for '" + key + "'");
+      set_error(error, cursor, "bad value for '" + key + "'");
       return std::nullopt;
     }
   }
 
   if (!have_scenario || !have_trial_seed || !have_kind || !have_verdict || !have_snapshot) {
-    set_why(why, "bundle is missing a required field");
+    std::string missing;
+    const auto need = [&](bool have, const char* name) {
+      if (have) return;
+      if (!missing.empty()) missing += ", ";
+      missing += name;
+    };
+    need(have_scenario, "scenario");
+    need(have_trial_seed, "trial_seed");
+    need(have_kind, "trial_kind");
+    need(have_verdict, "success");
+    need(have_snapshot, "snapshot");
+    set_error(error, cursor, "bundle is missing required field(s): " + missing);
     return std::nullopt;
   }
+  return bundle;
+}
+
+std::optional<ReplayBundle> ReplayBundle::from_text(const std::string& text,
+                                                    std::string* why) {
+  BundleError error;
+  auto bundle = from_text(text, error);
+  if (!bundle && why != nullptr) *why = error.to_string();
   return bundle;
 }
 
@@ -170,26 +268,35 @@ bool ReplayBundle::save_file(const std::string& path) const {
 }
 
 std::optional<ReplayBundle> ReplayBundle::load_file(const std::string& path,
-                                                    std::string* why) {
+                                                    BundleError& error) {
+  error.file = path;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    set_why(why, "cannot open '" + path + "'");
+    error.message = "cannot open file";
     return std::nullopt;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return from_text(buf.str(), why);
+  return from_text(buf.str(), error);
+}
+
+std::optional<ReplayBundle> ReplayBundle::load_file(const std::string& path,
+                                                    std::string* why) {
+  BundleError error;
+  auto bundle = load_file(path, error);
+  if (!bundle && why != nullptr) *why = error.to_string();
+  return bundle;
 }
 
 bool known_trial_kind(const std::string& kind) {
   return kind == "page_blocking_baseline" || kind == "page_blocking_attack" ||
-         kind == "page_blocking_attack_metrics";
+         kind == "page_blocking_attack_metrics" || kind == "chaos_bonded_cell";
 }
 
 std::optional<ReplayOutcome> execute_trial(const std::string& kind, Scenario& s,
                                            const std::optional<faults::FaultPlan>& plan,
                                            bool want_trace) {
-  if (!known_trial_kind(kind)) return std::nullopt;
+  if (!known_trial_kind(kind) || kind == "chaos_bonded_cell") return std::nullopt;
   const bool want_metrics = kind == "page_blocking_attack_metrics";
 
   // Mirror the recording campaign's trial body order exactly: observability
@@ -233,6 +340,18 @@ ReplayOutcome replay_bundle(const ReplayBundle& bundle, bool want_trace) {
 
   Scenario s = build_scenario(bundle.build_seed, bundle.scenario);
 
+  // The drift check rebuilds the warm state from scratch, so a bundle
+  // recorded past a named warm setup (e.g. "bonded") replays that setup
+  // before capturing.
+  if (!bundle.warm_setup.empty()) {
+    const WarmSetupFnPtr warm = resolve_warm_setup(bundle.warm_setup);
+    if (warm == nullptr) {
+      out.error = "unknown warm setup '" + bundle.warm_setup + "'";
+      return out;
+    }
+    warm(s);
+  }
+
   // Drift check: does today's code still produce the recorded warm bytes?
   std::string why;
   bool snapshot_matches = false;
@@ -244,6 +363,32 @@ ReplayOutcome replay_bundle(const ReplayBundle& bundle, bool want_trace) {
     out.error = "recorded snapshot rejected: " + why;
     return out;
   }
+
+  if (bundle.trial_kind == "chaos_bonded_cell") {
+    // Chaos trials restore under their own armed plan (the snapshot-load
+    // failpoints are part of the explored surface), so run_chaos_trial owns
+    // the restore + reseed here.
+    std::vector<chaos::FaultSite> faults;
+    if (!chaos::decode_fault_sites(bundle.chaos_faults, faults) || faults.empty()) {
+      out.error = "chaos trial kind without a valid 'chaos:' fault list";
+      return out;
+    }
+    auto plan = chaos::ChaosPlan::inject(std::move(faults));
+    const auto report = run_chaos_trial(s, *snap, bundle.trial_seed, plan);
+    out.executed = true;
+    out.result.success = report.outcome == ChaosOutcome::kCompleted ||
+                         report.outcome == ChaosOutcome::kRecovered ||
+                         report.outcome == ChaosOutcome::kCleanError;
+    out.result.value = static_cast<double>(static_cast<int>(report.outcome));
+    out.result.virtual_end = report.virtual_end;
+    out.snapshot_matches = snapshot_matches;
+    out.verdict_matches = out.result.success == bundle.expected_success &&
+                          out.result.value == bundle.expected_value &&
+                          out.result.virtual_end == bundle.expected_virtual_end;
+    out.metrics_match = bundle.expected_metrics_json.empty();
+    return out;
+  }
+
   if (!snap->restore(*s.sim, &why)) {
     out.error = "recorded snapshot restore failed: " + why;
     return out;

@@ -32,6 +32,23 @@
 
 namespace blap::snapshot {
 
+/// Typed parse error for bundle loading. A malformed bundle — corrupt or
+/// truncated base64, an over-length manifest field, an unknown key — is
+/// reported with where it went wrong, never by aborting or by a bare
+/// string the caller cannot locate in the file.
+struct BundleError {
+  /// Path the bundle was loaded from; empty for from_text().
+  std::string file;
+  /// 1-based line the error was detected on (0 when the text is empty).
+  std::size_t line = 0;
+  /// Byte offset of that line's first character in the bundle text.
+  std::size_t offset = 0;
+  std::string message;
+
+  /// "file:line (offset N): message" — file part omitted when empty.
+  [[nodiscard]] std::string to_string() const;
+};
+
 struct ReplayBundle {
   ScenarioParams scenario;
   /// Seed the warm scenario was built with (the campaign's root seed). The
@@ -44,6 +61,13 @@ struct ReplayBundle {
   std::string trial_kind;
   /// Fault plan the trial installed, if any.
   std::optional<faults::FaultPlan> fault_plan;
+  /// Chaos faults armed for the trial, encoded with
+  /// chaos::encode_fault_sites ("site@ordinal+..."); empty = no chaos.
+  std::string chaos_faults;
+  /// Named warm setup replayed onto the rebuilt scenario before the drift
+  /// check (see resolve_warm_setup in chaos_trial.hpp); empty = the warm
+  /// point is the post-build topology.
+  std::string warm_setup;
 
   // Recorded verdict.
   bool expected_success = false;
@@ -56,10 +80,24 @@ struct ReplayBundle {
   /// Serialized warm Snapshot (strict) the trial forked from.
   Bytes snapshot;
 
+  /// Manifest field values (everything left of the snapshot block) longer
+  /// than this are refused — a corrupted bundle must not make the parser
+  /// swallow unbounded garbage.
+  static constexpr std::size_t kMaxFieldLength = 4096;
+  /// Upper bound on the base64 snapshot payload (64 MiB of text).
+  static constexpr std::size_t kMaxSnapshotBase64 = 64u << 20;
+
   [[nodiscard]] std::string to_text() const;
+  /// Typed-error parse: on failure fills `error` with line/offset/message.
+  [[nodiscard]] static std::optional<ReplayBundle> from_text(const std::string& text,
+                                                             BundleError& error);
+  /// Convenience wrapper; `*why` gets BundleError::to_string().
   [[nodiscard]] static std::optional<ReplayBundle> from_text(const std::string& text,
                                                              std::string* why = nullptr);
   [[nodiscard]] bool save_file(const std::string& path) const;
+  /// Typed-error load: `error.file` is `path`.
+  [[nodiscard]] static std::optional<ReplayBundle> load_file(const std::string& path,
+                                                             BundleError& error);
   [[nodiscard]] static std::optional<ReplayBundle> load_file(const std::string& path,
                                                              std::string* why = nullptr);
 };
@@ -97,16 +135,18 @@ struct ReplayOutcome {
 /// change the verdict or the metrics).
 [[nodiscard]] ReplayOutcome replay_bundle(const ReplayBundle& bundle, bool want_trace);
 
-/// True for trial kinds execute_trial() knows how to run:
+/// True for trial kinds replay_bundle() knows how to run:
 /// "page_blocking_baseline", "page_blocking_attack",
-/// "page_blocking_attack_metrics".
+/// "page_blocking_attack_metrics", "chaos_bonded_cell".
 [[nodiscard]] bool known_trial_kind(const std::string& kind);
 
 /// Run one trial of `kind` on a scenario already restored+reseeded.
 /// Installs `plan` (when present) exactly as the recording campaign's trial
 /// body did, enables observability as the kind demands (metrics for
 /// *_metrics kinds, tracing when want_trace), and returns the trial result
-/// plus the deterministic emits. Returns nullopt for unknown kinds.
+/// plus the deterministic emits. Returns nullopt for unknown kinds —
+/// including "chaos_bonded_cell", which needs the warm snapshot and is
+/// executed by replay_bundle() through run_chaos_trial() instead.
 [[nodiscard]] std::optional<ReplayOutcome> execute_trial(
     const std::string& kind, Scenario& s, const std::optional<faults::FaultPlan>& plan,
     bool want_trace);

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "chaos/failpoint.hpp"
+
 namespace blap::snapshot {
 namespace {
 
@@ -27,6 +29,12 @@ bool read_header(state::StateReader& r, bool& strict) {
     return false;
   }
   strict = r.boolean();
+  // Bit-rot in the stored header: the snapshot must be rejected up front
+  // with a clean typed error, never half-applied.
+  if (BLAP_FAILPOINT("snapshot.load.header_reject")) {
+    r.fail("snapshot header rejected (chaos failpoint)");
+    return false;
+  }
   return r.ok();
 }
 
@@ -149,6 +157,10 @@ bool Snapshot::apply(core::Simulation& sim, state::RestoreMode mode, std::string
   const auto roster = sim.endpoint_roster();
   r.expect_section(kMediumTag);
   sim.medium().load_state(r, roster, mode);
+  // The byte stream dies mid-commit (a truncation the structural walk did
+  // not model): every later read fails soft and apply() must report — the
+  // caller abandons the half-restored simulation.
+  if (BLAP_FAILPOINT("snapshot.load.truncated")) r.fail("snapshot truncated mid-restore");
   for (const auto& device : sim.devices()) {
     r.expect_section(kDeviceTag);
     device->load_state(r, mode);

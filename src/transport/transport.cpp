@@ -1,5 +1,6 @@
 #include "transport/transport.hpp"
 
+#include "chaos/failpoint.hpp"
 #include "hci/constants.hpp"
 
 namespace blap::transport {
@@ -57,22 +58,43 @@ void HciTransport::load_state(state::StateReader& r, state::RestoreMode mode) {
   const std::uint64_t tap_count = r.u64();
   if (mode == state::RestoreMode::kRewind && taps_.size() > tap_count)
     taps_.resize(static_cast<std::size_t>(tap_count));
+  // After a clock rewind the FIFO watermark may sit in the (new) future and
+  // would spuriously delay the first post-restore frames; the line is idle
+  // at a freshly restored instant, so clear it.
+  if (mode == state::RestoreMode::kRewind) line_clear_at_[0] = line_clear_at_[1] = 0;
 }
 
 void HciTransport::send(hci::Direction direction, const hci::HciPacket& packet) {
   const hci::HciPacket observed = wire_view(direction, packet);
   for (const auto& tap : taps_) tap(direction, observed);
   on_wire(direction, observed);
-  const SimTime delay = transit_delay(packet.to_wire().size());
+  SimTime delay = transit_delay(packet.to_wire().size());
+  // UART flow control wedges for ~100 ms before the frame gets through.
+  // Liveness-safe on purpose: every HCI packet still arrives, late enough
+  // to race any timer in the stack.
+  if (BLAP_FAILPOINT("transport.frame.stall")) delay += 100'000;
+  // Serialize the line: H4/USB carry each direction as a FIFO, so a packet
+  // can never overtake one submitted earlier in the same direction — even
+  // though a short frame's transit is faster than a long one's. Without
+  // this clamp a Disconnection_Complete could arrive before the
+  // Connection_Complete whose link it kills (found by the chaos sweep:
+  // controller.supervision.timer_early left the host holding a phantom
+  // ACL). Equal delivery instants keep submission order via scheduler
+  // sequence numbers.
+  const auto dir = static_cast<std::size_t>(direction);
+  const SimTime now = scheduler_.now();
+  SimTime deliver_at = now + delay;
+  if (deliver_at < line_clear_at_[dir]) deliver_at = line_clear_at_[dir];
+  line_clear_at_[dir] = deliver_at;
   // The receiving endpoint shares the session key and recovers the
   // plaintext, so delivery carries the original packet.
   hci::HciPacket copy = packet;
   if (direction == hci::Direction::kHostToController) {
-    scheduler_.schedule_in(delay, [this, copy = std::move(copy)] {
+    scheduler_.schedule_in(deliver_at - now, [this, copy = std::move(copy)] {
       if (to_controller_) to_controller_(copy);
     });
   } else {
-    scheduler_.schedule_in(delay, [this, copy = std::move(copy)] {
+    scheduler_.schedule_in(deliver_at - now, [this, copy = std::move(copy)] {
       if (to_host_) to_host_(copy);
     });
   }

@@ -91,6 +91,12 @@ class HciTransport {
   std::vector<Tap> taps_;
   std::optional<crypto::Aes128::Key> protection_key_;
   std::uint64_t protection_counter_[2] = {0, 0};
+  /// Per-direction FIFO watermark: no delivery may be scheduled before the
+  /// previous delivery in the same direction (a serial line cannot reorder).
+  /// Deliberately not serialized — it is derivable pessimism, not protocol
+  /// state — so snapshot byte layout and the pinned replay corpus are
+  /// unaffected; load_state() clears it on rewind instead.
+  SimTime line_clear_at_[2] = {0, 0};
 };
 
 }  // namespace blap::transport

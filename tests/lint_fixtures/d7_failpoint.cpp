@@ -1,0 +1,31 @@
+// Fixture for rule D7 (every BLAP_FAILPOINT must sit inside an if
+// condition — a failpoint is a branch, and a bare-expression passage counts
+// hits while taking no fault path). Never compiled.
+
+// The macro's own definition is not a use; the rule must stay silent here.
+#define BLAP_FAILPOINT(site) (failpoint_hit(site))
+
+bool failpoint_hit(const char* site);
+void step();
+extern bool armed;
+
+void deliver() {
+  if (BLAP_FAILPOINT("radio.frame.drop")) return;  // plain condition: fine
+  if (!BLAP_FAILPOINT("radio.page.train_lost")) step();  // negated: fine
+  if (armed && BLAP_FAILPOINT("controller.arq.phantom_nak")) {  // compound: fine
+    step();
+  }
+  if (BLAP_FAILPOINT(  // condition spanning lines: fine
+          "controller.teardown.supervision_race"))
+    step();
+
+  bool lost = BLAP_FAILPOINT("radio.frame.report_lost");  // EXPECT-D7
+  (void)lost;
+  (void)BLAP_FAILPOINT("controller.lmp.tx_lost");  // EXPECT-D7
+  while (BLAP_FAILPOINT("host.pair.retry_abandoned"))  // EXPECT-D7
+    step();
+  step(BLAP_FAILPOINT("host.connect.reject") ? 1 : 0);  // EXPECT-D7
+
+  // blap-lint: failpoint-ok — recorder harness counts passages deliberately
+  (void)BLAP_FAILPOINT("test.unit.site");
+}

@@ -34,6 +34,9 @@ TEST(Base64, DecodeRejectsGarbage) {
   EXPECT_FALSE(base64_decode("Zm9v!").has_value());
   EXPECT_FALSE(base64_decode("Zg==Zg").has_value());  // data after padding
   EXPECT_FALSE(base64_decode("====").has_value());
+  EXPECT_FALSE(base64_decode("QUJDR").has_value());   // cut mid-quantum
+  EXPECT_FALSE(base64_decode("Zg").has_value());      // missing padding
+  EXPECT_FALSE(base64_decode("Zg=").has_value());     // short padding
 }
 
 TEST(Base64, RoundTripBinary) {

@@ -1,0 +1,246 @@
+// Coverage for the invariant monitor itself (tests/invariant_fixtures/).
+//
+// Each fixture is a deliberately mutated snapshot that puts the simulation
+// into a state no honest run can reach — a rewound virtual clock, a medium
+// that lost its link table, a device that forgot its links — and each must
+// trip EXACTLY ONE named invariant. The mutations are section splices over
+// the snapshot container (13-byte header, then length-framed SIM/MEDM/DEVC
+// sections), so they stay valid snapshots that restore cleanly; only the
+// cross-layer redundancy is broken.
+//
+// Regenerate the fixtures (after a deliberate snapshot-layout or scenario
+// change) with:
+//   BLAP_WRITE_INVARIANT_FIXTURES=1 ./tests/test_invariants
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/state_io.hpp"
+#include "invariants/monitor.hpp"
+#include "snapshot/chaos_trial.hpp"
+#include "snapshot/scenarios.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace blap::snapshot {
+namespace {
+
+constexpr std::uint64_t kSeed = 10'000;
+/// magic(8) + version u32 + strict flag: every section walk starts here.
+constexpr std::size_t kHeaderBytes = 13;
+
+std::string fixture_path(const char* name) {
+  return std::string(BLAP_INVARIANT_FIXTURE_DIR) + "/" + name;
+}
+
+struct Section {
+  std::uint32_t tag = 0;
+  std::size_t begin = 0;    // offset of the section header (tag + length)
+  std::size_t payload = 0;  // offset of the payload
+  std::uint64_t len = 0;
+};
+
+std::vector<Section> walk_sections(const Bytes& bytes) {
+  std::vector<Section> out;
+  std::size_t pos = kHeaderBytes;
+  while (pos + 12 <= bytes.size()) {
+    Section s;
+    s.begin = pos;
+    for (int i = 0; i < 4; ++i)
+      s.tag |= static_cast<std::uint32_t>(bytes[pos + static_cast<std::size_t>(i)]) << (8 * i);
+    for (int i = 0; i < 8; ++i)
+      s.len |= static_cast<std::uint64_t>(bytes[pos + 4 + static_cast<std::size_t>(i)])
+               << (8 * i);
+    s.payload = pos + 12;
+    pos = s.payload + s.len;
+    out.push_back(s);
+  }
+  return out;
+}
+
+/// Replace one whole section (header + payload) of `dst` with a section of
+/// `src`. The result still parses: section lengths are self-describing.
+Bytes splice_section(const Bytes& dst, const Section& at, const Bytes& src,
+                     const Section& from) {
+  Bytes out(dst.begin(), dst.begin() + static_cast<std::ptrdiff_t>(at.begin));
+  out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(from.begin),
+             src.begin() + static_cast<std::ptrdiff_t>(from.payload + from.len));
+  out.insert(out.end(), dst.begin() + static_cast<std::ptrdiff_t>(at.payload + at.len),
+             dst.end());
+  return out;
+}
+
+Section find_section(const Bytes& bytes, std::uint32_t tag, std::size_t ordinal = 0) {
+  std::size_t seen = 0;
+  for (const Section& s : walk_sections(bytes))
+    if (s.tag == tag && seen++ == ordinal) return s;
+  ADD_FAILURE() << "section not found";
+  return {};
+}
+
+/// The deterministic live instant every fixture is derived from: bonded
+/// warm-up, then a PAN probe left running — host ACLs, controller links and
+/// a radio link all live at once.
+Scenario live_cell() {
+  Scenario s = build_scenario(kSeed, bonded_cell_params());
+  bonded_warm_setup(s);
+  bool up = false;
+  s.accessory->host().connect_pan(s.target->address(), [&up](bool ok) { up = ok; });
+  s.sim->run_for(20 * kSecond);
+  EXPECT_TRUE(up);
+  return s;
+}
+
+std::size_t accessory_index(const Scenario& s) {
+  for (std::size_t i = 0; i < s.sim->devices().size(); ++i)
+    if (s.sim->devices()[i].get() == s.accessory) return i;
+  ADD_FAILURE() << "accessory not in roster";
+  return 0;
+}
+
+/// Build all three mutated fixtures from scratch. Used by the regeneration
+/// mode; the checked-in files are these bytes, verbatim.
+struct FixtureSet {
+  Bytes clock_rewind;   // strict warm snapshot, SIM clock forced to 1
+  Bytes medium_reset;   // live relaxed snapshot, MEDM from the warm (link-free) point
+  Bytes device_reset;   // live relaxed snapshot, accessory DEVC from the warm point
+};
+
+FixtureSet build_fixtures() {
+  constexpr std::uint32_t kSimTag = state::tag('S', 'I', 'M', ' ');
+  constexpr std::uint32_t kMediumTag = state::tag('M', 'E', 'D', 'M');
+  constexpr std::uint32_t kDeviceTag = state::tag('D', 'E', 'V', 'C');
+  FixtureSet set;
+
+  Scenario warm_scenario = build_scenario(kSeed, bonded_cell_params());
+  bonded_warm_setup(warm_scenario);
+  const auto warm = Snapshot::capture(*warm_scenario.sim);
+  EXPECT_TRUE(warm.has_value());
+  const Bytes& warm_bytes = warm->bytes();
+
+  // clock-rewind: the strict warm snapshot with its SIM clock (the first
+  // u64 of the SIM payload) overwritten to t=1 — every other byte intact,
+  // so the restored state is fully coherent except for virtual time.
+  set.clock_rewind = warm_bytes;
+  const Section sim_section = find_section(set.clock_rewind, kSimTag);
+  for (int i = 0; i < 8; ++i)
+    set.clock_rewind[sim_section.payload + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(i == 0 ? 1 : 0);
+
+  Scenario live = live_cell();
+  const Bytes live_bytes = Snapshot::capture_relaxed(*live.sim).bytes();
+
+  // medium-reset: the live cell, but the medium section replaced with the
+  // warm (link-free) one — controller links now reference radio links the
+  // medium does not carry.
+  set.medium_reset = splice_section(live_bytes, find_section(live_bytes, kMediumTag),
+                                    warm_bytes, find_section(warm_bytes, kMediumTag));
+
+  // device-reset: the live cell, but the accessory's device section
+  // replaced with its warm one — the radio link is still on the air while
+  // one of its endpoint controllers has no entry for it.
+  const std::size_t acc = accessory_index(live);
+  set.device_reset = splice_section(live_bytes, find_section(live_bytes, kDeviceTag, acc),
+                                    warm_bytes, find_section(warm_bytes, kDeviceTag, acc));
+  return set;
+}
+
+/// Restore `fixture` into a freshly prepared cell with the monitor armed
+/// and a zero grace window, run one virtual second, and return the
+/// distinct invariant names that tripped.
+std::vector<std::string> tripped_invariants(const Bytes& fixture) {
+  std::string why;
+  const auto snap = Snapshot::from_bytes(fixture, &why);
+  EXPECT_TRUE(snap.has_value()) << why;
+  if (!snap.has_value()) return {};
+
+  Scenario s = live_cell();
+  invariants::InvariantMonitor::Config config;
+  config.agreement_grace = 0;  // report persistent skew on the next check
+  if (s.attacker != nullptr) config.exempt.push_back(s.attacker->address());
+  invariants::InvariantMonitor monitor(*s.sim, config);
+  monitor.install();
+  monitor.attach_sniffer();
+  // Seed the clock watermark at the live instant: installation alone never
+  // observes a dispatch, and the clock fixture's whole point is that the
+  // restore rewinds time underneath a watermark nobody reset.
+  monitor.on_dispatch(s.sim->now(), 0);
+
+  if (snap->strict()) {
+    // Fork restore: rewinds the clock. Deliberately NOT followed by
+    // monitor.reset() — the clock fixture exists to prove the monitor sees
+    // time running backwards when nobody forgives the rewind.
+    EXPECT_TRUE(snap->restore(*s.sim, &why)) << why;
+    // The restored point is quiescent (the rewind cleared the event queue);
+    // schedule one inert event so a dispatch happens at the (mutated) early
+    // clock without disturbing any protocol state.
+    s.sim->scheduler().schedule_in(kSecond / 2, [] {});
+  } else {
+    // In-place restore: same simulation, same instant, mutated tables.
+    const SimTime target = snap->captured_at();
+    EXPECT_GE(target, s.sim->now());
+    s.sim->run_for(target - s.sim->now());
+    EXPECT_TRUE(snap->restore_in_place(*s.sim, &why)) << why;
+    monitor.reset();  // table skew, not clock skew, is what this fixture pins
+  }
+
+  monitor.check_now();
+  s.sim->run_for(kSecond);
+  monitor.check_now();
+
+  std::vector<std::string> names;
+  for (const auto& violation : monitor.violations())
+    if (std::find(names.begin(), names.end(), violation.invariant) == names.end())
+      names.push_back(violation.invariant);
+  return names;
+}
+
+Bytes slurp(const std::string& path) {
+  std::string why;
+  const auto snap = Snapshot::load_file(path, &why);
+  EXPECT_TRUE(snap.has_value()) << path << ": " << why
+                                << " (regenerate with BLAP_WRITE_INVARIANT_FIXTURES=1)";
+  return snap.has_value() ? snap->bytes() : Bytes{};
+}
+
+TEST(InvariantFixtures, RegenerateWhenRequested) {
+  if (std::getenv("BLAP_WRITE_INVARIANT_FIXTURES") == nullptr) GTEST_SKIP();
+  const FixtureSet set = build_fixtures();
+  const auto write = [](const Bytes& bytes, const char* name) {
+    std::string why;
+    const auto snap = Snapshot::from_bytes(bytes, &why);
+    ASSERT_TRUE(snap.has_value()) << why;
+    ASSERT_TRUE(snap->save_file(fixture_path(name)));
+  };
+  write(set.clock_rewind, "clock-rewind.blapsnap");
+  write(set.medium_reset, "medium-reset.blapsnap");
+  write(set.device_reset, "device-reset.blapsnap");
+}
+
+TEST(InvariantFixtures, ClockRewindTripsOnlyClockMonotonic) {
+  const auto names = tripped_invariants(slurp(fixture_path("clock-rewind.blapsnap")));
+  EXPECT_EQ(names, std::vector<std::string>{"clock-monotonic"});
+}
+
+TEST(InvariantFixtures, MediumResetTripsOnlyLinkTableAgreement) {
+  const auto names = tripped_invariants(slurp(fixture_path("medium-reset.blapsnap")));
+  EXPECT_EQ(names, std::vector<std::string>{"link-table-agreement"});
+}
+
+TEST(InvariantFixtures, DeviceResetTripsOnlyLinkTableAgreement) {
+  const auto names = tripped_invariants(slurp(fixture_path("device-reset.blapsnap")));
+  EXPECT_EQ(names, std::vector<std::string>{"link-table-agreement"});
+}
+
+// An unmutated restore through the same harness trips nothing — the
+// fixtures' violations come from the mutations, not the plumbing.
+TEST(InvariantFixtures, UnmutatedLiveSnapshotIsClean) {
+  Scenario live = live_cell();
+  const auto names = tripped_invariants(Snapshot::capture_relaxed(*live.sim).bytes());
+  EXPECT_TRUE(names.empty());
+}
+
+}  // namespace
+}  // namespace blap::snapshot

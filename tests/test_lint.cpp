@@ -75,6 +75,7 @@ TEST(LintFixtures, D3CaptureFiresAndHonorsSuppression) { check_fixture("d3_captu
 TEST(LintFixtures, D4ObsGuardFiresAndHonorsSuppression) { check_fixture("d4_obs.cpp"); }
 TEST(LintFixtures, D5RadioScanFiresAndHonorsSuppression) { check_fixture("d5_radio.cpp"); }
 TEST(LintFixtures, S1SpecFiresAndHonorsSuppression) { check_fixture("s1_spec.cpp"); }
+TEST(LintFixtures, D7FailpointFiresAndHonorsSuppression) { check_fixture("d7_failpoint.cpp"); }
 
 TEST(Lint, StringLiteralsAndCommentsNeverTrip) {
   const char* src =
@@ -127,9 +128,20 @@ TEST(Lint, D2CoversAnalyticsAndSnoopdTrees) {
   }
 }
 
+TEST(Lint, D7ScopedToSrcTree) {
+  // The chaos tests probe the macro as a bare expression on purpose
+  // (recorder assertions, replayability sweeps); only src/ is held to the
+  // failpoints-are-branches rule.
+  const char* src = "void f() { (void)BLAP_FAILPOINT(\"a.b.c\"); }\n";
+  EXPECT_TRUE(blap::lint::lint_file("tests/test_chaos.cpp", src, Options{}).empty());
+  const auto findings = blap::lint::lint_file("src/radio/radio_medium.cpp", src, Options{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, Rule::kD7Failpoint);
+}
+
 TEST(Lint, RuleMetadataIsConsistent) {
   for (Rule rule : {Rule::kD1Wallclock, Rule::kD2Ordered, Rule::kD3Handle, Rule::kD4ObsGuard,
-                    Rule::kD5RadioScan, Rule::kS1Spec}) {
+                    Rule::kD5RadioScan, Rule::kS1Spec, Rule::kD7Failpoint}) {
     EXPECT_STRNE(blap::lint::rule_id(rule), "?");
     EXPECT_STRNE(blap::lint::rule_tag(rule), "?");
     EXPECT_STRNE(blap::lint::rule_summary(rule), "?");

@@ -401,6 +401,40 @@ void rule_s1(const std::string& path, const Lexed& lx, const Options& options,
   }
 }
 
+// --------------------------------------------------------------------------
+// D7 — failpoints must be branches.
+
+void rule_d7(const std::string& path, const Lexed& lx, const Options& options,
+             std::vector<Finding>& findings) {
+  // Scoped to src/: the chaos tests and harnesses legitimately probe the
+  // macro as an expression (recorder assertions, replayability sweeps).
+  if (!options.all_rules_everywhere && !path_has(path, "src/")) return;
+  const auto& t = lx.tokens;
+  // Paren ranges of every `if (...)` condition.
+  std::vector<std::pair<std::size_t, std::size_t>> conditions;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "if" || t[i + 1].text != "(") continue;
+    const std::size_t close = match_close(t, i + 1);
+    if (close < t.size()) conditions.emplace_back(i + 1, close);
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text != "BLAP_FAILPOINT") continue;
+    // The macro's own `#define BLAP_FAILPOINT(site)` is not a use.
+    if (i > 0 && t[i - 1].text == "define") continue;
+    bool inside = false;
+    for (const auto& [open, close] : conditions) {
+      if (i > open && i < close) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside)
+      report(findings, lx, Rule::kD7Failpoint, path, t[i].line,
+             "BLAP_FAILPOINT outside an if condition: a failpoint is a branch, and a "
+             "bare-expression passage counts hits while taking no fault path");
+  }
+}
+
 }  // namespace
 
 // --------------------------------------------------------------------------
@@ -414,6 +448,7 @@ const char* rule_id(Rule rule) {
     case Rule::kD4ObsGuard: return "D4";
     case Rule::kD5RadioScan: return "D5";
     case Rule::kS1Spec: return "S1";
+    case Rule::kD7Failpoint: return "D7";
   }
   return "?";
 }
@@ -426,6 +461,7 @@ const char* rule_tag(Rule rule) {
     case Rule::kD4ObsGuard: return "obs-ok";
     case Rule::kD5RadioScan: return "radio-scan-ok";
     case Rule::kS1Spec: return "spec-ok";
+    case Rule::kD7Failpoint: return "failpoint-ok";
   }
   return "?";
 }
@@ -445,6 +481,8 @@ const char* rule_summary(Rule rule) {
     case Rule::kS1Spec:
       return "spec invariants: no key bytes in logs, association-model "
              "decisions centralized";
+    case Rule::kD7Failpoint:
+      return "every BLAP_FAILPOINT must sit inside an if condition";
   }
   return "?";
 }
@@ -466,6 +504,7 @@ std::vector<Finding> lint_file(std::string_view path, std::string_view content,
   rule_d4(norm, lx, options, findings);
   rule_d5(norm, lx, options, findings);
   rule_s1(norm, lx, options, findings);
+  rule_d7(norm, lx, options, findings);
   return findings;
 }
 

@@ -32,11 +32,16 @@
 //                   codes) must never reach a log call, and IO-capability /
 //                   association-model comparisons live in ui_model /
 //                   security_manager, nowhere else.
+//   D7 failpoint    every `BLAP_FAILPOINT("...")` in src/ must sit inside
+//                   an `if` condition: a failpoint IS a branch, and a
+//                   bare-expression passage would count hits while silently
+//                   taking no fault path (the chaos sweep would then
+//                   "explore" an instance that cannot do anything).
 //
 // Suppression: `// blap-lint: <tag>-ok [justification]` on the offending
 // line or the line directly above. Tags: wallclock-ok, ordered-ok,
-// handle-ok, obs-ok, radio-scan-ok, spec-ok. A justification is free text;
-// write one.
+// handle-ok, obs-ok, radio-scan-ok, spec-ok, failpoint-ok. A justification
+// is free text; write one.
 //
 // The analyzer is deliberately token-based, not AST-based: it has zero
 // dependencies, runs on the whole tree in milliseconds, and its rules are
@@ -57,6 +62,7 @@ enum class Rule {
   kD4ObsGuard,
   kD5RadioScan,
   kS1Spec,
+  kD7Failpoint,
 };
 
 [[nodiscard]] const char* rule_id(Rule rule);        // "D1"

@@ -15,6 +15,17 @@
 //                        ARQ giving up (supervision timeout), from the
 //                        bench_fault_sweep heavy cell (root seed
 //                        77'000 + 3 * 1'000'000).
+//   * chaos-supervision-early — the chaos sweep finding that exposed HCI
+//                        transport reordering: a misprogrammed supervision
+//                        timer fires during pairing and the resulting small
+//                        Disconnection_Complete used to overtake the larger
+//                        Connection_Complete on the wire, leaving the host
+//                        holding a phantom ACL (link-table-agreement
+//                        violation). Replays clean since the per-direction
+//                        transport FIFO landed.
+//   * chaos-teardown-race — a supervision timeout delivered at teardown
+//                        entry; used to double-notify the host. Replays
+//                        clean since teardown_link became idempotent.
 //
 // The output is deterministic: same binaries -> same bundle bytes. The
 // corpus only needs regenerating when the snapshot format, the scenario
@@ -25,7 +36,9 @@
 
 #include "core/page_blocking.hpp"
 #include "obs/obs.hpp"
+#include "snapshot/chaos_trial.hpp"
 #include "snapshot/fork_campaign.hpp"
+#include "snapshot/replay.hpp"
 
 namespace {
 
@@ -158,6 +171,60 @@ int main(int argc, char** argv) {
     report("lossy-supervision", stats);
   }
 
+  // Chaos regressions: one bundle per fixed sweep finding. Each replays the
+  // bonded-cell chaos trial with exactly the fault that exposed the bug and
+  // pins the post-fix verdict (recovery, not violation).
+  {
+    struct ChaosPin {
+      const char* dir;
+      chaos::FaultSite fault;
+    };
+    const ChaosPin pins[] = {
+        {"chaos-supervision-early", {"controller.supervision.timer_early", 3}},
+        {"chaos-teardown-race", {"controller.teardown.supervision_race", 0}},
+    };
+    const std::uint64_t seed = 10'000;
+    for (const ChaosPin& pin : pins) {
+      snapshot::Scenario s = snapshot::build_scenario(seed, snapshot::bonded_cell_params());
+      snapshot::bonded_warm_setup(s);
+      std::string why;
+      const auto warm = snapshot::Snapshot::capture(*s.sim, &why);
+      if (!warm.has_value()) {
+        std::fprintf(stderr, "%s: warm capture failed: %s\n", pin.dir, why.c_str());
+        continue;
+      }
+      auto plan = chaos::ChaosPlan::inject({pin.fault});
+      const auto trial = snapshot::run_chaos_trial(s, *warm, seed, plan);
+      if (trial.outcome == snapshot::ChaosOutcome::kViolation ||
+          trial.outcome == snapshot::ChaosOutcome::kStuck) {
+        std::fprintf(stderr, "%s: trial regressed to %s — fix the bug, not the corpus\n",
+                     pin.dir, snapshot::to_string(trial.outcome));
+        continue;
+      }
+
+      snapshot::ReplayBundle bundle;
+      bundle.scenario = snapshot::bonded_cell_params();
+      bundle.build_seed = seed;
+      bundle.trial_index = 0;
+      bundle.trial_seed = seed;
+      bundle.trial_kind = "chaos_bonded_cell";
+      bundle.chaos_faults = chaos::encode_fault_sites({pin.fault});
+      bundle.warm_setup = "bonded";
+      bundle.expected_success = true;
+      bundle.expected_value = static_cast<double>(static_cast<int>(trial.outcome));
+      bundle.expected_virtual_end = trial.virtual_end;
+      bundle.snapshot = warm->bytes();
+
+      const std::string dir = out_dir + "/" + pin.dir;
+      std::filesystem::create_directories(dir, ec);
+      const std::string path = dir + "/chaos-000000.blapreplay";
+      if (bundle.save_file(path)) {
+        std::printf("%-17s -> %s\n", pin.dir, path.c_str());
+        ++written;
+      }
+    }
+  }
+
   std::printf("%d bundle(s) written under %s\n", written, out_dir.c_str());
-  return written == 3 ? 0 : 1;
+  return written == 5 ? 0 : 1;
 }
