@@ -1,0 +1,125 @@
+// Fuzz execution engine: snapshot-fork vs rebuild-per-iteration.
+//
+// The stack fuzz target's entire performance story is that one execution is
+// a snapshot fork (restore the warm bonded cell + reseed), not a rebuild
+// (scenario construction + full SSP P-256 bonding). This bench runs the
+// SAME deterministic input sequence down both paths and gates:
+//
+//   * correctness — per-input verdicts (finding kind, violation count,
+//     final virtual clock) must be identical on both paths. This is the
+//     fork engine's restore+reseed ≡ fresh-build contract, applied to the
+//     fuzz trial body.
+//   * throughput — the fork path must be >= 10x the rebuild path. That is
+//     the floor the ISSUE's acceptance gate names; in practice the gap is
+//     far larger because bonding dominates a rebuild.
+//
+// Env: BLAP_TRIALS (default 60 inputs), BLAP_FUZZ_MIN_SPEEDUP (override the
+// 10x gate, e.g. for heavily loaded CI machines).
+#include "bench_util.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "fuzz/mutator.hpp"
+#include "fuzz/targets.hpp"
+#include "snapshot/chaos_trial.hpp"
+#include "snapshot/fuzz_trial.hpp"
+
+int main() {
+  using namespace blap;
+  using namespace blap::bench;
+  using Clock = std::chrono::steady_clock;
+
+  const int trials = trial_count(60);
+  double min_speedup = 10.0;
+  if (const char* env = std::getenv("BLAP_FUZZ_MIN_SPEEDUP")) {
+    const double v = std::atof(env);
+    if (v > 0.0) min_speedup = v;
+  }
+
+  banner("FUZZ THROUGHPUT — snapshot-fork vs rebuild-per-iteration");
+
+  // One deterministic input set for both paths: the stack seeds plus
+  // mutants of them, exactly what a campaign's early iterations execute.
+  std::vector<Bytes> inputs;
+  {
+    fuzz::StackTarget seed_source;
+    inputs = seed_source.seed_inputs();
+    fuzz::Mutator mutator(424242);
+    while (inputs.size() < static_cast<std::size_t>(trials))
+      inputs.push_back(mutator.mutate(inputs[inputs.size() % 4], inputs,
+                                      seed_source.max_input_len()));
+    inputs.resize(static_cast<std::size_t>(trials));
+  }
+
+  struct Verdict {
+    std::string kind;
+    std::size_t violations = 0;
+    SimTime virtual_end = 0;
+    bool operator==(const Verdict&) const = default;
+  };
+
+  // Fork path: one target construction (scenario build + bonding + warm
+  // capture), then every input is restore + reseed + inject. Construction
+  // is inside the timed window — the rebuild path pays its setup per
+  // iteration, so the fork path pays its one-time setup too.
+  std::vector<Verdict> fork_verdicts;
+  const auto fork_start = Clock::now();
+  {
+    fuzz::StackTarget target;
+    for (const Bytes& input : inputs) {
+      const auto report = snapshot::run_fuzz_stack_trial(target.scenario(), target.warm(),
+                                                         fuzz::kStackSeed, input);
+      fork_verdicts.push_back(
+          {report.finding_kind(), report.violations.size(), report.virtual_end});
+    }
+  }
+  const double fork_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - fork_start)
+                              .count());
+
+  // Rebuild path: scenario construction + full bonding warm-up per input,
+  // then the identical trial body without a restore.
+  std::vector<Verdict> rebuild_verdicts;
+  const auto rebuild_start = Clock::now();
+  for (const Bytes& input : inputs) {
+    snapshot::Scenario s =
+        snapshot::build_scenario(fuzz::kStackSeed, snapshot::bonded_cell_params());
+    snapshot::bonded_warm_setup(s);
+    const auto report =
+        snapshot::run_fuzz_stack_trial_no_restore(s, fuzz::kStackSeed, input);
+    rebuild_verdicts.push_back(
+        {report.finding_kind(), report.violations.size(), report.virtual_end});
+  }
+  const double rebuild_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - rebuild_start)
+                              .count());
+
+  const bool identical = fork_verdicts == rebuild_verdicts;
+  const double fork_rate = fork_ns > 0 ? static_cast<double>(trials) * 1e9 / fork_ns : 0.0;
+  const double rebuild_rate =
+      rebuild_ns > 0 ? static_cast<double>(trials) * 1e9 / rebuild_ns : 0.0;
+  const double speedup = rebuild_rate > 0.0 ? fork_rate / rebuild_rate : 0.0;
+
+  std::printf("%-10s | %-14s | %-14s | %-8s | %-9s\n", "inputs", "rebuild ex/s",
+              "fork ex/s", "speedup", "identical");
+  std::printf("%s\n", std::string(68, '-').c_str());
+  std::printf("%-10d | %14.1f | %14.1f | %7.2fx | %-9s\n", trials, rebuild_rate,
+              fork_rate, speedup, identical ? "yes" : "NO");
+
+  std::printf("\n(Same %d-input sequence down both paths; verdicts must match\n"
+              "exactly and the fork path must reach >= %.1fx throughput.)\n",
+              trials, min_speedup);
+  bool ok = true;
+  if (!identical) {
+    std::printf("FAIL: fork and rebuild verdicts diverged\n");
+    ok = false;
+  }
+  if (speedup < min_speedup) {
+    std::printf("FAIL: snapshot-fork speedup %.2fx < %.2fx\n", speedup, min_speedup);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+#include "common/sancov_registry.hpp"
+
+namespace blap {
+
+std::vector<SancovModule>& sancov_modules() {
+  // Function-local static: module constructors run before main() in
+  // arbitrary order, so the registry must construct on first use.
+  static std::vector<SancovModule> modules;
+  return modules;
+}
+
+}  // namespace blap
+
+#if defined(BLAP_FUZZ_SANCOV)
+// Clang's -fsanitize-coverage=inline-8bit-counters runtime hook: called once
+// per instrumented module before main(). We only record the counter ranges;
+// the fuzz engine walks and zeroes them after each execution.
+extern "C" void __sanitizer_cov_8bit_counters_init(std::uint8_t* start,
+                                                   std::uint8_t* stop) {
+  if (start == stop) return;
+  for (const auto& module : blap::sancov_modules())
+    if (module.start == start) return;  // modules can re-register
+  blap::sancov_modules().push_back({start, stop});
+}
+
+// Companion hook emitted alongside inline-8bit-counters (PC tables). The
+// engine derives features from counters alone, so the table is ignored —
+// but the symbol must exist for the instrumented binary to link.
+extern "C" void __sanitizer_cov_pcs_init(const std::uintptr_t*, const std::uintptr_t*) {}
+#endif

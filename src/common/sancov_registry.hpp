@@ -1,0 +1,32 @@
+// sancov_registry.hpp — process-wide sanitizer-coverage counter registry.
+//
+// When the tree is built with -fsanitize-coverage=inline-8bit-counters
+// (CMake option BLAP_FUZZ_SANCOV, clang only), every translation unit gains
+// a module constructor that calls __sanitizer_cov_8bit_counters_init()
+// before main(). Those hooks must resolve in *every* binary of an
+// instrumented build — tests, tools, benches — not only the fuzzer, which
+// is why the registry and hook definitions live here in blap_common, the
+// one library everything links. The fuzz engine (src/fuzz/coverage.cpp) is
+// the sole reader.
+//
+// Without BLAP_FUZZ_SANCOV the hooks are not defined (they would collide
+// with a real sanitizer runtime under BLAP_SANITIZE) and the registry is
+// permanently empty.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace blap {
+
+/// One instrumented module's inline-8bit-counter range, [start, stop).
+struct SancovModule {
+  std::uint8_t* start = nullptr;
+  std::uint8_t* stop = nullptr;
+};
+
+/// Registered instrumented modules. Filled before main() by the
+/// __sanitizer_cov_8bit_counters_init callbacks; read-only afterwards.
+[[nodiscard]] std::vector<SancovModule>& sancov_modules();
+
+}  // namespace blap

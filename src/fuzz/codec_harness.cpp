@@ -1,0 +1,291 @@
+#include "fuzz/codec_harness.hpp"
+
+#include <algorithm>
+
+#include "hci/commands.hpp"
+#include "hci/events.hpp"
+
+namespace blap::fuzz {
+namespace {
+
+/// FNV-1a over a label string: a stable, compiler-independent hash for
+/// "decoder X accepted this input" features.
+std::uint64_t label_hash(const char* label) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char* c = label; *c != '\0'; ++c) {
+    h ^= static_cast<std::uint8_t>(*c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Canonical idempotence over arbitrary accepted input: if T::decode accepts
+/// `params`, re-encoding must produce a wire form whose own parameter block
+/// decodes and re-encodes to the same wire — decode∘encode is a fixed point.
+template <typename T>
+CheckResult check_params_fixed_point(BytesView params, const char* label,
+                                     FeatureSink* sink) {
+  const auto decoded = T::decode(params);
+  if (!decoded) return {};
+  if (sink != nullptr) sink->hash(0x10, label_hash(label));
+  const Bytes wire = decoded->encode().to_wire();
+  const auto reparsed = hci::HciPacket::from_wire(wire);
+  if (!reparsed)
+    return check_fail(std::string(label) + ": canonical re-encode failed to reparse");
+  const auto canon_params = reparsed->type == hci::PacketType::kCommand
+                                ? reparsed->command_params()
+                                : reparsed->event_params();
+  if (!canon_params)
+    return check_fail(std::string(label) + ": canonical re-encode lost its parameters");
+  const auto again = T::decode(*canon_params);
+  if (!again)
+    return check_fail(std::string(label) + ": canonical parameters failed to re-decode");
+  if (again->encode().to_wire() != wire)
+    return check_fail(std::string(label) + ": decode/encode is not a fixed point");
+  return {};
+}
+
+}  // namespace
+
+CheckResult check_h4_round_trip(const hci::HciPacket& packet) {
+  const Bytes wire = packet.to_wire();
+  const auto parsed = hci::HciPacket::from_wire(wire);
+  if (!parsed) return check_fail("H4: own wire failed to reparse");
+  if (*parsed != packet) return check_fail("H4: reparse changed the packet");
+  if (parsed->to_wire() != wire) return check_fail("H4: re-encode differs from wire");
+  return {};
+}
+
+CheckResult check_lmp_round_trip(const controller::LmpPdu& pdu) {
+  const Bytes frame = pdu.to_air_frame();
+  const auto parsed = controller::LmpPdu::from_air_frame(frame);
+  if (!parsed) return check_fail("LMP: own frame failed to reparse");
+  if (parsed->opcode != pdu.opcode) return check_fail("LMP: reparse changed the opcode");
+  if (parsed->payload != pdu.payload) return check_fail("LMP: reparse changed the payload");
+  if (parsed->to_air_frame() != frame)
+    return check_fail("LMP: re-encode differs from frame");
+  return {};
+}
+
+CheckResult check_hci_wire(BytesView wire, FeatureSink* sink) {
+  const auto packet = hci::HciPacket::from_wire(wire);
+  if (!packet) {
+    if (sink != nullptr) sink->hash(0x11, wire.empty() ? 0u : wire[0]);
+    return {};
+  }
+  if (sink != nullptr) {
+    sink->hash(0x12, static_cast<std::uint64_t>(packet->type));
+    sink->hash(0x13, (static_cast<std::uint64_t>(packet->type) << 32) |
+                         std::min<std::size_t>(packet->payload.size(), 1024));
+  }
+  // H4 reparse identity holds for every accepted wire string.
+  if (packet->to_wire() != to_bytes(wire))
+    return check_fail("H4: accepted wire did not re-encode identically");
+
+  switch (packet->type) {
+    case hci::PacketType::kCommand: {
+      const auto opcode = packet->command_opcode();
+      const auto params = packet->command_params();
+      if (!params) return {};
+      if (!opcode) return check_fail("HCI command: parameters without an opcode");
+      if (sink != nullptr) sink->hash(0x14, *opcode);
+      using namespace hci;
+      CheckResult r;
+      const auto probe = [&](auto tag, const char* label) {
+        if (!r.ok) return;
+        using Cmd = decltype(tag);
+        r = check_params_fixed_point<Cmd>(*params, label, sink);
+      };
+      switch (*opcode) {
+        case op::kInquiry: probe(InquiryCmd{}, "InquiryCmd"); break;
+        case op::kCreateConnection:
+          probe(CreateConnectionCmd{}, "CreateConnectionCmd");
+          break;
+        case op::kDisconnect: probe(DisconnectCmd{}, "DisconnectCmd"); break;
+        case op::kAcceptConnectionRequest:
+          probe(AcceptConnectionRequestCmd{}, "AcceptConnectionRequestCmd");
+          break;
+        case op::kRejectConnectionRequest:
+          probe(RejectConnectionRequestCmd{}, "RejectConnectionRequestCmd");
+          break;
+        case op::kLinkKeyRequestReply:
+          probe(LinkKeyRequestReplyCmd{}, "LinkKeyRequestReplyCmd");
+          break;
+        case op::kLinkKeyRequestNegativeReply:
+          probe(LinkKeyRequestNegativeReplyCmd{}, "LinkKeyRequestNegativeReplyCmd");
+          break;
+        case op::kPinCodeRequestReply:
+          probe(PinCodeRequestReplyCmd{}, "PinCodeRequestReplyCmd");
+          break;
+        case op::kPinCodeRequestNegativeReply:
+          probe(PinCodeRequestNegativeReplyCmd{}, "PinCodeRequestNegativeReplyCmd");
+          break;
+        case op::kAuthenticationRequested:
+          probe(AuthenticationRequestedCmd{}, "AuthenticationRequestedCmd");
+          break;
+        case op::kSetConnectionEncryption:
+          probe(SetConnectionEncryptionCmd{}, "SetConnectionEncryptionCmd");
+          break;
+        case op::kRemoteNameRequest:
+          probe(RemoteNameRequestCmd{}, "RemoteNameRequestCmd");
+          break;
+        case op::kIoCapabilityRequestReply:
+          probe(IoCapabilityRequestReplyCmd{}, "IoCapabilityRequestReplyCmd");
+          break;
+        case op::kUserConfirmationRequestReply:
+          probe(UserConfirmationRequestReplyCmd{}, "UserConfirmationRequestReplyCmd");
+          break;
+        case op::kUserConfirmationRequestNegativeReply:
+          probe(UserConfirmationRequestNegativeReplyCmd{},
+                "UserConfirmationRequestNegativeReplyCmd");
+          break;
+        case op::kWriteScanEnable: probe(WriteScanEnableCmd{}, "WriteScanEnableCmd"); break;
+        case op::kWriteClassOfDevice:
+          probe(WriteClassOfDeviceCmd{}, "WriteClassOfDeviceCmd");
+          break;
+        case op::kWriteLocalName: probe(WriteLocalNameCmd{}, "WriteLocalNameCmd"); break;
+        case op::kWriteSimplePairingMode:
+          probe(WriteSimplePairingModeCmd{}, "WriteSimplePairingModeCmd");
+          break;
+        default: break;
+      }
+      return r;
+    }
+    case hci::PacketType::kEvent: {
+      const auto code = packet->event_code();
+      const auto params = packet->event_params();
+      if (!params) return {};
+      if (sink != nullptr) sink->hash(0x15, *code);
+      using namespace hci;
+      CheckResult r;
+      const auto probe = [&](auto tag, const char* label) {
+        if (!r.ok) return;
+        using Evt = decltype(tag);
+        r = check_params_fixed_point<Evt>(*params, label, sink);
+      };
+      switch (*code) {
+        case ev::kCommandComplete: probe(CommandCompleteEvt{}, "CommandCompleteEvt"); break;
+        case ev::kCommandStatus: probe(CommandStatusEvt{}, "CommandStatusEvt"); break;
+        case ev::kInquiryResult: probe(InquiryResultEvt{}, "InquiryResultEvt"); break;
+        case ev::kInquiryComplete: probe(InquiryCompleteEvt{}, "InquiryCompleteEvt"); break;
+        case ev::kExtendedInquiryResult:
+          probe(ExtendedInquiryResultEvt{}, "ExtendedInquiryResultEvt");
+          break;
+        case ev::kConnectionRequest:
+          probe(ConnectionRequestEvt{}, "ConnectionRequestEvt");
+          break;
+        case ev::kConnectionComplete:
+          probe(ConnectionCompleteEvt{}, "ConnectionCompleteEvt");
+          break;
+        case ev::kDisconnectionComplete:
+          probe(DisconnectionCompleteEvt{}, "DisconnectionCompleteEvt");
+          break;
+        case ev::kAuthenticationComplete:
+          probe(AuthenticationCompleteEvt{}, "AuthenticationCompleteEvt");
+          break;
+        case ev::kRemoteNameRequestComplete:
+          probe(RemoteNameRequestCompleteEvt{}, "RemoteNameRequestCompleteEvt");
+          break;
+        case ev::kEncryptionChange: probe(EncryptionChangeEvt{}, "EncryptionChangeEvt"); break;
+        case ev::kLinkKeyRequest: probe(LinkKeyRequestEvt{}, "LinkKeyRequestEvt"); break;
+        case ev::kLinkKeyNotification:
+          probe(LinkKeyNotificationEvt{}, "LinkKeyNotificationEvt");
+          break;
+        case ev::kIoCapabilityRequest:
+          probe(IoCapabilityRequestEvt{}, "IoCapabilityRequestEvt");
+          break;
+        case ev::kPinCodeRequest: probe(PinCodeRequestEvt{}, "PinCodeRequestEvt"); break;
+        case ev::kIoCapabilityResponse:
+          probe(IoCapabilityResponseEvt{}, "IoCapabilityResponseEvt");
+          break;
+        case ev::kUserConfirmationRequest:
+          probe(UserConfirmationRequestEvt{}, "UserConfirmationRequestEvt");
+          break;
+        case ev::kSimplePairingComplete:
+          probe(SimplePairingCompleteEvt{}, "SimplePairingCompleteEvt");
+          break;
+        default: break;
+      }
+      return r;
+    }
+    case hci::PacketType::kAclData: {
+      const auto handle = packet->acl_handle();
+      const auto data = packet->acl_data();
+      if (data.has_value() && !handle.has_value())
+        return check_fail("ACL: data without a handle");
+      if (!data) return {};
+      if (sink != nullptr) {
+        sink->hash(0x16, *handle);
+        sink->hash(0x17, std::min<std::size_t>(data->size(), 1024));
+      }
+      // Header consistency: the length field covered exactly the bytes the
+      // accessor returned, and the flag accessors agree with the raw header.
+      const std::size_t declared =
+          static_cast<std::size_t>(packet->payload[2] | (packet->payload[3] << 8));
+      if (data->size() != declared)
+        return check_fail("ACL: accessor length disagrees with the header");
+      const auto pb = packet->acl_pb_flag();
+      const auto bc = packet->acl_bc_flag();
+      if (!pb || !bc) return check_fail("ACL: handle present but flags absent");
+      // An exactly-sized packet must rebuild byte-identically from its
+      // parsed fields — the fragment builder and the parser are inverses.
+      if (packet->payload.size() == 4 + declared) {
+        const hci::HciPacket rebuilt = hci::make_acl_fragment(*handle, *pb, *bc, *data);
+        if (rebuilt != *packet)
+          return check_fail("ACL: parse/rebuild is not the identity");
+      }
+      return {};
+    }
+    case hci::PacketType::kScoData: return {};
+  }
+  return {};
+}
+
+CheckResult check_lmp_frame(BytesView frame, FeatureSink* sink) {
+  // ACL air-frame path: parse must mirror acl_air_frame exactly.
+  if (const auto acl = controller::parse_acl_air_frame(frame)) {
+    if (sink != nullptr) sink->hash(0x18, std::min<std::size_t>(acl->size(), 1024));
+    if (controller::acl_air_frame(*acl) != to_bytes(frame))
+      return check_fail("ACL air frame: parse/rebuild is not the identity");
+  }
+
+  const auto pdu = controller::LmpPdu::from_air_frame(frame);
+  if (!pdu) {
+    if (sink != nullptr) sink->hash(0x19, frame.empty() ? 0u : frame[0]);
+    return {};
+  }
+  if (sink != nullptr) {
+    sink->hash(0x1A, static_cast<std::uint64_t>(pdu->opcode));
+    sink->hash(0x1B, (static_cast<std::uint64_t>(pdu->opcode) << 32) |
+                         std::min<std::size_t>(pdu->payload.size(), 256));
+  }
+  if (pdu->to_air_frame() != to_bytes(frame))
+    return check_fail("LMP: accepted frame did not re-encode identically");
+
+  // Typed payload decoders: canonical fixed point for whatever they accept.
+  using controller::LmpOpcode;
+  const auto fixed_point = [&](auto decoded, const char* label) -> CheckResult {
+    if (!decoded) return {};
+    if (sink != nullptr) sink->hash(0x1C, label_hash(label));
+    const Bytes enc = decoded->encode();
+    const auto again = std::decay_t<decltype(*decoded)>::decode(enc);
+    if (!again)
+      return check_fail(std::string(label) + ": canonical payload failed to re-decode");
+    if (again->encode() != enc)
+      return check_fail(std::string(label) + ": decode/encode is not a fixed point");
+    return {};
+  };
+  switch (pdu->opcode) {
+    case LmpOpcode::kIoCapabilityReq:
+    case LmpOpcode::kIoCapabilityRes:
+      return fixed_point(controller::LmpIoCap::decode(pdu->payload), "LmpIoCap");
+    case LmpOpcode::kEncapsulatedPublicKey:
+      return fixed_point(controller::LmpPublicKey::decode(pdu->payload), "LmpPublicKey");
+    case LmpOpcode::kNotAccepted:
+      return fixed_point(controller::LmpNotAccepted::decode(pdu->payload),
+                         "LmpNotAccepted");
+    default: return {};
+  }
+}
+
+}  // namespace blap::fuzz

@@ -1,0 +1,38 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+
+namespace blap::fuzz {
+
+bool Corpus::add(Bytes input) {
+  if (!hashes_.insert(crypto::Sha256::hash(input)).second) return false;
+  entries_.push_back(std::move(input));
+  return true;
+}
+
+const Bytes& Corpus::pick(Rng& rng) const {
+  // Recent-biased scheduling; see the header. Both branches draw from rng
+  // even when the corpus is small so the draw sequence stays stable as the
+  // corpus grows past the recency window.
+  const bool recent = rng.chance(0.5);
+  const std::size_t window = recent ? std::min<std::size_t>(entries_.size(), 8)
+                                    : entries_.size();
+  const std::size_t base = entries_.size() - window;
+  return entries_[base + rng.uniform(window)];
+}
+
+std::string Corpus::digest() const {
+  crypto::Sha256 sha;
+  ByteWriter w;
+  w.u64(entries_.size());
+  sha.update(w.data());
+  for (const Bytes& entry : entries_) {
+    ByteWriter len;
+    len.u64(entry.size());
+    sha.update(len.data());
+    sha.update(entry);
+  }
+  return hex(sha.finish());
+}
+
+}  // namespace blap::fuzz

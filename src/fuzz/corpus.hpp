@@ -1,0 +1,51 @@
+// corpus.hpp — the fuzzer's input corpus and scheduler.
+//
+// A corpus is an insertion-ordered, content-deduplicated set of inputs.
+// Insertion order *is* the determinism contract: entries are appended in
+// the order the engine discovered them (seed inputs first, then every
+// mutant that grew the coverage map), and the digest() fingerprint hashes
+// entries in exactly that order — so two runs with the same seed produce
+// the same digest, and CI can diff digests across BLAP_JOBS values.
+//
+// Scheduling is deliberately simple: pick() favours recent entries 50% of
+// the time (newly found inputs sit near uncovered behaviour, the classic
+// libFuzzer heuristic) and falls back to uniform otherwise.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace blap::fuzz {
+
+class Corpus {
+ public:
+  /// Append `input` unless a byte-identical entry exists. Returns true when
+  /// the entry is new.
+  bool add(Bytes input);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] const Bytes& entry(std::size_t index) const { return entries_[index]; }
+  [[nodiscard]] const std::vector<Bytes>& entries() const { return entries_; }
+
+  /// Pick an entry to mutate: 50% uniform over everything, 50% uniform over
+  /// the most recent 8. Requires a non-empty corpus.
+  [[nodiscard]] const Bytes& pick(Rng& rng) const;
+
+  /// Hex SHA-256 over (count, then each entry length-prefixed) in insertion
+  /// order — the campaign-level determinism fingerprint.
+  [[nodiscard]] std::string digest() const;
+
+ private:
+  std::vector<Bytes> entries_;
+  // Ordered set: dedup lookups must not depend on hash-table layout (D2).
+  std::set<crypto::Sha256::Digest> hashes_;
+};
+
+}  // namespace blap::fuzz

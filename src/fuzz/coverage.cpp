@@ -1,0 +1,67 @@
+#include "fuzz/coverage.hpp"
+
+#include "common/sancov_registry.hpp"
+
+namespace blap::fuzz {
+namespace {
+
+/// SplitMix64 finalizer — same mixer the campaign seeding uses, good enough
+/// to spread structured (domain, value) pairs across the feature space.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint32_t feature_hash(std::uint8_t domain, std::uint64_t value) {
+  const std::uint64_t mixed = mix64((static_cast<std::uint64_t>(domain) << 56) ^ value);
+  return static_cast<std::uint32_t>(mixed) % kFeatureSpace;
+}
+
+std::uint8_t count_bucket(std::uint8_t count) {
+  if (count == 0) return 0;
+  if (count < 4) return count;        // 1, 2, 3 each their own bucket
+  if (count < 8) return 4;
+  if (count < 16) return 5;
+  if (count < 32) return 6;
+  if (count < 128) return 7;
+  return 8;
+}
+
+std::size_t CoverageMap::accumulate(const FeatureSink& sink) {
+  std::size_t fresh = 0;
+  for (const std::uint32_t f : sink.features())
+    if (mark(f)) ++fresh;
+  return fresh;
+}
+
+bool CoverageMap::mark(std::uint32_t feature) {
+  feature %= kFeatureSpace;
+  std::uint8_t& byte = seen_[feature >> 3];
+  const std::uint8_t bit = static_cast<std::uint8_t>(1u << (feature & 7));
+  if ((byte & bit) != 0) return false;
+  byte |= bit;
+  ++count_;
+  return true;
+}
+
+bool sancov_active() { return !sancov_modules().empty(); }
+
+void collect_sancov_features(FeatureSink& sink) {
+  std::uint64_t edge_base = 0;
+  for (const SancovModule& module : sancov_modules()) {
+    std::uint8_t* counter = module.start;
+    for (std::uint64_t edge = 0; counter != module.stop; ++counter, ++edge) {
+      if (*counter != 0) {
+        // Feature = (global edge index, log2 count bucket), libFuzzer-style.
+        sink.hash(0xC0, ((edge_base + edge) << 8) | count_bucket(*counter));
+        *counter = 0;  // reset for the next execution
+      }
+    }
+    edge_base += static_cast<std::uint64_t>(module.stop - module.start);
+  }
+}
+
+}  // namespace blap::fuzz

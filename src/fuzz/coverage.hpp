@@ -1,0 +1,101 @@
+// coverage.hpp — the in-process coverage map that makes the fuzzer guided.
+//
+// A coverage-guided fuzzer keeps an input if executing it exercised
+// something no earlier input exercised. "Something" is a 32-bit *feature*:
+// an opaque point in behaviour space. Two feature sources feed the same
+// map:
+//
+//   * sancov counters — when the toolchain supports clang's
+//     -fsanitize-coverage=inline-8bit-counters (CMake option
+//     BLAP_FUZZ_SANCOV), every compiled edge gets an 8-bit execution
+//     counter. After each execution the harness folds (edge index, count
+//     bucket) pairs into features, libFuzzer-style.
+//   * portable fallback — without instrumentation (the default GCC build),
+//     targets emit features by hand from what they can observe: decoded
+//     packet shapes, Observer metric counters, controller/host
+//     state-transition hashes. Strictly coarser than edge coverage, but
+//     the scheduler stays genuinely guided: inputs that reach new decode
+//     paths or drive the stack into new states are kept.
+//
+// The map itself is a flat seen-bitmap over a 2^21 feature space; counts
+// are bucketed by log2 (1, 2, 3, 4-7, 8-15, ...) so "this loop ran 100x
+// instead of 1x" is a new feature but 100 vs 101 is not. Everything here
+// is deterministic and wall-clock free: the same input sequence grows the
+// same map on any machine and any BLAP_JOBS value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace blap::fuzz {
+
+/// Feature space size. 2 MiB of bitmap per map; collisions are acceptable
+/// (they only make the scheduler slightly blinder, never wrong).
+inline constexpr std::uint32_t kFeatureSpace = 1u << 21;
+
+/// Mix an (8-bit domain, 64-bit value) pair into the feature space. Domains
+/// keep unrelated sources (opcode reached, state hash, metric counter) from
+/// colliding systematically.
+[[nodiscard]] std::uint32_t feature_hash(std::uint8_t domain, std::uint64_t value);
+
+/// Bucket an execution count the way libFuzzer does: 1, 2, 3, 4-7, 8-15,
+/// 16-31, 32-127, 128+. Returns 0 for a zero count.
+[[nodiscard]] std::uint8_t count_bucket(std::uint8_t count);
+
+/// Collects the features one execution produced. Targets call feature()
+/// during execute(); the engine drains the sink into its CoverageMap after
+/// the run.
+class FeatureSink {
+ public:
+  void feature(std::uint32_t f) { features_.push_back(f % kFeatureSpace); }
+
+  /// Convenience: feature_hash() then feature().
+  void hash(std::uint8_t domain, std::uint64_t value) {
+    feature(feature_hash(domain, value));
+  }
+
+  void clear() { features_.clear(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& features() const { return features_; }
+
+ private:
+  std::vector<std::uint32_t> features_;
+};
+
+/// The seen-feature bitmap. One per fuzzing shard (maps are never shared
+/// between threads; shard maps merge deterministically by re-accumulation).
+class CoverageMap {
+ public:
+  CoverageMap() : seen_(kFeatureSpace / 8, 0) {}
+
+  /// Mark every feature in `sink`; returns how many were new. Monotone:
+  /// feature_count() never decreases, and re-accumulating the same sink
+  /// adds exactly zero.
+  std::size_t accumulate(const FeatureSink& sink);
+
+  /// Mark a single feature; returns true if it was new.
+  bool mark(std::uint32_t feature);
+
+  [[nodiscard]] std::size_t feature_count() const { return count_; }
+
+ private:
+  std::vector<std::uint8_t> seen_;  // bitmap, kFeatureSpace bits
+  std::size_t count_ = 0;
+};
+
+// --- sancov glue -------------------------------------------------------------
+// Compiled into the library unconditionally; the __sanitizer_cov_* hooks are
+// only *defined* when BLAP_FUZZ_SANCOV is set (they would collide with the
+// real sanitizer runtime otherwise). Without instrumentation sancov_active()
+// is false and collect_sancov_features() is a no-op, so the portable
+// fallback features are the only guidance — by design.
+
+/// True when at least one instrumented module registered its counters.
+[[nodiscard]] bool sancov_active();
+
+/// Fold every non-zero 8-bit counter into (edge index, count bucket)
+/// features, then zero the counters for the next execution.
+void collect_sancov_features(FeatureSink& sink);
+
+}  // namespace blap::fuzz

@@ -1,0 +1,208 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "campaign/campaign.hpp"
+#include "common/base64.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/mutator.hpp"
+
+namespace blap::fuzz {
+namespace {
+
+struct ShardResult {
+  std::size_t executions = 0;
+  std::size_t features = 0;
+  std::vector<Bytes> corpus_entries;  // discovery order
+  std::vector<Finding> findings;
+};
+
+void record_finding(const FuzzConfig& config, FuzzTarget& target, ShardResult& out,
+                    std::size_t shard, std::size_t iteration, bool from_seed,
+                    const Bytes& input, const ExecResult& result) {
+  if (out.findings.size() >= config.max_findings_per_shard) return;
+  Finding finding;
+  finding.shard = shard;
+  finding.iteration = iteration;
+  finding.from_seed = from_seed;
+  finding.kind = result.kind;
+  finding.detail = result.detail;
+  finding.input = input;
+  MinimizeStats stats;
+  finding.minimized =
+      minimize_finding(target, input, result.kind, config.minimize_budget, &stats);
+  out.executions += stats.executions;
+  out.findings.push_back(std::move(finding));
+}
+
+ShardResult run_shard(const FuzzConfig& config, const TargetFactory& factory,
+                      std::size_t shard) {
+  ShardResult out;
+  const std::unique_ptr<FuzzTarget> target = factory();
+
+  Dictionary dictionary = Dictionary::bluetooth();
+  for (auto& extra : target->dictionary_extras())
+    dictionary.tokens.push_back(std::move(extra));
+  Mutator mutator(campaign::trial_seed(config.seed, shard), std::move(dictionary));
+
+  CoverageMap map;
+  Corpus corpus;
+  FeatureSink sink;
+
+  const auto run_one = [&](const Bytes& input) {
+    sink.clear();
+    const ExecResult result = target->execute(input, sink);
+    if (sancov_active()) collect_sancov_features(sink);
+    ++out.executions;
+    return result;
+  };
+
+  // Seed phase: every seed enters the corpus unconditionally (they are the
+  // mutation base set), and a seed that already trips the oracle is a
+  // finding like any other.
+  std::size_t seed_index = 0;
+  for (const Bytes& seed : target->seed_inputs()) {
+    const ExecResult result = run_one(seed);
+    map.accumulate(sink);
+    if (result.finding)
+      record_finding(config, *target, out, shard, seed_index, true, seed, result);
+    corpus.add(seed);
+    ++seed_index;
+  }
+  if (corpus.empty()) corpus.add(Bytes{0});
+
+  for (std::size_t iteration = 0; iteration < config.iterations; ++iteration) {
+    const Bytes input =
+        mutator.mutate(corpus.pick(mutator.rng()), corpus.entries(),
+                       target->max_input_len());
+    const ExecResult result = run_one(input);
+    if (result.finding) {
+      // Findings never enter the corpus: a reliably-failing input would
+      // dominate pick() and re-discover itself forever.
+      record_finding(config, *target, out, shard, iteration, false, input, result);
+      continue;
+    }
+    if (map.accumulate(sink) > 0) corpus.add(input);
+  }
+
+  out.features = map.feature_count();
+  out.corpus_entries = corpus.entries();
+  return out;
+}
+
+void append_json_string(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string FuzzReport::to_json() const {
+  std::string out = "{\n  \"target\": ";
+  append_json_string(out, target);
+  out += ",\n  \"seed\": " + std::to_string(seed);
+  out += ",\n  \"shards\": " + std::to_string(shards);
+  out += ",\n  \"iterations_per_shard\": " + std::to_string(iterations_per_shard);
+  out += ",\n  \"executions\": " + std::to_string(executions);
+  out += ",\n  \"corpus_entries\": " + std::to_string(corpus.size());
+  out += ",\n  \"corpus_digest\": ";
+  append_json_string(out, corpus_digest);
+  out += ",\n  \"shard_features\": [";
+  for (std::size_t i = 0; i < shard_features.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(shard_features[i]);
+  }
+  out += "],\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"shard\": " + std::to_string(f.shard);
+    out += ", \"iteration\": " + std::to_string(f.iteration);
+    out += ", \"from_seed\": ";
+    out += f.from_seed ? "true" : "false";
+    out += ", \"kind\": ";
+    append_json_string(out, f.kind);
+    out += ", \"detail\": ";
+    append_json_string(out, f.detail);
+    out += ", \"input\": ";
+    append_json_string(out, base64_encode(f.input));
+    out += ", \"minimized\": ";
+    append_json_string(out, base64_encode(f.minimized));
+    out += "}";
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::optional<FuzzReport> run_fuzz_campaign(const FuzzConfig& config, std::string* why) {
+  const TargetFactory factory = resolve_target(config.target);
+  if (!factory) {
+    if (why != nullptr) *why = "unknown fuzz target: " + config.target;
+    return std::nullopt;
+  }
+
+  FuzzReport report;
+  report.target = config.target;
+  report.seed = config.seed;
+  report.shards = config.shards;
+  report.iterations_per_shard = config.iterations;
+
+  unsigned jobs = campaign::resolve_jobs(config.jobs);
+  if (jobs > config.shards) jobs = static_cast<unsigned>(config.shards);
+  if (jobs < 1) jobs = 1;
+  // Sancov counters are process-global; concurrent shards would observe each
+  // other's edges and the per-shard determinism contract would break.
+  if (sancov_active()) jobs = 1;
+  report.jobs_used = jobs;
+
+  std::vector<ShardResult> shard_results(config.shards);
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t shard = next.fetch_add(1);
+      if (shard >= config.shards) return;
+      shard_results[shard] = run_shard(config, factory, shard);
+    }
+  };
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  // Deterministic merge: shard order, not completion order.
+  for (std::size_t shard = 0; shard < config.shards; ++shard) {
+    ShardResult& sr = shard_results[shard];
+    report.executions += sr.executions;
+    report.shard_features.push_back(sr.features);
+    for (auto& entry : sr.corpus_entries) report.corpus.add(std::move(entry));
+    for (auto& finding : sr.findings) report.findings.push_back(std::move(finding));
+  }
+  report.corpus_digest = report.corpus.digest();
+  return report;
+}
+
+}  // namespace blap::fuzz

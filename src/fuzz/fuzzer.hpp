@@ -1,0 +1,85 @@
+// fuzzer.hpp — the coverage-guided fuzzing engine.
+//
+// run_fuzz_campaign() is a deterministic, sharded fuzzing loop:
+//
+//   shard seed  = trial_seed(root_seed, shard)         (SplitMix64 stream)
+//   shard state = own target + own Mutator + own CoverageMap + own Corpus
+//   shard loop  = pick → mutate → execute → keep if coverage grew,
+//                 minimise + record if the oracle called it a finding
+//
+// Shards are the unit of parallelism *and* of determinism: a shard's work
+// is a pure function of its seed, so the campaign output — merged corpus
+// digest, findings report JSON — is byte-identical for any BLAP_JOBS value
+// and across runs. Shard results merge in shard order, never in completion
+// order. (When sancov instrumentation is active the engine clamps to one
+// worker: the 8-bit counters are process-global, so concurrent shards
+// would bleed coverage into each other.)
+//
+// No wall clock anywhere (lint rule D1): throughput measurement lives in
+// bench/bench_fuzz_throughput.cpp, which is allowed to time things.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/target.hpp"
+
+namespace blap::fuzz {
+
+struct FuzzConfig {
+  /// Registry name: "hci_codec", "lmp_codec", "stack".
+  std::string target = "stack";
+  std::uint64_t seed = 1;
+  /// Mutation executions per shard (seed-input executions are extra).
+  std::size_t iterations = 1000;
+  std::size_t shards = 4;
+  /// Worker threads; 0 = resolve_jobs() (BLAP_JOBS env, else cores).
+  unsigned jobs = 0;
+  /// A shard stops recording (but keeps fuzzing) past this many findings —
+  /// one broken decoder must not flood the report.
+  std::size_t max_findings_per_shard = 8;
+  /// Max target executions minimisation may spend per finding.
+  std::size_t minimize_budget = 512;
+};
+
+/// One recorded oracle failure.
+struct Finding {
+  std::size_t shard = 0;
+  /// Mutation-loop iteration within the shard; seed-input executions are
+  /// iteration 0, 1, ... with `from_seed` set.
+  std::size_t iteration = 0;
+  bool from_seed = false;
+  std::string kind;
+  std::string detail;
+  Bytes input;
+  Bytes minimized;
+};
+
+struct FuzzReport {
+  std::string target;
+  std::uint64_t seed = 0;
+  std::size_t shards = 0;
+  std::size_t iterations_per_shard = 0;
+  unsigned jobs_used = 0;
+
+  std::size_t executions = 0;
+  /// Per-shard feature counts, shard order.
+  std::vector<std::size_t> shard_features;
+  /// Merged corpus (shard order, dedup) and its determinism fingerprint.
+  Corpus corpus;
+  std::string corpus_digest;
+  std::vector<Finding> findings;
+
+  /// Deterministic JSON (sorted fixed key order, base64 inputs, no
+  /// timestamps) — the artifact CI diffs across BLAP_JOBS values.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Run the campaign. Returns nullopt-style failure via `why` only for an
+/// unknown target name.
+[[nodiscard]] std::optional<FuzzReport> run_fuzz_campaign(const FuzzConfig& config,
+                                                          std::string* why = nullptr);
+
+}  // namespace blap::fuzz

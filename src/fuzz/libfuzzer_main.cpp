@@ -1,0 +1,46 @@
+// libfuzzer_main.cpp — optional -fsanitize=fuzzer entry point.
+//
+// Reuses the exact target bodies the in-tree engine drives, so a libFuzzer
+// campaign and a blap-fuzz campaign explore the same oracles. The target is
+// selected with BLAP_FUZZ_TARGET (default hci_codec); an oracle failure
+// aborts, which libFuzzer records as a crash with the offending input.
+//
+// Only built when BLAP_FUZZ_LIBFUZZER is ON and the toolchain supports
+// -fsanitize=fuzzer (clang); the default GCC build never compiles this TU.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "fuzz/target.hpp"
+
+namespace {
+
+blap::fuzz::FuzzTarget& selected_target() {
+  static const std::unique_ptr<blap::fuzz::FuzzTarget> target = [] {
+    const char* name = std::getenv("BLAP_FUZZ_TARGET");
+    const std::string resolved = name != nullptr ? name : "hci_codec";
+    const auto factory = blap::fuzz::resolve_target(resolved);
+    if (!factory) {
+      std::fprintf(stderr, "BLAP_FUZZ_TARGET=%s: unknown target\n", resolved.c_str());
+      std::abort();
+    }
+    return factory();
+  }();
+  return *target;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  blap::fuzz::FeatureSink sink;  // libFuzzer brings its own coverage; sink unused
+  const blap::fuzz::ExecResult result =
+      selected_target().execute(blap::BytesView(data, size), sink);
+  if (result.finding) {
+    std::fprintf(stderr, "finding [%s]: %s\n", result.kind.c_str(),
+                 result.detail.c_str());
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+
+namespace blap::fuzz {
+
+Bytes minimize_finding(FuzzTarget& target, Bytes input, const std::string& kind,
+                       std::size_t max_execs, MinimizeStats* stats) {
+  MinimizeStats local;
+  MinimizeStats& st = stats != nullptr ? *stats : local;
+  st = {};
+
+  const auto still_finds = [&](const Bytes& candidate) {
+    if (candidate.empty()) return false;
+    ++st.executions;
+    FeatureSink sink;
+    const ExecResult r = target.execute(candidate, sink);
+    return r.finding && r.kind == kind;
+  };
+
+  // Halving chunk sizes; at each size, sweep left to right deleting
+  // [pos, pos+chunk). On a successful deletion the position is *not*
+  // advanced — the bytes that slid into `pos` get their own chance.
+  for (std::size_t chunk = std::max<std::size_t>(input.size() / 2, 1); chunk >= 1;
+       chunk /= 2) {
+    std::size_t pos = 0;
+    while (pos < input.size() && input.size() > 1) {
+      if (st.executions >= max_execs) return input;
+      Bytes candidate;
+      candidate.reserve(input.size());
+      candidate.insert(candidate.end(), input.begin(),
+                       input.begin() + static_cast<std::ptrdiff_t>(pos));
+      const std::size_t cut_end = std::min(pos + chunk, input.size());
+      candidate.insert(candidate.end(),
+                       input.begin() + static_cast<std::ptrdiff_t>(cut_end),
+                       input.end());
+      if (still_finds(candidate)) {
+        input = std::move(candidate);
+        ++st.reductions;
+      } else {
+        pos += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return input;
+}
+
+}  // namespace blap::fuzz

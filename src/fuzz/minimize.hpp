@@ -1,0 +1,39 @@
+// minimize.hpp — deterministic finding minimisation.
+//
+// A raw finding input is a mutation pile-up: most of its bytes are inert.
+// minimize_finding() greedily deletes chunks (halving chunk sizes,
+// ddmin-style) and keeps a deletion only when the reduced input still
+// produces a finding of the *same kind* — so minimisation can shrink a
+// stuck-stack input but never silently wander onto a different bug class.
+//
+// Properties the tests pin:
+//   * deterministic — no randomness; the reduction sequence is a pure
+//     function of (input, target behaviour).
+//   * budgeted — at most `max_execs` target executions, so a pathological
+//     input cannot stall a campaign.
+//   * idempotent — minimising an already-minimal input returns it
+//     unchanged (every single-chunk deletion already fails to reproduce).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "fuzz/target.hpp"
+
+namespace blap::fuzz {
+
+struct MinimizeStats {
+  /// Target executions spent.
+  std::size_t executions = 0;
+  /// Deletions that kept the finding.
+  std::size_t reductions = 0;
+};
+
+/// Shrink `input` while `target` still reports a finding of kind `kind`.
+/// Returns the reduced input (possibly `input` itself when nothing can go).
+[[nodiscard]] Bytes minimize_finding(FuzzTarget& target, Bytes input,
+                                     const std::string& kind, std::size_t max_execs,
+                                     MinimizeStats* stats = nullptr);
+
+}  // namespace blap::fuzz

@@ -1,0 +1,62 @@
+// mutator.hpp — deterministic byte/field mutators for the protocol fuzzer.
+//
+// The mutation engine is a small, fixed repertoire of byte-level and
+// field-aware transforms, stacked 1..4 deep per call, driven entirely by a
+// SplitMix64-seeded Rng: the same seed and the same inputs produce the same
+// mutants on every machine and every run. Field-aware pieces:
+//
+//   * dictionary — HCI opcodes (little-endian, as they sit in a command
+//     header), event codes, H4 type bytes, LMP opcodes and air-channel
+//     bytes, plus per-target extras (the live scenario's BD_ADDRs and
+//     connection handles). A random token is inserted or stamped over the
+//     input, which is how the fuzzer forges "almost valid" headers far
+//     faster than blind bit flips would.
+//   * length-field targeting — Bluetooth framing carries explicit length
+//     bytes (command header byte 2, event header byte 1, ACL u16). A
+//     dedicated mutation rewrites one byte to a boundary-interesting
+//     length: 0, 1, the true remaining size, or just past it.
+//   * splice — classic corpus crossover: head of the input, tail of a
+//     random corpus entry.
+//
+// No wall clock, no global state: a Mutator is owned by one fuzzing shard.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace blap::fuzz {
+
+/// The token dictionary. bluetooth() builds the protocol-wide base set;
+/// targets append scenario extras (their devices' BD_ADDRs, live handles).
+struct Dictionary {
+  std::vector<Bytes> tokens;
+
+  /// HCI opcodes + event codes + H4 types + LMP opcodes + air channels +
+  /// interesting lengths. Deterministic, order fixed.
+  [[nodiscard]] static Dictionary bluetooth();
+};
+
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed, Dictionary dictionary = Dictionary::bluetooth());
+
+  /// Produce one mutant of `input`. `corpus_pool` feeds the splice
+  /// mutation (may be empty). Result is non-empty and at most `max_len`
+  /// bytes. Deterministic in (seed, call sequence).
+  [[nodiscard]] Bytes mutate(BytesView input, const std::vector<Bytes>& corpus_pool,
+                             std::size_t max_len);
+
+  [[nodiscard]] const Dictionary& dictionary() const { return dictionary_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  void one_mutation(Bytes& data, const std::vector<Bytes>& corpus_pool);
+
+  Rng rng_;
+  Dictionary dictionary_;
+};
+
+}  // namespace blap::fuzz

@@ -1,0 +1,81 @@
+// target.hpp — the fuzz-target interface.
+//
+// A FuzzTarget is one attack surface under test: it owns whatever fixed
+// machinery the surface needs (for the stack target, a built scenario and
+// its warm bonded snapshot), turns one input byte-string into one
+// execution, and reports two things back — the features the execution
+// touched (via the FeatureSink) and whether it was a *finding*.
+//
+// A finding is anything the oracle calls a bug: a failed codec round-trip
+// invariant, a tripped cross-layer invariant, a stuck (undrained) stack, a
+// runaway scheduler. Crashes don't need classifying — the process dies and
+// the driver's exit status is the report.
+//
+// Targets are built per fuzzing shard through a TargetFactory, so shards
+// never share mutable state and the engine parallelises without locks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "fuzz/coverage.hpp"
+#include "snapshot/replay.hpp"
+
+namespace blap::fuzz {
+
+/// What one execution concluded.
+struct ExecResult {
+  bool finding = false;
+  /// Stable finding class ("codec-round-trip", "invariant-violation",
+  /// "stuck", "runaway"): the minimiser only accepts reductions that keep
+  /// the kind, so it cannot wander onto a different bug.
+  std::string kind;
+  std::string detail;
+};
+
+class FuzzTarget {
+ public:
+  virtual ~FuzzTarget() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Inputs the corpus starts from — small, valid packets that already
+  /// parse, so mutation starts at the interesting boundary instead of in
+  /// random noise.
+  [[nodiscard]] virtual std::vector<Bytes> seed_inputs() const = 0;
+
+  /// Target-specific dictionary tokens appended to Dictionary::bluetooth()
+  /// (e.g. the live scenario's BD_ADDRs).
+  [[nodiscard]] virtual std::vector<Bytes> dictionary_extras() const { return {}; }
+
+  [[nodiscard]] virtual std::size_t max_input_len() const { return 512; }
+
+  /// Run one input. Deterministic: same input, same result, same features.
+  [[nodiscard]] virtual ExecResult execute(BytesView input, FeatureSink& sink) = 0;
+
+  /// Package the last execute() of `input` as a self-contained replay
+  /// bundle, for targets whose executions are snapshot-forked simulations.
+  /// Works for findings (the fuzz driver's --findings-dir) and for clean
+  /// verdicts (make_corpus pins post-fix regression gates). Codec targets
+  /// return nullopt — their findings reproduce from the raw input bytes
+  /// alone.
+  [[nodiscard]] virtual std::optional<snapshot::ReplayBundle> make_bundle(
+      BytesView /*input*/, const ExecResult& /*result*/) {
+    return std::nullopt;
+  }
+};
+
+using TargetFactory = std::function<std::unique_ptr<FuzzTarget>()>;
+
+/// Factory registry: "hci_codec", "lmp_codec", "stack". Null for unknown
+/// names.
+[[nodiscard]] TargetFactory resolve_target(const std::string& name);
+
+/// The registered target names, in registry order.
+[[nodiscard]] std::vector<std::string> target_names();
+
+}  // namespace blap::fuzz

@@ -1,0 +1,72 @@
+// targets.hpp — the concrete fuzz targets.
+//
+//   * hci_codec — arbitrary bytes through the H4 parser and every typed
+//     HCI command/event decoder (codec_harness oracles).
+//   * lmp_codec — arbitrary bytes through the LMP/ACL air-frame parsers
+//     and typed payload decoders.
+//   * stack     — the big one: each execution forks the warm bonded cell
+//     from its in-memory .blapsnap snapshot and injects the input as an op
+//     stream into the live controller+host state machines, with the PR-9
+//     InvariantMonitor + drain + event-budget oracle
+//     (snapshot/fuzz_trial.hpp).
+//
+// Construction cost is deliberately front-loaded: a StackTarget builds the
+// scenario and runs the full SSP P-256 bonding exactly once, then every
+// execute() is a snapshot fork — the ≥10x throughput edge
+// bench_fuzz_throughput gates on.
+#pragma once
+
+#include "fuzz/target.hpp"
+#include "snapshot/fuzz_trial.hpp"
+#include "snapshot/scenarios.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace blap::fuzz {
+
+/// Fixed scenario-build/trial seed for stack fuzzing. Constant on purpose:
+/// a finding's replay bundle then depends only on the input bytes, never on
+/// which campaign configuration happened to find it.
+inline constexpr std::uint64_t kStackSeed = 1;
+
+class HciCodecTarget final : public FuzzTarget {
+ public:
+  [[nodiscard]] const char* name() const override { return "hci_codec"; }
+  [[nodiscard]] std::vector<Bytes> seed_inputs() const override;
+  [[nodiscard]] ExecResult execute(BytesView input, FeatureSink& sink) override;
+};
+
+class LmpCodecTarget final : public FuzzTarget {
+ public:
+  [[nodiscard]] const char* name() const override { return "lmp_codec"; }
+  [[nodiscard]] std::vector<Bytes> seed_inputs() const override;
+  [[nodiscard]] std::size_t max_input_len() const override { return 256; }
+  [[nodiscard]] ExecResult execute(BytesView input, FeatureSink& sink) override;
+};
+
+class StackTarget final : public FuzzTarget {
+ public:
+  /// Builds the bonded cell and captures the warm snapshot. Aborts only if
+  /// the warm setup fails to reach strict quiescence — which the snapshot
+  /// tests already gate.
+  StackTarget();
+
+  [[nodiscard]] const char* name() const override { return "stack"; }
+  [[nodiscard]] std::vector<Bytes> seed_inputs() const override;
+  [[nodiscard]] std::vector<Bytes> dictionary_extras() const override;
+  [[nodiscard]] std::size_t max_input_len() const override { return 192; }
+  [[nodiscard]] ExecResult execute(BytesView input, FeatureSink& sink) override;
+  [[nodiscard]] std::optional<snapshot::ReplayBundle> make_bundle(
+      BytesView input, const ExecResult& result) override;
+
+  /// The warm snapshot executions fork from (exposed for the bench).
+  [[nodiscard]] const snapshot::Snapshot& warm() const { return *warm_; }
+  [[nodiscard]] snapshot::Scenario& scenario() { return scenario_; }
+
+ private:
+  snapshot::Scenario scenario_;
+  std::optional<snapshot::Snapshot> warm_;
+  /// Last execution's verdict, kept for make_bundle().
+  snapshot::FuzzStackReport last_report_;
+};
+
+}  // namespace blap::fuzz

@@ -51,6 +51,16 @@ std::optional<ConnectionHandle> HciPacket::acl_handle() const {
   return static_cast<ConnectionHandle>((payload[0] | (payload[1] << 8)) & 0x0FFF);
 }
 
+std::optional<std::uint8_t> HciPacket::acl_pb_flag() const {
+  if (type != PacketType::kAclData || payload.size() < 4) return std::nullopt;
+  return static_cast<std::uint8_t>((payload[1] >> 4) & 0x03);
+}
+
+std::optional<std::uint8_t> HciPacket::acl_bc_flag() const {
+  if (type != PacketType::kAclData || payload.size() < 4) return std::nullopt;
+  return static_cast<std::uint8_t>((payload[1] >> 6) & 0x03);
+}
+
 std::optional<BytesView> HciPacket::acl_data() const {
   if (type != PacketType::kAclData || payload.size() < 4) return std::nullopt;
   const std::size_t len = static_cast<std::size_t>(payload[2] | (payload[3] << 8));
@@ -91,8 +101,14 @@ HciPacket make_event(std::uint8_t code, BytesView params) {
 }
 
 HciPacket make_acl(ConnectionHandle handle, BytesView data) {
+  return make_acl_fragment(handle, 0, 0, data);
+}
+
+HciPacket make_acl_fragment(ConnectionHandle handle, std::uint8_t pb_flag,
+                            std::uint8_t bc_flag, BytesView data) {
   ByteWriter w;
-  w.u16(static_cast<std::uint16_t>(handle & 0x0FFF));
+  w.u16(static_cast<std::uint16_t>((handle & 0x0FFF) | ((pb_flag & 0x03) << 12) |
+                                   ((bc_flag & 0x03) << 14)));
   w.u16(static_cast<std::uint16_t>(data.size()));
   w.raw(data);
   return HciPacket{PacketType::kAclData, std::move(w).take()};

@@ -45,6 +45,15 @@ struct HciPacket {
   /// For an ACL data packet: the connection handle (low 12 bits).
   [[nodiscard]] std::optional<ConnectionHandle> acl_handle() const;
 
+  /// For an ACL data packet: the Packet_Boundary flag (header bits 12–13 —
+  /// 0 first non-flushable, 1 continuation fragment, 2 first flushable,
+  /// 3 complete PDU). acl_handle() masks these off; fragment-aware readers
+  /// need them intact.
+  [[nodiscard]] std::optional<std::uint8_t> acl_pb_flag() const;
+
+  /// For an ACL data packet: the Broadcast flag (header bits 14–15).
+  [[nodiscard]] std::optional<std::uint8_t> acl_bc_flag() const;
+
   /// For an ACL data packet: the data after the 4-byte header.
   [[nodiscard]] std::optional<BytesView> acl_data() const;
 
@@ -62,5 +71,11 @@ struct HciPacket {
 
 /// Build an ACL data packet: handle (PB/BC flags zero) + length + data.
 [[nodiscard]] HciPacket make_acl(ConnectionHandle handle, BytesView data);
+
+/// Build an ACL data packet with explicit Packet_Boundary and Broadcast
+/// flags (each masked to 2 bits) — continuation fragments carry pb = 1.
+/// Exact inverse of acl_handle()/acl_pb_flag()/acl_bc_flag()/acl_data().
+[[nodiscard]] HciPacket make_acl_fragment(ConnectionHandle handle, std::uint8_t pb_flag,
+                                          std::uint8_t bc_flag, BytesView data);
 
 }  // namespace blap::hci

@@ -770,10 +770,12 @@ void HostStack::on_connection_request(const hci::ConnectionRequestEvt& evt) {
   }
   hci::AcceptConnectionRequestCmd cmd;
   cmd.bdaddr = evt.bdaddr;
+  pending_accepts_.insert(evt.bdaddr);
   send_command(cmd.encode());
 }
 
 void HostStack::on_connection_complete(const hci::ConnectionCompleteEvt& evt) {
+  const bool was_pending_accept = pending_accepts_.erase(evt.bdaddr) > 0;
   if (evt.status != hci::Status::kSuccess) {
     if (pair_op_ && pair_op_->peer == evt.bdaddr && pair_op_->stage == OpStage::kConnecting)
       finish_pair_op(evt.bdaddr, evt.status);
@@ -784,6 +786,22 @@ void HostStack::on_connection_complete(const hci::ConnectionCompleteEvt& evt) {
     }
     return;
   }
+  // Unsolicited success: this host never sent Create_Connection for the peer
+  // and never accepted a Connection_Request from it. Fabricating an ACL here
+  // would desynchronize the host's link table from the controller's (fuzz
+  // finding: link-table-agreement). Real stacks drop the event on the floor.
+  const bool initiated = (pair_op_ && pair_op_->peer == evt.bdaddr) ||
+                         (connect_op_ && connect_op_->first == evt.bdaddr);
+  if (!initiated && !was_pending_accept) {
+    if (obs_ != nullptr) obs_->count("host.unsolicited_connection_complete");
+    BLAP_INFO("host", "%s: ignoring unsolicited Connection_Complete for %s (handle %u)",
+              config_.device_name.c_str(), evt.bdaddr.to_string().c_str(),
+              static_cast<unsigned>(evt.handle));
+    return;
+  }
+  // A retransmitted/duplicated Connection_Complete for a handle that is
+  // already up must not clobber the live ACL's auth/encryption state.
+  if (acl_by_handle(evt.handle) != nullptr) return;
   Acl acl;
   acl.handle = evt.handle;
   acl.peer = evt.bdaddr;
@@ -1312,6 +1330,7 @@ void HostStack::load_state(state::StateReader& r, state::RestoreMode mode) {
     // point had none of it, so dropping it restores the captured state.
     pair_op_.reset();
     connect_op_.reset();
+    pending_accepts_.clear();
     discovery_callback_.reset();
     name_request_.reset();
     sdp_client_.reset_pending();

@@ -25,6 +25,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <optional>
 #include <vector>
 
@@ -374,6 +375,14 @@ class HostStack {
   // Ordered map: iteration order (acls(), has_acl scans) is part of the
   // determinism contract — it must not depend on hash-table layout.
   std::map<hci::ConnectionHandle, Acl> acls_;
+  /// Peers whose Connection_Request this host answered with Accept and whose
+  /// Connection_Complete is still outstanding. A successful
+  /// Connection_Complete with no pending accept and no pending outgoing op
+  /// is unsolicited (a controller bug or injected traffic) and is ignored —
+  /// it must not fabricate host ACL state for a link that does not exist.
+  /// Transient by construction (in-flight HCI exchange), so never captured
+  /// in a strict snapshot and not serialized; cleared on kRewind restore.
+  std::set<BdAddr> pending_accepts_;
   std::optional<PairOp> pair_op_;
   std::optional<std::pair<BdAddr, StatusCallback>> connect_op_;
   std::optional<std::function<void(std::vector<Discovered>)>> discovery_callback_;

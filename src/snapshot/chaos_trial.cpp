@@ -33,21 +33,17 @@ WarmSetupFnPtr resolve_warm_setup(const std::string& name) {
   return nullptr;
 }
 
-namespace {
-
 /// A fault plan that is enabled() — supervision timers, ARQ reports and
 /// host fault recovery all arm — but never touches a frame: one zero-length
 /// jam window, which can never match (judge tests now < end) and, being a
 /// jam, draws no randomness. Injected chaos faults then have every genuine
 /// timeout/retry path available to recover through, at zero behavioural
 /// cost on the fault-free path.
-faults::FaultPlan recovery_plan() {
+faults::FaultPlan recovery_fault_plan() {
   faults::FaultPlan plan;
   plan.jam_windows.push_back(faults::JamWindow{0, 0});
   return plan;
 }
-
-}  // namespace
 
 ChaosTrialReport run_chaos_trial(Scenario& s, const Snapshot& warm, std::uint64_t seed,
                                  chaos::ChaosPlan& plan) {
@@ -74,7 +70,7 @@ ChaosTrialReport run_chaos_trial(Scenario& s, const Snapshot& warm, std::uint64_
     return report;
   }
   s.sim->reseed(seed);
-  s.sim->set_fault_plan(recovery_plan());
+  s.sim->set_fault_plan(recovery_fault_plan());
 
   invariants::InvariantMonitor::Config monitor_config;
   if (s.attacker != nullptr) monitor_config.exempt.push_back(s.attacker->address());

@@ -89,6 +89,12 @@ void bonded_warm_setup(Scenario& s);
 using WarmSetupFnPtr = void (*)(Scenario&);
 [[nodiscard]] WarmSetupFnPtr resolve_warm_setup(const std::string& name);
 
+/// The recovery-enabling fault plan both the chaos and fuzz trial bodies
+/// install: enabled() (supervision timers, ARQ reports and host fault
+/// recovery all arm) but behaviourally inert — one zero-length jam window,
+/// which can never match and draws no randomness.
+[[nodiscard]] faults::FaultPlan recovery_fault_plan();
+
 /// Run one chaos trial: arm `plan`, restore `warm` onto `s` (same topology
 /// it was captured from), reseed with `seed`, run probe + drain, classify.
 /// The plan's counters are reset on entry; its hits land in the report.

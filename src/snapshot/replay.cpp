@@ -10,6 +10,7 @@
 #include "common/state_io.hpp"
 #include "core/page_blocking.hpp"
 #include "snapshot/chaos_trial.hpp"
+#include "snapshot/fuzz_trial.hpp"
 #include "snapshot/snapshot.hpp"
 
 namespace blap::snapshot {
@@ -108,6 +109,7 @@ std::string ReplayBundle::to_text() const {
   if (fault_plan.has_value()) out += "\nfault_plan: " + encode_fault_plan(*fault_plan);
   if (!chaos_faults.empty()) out += "\nchaos: " + chaos_faults;
   if (!warm_setup.empty()) out += "\nwarm: " + warm_setup;
+  if (!fuzz_input.empty()) out += "\nfuzz_input: " + base64_encode(fuzz_input);
   out += "\nsuccess: ";
   out += expected_success ? "1" : "0";
   out += "\nvalue: " + format_double(expected_value);
@@ -211,6 +213,10 @@ std::optional<ReplayBundle> ReplayBundle::from_text(const std::string& text,
     } else if (key == "warm") {
       bundle.warm_setup = value;
       ok = !value.empty();
+    } else if (key == "fuzz_input") {
+      const auto raw = base64_decode(value);
+      ok = raw.has_value() && !raw->empty();
+      if (ok) bundle.fuzz_input = *raw;
     } else if (key == "success") {
       ok = value == "1" || value == "0";
       bundle.expected_success = value == "1";
@@ -290,13 +296,15 @@ std::optional<ReplayBundle> ReplayBundle::load_file(const std::string& path,
 
 bool known_trial_kind(const std::string& kind) {
   return kind == "page_blocking_baseline" || kind == "page_blocking_attack" ||
-         kind == "page_blocking_attack_metrics" || kind == "chaos_bonded_cell";
+         kind == "page_blocking_attack_metrics" || kind == "chaos_bonded_cell" ||
+         kind == "fuzz_stack";
 }
 
 std::optional<ReplayOutcome> execute_trial(const std::string& kind, Scenario& s,
                                            const std::optional<faults::FaultPlan>& plan,
                                            bool want_trace) {
-  if (!known_trial_kind(kind) || kind == "chaos_bonded_cell") return std::nullopt;
+  if (!known_trial_kind(kind) || kind == "chaos_bonded_cell" || kind == "fuzz_stack")
+    return std::nullopt;
   const bool want_metrics = kind == "page_blocking_attack_metrics";
 
   // Mirror the recording campaign's trial body order exactly: observability
@@ -380,6 +388,25 @@ ReplayOutcome replay_bundle(const ReplayBundle& bundle, bool want_trace) {
                          report.outcome == ChaosOutcome::kRecovered ||
                          report.outcome == ChaosOutcome::kCleanError;
     out.result.value = static_cast<double>(static_cast<int>(report.outcome));
+    out.result.virtual_end = report.virtual_end;
+    out.snapshot_matches = snapshot_matches;
+    out.verdict_matches = out.result.success == bundle.expected_success &&
+                          out.result.value == bundle.expected_value &&
+                          out.result.virtual_end == bundle.expected_virtual_end;
+    out.metrics_match = bundle.expected_metrics_json.empty();
+    return out;
+  }
+
+  if (bundle.trial_kind == "fuzz_stack") {
+    // Fuzz trials own their restore + reseed (the trial body is shared with
+    // the fuzz engine's stack target — a pinned finding replays through the
+    // exact code that found it). Verdict: success = clean execution, value =
+    // violation count.
+    const auto report = run_fuzz_stack_trial(s, *snap, bundle.trial_seed,
+                                             bundle.fuzz_input);
+    out.executed = true;
+    out.result.success = !report.finding();
+    out.result.value = static_cast<double>(report.violations.size());
     out.result.virtual_end = report.virtual_end;
     out.snapshot_matches = snapshot_matches;
     out.verdict_matches = out.result.success == bundle.expected_success &&

@@ -68,6 +68,10 @@ struct ReplayBundle {
   /// check (see resolve_warm_setup in chaos_trial.hpp); empty = the warm
   /// point is the post-build topology.
   std::string warm_setup;
+  /// The raw fuzz input for "fuzz_stack" bundles (base64 `fuzz_input:` in
+  /// the manifest): the op stream run_fuzz_stack_trial() decodes. Empty for
+  /// every other trial kind.
+  Bytes fuzz_input;
 
   // Recorded verdict.
   bool expected_success = false;
@@ -137,7 +141,7 @@ struct ReplayOutcome {
 
 /// True for trial kinds replay_bundle() knows how to run:
 /// "page_blocking_baseline", "page_blocking_attack",
-/// "page_blocking_attack_metrics", "chaos_bonded_cell".
+/// "page_blocking_attack_metrics", "chaos_bonded_cell", "fuzz_stack".
 [[nodiscard]] bool known_trial_kind(const std::string& kind);
 
 /// Run one trial of `kind` on a scenario already restored+reseeded.

@@ -1,29 +1,37 @@
 // test_codec_fuzz.cpp — seeded fuzz round-trips for the HCI and LMP codecs.
 //
-// Every packet that crosses the simulated HCI or the air is built by an
-// encode() and consumed by a decode(); a snapshot/replay stack additionally
-// depends on those being exact inverses (snoop bytes are diffed
-// byte-for-byte between a rebuilt and a forked trial). This suite drives
-// the codecs with deterministic pseudo-random inputs:
+// The check bodies live in src/fuzz/codec_harness.hpp, shared verbatim with
+// the coverage-guided fuzz targets (fuzz_hci_codec / fuzz_lmp_codec): the
+// property this suite asserts on randomized-but-valid values is, by
+// construction, the same property the fuzzer explores on arbitrary bytes.
+// Per value the harness checks:
 //
-//   * encode -> decode -> encode must reproduce the first wire bytes,
-//   * every strict prefix of a fixed-size parameter block must decode to
-//     nullopt (truncation rejects cleanly, no UB under the ASan/UBSan CI),
-//   * oversized inputs (valid block + trailing garbage) must not crash —
-//     the repo's codecs read leading fields and ignore the tail, matching
-//     real controllers' tolerance of padded commands.
+//   * encode -> decode -> encode reproduces the first wire bytes,
+//   * every strict prefix of the parameter block decodes to nullopt
+//     (truncation rejects cleanly, no UB under the ASan/UBSan CI),
+//   * a valid block + trailing garbage either rejects or decodes to the
+//     same value — matching real controllers' tolerance of padded commands.
 //
 // Seeds are fixed: failures reproduce exactly.
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
 #include "controller/lmp.hpp"
+#include "fuzz/codec_harness.hpp"
 #include "hci/commands.hpp"
 #include "hci/events.hpp"
 #include "hci/packets.hpp"
 
 namespace blap::hci {
 namespace {
+
+using fuzz::check_command_round_trip;
+using fuzz::check_event_round_trip;
+using fuzz::check_h4_round_trip;
+using fuzz::check_hci_wire;
+using fuzz::check_lmp_frame;
+using fuzz::check_lmp_round_trip;
+using fuzz::CheckResult;
 
 constexpr int kRounds = 200;
 
@@ -39,11 +47,8 @@ TEST(CodecFuzz, H4WireRoundTrip) {
     HciPacket pkt;
     pkt.type = kTypes[rng.uniform(4)];
     pkt.payload = rng.buffer(rng.uniform(600));
-    const Bytes wire = pkt.to_wire();
-    const auto parsed = HciPacket::from_wire(wire);
-    ASSERT_TRUE(parsed.has_value());
-    EXPECT_EQ(*parsed, pkt);
-    EXPECT_EQ(parsed->to_wire(), wire);
+    const CheckResult r = check_h4_round_trip(pkt);
+    ASSERT_TRUE(r.ok) << r.detail;
   }
 }
 
@@ -57,40 +62,36 @@ TEST(CodecFuzz, H4RejectsEmptyAndUnknownType) {
   }
 }
 
+// The fuzz targets' arbitrary-input probes must accept every well-formed
+// wire this suite generates — a seed input that trips the probe would make
+// the fuzzer report valid traffic as a finding.
+TEST(CodecFuzz, ArbitraryInputProbeAcceptsValidWires) {
+  Rng rng(0xCAFE);
+  for (int i = 0; i < kRounds; ++i) {
+    DisconnectCmd cmd;
+    cmd.handle = static_cast<ConnectionHandle>(rng.uniform(0x0EFF));
+    const CheckResult r = check_hci_wire(cmd.encode().to_wire(), nullptr);
+    ASSERT_TRUE(r.ok) << r.detail;
+
+    controller::LmpPdu pdu;
+    pdu.opcode = controller::LmpOpcode::kPing;
+    pdu.payload = rng.buffer(rng.uniform(16));
+    const CheckResult lmp = check_lmp_frame(pdu.to_air_frame(), nullptr);
+    ASSERT_TRUE(lmp.ok) << lmp.detail;
+  }
+}
+
 // --- typed commands ----------------------------------------------------------
 
-// Round-trips one randomized command value: encode, reparse the wire bytes,
-// decode the parameter block, re-encode, and require identical wire output.
-// Then every strict prefix of the parameter block must decode to nullopt and
-// trailing garbage must not crash the decoder.
+// Round-trips one randomized command/event value through the shared harness
+// body (round trip, strict-prefix rejection, padding tolerance).
 template <typename Cmd, typename MakeFn>
 void fuzz_command(std::uint64_t seed, MakeFn make) {
   Rng rng(seed);
   for (int i = 0; i < kRounds; ++i) {
     const Cmd cmd = make(rng);
-    const HciPacket pkt = cmd.encode();
-    const Bytes wire = pkt.to_wire();
-
-    const auto reparsed = HciPacket::from_wire(wire);
-    ASSERT_TRUE(reparsed.has_value());
-    const auto params = reparsed->command_params();
-    ASSERT_TRUE(params.has_value());
-
-    const auto decoded = Cmd::decode(*params);
-    ASSERT_TRUE(decoded.has_value());
-    EXPECT_EQ(decoded->encode().to_wire(), wire);
-
-    for (std::size_t cut = 0; cut < params->size(); ++cut)
-      EXPECT_FALSE(Cmd::decode(params->subspan(0, cut)).has_value())
-          << "prefix of " << cut << " bytes decoded";
-
-    Bytes oversized = to_bytes(*params);
-    const Bytes tail = rng.buffer(1 + rng.uniform(16));
-    oversized.insert(oversized.end(), tail.begin(), tail.end());
-    const auto padded = Cmd::decode(oversized);  // tolerated, must not crash
-    if (padded.has_value()) {
-      EXPECT_EQ(padded->encode().to_wire(), wire);
-    }
+    const CheckResult r = check_command_round_trip(cmd);
+    ASSERT_TRUE(r.ok) << r.detail;
   }
 }
 
@@ -149,21 +150,8 @@ void fuzz_event(std::uint64_t seed, MakeFn make) {
   Rng rng(seed);
   for (int i = 0; i < kRounds; ++i) {
     const Evt evt = make(rng);
-    const HciPacket pkt = evt.encode();
-    const Bytes wire = pkt.to_wire();
-
-    const auto reparsed = HciPacket::from_wire(wire);
-    ASSERT_TRUE(reparsed.has_value());
-    const auto params = reparsed->event_params();
-    ASSERT_TRUE(params.has_value());
-
-    const auto decoded = Evt::decode(*params);
-    ASSERT_TRUE(decoded.has_value());
-    EXPECT_EQ(decoded->encode().to_wire(), wire);
-
-    for (std::size_t cut = 0; cut < params->size(); ++cut)
-      EXPECT_FALSE(Evt::decode(params->subspan(0, cut)).has_value())
-          << "prefix of " << cut << " bytes decoded";
+    const CheckResult r = check_event_round_trip(evt);
+    ASSERT_TRUE(r.ok) << r.detail;
   }
 }
 
@@ -189,6 +177,61 @@ TEST(CodecFuzz, LinkKeyNotificationEvt) {
   });
 }
 
+// --- ACL fragments -----------------------------------------------------------
+
+// The ACL header's u16 packs handle (bits 0-11), the Packet_Boundary flag
+// (12-13) and the Broadcast flag (14-15). Continuation fragments (PB=1) and
+// every other flag combination must round-trip through make_acl_fragment()
+// and the accessors, and the declared data length must agree with the
+// payload.
+TEST(CodecFuzz, AclContinuationFragmentsRoundTrip) {
+  Rng rng(11);
+  for (int i = 0; i < kRounds; ++i) {
+    const auto handle = static_cast<ConnectionHandle>(rng.uniform(0x1000));
+    const auto pb = static_cast<std::uint8_t>(rng.uniform(4));
+    const auto bc = static_cast<std::uint8_t>(rng.uniform(4));
+    const Bytes data = rng.buffer(rng.uniform(48));
+
+    const HciPacket pkt = make_acl_fragment(handle, pb, bc, data);
+    ASSERT_EQ(pkt.type, PacketType::kAclData);
+    ASSERT_TRUE(pkt.acl_handle().has_value());
+    EXPECT_EQ(*pkt.acl_handle(), handle & 0x0FFF);
+    ASSERT_TRUE(pkt.acl_pb_flag().has_value());
+    EXPECT_EQ(*pkt.acl_pb_flag(), pb & 0x03);
+    ASSERT_TRUE(pkt.acl_bc_flag().has_value());
+    EXPECT_EQ(*pkt.acl_bc_flag(), bc & 0x03);
+    ASSERT_TRUE(pkt.acl_data().has_value());
+    EXPECT_EQ(to_bytes(*pkt.acl_data()), data);
+
+    // H4 wire round trip preserves the flag bits exactly.
+    const CheckResult r = check_h4_round_trip(pkt);
+    ASSERT_TRUE(r.ok) << r.detail;
+    // And the arbitrary-input probe's header/length consistency holds.
+    const CheckResult probe = check_hci_wire(pkt.to_wire(), nullptr);
+    ASSERT_TRUE(probe.ok) << probe.detail;
+  }
+}
+
+TEST(CodecFuzz, AclHeaderTruncationRejects) {
+  const HciPacket pkt = make_acl_fragment(0x0042, 1, 0, Bytes{1, 2, 3});
+  const Bytes wire = pkt.to_wire();
+  // Cutting anywhere inside the 4-byte ACL header (after the H4 type byte)
+  // must make the accessors reject; cutting into the data must shrink
+  // acl_data() consistently or reject, never read out of bounds.
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    const auto parsed = HciPacket::from_wire(BytesView(wire).subspan(0, cut));
+    if (!parsed.has_value()) continue;
+    if (parsed->payload.size() < 4) {
+      EXPECT_FALSE(parsed->acl_handle().has_value());
+      EXPECT_FALSE(parsed->acl_pb_flag().has_value());
+      EXPECT_FALSE(parsed->acl_bc_flag().has_value());
+    }
+  }
+  // make_acl() is the PB=0/BC=0 special case of make_acl_fragment().
+  EXPECT_EQ(make_acl(0x0042, Bytes{9, 9}).to_wire(),
+            make_acl_fragment(0x0042, 0, 0, Bytes{9, 9}).to_wire());
+}
+
 // --- LMP ---------------------------------------------------------------------
 
 TEST(CodecFuzz, LmpPduRoundTrip) {
@@ -198,12 +241,8 @@ TEST(CodecFuzz, LmpPduRoundTrip) {
     pdu.opcode = static_cast<controller::LmpOpcode>(
         1 + rng.uniform(static_cast<std::uint64_t>(controller::LmpOpcode::kSresSc)));
     pdu.payload = rng.buffer(rng.uniform(64));
-    const Bytes frame = pdu.to_air_frame();
-    const auto parsed = controller::LmpPdu::from_air_frame(frame);
-    ASSERT_TRUE(parsed.has_value());
-    EXPECT_EQ(parsed->opcode, pdu.opcode);
-    EXPECT_EQ(parsed->payload, pdu.payload);
-    EXPECT_EQ(parsed->to_air_frame(), frame);
+    const CheckResult r = check_lmp_round_trip(pdu);
+    ASSERT_TRUE(r.ok) << r.detail;
   }
 }
 
@@ -252,6 +291,49 @@ TEST(CodecFuzz, LmpTypedPayloadsRejectTruncation) {
     for (std::size_t cut = 0; cut < na_enc.size(); ++cut)
       EXPECT_FALSE(
           controller::LmpNotAccepted::decode(BytesView(na_enc).subspan(0, cut)).has_value());
+  }
+}
+
+// LmpPublicKey is the variable-length case: [width u8][x width bytes]
+// [y width bytes] for widths 24 (P-192) and 32 (P-256). Every strict prefix
+// — including cuts inside the coordinates, where a fixed-size checker would
+// never look — must reject, and the declared width must bound the read.
+TEST(CodecFuzz, LmpVariableLengthPublicKeyRejectsTruncation) {
+  Rng rng(12);
+  for (const std::size_t width : {std::size_t{24}, std::size_t{32}}) {
+    for (int i = 0; i < kRounds / 4; ++i) {
+      controller::LmpPublicKey key;
+      key.x = rng.buffer(width);
+      key.y = rng.buffer(width);
+      const Bytes enc = key.encode();
+
+      const auto dec = controller::LmpPublicKey::decode(enc);
+      ASSERT_TRUE(dec.has_value());
+      EXPECT_EQ(dec->x, key.x);
+      EXPECT_EQ(dec->y, key.y);
+      EXPECT_EQ(dec->encode(), enc);
+
+      for (std::size_t cut = 0; cut < enc.size(); ++cut)
+        EXPECT_FALSE(
+            controller::LmpPublicKey::decode(BytesView(enc).subspan(0, cut)).has_value())
+            << "width " << width << ", prefix of " << cut << " bytes decoded";
+
+      // A width byte that promises more coordinate bytes than the frame
+      // carries must not over-read: a P-192 frame relabelled P-256 rejects.
+      if (width == 24) {
+        Bytes lying = enc;
+        lying[0] = 32;
+        EXPECT_FALSE(controller::LmpPublicKey::decode(lying).has_value());
+      }
+    }
+  }
+  // Widths other than the two supported curves reject outright, however
+  // many bytes follow.
+  for (const int bad_width : {0, 1, 16, 25, 33, 255}) {
+    Bytes frame{static_cast<std::uint8_t>(bad_width)};
+    frame.resize(1 + 2 * static_cast<std::size_t>(bad_width), 0xAB);
+    EXPECT_FALSE(controller::LmpPublicKey::decode(frame).has_value())
+        << "width " << bad_width << " accepted";
   }
 }
 

@@ -1,0 +1,319 @@
+// test_fuzz.cpp — the coverage-guided fuzzing engine's own contracts.
+//
+// The fuzzer is only trustworthy if it is boring: same seed, same mutants,
+// same corpus, same report — on any machine, any BLAP_JOBS value, any run.
+// This suite pins that determinism contract piece by piece (mutator,
+// coverage map, corpus scheduler, minimiser, campaign engine) and finishes
+// with the fixed-seed stack smoke the ISSUE names: 500 snapshot-fork
+// executions through the live controller+host state machines with the
+// cross-layer InvariantMonitor as oracle, required to come back clean.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/coverage.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/mutator.hpp"
+#include "fuzz/targets.hpp"
+
+namespace blap::fuzz {
+namespace {
+
+// --- mutator -----------------------------------------------------------------
+
+TEST(FuzzMutator, SameSeedSameMutants) {
+  const Bytes base = {0x01, 0x05, 0x04, 0x03, 0x42, 0x00, 0x13};
+  const std::vector<Bytes> pool = {Bytes{0xAA, 0xBB}, Bytes{1, 2, 3, 4, 5}};
+
+  Mutator a(0xDEAD);
+  Mutator b(0xDEAD);
+  for (int i = 0; i < 500; ++i) {
+    const Bytes ma = a.mutate(base, pool, 64);
+    const Bytes mb = b.mutate(base, pool, 64);
+    ASSERT_EQ(ma, mb) << "mutation " << i << " diverged under the same seed";
+    ASSERT_FALSE(ma.empty());
+    ASSERT_LE(ma.size(), 64u);
+  }
+}
+
+TEST(FuzzMutator, DifferentSeedsDiverge) {
+  const Bytes base = {0x01, 0x05, 0x04, 0x03, 0x42, 0x00, 0x13};
+  Mutator a(1);
+  Mutator b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.mutate(base, {}, 64) != b.mutate(base, {}, 64)) ++differing;
+  EXPECT_GT(differing, 50) << "seeds 1 and 2 produce near-identical streams";
+}
+
+TEST(FuzzMutator, DictionaryIsDeterministicAndNonTrivial) {
+  const Dictionary a = Dictionary::bluetooth();
+  const Dictionary b = Dictionary::bluetooth();
+  EXPECT_EQ(a.tokens, b.tokens);
+  EXPECT_GT(a.tokens.size(), 16u);
+}
+
+// --- coverage map ------------------------------------------------------------
+
+TEST(FuzzCoverage, MapIsMonotoneAndReaccumulationAddsNothing) {
+  CoverageMap map;
+  FeatureSink sink;
+  sink.hash(1, 0x1111);
+  sink.hash(2, 0x2222);
+  sink.hash(3, 0x3333);
+
+  const std::size_t first = map.accumulate(sink);
+  EXPECT_EQ(first, 3u);
+  EXPECT_EQ(map.feature_count(), 3u);
+
+  // Monotone: the exact same features add exactly zero.
+  EXPECT_EQ(map.accumulate(sink), 0u);
+  EXPECT_EQ(map.feature_count(), 3u);
+
+  // A superset adds only its new members.
+  sink.hash(4, 0x4444);
+  EXPECT_EQ(map.accumulate(sink), 1u);
+  EXPECT_EQ(map.feature_count(), 4u);
+}
+
+TEST(FuzzCoverage, MarkReportsNewExactlyOnce) {
+  CoverageMap map;
+  EXPECT_TRUE(map.mark(12345));
+  EXPECT_FALSE(map.mark(12345));
+  EXPECT_TRUE(map.mark(12346));
+  EXPECT_EQ(map.feature_count(), 2u);
+}
+
+TEST(FuzzCoverage, CountBucketsMatchLibFuzzer) {
+  EXPECT_EQ(count_bucket(0), 0);
+  EXPECT_EQ(count_bucket(1), 1);
+  EXPECT_EQ(count_bucket(2), 2);
+  EXPECT_EQ(count_bucket(3), 3);
+  EXPECT_EQ(count_bucket(4), count_bucket(7));
+  EXPECT_EQ(count_bucket(8), count_bucket(15));
+  EXPECT_EQ(count_bucket(16), count_bucket(31));
+  EXPECT_EQ(count_bucket(32), count_bucket(127));
+  EXPECT_EQ(count_bucket(128), count_bucket(255));
+  EXPECT_NE(count_bucket(3), count_bucket(4));
+  EXPECT_NE(count_bucket(127), count_bucket(128));
+}
+
+TEST(FuzzCoverage, FeatureHashIsDeterministicAndDomainSeparated) {
+  EXPECT_EQ(feature_hash(7, 42), feature_hash(7, 42));
+  EXPECT_NE(feature_hash(7, 42), feature_hash(8, 42));
+  EXPECT_NE(feature_hash(7, 42), feature_hash(7, 43));
+}
+
+// --- corpus ------------------------------------------------------------------
+
+TEST(FuzzCorpus, DedupsAndDigestTracksInsertionOrder) {
+  Corpus a;
+  EXPECT_TRUE(a.add(Bytes{1, 2, 3}));
+  EXPECT_TRUE(a.add(Bytes{4, 5}));
+  EXPECT_FALSE(a.add(Bytes{1, 2, 3}));  // byte-identical duplicate
+  EXPECT_EQ(a.size(), 2u);
+
+  Corpus b;
+  EXPECT_TRUE(b.add(Bytes{1, 2, 3}));
+  EXPECT_TRUE(b.add(Bytes{4, 5}));
+  EXPECT_EQ(a.digest(), b.digest());
+
+  // Insertion order is part of the fingerprint.
+  Corpus c;
+  EXPECT_TRUE(c.add(Bytes{4, 5}));
+  EXPECT_TRUE(c.add(Bytes{1, 2, 3}));
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(FuzzCorpus, PickIsDeterministicInTheRngStream) {
+  Corpus corpus;
+  for (std::uint8_t i = 0; i < 20; ++i) corpus.add(Bytes{i});
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(corpus.pick(a), corpus.pick(b));
+}
+
+// --- minimiser ---------------------------------------------------------------
+
+// Synthetic surface: a finding of kind "needle" iff the input contains the
+// byte 0x42, and a *different* kind iff it contains 0x99 without 0x42 — so
+// the suite can check the minimiser never wanders across kinds.
+class NeedleTarget final : public FuzzTarget {
+ public:
+  const char* name() const override { return "needle"; }
+  std::vector<Bytes> seed_inputs() const override { return {Bytes{0}}; }
+  ExecResult execute(BytesView input, FeatureSink& sink) override {
+    sink.hash(0, input.size());
+    for (const std::uint8_t byte : input) {
+      if (byte == 0x42) return {true, "needle", "contains 0x42"};
+    }
+    for (const std::uint8_t byte : input) {
+      if (byte == 0x99) return {true, "other", "contains 0x99"};
+    }
+    return {};
+  }
+};
+
+TEST(FuzzMinimize, ShrinksToTheNeedle) {
+  NeedleTarget target;
+  Bytes input(64, 0x00);
+  input[37] = 0x42;
+
+  MinimizeStats stats;
+  const Bytes reduced = minimize_finding(target, input, "needle", 10'000, &stats);
+  EXPECT_EQ(reduced, Bytes{0x42});
+  EXPECT_GT(stats.reductions, 0u);
+  EXPECT_LE(stats.executions, 10'000u);
+}
+
+TEST(FuzzMinimize, IsIdempotentAndBudgeted) {
+  NeedleTarget target;
+  const Bytes minimal = {0x42};
+  MinimizeStats stats;
+  EXPECT_EQ(minimize_finding(target, minimal, "needle", 10'000, &stats), minimal);
+  EXPECT_EQ(stats.reductions, 0u);
+
+  // A budget of zero executions returns the input untouched.
+  Bytes big(32, 0x42);
+  MinimizeStats zero_stats;
+  EXPECT_EQ(minimize_finding(target, big, "needle", 0, &zero_stats), big);
+  EXPECT_EQ(zero_stats.executions, 0u);
+}
+
+TEST(FuzzMinimize, NeverWandersOntoADifferentKind) {
+  NeedleTarget target;
+  // Deleting the 0x42 region would leave a valid "other" finding — the
+  // minimiser must not accept that reduction.
+  Bytes input(16, 0x00);
+  input[3] = 0x42;
+  input[12] = 0x99;
+  const Bytes reduced = minimize_finding(target, input, "needle", 10'000);
+  FeatureSink sink;
+  const ExecResult result = target.execute(reduced, sink);
+  ASSERT_TRUE(result.finding);
+  EXPECT_EQ(result.kind, "needle");
+}
+
+// --- campaign engine ---------------------------------------------------------
+
+TEST(FuzzEngine, UnknownTargetFailsWithReason) {
+  FuzzConfig cfg;
+  cfg.target = "no-such-surface";
+  std::string why;
+  EXPECT_FALSE(run_fuzz_campaign(cfg, &why).has_value());
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(FuzzEngine, TargetRegistryResolves) {
+  for (const std::string& name : target_names()) {
+    const TargetFactory factory = resolve_target(name);
+    ASSERT_TRUE(factory) << name;
+    if (name == "stack") continue;  // constructing it bonds a whole cell
+    const auto target = factory();
+    ASSERT_NE(target, nullptr) << name;
+    EXPECT_EQ(target->name(), name);
+    EXPECT_FALSE(target->seed_inputs().empty()) << name;
+  }
+  EXPECT_FALSE(resolve_target("bogus"));
+}
+
+// The acceptance-gate contract: the campaign report — corpus digest,
+// per-shard feature counts, findings, the full JSON artifact — is
+// byte-identical across worker counts and across runs. CI re-checks this on
+// the real blap-fuzz binary; this is the in-process version.
+TEST(FuzzEngine, ReportIsWorkerCountAndRunIndependent) {
+  FuzzConfig cfg;
+  cfg.target = "hci_codec";
+  cfg.seed = 7;
+  cfg.iterations = 60;
+  cfg.shards = 4;
+
+  cfg.jobs = 1;
+  const auto serial = run_fuzz_campaign(cfg);
+  ASSERT_TRUE(serial.has_value());
+
+  cfg.jobs = 2;
+  const auto threaded = run_fuzz_campaign(cfg);
+  ASSERT_TRUE(threaded.has_value());
+
+  cfg.jobs = 1;
+  const auto rerun = run_fuzz_campaign(cfg);
+  ASSERT_TRUE(rerun.has_value());
+
+  EXPECT_EQ(serial->corpus_digest, threaded->corpus_digest);
+  EXPECT_EQ(serial->corpus_digest, rerun->corpus_digest);
+  EXPECT_EQ(serial->shard_features, threaded->shard_features);
+  EXPECT_EQ(serial->executions, threaded->executions);
+  EXPECT_EQ(serial->to_json(), threaded->to_json());
+  EXPECT_EQ(serial->to_json(), rerun->to_json());
+}
+
+TEST(FuzzEngine, CoverageGuidanceGrowsTheCorpus) {
+  FuzzConfig cfg;
+  cfg.target = "lmp_codec";
+  cfg.seed = 3;
+  cfg.iterations = 200;
+  cfg.shards = 2;
+  cfg.jobs = 1;
+  const auto report = run_fuzz_campaign(cfg);
+  ASSERT_TRUE(report.has_value());
+  // The merged corpus must exceed the seeds: mutation found inputs that
+  // grew the feature map, i.e. the scheduler is actually guided.
+  std::size_t seed_count = 0;
+  if (const auto factory = resolve_target("lmp_codec"))
+    seed_count = factory()->seed_inputs().size();
+  EXPECT_GT(report->corpus.size(), seed_count);
+  for (const std::size_t features : report->shard_features) EXPECT_GT(features, 0u);
+}
+
+// --- the ISSUE's fixed-seed stack smoke --------------------------------------
+
+// 500 mutation executions against the live stack (2 shards x 250), every
+// one a snapshot fork of the warm bonded cell with the InvariantMonitor
+// attached: zero invariant violations, zero stuck drains, zero runaway
+// schedulers. The codec fuzz campaigns above run tens of thousands of
+// executions in CI; the stack budget is smaller because each execution
+// steps a whole simulated cell, and the long campaigns live in the CI fuzz
+// job instead (EXPERIMENTS.md).
+TEST(FuzzEngine, FixedSeedStackSmokeIsClean) {
+  FuzzConfig cfg;
+  cfg.target = "stack";
+  cfg.seed = kStackSeed;
+  cfg.iterations = 250;
+  cfg.shards = 2;
+  cfg.jobs = 0;  // resolve via BLAP_JOBS/cores; determinism must not care
+  const auto report = run_fuzz_campaign(cfg);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_GE(report->executions, 500u);
+  for (const Finding& f : report->findings)
+    ADD_FAILURE() << "finding [" << f.kind << "] at shard " << f.shard << " iteration "
+                  << f.iteration << ": " << f.detail;
+  EXPECT_FALSE(report->corpus_digest.empty());
+}
+
+// --- stack target bundles ----------------------------------------------------
+
+TEST(FuzzStackTarget, BundlesCarryTheInputAndSnapshot) {
+  StackTarget target;
+  const auto seeds = target.seed_inputs();
+  ASSERT_FALSE(seeds.empty());
+
+  FeatureSink sink;
+  const ExecResult result = target.execute(seeds[0], sink);
+  EXPECT_FALSE(result.finding) << result.kind << ": " << result.detail;
+  EXPECT_FALSE(sink.features().empty()) << "stack execution emitted no features";
+
+  const auto bundle = target.make_bundle(seeds[0], result);
+  ASSERT_TRUE(bundle.has_value());
+  EXPECT_EQ(bundle->trial_kind, "fuzz_stack");
+  EXPECT_EQ(bundle->fuzz_input, seeds[0]);
+  EXPECT_EQ(bundle->trial_seed, kStackSeed);
+  EXPECT_EQ(bundle->warm_setup, "bonded");
+  EXPECT_FALSE(bundle->snapshot.empty());
+  EXPECT_TRUE(bundle->expected_success);
+}
+
+}  // namespace
+}  // namespace blap::fuzz

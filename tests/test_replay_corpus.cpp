@@ -73,5 +73,31 @@ TEST(ReplayCorpus, LossyBundleCarriesItsFaultPlan) {
   EXPECT_TRUE(found) << "lossy-supervision bundle missing from the corpus";
 }
 
+// The fuzz-* pins record the stack fuzz target's canonical op streams at
+// their post-fix verdicts (trial kind "fuzz_stack"): each carries the exact
+// input bytes and the warm bonded snapshot it forks from. The phantom-
+// connection stream is the one the first coverage-guided campaign flagged —
+// its presence here is the regression gate for the host's unsolicited
+// Connection_Complete fix.
+TEST(ReplayCorpus, FuzzPinsCarryTheirInputStreams) {
+  std::size_t fuzz_bundles = 0;
+  bool phantom_found = false;
+  for (const std::string& path : corpus_files()) {
+    if (path.find("/fuzz-") == std::string::npos) continue;
+    SCOPED_TRACE(path);
+    ++fuzz_bundles;
+    std::string why;
+    const auto bundle = ReplayBundle::load_file(path, &why);
+    ASSERT_TRUE(bundle.has_value()) << why;
+    EXPECT_EQ(bundle->trial_kind, "fuzz_stack");
+    EXPECT_FALSE(bundle->fuzz_input.empty());
+    EXPECT_FALSE(bundle->snapshot.empty());
+    EXPECT_EQ(bundle->warm_setup, "bonded");
+    if (path.find("fuzz-phantom-connection") != std::string::npos) phantom_found = true;
+  }
+  EXPECT_GE(fuzz_bundles, 4u) << "fuzz pins missing — regenerate with make_corpus";
+  EXPECT_TRUE(phantom_found) << "the phantom-connection regression pin is gone";
+}
+
 }  // namespace
 }  // namespace blap::snapshot

@@ -1,0 +1,216 @@
+// blap-fuzz — coverage-guided protocol fuzzing driver.
+//
+//   blap-fuzz --target <name> [--iterations N] [--shards N] [--seed S]
+//             [--jobs N] [--json <path>] [--corpus-out <dir>]
+//             [--findings-dir <dir>] [--list-targets]
+//   blap-fuzz --target <name> --run-input <file>
+//
+// Runs the deterministic sharded campaign from src/fuzz/fuzzer.hpp over one
+// of the registered targets (hci_codec, lmp_codec, stack). The report JSON
+// and the corpus digest are byte-identical for any --jobs / BLAP_JOBS value
+// and across runs — CI diffs them to gate the determinism contract.
+//
+// --findings-dir writes each finding's minimised input: stack findings as
+// self-contained .blapreplay bundles (replayable with blap-replay), codec
+// findings as raw .bin inputs (reproducible with --run-input). File names
+// are derived from the finding's shard/iteration/kind, never from time.
+//
+// --run-input executes one input file through the target and prints the
+// oracle verdict: the debugging loop for a pinned finding.
+//
+// Exit codes: 0 clean campaign, 1 findings recorded, 2 usage/IO errors.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/targets.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --target <name> [--iterations N] [--shards N] [--seed S]\n"
+               "          [--jobs N] [--json <path>] [--corpus-out <dir>]\n"
+               "          [--findings-dir <dir>] [--run-input <file>] [--list-targets]\n",
+               argv0);
+}
+
+bool write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << data;
+  return static_cast<bool>(out);
+}
+
+bool write_bytes(const std::string& path, const blap::Bytes& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+int run_single_input(const std::string& target_name, const std::string& path) {
+  const auto factory = blap::fuzz::resolve_target(target_name);
+  if (!factory) {
+    std::fprintf(stderr, "blap-fuzz: unknown target '%s'\n", target_name.c_str());
+    return 2;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "blap-fuzz: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const blap::Bytes input(text.begin(), text.end());
+
+  const auto target = factory();
+  blap::fuzz::FeatureSink sink;
+  const blap::fuzz::ExecResult result = target->execute(input, sink);
+  std::printf("target:   %s\n", target->name());
+  std::printf("input:    %s (%zu bytes)\n", path.c_str(), input.size());
+  std::printf("features: %zu\n", sink.features().size());
+  if (result.finding) {
+    std::printf("FINDING [%s]: %s\n", result.kind.c_str(), result.detail.c_str());
+    return 1;
+  }
+  std::printf("clean\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blap::fuzz;
+
+  FuzzConfig config;
+  config.target.clear();
+  std::string json_out;
+  std::string corpus_out;
+  std::string findings_dir;
+  std::string run_input;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--list-targets") == 0) {
+      for (const auto& name : target_names()) std::printf("%s\n", name.c_str());
+      return 0;
+    }
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--target") == 0 && (value = next_value()) != nullptr) {
+      config.target = value;
+    } else if (std::strcmp(arg, "--iterations") == 0 && (value = next_value()) != nullptr) {
+      config.iterations = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (std::strcmp(arg, "--shards") == 0 && (value = next_value()) != nullptr) {
+      config.shards = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (std::strcmp(arg, "--seed") == 0 && (value = next_value()) != nullptr) {
+      config.seed = std::strtoull(value, nullptr, 10);
+    } else if (std::strcmp(arg, "--jobs") == 0 && (value = next_value()) != nullptr) {
+      config.jobs = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    } else if (std::strcmp(arg, "--json") == 0 && (value = next_value()) != nullptr) {
+      json_out = value;
+    } else if (std::strcmp(arg, "--corpus-out") == 0 && (value = next_value()) != nullptr) {
+      corpus_out = value;
+    } else if (std::strcmp(arg, "--findings-dir") == 0 &&
+               (value = next_value()) != nullptr) {
+      findings_dir = value;
+    } else if (std::strcmp(arg, "--run-input") == 0 && (value = next_value()) != nullptr) {
+      run_input = value;
+    } else {
+      std::fprintf(stderr, "blap-fuzz: bad or incomplete option '%s'\n", arg);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (config.target.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (!run_input.empty()) return run_single_input(config.target, run_input);
+  if (config.shards == 0) {
+    std::fprintf(stderr, "blap-fuzz: --shards must be >= 1\n");
+    return 2;
+  }
+
+  std::string why;
+  const auto report = run_fuzz_campaign(config, &why);
+  if (!report.has_value()) {
+    std::fprintf(stderr, "blap-fuzz: %s\n", why.c_str());
+    return 2;
+  }
+
+  std::printf("target:        %s\n", report->target.c_str());
+  std::printf("seed:          %llu\n", static_cast<unsigned long long>(report->seed));
+  std::printf("shards x iter: %zu x %zu (jobs=%u)\n", report->shards,
+              report->iterations_per_shard, report->jobs_used);
+  std::printf("executions:    %zu\n", report->executions);
+  std::printf("corpus:        %zu entries, digest %s\n", report->corpus.size(),
+              report->corpus_digest.c_str());
+  std::printf("findings:      %zu\n", report->findings.size());
+  for (const auto& finding : report->findings)
+    std::printf("  shard %zu iter %zu [%s]: %s (%zu -> %zu bytes)\n", finding.shard,
+                finding.iteration, finding.kind.c_str(), finding.detail.c_str(),
+                finding.input.size(), finding.minimized.size());
+
+  if (!json_out.empty() && !write_file(json_out, report->to_json())) {
+    std::fprintf(stderr, "blap-fuzz: cannot write %s\n", json_out.c_str());
+    return 2;
+  }
+
+  if (!corpus_out.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(corpus_out, ec);
+    for (std::size_t i = 0; i < report->corpus.size(); ++i) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "corpus-%05zu.bin", i);
+      if (!write_bytes(corpus_out + "/" + name, report->corpus.entry(i))) {
+        std::fprintf(stderr, "blap-fuzz: cannot write %s/%s\n", corpus_out.c_str(), name);
+        return 2;
+      }
+    }
+  }
+
+  if (!findings_dir.empty() && !report->findings.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(findings_dir, ec);
+    // A fresh target instance re-executes each minimised input so stack
+    // findings get a bundle recorded from exactly that input.
+    const auto factory = resolve_target(config.target);
+    const auto target = factory();
+    for (const auto& finding : report->findings) {
+      char stem[128];
+      std::snprintf(stem, sizeof(stem), "fuzz-%s-s%02zu-i%05zu-%s",
+                    report->target.c_str(), finding.shard, finding.iteration,
+                    finding.kind.c_str());
+      FeatureSink sink;
+      const ExecResult rerun = target->execute(finding.minimized, sink);
+      const auto bundle = target->make_bundle(finding.minimized, rerun);
+      if (bundle.has_value()) {
+        const std::string path = findings_dir + "/" + stem + ".blapreplay";
+        if (!bundle->save_file(path)) {
+          std::fprintf(stderr, "blap-fuzz: cannot write %s\n", path.c_str());
+          return 2;
+        }
+      } else {
+        const std::string path = findings_dir + "/" + stem + ".bin";
+        if (!write_bytes(path, finding.minimized)) {
+          std::fprintf(stderr, "blap-fuzz: cannot write %s\n", path.c_str());
+          return 2;
+        }
+      }
+    }
+  }
+
+  return report->findings.empty() ? 0 : 1;
+}

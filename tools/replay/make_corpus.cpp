@@ -26,6 +26,15 @@
 //   * chaos-teardown-race — a supervision timeout delivered at teardown
 //                        entry; used to double-notify the host. Replays
 //                        clean since teardown_link became idempotent.
+//   * fuzz-*           — the stack fuzz target's canonical op streams, one
+//                        bundle each (trial kind "fuzz_stack"). The first
+//                        coverage-guided campaign flagged the phantom-
+//                        connection stream immediately: the host fabricated
+//                        an ACL from an unsolicited Connection_Complete
+//                        (link-table-agreement violation). Replays clean
+//                        since on_connection_complete() started requiring a
+//                        pending connect/accept; each bundle pins its
+//                        post-fix verdict exactly.
 //
 // The output is deterministic: same binaries -> same bundle bytes. The
 // corpus only needs regenerating when the snapshot format, the scenario
@@ -35,6 +44,7 @@
 #include <memory>
 
 #include "core/page_blocking.hpp"
+#include "fuzz/targets.hpp"
 #include "obs/obs.hpp"
 #include "snapshot/chaos_trial.hpp"
 #include "snapshot/fork_campaign.hpp"
@@ -225,6 +235,46 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fuzz regression pins: the stack target's seed op streams, recorded at
+  // their post-fix verdict. Names track seed_inputs() order — if the seeds
+  // change, update both.
+  {
+    static const char* const kFuzzPinNames[] = {
+        "fuzz-advance-time",        // pure virtual-time advance
+        "fuzz-disconnect-inject",   // valid Disconnect cmd at the live handle
+        "fuzz-phantom-connection",  // unsolicited Connection_Complete (the
+                                    // first campaign's finding, fixed in-PR)
+        "fuzz-lmp-detach",          // LMP detach frame on the air
+    };
+    fuzz::StackTarget target;
+    const auto seeds = target.seed_inputs();
+    if (seeds.size() != std::size(kFuzzPinNames)) {
+      std::fprintf(stderr, "fuzz pins: seed_inputs() count changed (%zu vs %zu) — "
+                           "update kFuzzPinNames\n",
+                   seeds.size(), std::size(kFuzzPinNames));
+    } else {
+      for (std::size_t i = 0; i < seeds.size(); ++i) {
+        fuzz::FeatureSink sink;
+        const fuzz::ExecResult result = target.execute(seeds[i], sink);
+        if (result.finding) {
+          std::fprintf(stderr, "%s: trial regressed to a finding [%s]: %s — "
+                               "fix the bug, not the corpus\n",
+                       kFuzzPinNames[i], result.kind.c_str(), result.detail.c_str());
+          continue;
+        }
+        const auto bundle = target.make_bundle(seeds[i], result);
+        if (!bundle.has_value()) continue;
+        const std::string dir = out_dir + "/" + kFuzzPinNames[i];
+        std::filesystem::create_directories(dir, ec);
+        const std::string path = dir + "/fuzz-000000.blapreplay";
+        if (bundle->save_file(path)) {
+          std::printf("%-17s -> %s\n", kFuzzPinNames[i], path.c_str());
+          ++written;
+        }
+      }
+    }
+  }
+
   std::printf("%d bundle(s) written under %s\n", written, out_dir.c_str());
-  return written == 5 ? 0 : 1;
+  return written == 9 ? 0 : 1;
 }
